@@ -1,0 +1,523 @@
+(* ilaverif: command-line front end.
+
+   Subcommands:
+     list                        enumerate the case-study designs
+     sketch DESIGN               print the module-ILA (Figs. 1-3 style)
+     refmap DESIGN               print the refinement maps (Fig. 5 style)
+     property DESIGN INSTR       print one auto-generated property
+     check DESIGN                decode coverage / determinism checks
+     verify DESIGN [--bug L]     refinement-check a design (or a buggy variant)
+     bugs                        reproduce the paper's three bug hunts *)
+
+open Cmdliner
+open Ilv_core
+open Ilv_designs
+
+let find_design name =
+  match Catalog.find name with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown design %S; available: %s" name
+         (String.concat ", " Catalog.names))
+
+let design_arg =
+  let doc = "Case-study design name (see the list subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (d : Design.t) ->
+        Format.printf "%-28s %-32s ports %d/%d, %d instructions%s@."
+          d.Design.name
+          (Design.class_to_string d.Design.module_class)
+          d.Design.ports_before_integration
+          (Module_ila.n_ports d.Design.module_ila)
+          (Module_ila.total_instructions d.Design.module_ila)
+          (match d.Design.bugs with
+          | [] -> ""
+          | bugs ->
+            Printf.sprintf " [bugs: %s]"
+              (String.concat ", "
+                 (List.map (fun b -> b.Design.bug_label) bugs))))
+      (Catalog.all
+      @ [ Datapath_8051.design_abstract; Store_buffer.design_abstract ])
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the case-study designs")
+    Term.(const run $ const ())
+
+(* ---- sketch ---- *)
+
+let sketch_cmd =
+  let text_flag =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:
+            "Emit the machine-readable textual models (re-loadable with \
+             Ila_text.parse) instead of the sketch.")
+  in
+  let run name text =
+    let d = or_die (find_design name) in
+    if text then
+      List.iter
+        (fun (port : Ila.t) -> print_string (Ila_text.print port))
+        d.Design.module_ila.Module_ila.ports
+    else Format.printf "%a@." Module_ila.pp_sketch d.Design.module_ila
+  in
+  Cmd.v
+    (Cmd.info "sketch" ~doc:"Print the module-ILA sketch (Figs. 1-3 style)")
+    Term.(const run $ design_arg $ text_flag)
+
+(* ---- refmap ---- *)
+
+let refmap_cmd =
+  let text_flag =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:
+            "Emit the machine-readable textual format (re-loadable with \
+             Refmap_text.parse) instead of the Fig.-5-style rendering.")
+  in
+  let run name text =
+    let d = or_die (find_design name) in
+    List.iter
+      (fun (port : Ila.t) ->
+        let refmap = d.Design.refmap_for d.Design.rtl port.Ila.name in
+        if text then begin
+          Format.printf "# port %s@." port.Ila.name;
+          print_string (Refmap_text.print refmap)
+        end
+        else Format.printf "== port %s ==@.%a@." port.Ila.name Refmap.pp refmap)
+      d.Design.module_ila.Module_ila.ports
+  in
+  Cmd.v
+    (Cmd.info "refmap" ~doc:"Print the refinement maps (Fig. 5 style)")
+    Term.(const run $ design_arg $ text_flag)
+
+(* ---- property ---- *)
+
+let property_cmd =
+  let instr_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"INSTRUCTION" ~doc:"Instruction name.")
+  in
+  let run name instr_name =
+    let d = or_die (find_design name) in
+    let found =
+      List.find_map
+        (fun (port : Ila.t) ->
+          match Ila.find_instruction port instr_name with
+          | Some i -> Some (port, i)
+          | None -> None)
+        d.Design.module_ila.Module_ila.ports
+    in
+    match found with
+    | None ->
+      prerr_endline ("no such instruction: " ^ instr_name);
+      exit 2
+    | Some (port, i) ->
+      let refmap = d.Design.refmap_for d.Design.rtl port.Ila.name in
+      let prop = Propgen.generate_for ~ila:port ~rtl:d.Design.rtl ~refmap i in
+      Format.printf "%a@." Property.pp prop
+  in
+  Cmd.v
+    (Cmd.info "property"
+       ~doc:"Print the auto-generated property of one instruction")
+    Term.(const run $ design_arg $ instr_arg)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run name =
+    let d = or_die (find_design name) in
+    let failed = ref false in
+    List.iter
+      (fun (port : Ila.t) ->
+        let assuming = d.Design.coverage_assumptions port.Ila.name in
+        (match Ila_check.coverage ~assuming port with
+        | Ila_check.Covered ->
+          Format.printf "port %-10s decode coverage: complete@." port.Ila.name
+        | Ila_check.Uncovered _ ->
+          failed := true;
+          Format.printf
+            "port %-10s decode coverage: GAP (a command no instruction \
+             decodes)@."
+            port.Ila.name);
+        match Ila_check.determinism ~assuming port with
+        | Ila_check.Deterministic ->
+          Format.printf "port %-10s decode overlap:  none@." port.Ila.name
+        | Ila_check.Overlap { instr_a; instr_b; _ } ->
+          failed := true;
+          Format.printf "port %-10s decode overlap:  %s and %s@." port.Ila.name
+            instr_a instr_b)
+      d.Design.module_ila.Module_ila.ports;
+    List.iter
+      (fun (port, result) ->
+        match result with
+        | Invariant.Inductive ->
+          Format.printf "port %-10s invariants:      inductive@." port
+        | Invariant.Violated { kind; _ } ->
+          failed := true;
+          Format.printf "port %-10s invariants:      VIOLATED (%s)@." port
+            (match kind with `Base -> "base case" | `Step -> "inductive step"))
+      (Design.check_invariants d);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check decode coverage and determinism of every port")
+    Term.(const run $ design_arg)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let bug_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"LABEL"
+          ~doc:"Verify the buggy RTL variant with this label instead.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Restrict to one port.")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going"; "k" ]
+          ~doc:"Check all instructions even after a failure.")
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Dump the first counterexample trace as a VCD waveform.")
+  in
+  let run name bug port keep_going vcd =
+    let d = or_die (find_design name) in
+    let only_ports = Option.map (fun p -> [ p ]) port in
+    let report =
+      match bug with
+      | None ->
+        Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports d
+      | Some label -> (
+        match
+          List.find_opt (fun b -> b.Design.bug_label = label) d.Design.bugs
+        with
+        | Some bug ->
+          Design.verify_buggy ~stop_at_first_failure:(not keep_going) d bug
+        | None ->
+          prerr_endline
+            (Printf.sprintf "no bug %S in %s (available: %s)" label
+               d.Design.name
+               (String.concat ", "
+                  (List.map (fun b -> b.Design.bug_label) d.Design.bugs)));
+          exit 2)
+    in
+    Format.printf "%a@." Verify.pp_report report;
+    (match (vcd, report.Verify.first_failure) with
+    | Some file, Some { verdict = Checker.Failed trace; _ } ->
+      let oc = open_out file in
+      output_string oc (Trace.to_vcd trace);
+      close_out oc;
+      Format.printf "counterexample waveform written to %s@." file
+    | Some _, _ -> Format.printf "no counterexample to dump@."
+    | None, _ -> ());
+    if not (Verify.proved report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Refinement-check a design's RTL against its module-ILA")
+    Term.(const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg)
+
+(* ---- dimacs ---- *)
+
+let dimacs_cmd =
+  let instr_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"INSTRUCTION" ~doc:"Instruction name.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the CNF here instead of stdout.")
+  in
+  let run name instr_name out =
+    let d = or_die (find_design name) in
+    let found =
+      List.find_map
+        (fun (port : Ila.t) ->
+          match Ila.find_instruction port instr_name with
+          | Some i -> Some (port, i)
+          | None -> None)
+        d.Design.module_ila.Module_ila.ports
+    in
+    match found with
+    | None ->
+      prerr_endline ("no such instruction: " ^ instr_name);
+      exit 2
+    | Some (port, i) ->
+      let refmap = d.Design.refmap_for d.Design.rtl port.Ila.name in
+      let prop = Propgen.generate_for ~ila:port ~rtl:d.Design.rtl ~refmap i in
+      (* the first obligation's query: assumptions /\ guard /\ not goal *)
+      let ctx = Ilv_sat.Bitblast.create () in
+      List.iter (Ilv_sat.Bitblast.assert_bool ctx) prop.Property.assumptions;
+      (match prop.Property.obligations with
+      | [] -> ()
+      | ob :: _ ->
+        Ilv_sat.Bitblast.assert_bool ctx ob.Property.guard;
+        Ilv_sat.Bitblast.assert_not ctx ob.Property.goal);
+      let text =
+        Ilv_sat.Dimacs.to_string (Ilv_sat.Dimacs.of_bitblast ctx)
+      in
+      (match out with
+      | None -> print_string text
+      | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.printf "wrote %s@." file)
+  in
+  Cmd.v
+    (Cmd.info "dimacs"
+       ~doc:
+         "Export the CNF of one instruction's refinement query (UNSAT = the \
+          property holds)")
+    Term.(const run $ design_arg $ instr_arg $ out_arg)
+
+(* ---- verilog ---- *)
+
+let verilog_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Verilog here instead of stdout.")
+  in
+  let run name out =
+    let d = or_die (find_design name) in
+    let src = Ilv_rtl.Verilog.emit d.Design.rtl in
+    match out with
+    | None -> print_string src
+    | Some file ->
+      let oc = open_out file in
+      output_string oc src;
+      close_out oc;
+      Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Export a design's RTL as Verilog-2001")
+    Term.(const run $ design_arg $ out_arg)
+
+(* ---- table ---- *)
+
+let table_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Use the memory-abstracted datapath and store buffer (the \
+             paper's parenthesized configuration).")
+  in
+  let run quick =
+    let suite = if quick then Catalog.quick else Catalog.all in
+    let rows = List.map Table_one.measure suite in
+    Table_one.print_rows Format.std_formatter rows;
+    Format.printf "@.Paper's Table I, for shape comparison:@.";
+    Table_one.print_paper Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
+    Term.(const run $ quick)
+
+(* ---- reach ---- *)
+
+let reach_cmd =
+  let prop_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PROPERTY"
+          ~doc:
+            "Safety property over RTL nets, in the s-expression syntax \
+             (e.g. '(bvule down_q 0x0b:4)').")
+  in
+  let max_bits_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "max-bits" ] ~docv:"N"
+          ~doc:"State+input bit budget (default 40).")
+  in
+  let run name prop max_bits =
+    let d = or_die (find_design name) in
+    let rtl = d.Design.rtl in
+    let env n =
+      match Ilv_rtl.Rtl.input_sort rtl n with
+      | Some s -> Some s
+      | None -> (
+        match Ilv_rtl.Rtl.register_sort rtl n with
+        | Some s -> Some s
+        | None ->
+          Option.map Ilv_expr.Expr.sort (Ilv_rtl.Rtl.wire_expr rtl n))
+    in
+    let p = Ilv_expr.Parse.expr ~env prop in
+    match Reach.analyze ~max_bits ~rtl p with
+    | Reach.Holds, stats ->
+      (match stats with
+      | Some s ->
+        Format.printf
+          "holds in every reachable state (fixed point after %d images, \
+           reachable-set BDD %d nodes)@."
+          s.Reach.iterations s.Reach.reachable_bdd_size
+      | None -> Format.printf "holds@.")
+    | Reach.Violated model, _ ->
+      Format.printf "VIOLATED in a reachable state:@.";
+      List.iter
+        (fun (r : Ilv_rtl.Rtl.register) ->
+          Format.printf "  %-20s = %s@." r.Ilv_rtl.Rtl.reg_name
+            (Ilv_expr.Value.to_string
+               (model r.Ilv_rtl.Rtl.reg_name r.Ilv_rtl.Rtl.sort)))
+        rtl.Ilv_rtl.Rtl.registers;
+      List.iter
+        (fun (n, sort) ->
+          Format.printf "  %-20s = %s (input)@." n
+            (Ilv_expr.Value.to_string (model n sort)))
+        rtl.Ilv_rtl.Rtl.inputs;
+      exit 1
+    | Reach.Too_large, _ ->
+      Format.printf
+        "design exceeds the %d-bit budget for exact reachability (use \
+         'verify' with invariants instead)@."
+        max_bits;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "reach"
+       ~doc:"Exact symbolic (BDD) reachability check of a safety property")
+    Term.(const run $ design_arg $ prop_arg $ max_bits_arg)
+
+(* ---- cosim ---- *)
+
+let cosim_cmd =
+  let cycles_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "cycles" ] ~docv:"N" ~doc:"Cycles per seed (default 1000).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"K" ~doc:"Number of random seeds (default 5).")
+  in
+  let bug_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"LABEL"
+          ~doc:"Co-simulate the buggy RTL variant instead.")
+  in
+  let run name cycles seeds bug =
+    let d = or_die (find_design name) in
+    let rtl =
+      match bug with
+      | None -> d.Design.rtl
+      | Some label -> (
+        match
+          List.find_opt (fun b -> b.Design.bug_label = label) d.Design.bugs
+        with
+        | Some b -> b.Design.buggy_rtl
+        | None ->
+          prerr_endline ("no bug " ^ label);
+          exit 2)
+    in
+    let diverged = ref false in
+    for seed = 1 to seeds do
+      match Cosim.run_rtl ~cycles ~seed d rtl with
+      | Cosim.Agree { steps; _ } ->
+        Format.printf "seed %d: agree over %d cycles (%d steps)@." seed cycles
+          steps
+      | Cosim.Diverged { cycle; port; state; detail } ->
+        diverged := true;
+        Format.printf "seed %d: DIVERGED at cycle %d (port %s, state %s): %s@."
+          seed cycle port state detail
+    done;
+    if !diverged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Randomly co-simulate the RTL against the port-ILAs")
+    Term.(const run $ design_arg $ cycles_arg $ seeds_arg $ bug_arg)
+
+(* ---- bugs ---- *)
+
+let bugs_cmd =
+  let run () =
+    let any_missed = ref false in
+    List.iter
+      (fun (d : Design.t) ->
+        List.iter
+          (fun bug ->
+            let report = Design.verify_buggy d bug in
+            (match report.Verify.first_failure with
+            | Some ir ->
+              Format.printf "%-24s [%s] caught at %-24s in %.3fs@."
+                d.Design.name bug.Design.bug_label ir.Verify.instr
+                report.Verify.total_time_s
+            | None ->
+              any_missed := true;
+              Format.printf "%-24s [%s] NOT CAUGHT@." d.Design.name
+                bug.Design.bug_label))
+          d.Design.bugs)
+      [ Axi_slave.design; L2_cache.design; Store_buffer.design_abstract ];
+    if !any_missed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"Reproduce the paper's three bug hunts")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "ILA-based modeling and refinement verification of general hardware \
+     modules (DATE 2021 reproduction)"
+  in
+  let info = Cmd.info "ilaverif" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            sketch_cmd;
+            refmap_cmd;
+            property_cmd;
+            check_cmd;
+            verify_cmd;
+            table_cmd;
+            dimacs_cmd;
+            verilog_cmd;
+            cosim_cmd;
+            reach_cmd;
+            bugs_cmd;
+          ]))

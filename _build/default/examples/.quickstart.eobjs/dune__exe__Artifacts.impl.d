@@ -1,0 +1,1 @@
+examples/artifacts.ml: Catalog Char Checker Compose Design Filename Format Ila Ila_text Ilv_core Ilv_designs Ilv_rtl List Module_ila Option Refmap_text String Sys Trace Verify

@@ -1,0 +1,1 @@
+examples/axi_bridge.ml: Axi_master Axi_slave Design Format Ilv_core Ilv_designs Ilv_expr Ilv_rtl List Sim Value Verify

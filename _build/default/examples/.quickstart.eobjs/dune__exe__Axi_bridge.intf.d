@@ -1,0 +1,1 @@
+examples/axi_bridge.mli:

@@ -1,0 +1,1 @@
+examples/noc_audit.ml: Compose Design Format Ila Ila_check Ilv_core Ilv_designs List Noc_router String Verify

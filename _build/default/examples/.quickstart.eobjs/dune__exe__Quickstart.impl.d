@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Compose Format Ila Ila_check Ilv_core Ilv_expr Ilv_rtl Refmap Rtl Sort Value Verify

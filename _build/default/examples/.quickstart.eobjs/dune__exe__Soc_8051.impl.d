@@ -1,0 +1,1 @@
+examples/soc_8051.ml: Array Checker Datapath_8051 Decoder_8051 Design Format Ila Ila_check Ilv_core Ilv_designs List Mem_iface_8051 Module_ila Sys Verify

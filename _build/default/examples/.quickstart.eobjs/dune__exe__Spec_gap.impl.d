@@ -1,0 +1,1 @@
+examples/spec_gap.ml: Build Compose Format Ila Ila_sim Ilv_core Ilv_expr List Pp_expr Printf Sort String Value

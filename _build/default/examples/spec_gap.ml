@@ -1,0 +1,95 @@
+(* Specification gaps: what the methodology reports when the informal
+   spec does not say who wins.
+
+   Two ports share a status register: the control port can force the
+   device ON or OFF, while the watchdog port forces it OFF on timeout.
+   The informal spec forgot to say what happens when the user forces ON
+   in the same cycle the watchdog fires.  Integration flags exactly
+   that combination as a gap; adding the safety rule ("the watchdog
+   wins") resolves it.
+
+   Run with: dune exec examples/spec_gap.exe *)
+
+open Ilv_expr
+open Ilv_core
+open Build
+
+let control_port =
+  let force_on = bool_var "force_on" in
+  let force_off = bool_var "force_off" in
+  Ila.make ~name:"CONTROL"
+    ~inputs:[ ("force_on", Sort.bool); ("force_off", Sort.bool) ]
+    ~states:[ Ila.state "status" Sort.bool () ]
+    ~instructions:
+      [
+        Ila.instr "FORCE_ON" ~decode:(force_on &&: not_ force_off)
+          ~updates:[ ("status", tt) ]
+          ();
+        Ila.instr "FORCE_OFF" ~decode:force_off
+          ~updates:[ ("status", ff) ]
+          ();
+        Ila.instr "CTL_IDLE"
+          ~decode:(not_ force_on &&: not_ force_off)
+          ~updates:[] ();
+      ]
+
+let watchdog_port =
+  let timeout = bool_var "timeout" in
+  Ila.make ~name:"WATCHDOG"
+    ~inputs:[ ("timeout", Sort.bool) ]
+    ~states:[ Ila.state "status" Sort.bool () ]
+    ~instructions:
+      [
+        Ila.instr "WD_TRIP" ~decode:timeout ~updates:[ ("status", ff) ] ();
+        Ila.instr "WD_IDLE" ~decode:(not_ timeout) ~updates:[] ();
+      ]
+
+let () =
+  (* integration without any resolution rule *)
+  (match Compose.integrate ~name:"STATUS" [ control_port; watchdog_port ] with
+  | Ok _ -> Format.printf "unexpected: no gap found@."
+  | Error gaps ->
+    Format.printf
+      "The informal specification leaves %d combination(s) unresolved:@."
+      (List.length gaps);
+    List.iter
+      (fun (g : Compose.gap) ->
+        Format.printf
+          "  gap: instruction %S updates %s conflictingly (%s)@."
+          g.Compose.combined_instr g.Compose.state
+          (String.concat " vs "
+             (List.map
+                (fun (w : Compose.writer) ->
+                  Printf.sprintf "%s wants %s" w.Compose.port
+                    (Pp_expr.infix_to_string w.Compose.update))
+                g.Compose.writers)))
+      gaps);
+
+  (* the fix: a safety rule — an update to OFF (false) has priority *)
+  Format.printf
+    "@.Adding the safety rule \"the watchdog wins\" (update to OFF has \
+     priority):@.";
+  match
+    Compose.integrate ~name:"STATUS"
+      ~resolve:(Compose.Resolve.priority_value (Value.of_bool false))
+      [ control_port; watchdog_port ]
+  with
+  | Error _ ->
+    Format.printf "still gaps?!@.";
+    exit 1
+  | Ok integrated ->
+    Format.printf "integration succeeds with %d instructions:@.@.%a@."
+      (List.length (Ila.leaf_instructions integrated))
+      Ila.pp_sketch integrated;
+    (* demonstrate the resolved semantics *)
+    let sim = Ila_sim.create integrated in
+    ignore
+      (Ila_sim.step sim
+         [
+           ("force_on", Value.of_bool true);
+           ("force_off", Value.of_bool false);
+           ("timeout", Value.of_bool true);
+         ]);
+    Format.printf
+      "FORCE_ON together with WD_TRIP leaves status = %b (watchdog wins)@."
+      (Value.to_bool (Ila_sim.state sim "status"))

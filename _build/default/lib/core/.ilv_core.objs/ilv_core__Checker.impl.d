@@ -1,0 +1,1 @@
+lib/core/checker.ml: Bitblast Build Eval Expr Ilv_expr Ilv_sat List Property Sat Simp String Trace Unix

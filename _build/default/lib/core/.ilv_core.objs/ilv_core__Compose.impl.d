@@ -1,0 +1,1 @@
+lib/core/compose.ml: Bitvec Build Expr Format Ila Ilv_expr List Module_ila Sort String Value

@@ -1,0 +1,1 @@
+lib/core/compose.mli: Expr Ila Ilv_expr Module_ila Value

@@ -1,0 +1,1 @@
+lib/core/ila.ml: Eval Expr Format Hashtbl Ilv_expr List Map Sort String Value

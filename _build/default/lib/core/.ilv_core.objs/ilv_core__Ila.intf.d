@@ -1,0 +1,1 @@
+lib/core/ila.mli: Eval Expr Format Ilv_expr Sort Value

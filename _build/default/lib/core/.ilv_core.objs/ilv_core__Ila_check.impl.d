@@ -1,0 +1,1 @@
+lib/core/ila_check.ml: Bitblast Build Ila Ilv_expr Ilv_sat List Sort Value

@@ -1,0 +1,1 @@
+lib/core/ila_check.mli: Expr Ila Ilv_expr Sort Value

@@ -1,0 +1,1 @@
+lib/core/ila_of_rtl.ml: Build Expr Ila Ilv_expr Ilv_rtl List Refmap Rtl Subst

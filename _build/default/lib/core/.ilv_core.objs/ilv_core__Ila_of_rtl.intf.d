@@ -1,0 +1,1 @@
+lib/core/ila_of_rtl.mli: Ila Ilv_rtl Refmap Rtl

@@ -1,0 +1,1 @@
+lib/core/ila_sim.ml: Eval Ila Ilv_expr List Printf Sort Value

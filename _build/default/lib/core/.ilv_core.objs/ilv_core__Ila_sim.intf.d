@@ -1,0 +1,1 @@
+lib/core/ila_sim.mli: Eval Ila Ilv_expr Value

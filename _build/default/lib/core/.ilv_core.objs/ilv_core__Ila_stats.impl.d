@@ -1,0 +1,1 @@
+lib/core/ila_stats.ml: Format Hashtbl Ila Ila_text Ilv_expr List Module_ila

@@ -1,0 +1,1 @@
+lib/core/ila_stats.mli: Format Ila Module_ila

@@ -1,0 +1,1 @@
+lib/core/ila_text.ml: Bitvec Buffer Format Ila Ilv_expr List Option Parse Pp_expr Printf Sort String Value

@@ -1,0 +1,1 @@
+lib/core/ila_text.mli: Ila

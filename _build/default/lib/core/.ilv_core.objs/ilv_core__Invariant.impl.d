@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Bitblast Build Expr Ilv_expr Ilv_rtl Ilv_sat List Printf Rtl Trace Unroll Value

@@ -1,0 +1,1 @@
+lib/core/invariant.mli: Expr Ilv_expr Ilv_rtl Rtl Trace

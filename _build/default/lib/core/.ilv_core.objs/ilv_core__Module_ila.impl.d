@@ -1,0 +1,1 @@
+lib/core/module_ila.ml: Format Hashtbl Ila Ilv_expr List Printf Sort String

@@ -1,0 +1,1 @@
+lib/core/module_ila.mli: Format Ila

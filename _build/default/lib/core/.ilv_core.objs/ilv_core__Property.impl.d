@@ -1,0 +1,1 @@
+lib/core/property.ml: Expr Format Ila Ilv_expr List

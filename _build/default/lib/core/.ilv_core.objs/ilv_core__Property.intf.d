@@ -1,0 +1,1 @@
+lib/core/property.mli: Expr Format Ila Ilv_expr

@@ -1,0 +1,1 @@
+lib/core/propgen.ml: Build Ila Ilv_expr List Pp_expr Printf Property Refmap String Subst Unroll

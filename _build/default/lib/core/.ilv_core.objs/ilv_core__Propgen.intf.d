@@ -1,0 +1,1 @@
+lib/core/propgen.mli: Ila Ilv_rtl Property Refmap

@@ -1,0 +1,1 @@
+lib/core/reach.ml: Array Bdd Bitvec Circuits Ilv_expr Ilv_rtl Ilv_sat List Rtl Sort Subst Value

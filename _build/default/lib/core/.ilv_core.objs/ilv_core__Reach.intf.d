@@ -1,0 +1,1 @@
+lib/core/reach.mli: Expr Ilv_expr Ilv_rtl Rtl Sort Value

@@ -1,0 +1,1 @@
+lib/core/refmap.ml: Expr Format Ila Ilv_expr Ilv_rtl List Option Pp_expr Rtl Sort

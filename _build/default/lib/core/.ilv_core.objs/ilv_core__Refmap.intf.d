@@ -1,0 +1,1 @@
+lib/core/refmap.mli: Expr Format Ila Ilv_expr Ilv_rtl Rtl

@@ -1,0 +1,1 @@
+lib/core/refmap_text.ml: Buffer Expr Format Ilv_expr Ilv_rtl List Option Parse Pp_expr Printf Refmap Rtl String

@@ -1,0 +1,1 @@
+lib/core/refmap_text.mli: Ila Ilv_rtl Refmap

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Eval Ila Ila_sim Ilv_expr Ilv_rtl List Refmap Rtl Sim Sort String Trace Value

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Ila Ilv_rtl Refmap Rtl Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Bitvec Format Hashtbl Ilv_expr Ilv_rtl List String Value

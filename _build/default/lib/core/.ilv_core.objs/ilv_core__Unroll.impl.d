@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Expr Ilv_expr Ilv_rtl List Map Printf Rtl Sort String Subst

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Checker Format Ila List Module_ila Propgen Trace Unix

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Checker Format Ilv_rtl Module_ila Refmap

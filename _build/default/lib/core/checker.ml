@@ -1,0 +1,71 @@
+open Ilv_expr
+open Ilv_sat
+
+type verdict = Proved | Failed of Trace.t
+
+type stats = {
+  time_s : float;
+  n_obligations : int;
+  cnf_vars : int;
+  cnf_clauses : int;
+  conflicts : int;
+}
+
+let base_vars_of (p : Property.t) (ob : Property.obligation) =
+  let add acc e = Expr.vars e @ acc in
+  let all =
+    List.fold_left add (add (add [] ob.Property.guard) ob.Property.goal)
+      p.Property.assumptions
+  in
+  let all =
+    List.fold_left (fun acc (_, e) -> add acc e) all p.Property.ila_bindings
+  in
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) all
+
+(* The generator substituted the ILA variables away; recover their
+   valuation for the trace by evaluating the bindings under the model. *)
+let ila_view (p : Property.t) vars model =
+  let env =
+    Eval.env_of_list (List.map (fun (n, sort) -> (n, model n sort)) vars)
+  in
+  List.map (fun (n, e) -> (n, Eval.eval env e)) p.Property.ila_bindings
+
+let check ?(simplify = true) (p : Property.t) =
+  let t0 = Unix.gettimeofday () in
+  (* one incremental context per property: the assumptions are asserted
+     once and each obligation is decided under per-query hypotheses *)
+  let ctx = Bitblast.create () in
+  let prep e = if simplify then Simp.simplify_fix e else e in
+  List.iter (fun a -> Bitblast.assert_bool ctx (prep a)) p.Property.assumptions;
+  let rec go = function
+    | [] -> Proved
+    | (ob : Property.obligation) :: rest -> (
+      let result =
+        Bitblast.check_under ctx
+          ~hypotheses:[ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ]
+      in
+      match result with
+      | Bitblast.Unsat -> go rest
+      | Bitblast.Sat model ->
+        let vars = base_vars_of p ob in
+        Failed
+          (Trace.of_model ~property:p.Property.prop_name
+             ~obligation:ob.Property.label ~vars
+             ~ila_values:(ila_view p vars model) model))
+  in
+  let verdict = go p.Property.obligations in
+  let vars, clauses =
+    let v, c = Bitblast.cnf_size ctx in
+    (ref v, ref c)
+  in
+  let conflicts = ref (Bitblast.solver_stats ctx).Sat.conflicts in
+  let stats =
+    {
+      time_s = Unix.gettimeofday () -. t0;
+      n_obligations = List.length p.Property.obligations;
+      cnf_vars = !vars;
+      cnf_clauses = !clauses;
+      conflicts = !conflicts;
+    }
+  in
+  (verdict, stats)

@@ -1,0 +1,24 @@
+(** Discharging generated properties with the SAT backend.
+
+    Each obligation is decided as a separate query: the property holds
+    iff [assumptions ∧ guard ∧ ¬goal] is unsatisfiable for every
+    obligation.  A satisfying assignment decodes into a counterexample
+    trace. *)
+
+type verdict =
+  | Proved
+  | Failed of Trace.t  (** with the decoded counterexample *)
+
+type stats = {
+  time_s : float;
+  n_obligations : int;
+  cnf_vars : int;  (** summed over obligations *)
+  cnf_clauses : int;
+  conflicts : int;
+}
+
+val check : ?simplify:bool -> Property.t -> verdict * stats
+(** Checks obligations in order; stops at the first failure.
+    [simplify] (default true) applies the word-level simplifier
+    ({!Ilv_expr.Simp}) to every formula before bit-blasting; disabling
+    it is only useful for measuring the simplifier's effect. *)

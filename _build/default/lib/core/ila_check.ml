@@ -1,0 +1,46 @@
+open Ilv_expr
+open Ilv_sat
+
+type coverage_result =
+  | Covered
+  | Uncovered of (string -> Sort.t -> Value.t)
+
+type determinism_result =
+  | Deterministic
+  | Overlap of {
+      instr_a : string;
+      instr_b : string;
+      witness : string -> Sort.t -> Value.t;
+    }
+
+let coverage ?(assuming = []) ila =
+  let ctx = Bitblast.create () in
+  List.iter (Bitblast.assert_bool ctx) assuming;
+  let any =
+    Build.or_list
+      (List.map (fun i -> i.Ila.decode) (Ila.leaf_instructions ila))
+  in
+  Bitblast.assert_not ctx any;
+  match Bitblast.check ctx with
+  | Bitblast.Unsat -> Covered
+  | Bitblast.Sat model -> Uncovered model
+
+let determinism ?(assuming = []) ila =
+  let leaves = Ila.leaf_instructions ila in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  let rec go = function
+    | [] -> Deterministic
+    | (a, b) :: rest -> (
+      let ctx = Bitblast.create () in
+      List.iter (Bitblast.assert_bool ctx) assuming;
+      Bitblast.assert_bool ctx Build.(a.Ila.decode &&: b.Ila.decode);
+      match Bitblast.check ctx with
+      | Bitblast.Unsat -> go rest
+      | Bitblast.Sat witness ->
+        Overlap
+          { instr_a = a.Ila.instr_name; instr_b = b.Ila.instr_name; witness })
+  in
+  go (pairs leaves)

@@ -1,0 +1,32 @@
+(** Model-level sanity checks on an ILA's decode functions, decided by
+    the SAT backend.
+
+    These realize the "complete functional specification" claim: the
+    leaf instructions of a port must cover every command the interface
+    can present ({!coverage}) and must not overlap ambiguously
+    ({!determinism}).  Both checks admit an [assuming] environment
+    constraint (e.g. "requests are one-hot"). *)
+
+open Ilv_expr
+
+type coverage_result =
+  | Covered
+  | Uncovered of (string -> Sort.t -> Value.t)
+      (** a witness command/state no instruction decodes *)
+
+type determinism_result =
+  | Deterministic
+  | Overlap of {
+      instr_a : string;
+      instr_b : string;
+      witness : string -> Sort.t -> Value.t;
+    }
+
+val coverage : ?assuming:Expr.t list -> Ila.t -> coverage_result
+(** Is the disjunction of all leaf decode functions valid (under the
+    assumptions)?  If not, returns a witness valuation — a command at
+    the interface for which the specification says nothing. *)
+
+val determinism : ?assuming:Expr.t list -> Ila.t -> determinism_result
+(** Are leaf decode functions pairwise disjoint (under the
+    assumptions)?  If not, two instructions can trigger at once. *)

@@ -1,0 +1,44 @@
+open Ilv_expr
+open Ilv_rtl
+
+let derive (rtl : Rtl.t) =
+  (* inline the combinational wires into the register updates: wires
+     are already topologically ordered, so a single forward pass
+     suffices *)
+  let wire_env =
+    List.fold_left
+      (fun env (n, e) -> (n, Subst.apply env e) :: env)
+      [] rtl.Rtl.wires
+  in
+  let inline e = Subst.apply wire_env e in
+  let states =
+    List.map
+      (fun (r : Rtl.register) ->
+        Ila.state r.Rtl.reg_name r.Rtl.sort ~kind:Ila.Internal
+          ~init:(Rtl.init_value r) ())
+      rtl.Rtl.registers
+  in
+  let updates =
+    List.map
+      (fun (r : Rtl.register) -> (r.Rtl.reg_name, inline r.Rtl.next))
+      rtl.Rtl.registers
+  in
+  let ila =
+    Ila.make
+      ~name:(rtl.Rtl.name ^ "-step")
+      ~inputs:rtl.Rtl.inputs ~states
+      ~instructions:[ Ila.instr "STEP" ~decode:Build.tt ~updates () ]
+  in
+  let refmap =
+    Refmap.make ~ila ~rtl
+      ~state_map:
+        (List.map
+           (fun (r : Rtl.register) ->
+             (r.Rtl.reg_name, Expr.var r.Rtl.reg_name r.Rtl.sort))
+           rtl.Rtl.registers)
+      ~interface_map:
+        (List.map (fun (n, sort) -> (n, Expr.var n sort)) rtl.Rtl.inputs)
+      ~instruction_maps:[ Refmap.imap "STEP" (Refmap.After_cycles 1) ]
+      ()
+  in
+  (ila, refmap)

@@ -1,0 +1,21 @@
+(** Mechanical derivation of a single-instruction ILA from an RTL
+    design.
+
+    Every synchronous module trivially refines the one-instruction ILA
+    whose architectural states are its registers and whose [STEP]
+    instruction applies one clock edge (with combinational wires
+    inlined).  This is not an *abstraction* — no detail is hidden — but
+    it is a powerful oracle: verifying any design against its derived
+    ILA must always succeed, and must fail after any semantic mutation
+    of the RTL.  The test suite uses this to fuzz the whole
+    property-generation and checking pipeline. *)
+
+open Ilv_rtl
+
+val derive : Rtl.t -> Ila.t * Refmap.t
+(** [derive rtl] is the trivial ILA (one [STEP] instruction that always
+    decodes) and the identity refinement map connecting it back to
+    [rtl].
+    @raise Ila.Invalid_ila on designs whose names collide with the
+    derived namespace (does not happen for the designs in this
+    repository). *)

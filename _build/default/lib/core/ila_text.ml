@@ -1,0 +1,214 @@
+open Ilv_expr
+
+exception Syntax_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+let flat e =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 1_000_000;
+  Format.fprintf fmt "%a@?" Pp_expr.pp e;
+  Buffer.contents buf
+
+let sort_to_string = function
+  | Sort.Bool -> "bool"
+  | Sort.Bitvec w -> Printf.sprintf "bv%d" w
+  | Sort.Mem { addr_width; data_width } ->
+    Printf.sprintf "mem%dx%d" addr_width data_width
+
+let sort_of_string s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  if s = "bool" then Sort.Bool
+  else if prefixed "bv" then begin
+    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some w when w >= 1 -> Sort.bv w
+    | Some _ | None -> fail "bad sort %s" s
+  end
+  else if prefixed "mem" then begin
+    match String.index_opt s 'x' with
+    | None -> fail "bad sort %s" s
+    | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 3 (i - 3)),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some a, Some d -> Sort.mem ~addr_width:a ~data_width:d
+      | _ -> fail "bad sort %s" s)
+  end
+  else fail "bad sort %s" s
+
+let init_to_string v =
+  match v with
+  | Value.V_bool b -> string_of_bool b
+  | Value.V_bv bv -> Bitvec.to_string bv
+  | Value.V_mem m ->
+    if not (Value.Int_map.is_empty m.Value.assoc) then
+      fail "non-uniform memory initial values are not printable"
+    else Printf.sprintf "mem-default %s" (Bitvec.to_string m.Value.default)
+
+let print (ila : Ila.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "ila %s" ila.Ila.name;
+  List.iter
+    (fun (n, sort) -> line "input %s %s" n (sort_to_string sort))
+    ila.Ila.inputs;
+  List.iter
+    (fun (st : Ila.state) ->
+      let kind = match st.Ila.kind with Ila.Output -> "output" | Ila.Internal -> "internal" in
+      match st.Ila.init with
+      | None -> line "state %s %s %s" st.Ila.state_name (sort_to_string st.Ila.sort) kind
+      | Some v ->
+        line "state %s %s %s init %s" st.Ila.state_name
+          (sort_to_string st.Ila.sort) kind (init_to_string v))
+    ila.Ila.states;
+  List.iter
+    (fun (i : Ila.instruction) ->
+      let parent =
+        match i.Ila.parent with
+        | None -> ""
+        | Some p -> Printf.sprintf " parent \"%s\"" p
+      in
+      line "instruction \"%s\"%s decode %s" i.Ila.instr_name parent
+        (flat i.Ila.decode);
+      List.iter
+        (fun (target, e) -> line "  update %s = %s" target (flat e))
+        i.Ila.updates;
+      line "end")
+    ila.Ila.instructions;
+  Buffer.contents buf
+
+let loc ila =
+  String.split_on_char '\n' (print ila)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+(* --- parsing --- *)
+
+let split_quoted line =
+  match String.index_opt line '"' with
+  | None -> fail "expected a quoted name: %s" line
+  | Some start -> (
+    match String.index_from_opt line (start + 1) '"' with
+    | None -> fail "unterminated name: %s" line
+    | Some stop ->
+      let name = String.sub line (start + 1) (stop - start - 1) in
+      let rest = String.sub line (stop + 1) (String.length line - stop - 1) in
+      (name, String.trim rest))
+
+let parse_init sort text =
+  match sort with
+  | Sort.Bool -> (
+    match String.trim text with
+    | "true" -> Value.of_bool true
+    | "false" -> Value.of_bool false
+    | other -> fail "bad bool initial value %s" other)
+  | Sort.Bitvec _ -> Value.of_bv (Bitvec.of_string (String.trim text))
+  | Sort.Mem { addr_width; _ } -> (
+    match String.split_on_char ' ' (String.trim text) |> List.filter (( <> ) "") with
+    | [ "mem-default"; lit ] ->
+      Value.mem_const ~addr_width ~default:(Bitvec.of_string lit)
+    | _ -> fail "bad memory initial value %s" text)
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let name = ref None in
+  let inputs = ref [] in
+  let states = ref [] in
+  let instructions = ref [] in
+  (* the expression environment grows as declarations are read *)
+  let env n =
+    match List.assoc_opt n !inputs with
+    | Some s -> Some s
+    | None ->
+      List.find_opt (fun (st : Ila.state) -> st.Ila.state_name = n) !states
+      |> Option.map (fun (st : Ila.state) -> st.Ila.sort)
+  in
+  let pexpr s = Parse.expr ~env s in
+  let rec declarations = function
+    | [] -> []
+    | line :: rest -> (
+      let words = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+      match words with
+      | "ila" :: n :: [] ->
+        name := Some n;
+        declarations rest
+      | [ "input"; n; sort ] ->
+        inputs := !inputs @ [ (n, sort_of_string sort) ];
+        declarations rest
+      | "state" :: n :: sort :: kind :: tail ->
+        let sort = sort_of_string sort in
+        let kind =
+          match kind with
+          | "output" -> Ila.Output
+          | "internal" -> Ila.Internal
+          | other -> fail "bad state kind %s" other
+        in
+        let init =
+          match tail with
+          | [] -> None
+          | "init" :: init_words ->
+            Some (parse_init sort (String.concat " " init_words))
+          | _ -> fail "malformed state line: %s" line
+        in
+        states :=
+          !states @ [ { Ila.state_name = n; sort; kind; init } ];
+        declarations rest
+      | _ -> line :: rest (* instructions begin *))
+  in
+  let rec instructions_of = function
+    | [] -> ()
+    | line :: rest when String.length line >= 11 && String.sub line 0 11 = "instruction"
+      ->
+      let after = String.sub line 11 (String.length line - 11) in
+      let instr_name, tail = split_quoted after in
+      let parent, tail =
+        if String.length tail >= 6 && String.sub tail 0 6 = "parent" then begin
+          let p, tail' =
+            split_quoted (String.sub tail 6 (String.length tail - 6))
+          in
+          (Some p, tail')
+        end
+        else (None, tail)
+      in
+      let decode =
+        if String.length tail >= 6 && String.sub tail 0 6 = "decode" then
+          pexpr (String.sub tail 6 (String.length tail - 6))
+        else fail "instruction %s: missing decode" instr_name
+      in
+      (* update lines until "end" *)
+      let rec body acc = function
+        | [] -> fail "instruction %s: missing end" instr_name
+        | "end" :: rest -> (List.rev acc, rest)
+        | l :: rest when String.length l >= 6 && String.sub l 0 6 = "update" -> (
+          let rest_line = String.sub l 6 (String.length l - 6) in
+          match String.index_opt rest_line '=' with
+          | None -> fail "malformed update: %s" l
+          | Some i ->
+            let target = String.trim (String.sub rest_line 0 i) in
+            let rhs =
+              String.sub rest_line (i + 1) (String.length rest_line - i - 1)
+            in
+            body ((target, pexpr rhs) :: acc) rest)
+        | l :: _ -> fail "unexpected line in instruction body: %s" l
+      in
+      let updates, rest = body [] rest in
+      instructions :=
+        !instructions
+        @ [ { Ila.instr_name; parent; decode; updates } ];
+      instructions_of rest
+    | line :: _ -> fail "expected an instruction, got: %s" line
+  in
+  let rest = declarations lines in
+  instructions_of rest;
+  match !name with
+  | None -> fail "missing 'ila NAME' header"
+  | Some name ->
+    Ila.make ~name ~inputs:!inputs ~states:!states ~instructions:!instructions

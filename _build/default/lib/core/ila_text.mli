@@ -1,0 +1,34 @@
+(** A textual surface format for ILA models — the counterpart of the
+    ILAng programs the paper writes its models in ("ILA Size (LoC)"
+    counts such a file).
+
+    Line-oriented; [#] starts a comment; expressions use the
+    s-expression syntax of {!Ilv_expr.Pp_expr}/{!Ilv_expr.Parse} over
+    the model's own states and inputs:
+
+    {v
+    ila ACC
+    input cmd bv2
+    input operand bv8
+    state acc bv8 output
+    state step bv2 internal init 0x0:2
+    instruction "ADD" decode (= cmd 0x1:2)
+      update acc = (bvadd acc operand)
+    end
+    instruction "process-s0" parent "process" decode (= step 0x0:2)
+    end
+    v} *)
+
+exception Syntax_error of string
+
+val print : Ila.t -> string
+(** Renders a model; [parse] of the result reconstructs an equal ILA. *)
+
+val loc : Ila.t -> int
+(** Non-empty lines of {!print} — the exact "ILA Size (LoC)" of the
+    port. *)
+
+val parse : string -> Ila.t
+(** Parses and validates (via {!Ila.make}) a textual model.
+    @raise Syntax_error on malformed lines.
+    @raise Ila.Invalid_ila if the model is inconsistent. *)

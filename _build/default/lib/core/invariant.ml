@@ -1,0 +1,88 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_sat
+
+type counterexample = { kind : [ `Base | `Step ]; trace : Trace.t }
+type result = Inductive | Violated of counterexample
+
+let conj = Build.and_list
+
+(* Constrain the cycle-0 registers of the unrolling to the reset
+   values. *)
+let assert_reset ctx (rtl : Rtl.t) =
+  List.iter
+    (fun (r : Rtl.register) ->
+      let var = Expr.var (Unroll.base_var r.Rtl.reg_name 0) r.Rtl.sort in
+      let value =
+        match Rtl.init_value r with
+        | Value.V_bool b -> Build.bool b
+        | Value.V_bv v -> Build.bv_of v
+        | Value.V_mem m ->
+          if not (Value.Int_map.is_empty m.Value.assoc) then
+            invalid_arg
+              "Invariant: non-uniform memory reset values are not supported"
+          else Build.const_mem ~addr_width:m.Value.addr_width ~default:m.Value.default
+      in
+      Bitblast.assert_bool ctx (Build.eq var value))
+    rtl.Rtl.registers
+
+let trace_of ~property ~obligation u model =
+  Trace.of_model ~property ~obligation ~vars:(Unroll.base_vars_used u) model
+
+let check_inductive ~rtl invs =
+  let inv = conj invs in
+  (* base: the reset state satisfies the invariant *)
+  let base =
+    let u = Unroll.create rtl in
+    let ctx = Bitblast.create () in
+    assert_reset ctx rtl;
+    Bitblast.assert_not ctx (Unroll.at_cycle u ~cycle:0 inv);
+    match Bitblast.check ctx with
+    | Bitblast.Unsat -> None
+    | Bitblast.Sat model ->
+      Some
+        {
+          kind = `Base;
+          trace = trace_of ~property:"invariant" ~obligation:"base case" u model;
+        }
+  in
+  match base with
+  | Some cex -> Violated cex
+  | None -> (
+    (* step: from any invariant state, one transition preserves it *)
+    let u = Unroll.create rtl in
+    let ctx = Bitblast.create () in
+    Bitblast.assert_bool ctx (Unroll.at_cycle u ~cycle:0 inv);
+    Bitblast.assert_not ctx (Unroll.at_cycle u ~cycle:1 inv);
+    match Bitblast.check ctx with
+    | Bitblast.Unsat -> Inductive
+    | Bitblast.Sat model ->
+      Violated
+        {
+          kind = `Step;
+          trace =
+            trace_of ~property:"invariant" ~obligation:"inductive step" u
+              model;
+        })
+
+type bmc_result = Holds_up_to of int | Fails_at of int * Trace.t
+
+let bmc ~rtl ~depth p =
+  let rec go k =
+    if k > depth then Holds_up_to depth
+    else begin
+      let u = Unroll.create rtl in
+      let ctx = Bitblast.create () in
+      assert_reset ctx rtl;
+      Bitblast.assert_not ctx (Unroll.at_cycle u ~cycle:k p);
+      match Bitblast.check ctx with
+      | Bitblast.Unsat -> go (k + 1)
+      | Bitblast.Sat model ->
+        Fails_at
+          ( k,
+            trace_of ~property:"bmc"
+              ~obligation:(Printf.sprintf "violation at cycle %d" k)
+              u model )
+    end
+  in
+  go 0

@@ -1,0 +1,39 @@
+(** Inductive invariant checking and bounded model checking on RTL.
+
+    The refinement properties assume the refinement map's [invariants]
+    at cycle 0 to exclude unreachable implementation states.  That is
+    only sound if the invariants actually over-approximate the
+    reachable states; this module discharges that side condition with
+    the standard induction argument, and provides plain BMC for
+    debugging RTL assertions.
+
+    Soundness of the overall flow: if [check_inductive] proves every
+    refinement-map invariant and the refinement check proves every
+    instruction property, then every reachable RTL state related to an
+    ILA state by the state map stays related after each instruction. *)
+
+open Ilv_expr
+open Ilv_rtl
+
+type counterexample = {
+  kind : [ `Base | `Step ];
+      (** [`Base]: violated in the initial state; [`Step]: an
+          invariant-satisfying state has a successor that violates it *)
+  trace : Trace.t;
+}
+
+type result = Inductive | Violated of counterexample
+
+val check_inductive : rtl:Rtl.t -> Expr.t list -> result
+(** [check_inductive ~rtl invs] checks that the conjunction of [invs]
+    (boolean expressions over the design's registers/wires/inputs)
+    holds in the reset state and is preserved by every transition.
+    The invariants are checked as a conjunction, so they may support
+    each other. *)
+
+type bmc_result = Holds_up_to of int | Fails_at of int * Trace.t
+
+val bmc : rtl:Rtl.t -> depth:int -> Expr.t -> bmc_result
+(** [bmc ~rtl ~depth p] checks the safety property [p] (over RTL names)
+    on all paths of length <= [depth] from reset.  Returns the first
+    failing cycle with a trace, or [Holds_up_to depth]. *)

@@ -1,0 +1,50 @@
+open Ilv_expr
+
+type obligation = {
+  at_cycle : int;
+  guard : Expr.t;
+  goal : Expr.t;
+  label : string;
+}
+
+type display = {
+  equal_states : (string * string) list;
+  corresponding_inputs : (string * string) list;
+  start_condition : string;
+  finish_condition : string;
+  checked_states : (string * string) list;
+}
+
+type t = {
+  prop_name : string;
+  port : string;
+  instr : Ila.instruction;
+  assumptions : Expr.t list;
+  obligations : obligation list;
+  n_cycles : int;
+  ila_bindings : (string * Expr.t) list;
+  display : display;
+}
+
+let pp fmt p =
+  let open Format in
+  let d = p.display in
+  fprintf fmt "@[<v>property %s (port %s):@," p.prop_name p.port;
+  fprintf fmt "  [ (* equivalent start states *)@,";
+  List.iter
+    (fun (a, b) -> fprintf fmt "    (%s == %s) &&@," a b)
+    d.equal_states;
+  fprintf fmt "    (* corresponding inputs *)@,";
+  List.iter
+    (fun (a, b) -> fprintf fmt "    (%s == %s) &&@," a b)
+    d.corresponding_inputs;
+  fprintf fmt "    (* start condition: %s *)@," d.start_condition;
+  fprintf fmt "  ] ->@,";
+  fprintf fmt "  (* finish: %s *)@," d.finish_condition;
+  fprintf fmt "  X^k [@,";
+  List.iteri
+    (fun i (a, b) ->
+      fprintf fmt "    (%s == %s)%s@," a b
+        (if i = List.length d.checked_states - 1 then "" else " &&"))
+    d.checked_states;
+  fprintf fmt "  ]@]"

@@ -1,0 +1,19 @@
+(** Automatic generation of the complete property set for one port.
+
+    Given a port-ILA, the RTL design and a refinement map, produces one
+    refinement property per leaf (sub-)instruction — the complete set
+    of functional correctness properties in the sense of the paper: the
+    ILA specifies every command, and every command's effect on every
+    mapped architectural state is checked. *)
+
+val ila_var : string -> string
+(** Namespaced base-variable name for an ILA state or input. *)
+
+val generate : ila:Ila.t -> rtl:Ilv_rtl.Rtl.t -> refmap:Refmap.t -> Property.t list
+(** One property per leaf instruction, in declaration order.
+    @raise Refmap.Invalid_refmap if an instruction lacks a map entry
+    (cannot happen for maps built by {!Refmap.make}). *)
+
+val generate_for :
+  ila:Ila.t -> rtl:Ilv_rtl.Rtl.t -> refmap:Refmap.t -> Ila.instruction -> Property.t
+(** The property of a single leaf instruction. *)

@@ -1,0 +1,212 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_sat
+
+type result =
+  | Holds
+  | Violated of (string -> Sort.t -> Value.t)
+  | Too_large
+
+type stats = { iterations : int; reachable_bdd_size : int }
+
+(* Variable layout: state bit j has current-state BDD variable 2j and
+   next-state variable 2j+1 (interleaved, so the transition relation's
+   next_i <-> f_i conjuncts stay narrow); input bits follow after all
+   state variables. *)
+
+type layout = {
+  reg_offsets : (string * (int * int)) list; (* name -> (bit offset, width) *)
+  n_state_bits : int;
+  input_offsets : (string * (int * int)) list;
+  n_input_bits : int;
+}
+
+let bit_count_of_sort = Sort.bit_count
+
+let layout_of (rtl : Rtl.t) =
+  let reg_offsets, n_state_bits =
+    List.fold_left
+      (fun (acc, off) (r : Rtl.register) ->
+        let n = bit_count_of_sort r.Rtl.sort in
+        ((r.Rtl.reg_name, (off, n)) :: acc, off + n))
+      ([], 0) rtl.Rtl.registers
+  in
+  let input_offsets, n_input_bits =
+    List.fold_left
+      (fun (acc, off) (name, sort) ->
+        let n = bit_count_of_sort sort in
+        ((name, (off, n)) :: acc, off + n))
+      ([], 0) rtl.Rtl.inputs
+  in
+  { reg_offsets = List.rev reg_offsets; n_state_bits;
+    input_offsets = List.rev input_offsets; n_input_bits }
+
+let current_var _lay j = 2 * j
+let next_var _lay j = (2 * j) + 1
+let input_var lay j = (2 * lay.n_state_bits) + j
+
+module C = Circuits.Make (struct
+  type man = Bdd.man
+  type b = Bdd.t
+
+  let tt = Bdd.tt
+  let ff = Bdd.ff
+  let neg = Bdd.neg
+  let mk_and = Bdd.mk_and
+  let mk_or = Bdd.mk_or
+  let mk_xor = Bdd.mk_xor
+  let mk_iff = Bdd.mk_iff
+  let mk_ite = Bdd.mk_ite
+end)
+
+(* Pack a sort's bits (bv: lsb first; mem: word-major) into [bits]. *)
+let bits_of_sort man sort var_of_bit =
+  match sort with
+  | Sort.Bool -> C.B_bool (Bdd.var man (var_of_bit 0))
+  | Sort.Bitvec w -> C.B_vec (Array.init w (fun i -> Bdd.var man (var_of_bit i)))
+  | Sort.Mem { addr_width; data_width } ->
+    C.B_mem
+      {
+        C.addr_width;
+        words =
+          Array.init (1 lsl addr_width) (fun i ->
+              Array.init data_width (fun j ->
+                  Bdd.var man (var_of_bit ((i * data_width) + j))));
+      }
+
+let flatten_bits = function
+  | C.B_bool b -> [| b |]
+  | C.B_vec v -> v
+  | C.B_mem { C.words; _ } -> Array.concat (Array.to_list words)
+
+let value_bits v =
+  match v with
+  | Value.V_bool b -> [ b ]
+  | Value.V_bv bv -> Bitvec.to_bits bv
+  | Value.V_mem m ->
+    List.concat
+      (List.init
+         (1 lsl m.Value.addr_width)
+         (fun i ->
+           Bitvec.to_bits
+             (Value.mem_read m (Bitvec.of_int ~width:m.Value.addr_width i))))
+
+let analyze ?(max_bits = 40) ~(rtl : Rtl.t) p =
+  let lay = layout_of rtl in
+  if lay.n_state_bits + lay.n_input_bits > max_bits then (Too_large, None)
+  else begin
+    let man = Bdd.manager () in
+    (* compile with registers at current-state vars and inputs at input
+       vars; wires are inlined through substitution *)
+    let wire_env =
+      List.fold_left
+        (fun env (n, e) -> (n, Subst.apply env e) :: env)
+        [] rtl.Rtl.wires
+    in
+    let inline e = Subst.apply wire_env e in
+    let fresh_var name sort =
+      match List.assoc_opt name lay.reg_offsets with
+      | Some (off, _) ->
+        bits_of_sort man sort (fun i -> current_var lay (off + i))
+      | None -> (
+        match List.assoc_opt name lay.input_offsets with
+        | Some (off, _) ->
+          bits_of_sort man sort (fun i -> input_var lay (off + i))
+        | None -> invalid_arg ("Reach: unknown name " ^ name))
+    in
+    let compiler = C.compiler man ~fresh_var in
+    (* transition relation: next_i <-> f_i for every state bit *)
+    let trans =
+      List.fold_left
+        (fun acc (r : Rtl.register) ->
+          let off, _ = List.assoc r.Rtl.reg_name lay.reg_offsets in
+          let f_bits = flatten_bits (C.bits compiler (inline r.Rtl.next)) in
+          let conj = ref acc in
+          Array.iteri
+            (fun i f ->
+              let nv = Bdd.var man (next_var lay (off + i)) in
+              conj := Bdd.mk_and man !conj (Bdd.mk_iff man nv f))
+            f_bits;
+          !conj)
+        (Bdd.tt man) rtl.Rtl.registers
+    in
+    (* initial states *)
+    let init =
+      List.fold_left
+        (fun acc (r : Rtl.register) ->
+          let off, _ = List.assoc r.Rtl.reg_name lay.reg_offsets in
+          List.fold_left
+            (fun (acc, i) b ->
+              let v = Bdd.var man (current_var lay (off + i)) in
+              ( Bdd.mk_and man acc (if b then v else Bdd.neg man v),
+                i + 1 ))
+            (acc, 0)
+            (value_bits (Rtl.init_value r))
+          |> fst)
+        (Bdd.tt man) rtl.Rtl.registers
+    in
+    let currents = List.init lay.n_state_bits (fun j -> current_var lay j) in
+    let inputs = List.init lay.n_input_bits (fun j -> input_var lay j) in
+    let quantified = currents @ inputs in
+    let image s =
+      let next_only = Bdd.and_exists man quantified s trans in
+      Bdd.rename man (fun v -> v - 1) next_only
+    in
+    let rec fixpoint n r =
+      let r' = Bdd.mk_or man r (image r) in
+      if Bdd.equal r' r then (n, r) else fixpoint (n + 1) r'
+    in
+    let iterations, reachable = fixpoint 0 init in
+    let bad = Bdd.neg man (C.bool_bit compiler (inline p)) in
+    let witness = Bdd.mk_and man reachable bad in
+    let stats =
+      Some { iterations; reachable_bdd_size = Bdd.size reachable }
+    in
+    match Bdd.any_sat witness with
+    | None -> (Holds, stats)
+    | Some assignment ->
+      let bit_value var =
+        match List.assoc_opt var assignment with
+        | Some b -> b
+        | None -> false
+      in
+      let model name sort =
+        let decode off var_of =
+          let n = bit_count_of_sort sort in
+          let bools = List.init n (fun i -> bit_value (var_of (off + i))) in
+          match sort with
+          | Sort.Bool -> Value.of_bool (List.hd bools)
+          | Sort.Bitvec _ -> Value.of_bv (Bitvec.of_bits bools)
+          | Sort.Mem { addr_width; data_width } ->
+            let m =
+              ref
+                (Value.to_mem
+                   (Value.mem_const ~addr_width
+                      ~default:(Bitvec.zero data_width)))
+            in
+            List.iteri
+              (fun i b ->
+                if b then begin
+                  let word_i = i / data_width and bit_i = i mod data_width in
+                  let addr = Bitvec.of_int ~width:addr_width word_i in
+                  let old = Value.mem_read !m addr in
+                  let updated =
+                    Bitvec.logor old
+                      (Bitvec.shl (Bitvec.one data_width) bit_i)
+                  in
+                  m := Value.mem_write !m addr updated
+                end)
+              bools;
+            Value.V_mem !m
+        in
+        match List.assoc_opt name lay.reg_offsets with
+        | Some (off, _) -> decode off (current_var lay)
+        | None -> (
+          match List.assoc_opt name lay.input_offsets with
+          | Some (off, _) -> decode off (input_var lay)
+          | None -> Value.default_of_sort sort)
+      in
+      (Violated model, stats)
+  end
+
+let check ?max_bits ~rtl p = fst (analyze ?max_bits ~rtl p)

@@ -1,0 +1,33 @@
+(** BDD-based symbolic reachability for small RTL designs.
+
+    The classic fixed-point model-checking algorithm: compute the exact
+    set of reachable states from reset by iterating the transition
+    image, then check a safety property on it.  Complementary to
+    {!Invariant}: induction needs a strong enough invariant, BMC only
+    covers bounded depth — reachability is exact, but only tractable
+    for designs with a small number of state and input bits.
+
+    The property may mention registers, wires and inputs; a violation
+    is a {e reachable} state together with an input valuation. *)
+
+open Ilv_expr
+open Ilv_rtl
+
+type result =
+  | Holds  (** true in every reachable state, for every input *)
+  | Violated of (string -> Sort.t -> Value.t)
+      (** witness: reachable register values plus inputs *)
+  | Too_large  (** the design exceeds the bit budget *)
+
+val check : ?max_bits:int -> rtl:Rtl.t -> Expr.t -> result
+(** [check ~rtl p] decides AG p.  [max_bits] (default 40) bounds
+    [state_bits + input_bits]; larger designs return [Too_large]
+    rather than risking BDD blow-up. *)
+
+type stats = {
+  iterations : int;  (** image steps to the fixed point *)
+  reachable_bdd_size : int;
+}
+
+val analyze : ?max_bits:int -> rtl:Rtl.t -> Expr.t -> result * stats option
+(** Like {!check}, also reporting fixed-point statistics. *)

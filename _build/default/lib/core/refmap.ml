@@ -1,0 +1,191 @@
+open Ilv_rtl
+open Ilv_expr
+
+type finish =
+  | After_cycles of int
+  | Within of { bound : int; condition : Expr.t }
+
+type instr_map = { instr : string; start : Expr.t option; finish : finish }
+
+type t = {
+  state_map : (string * Expr.t) list;
+  interface_map : (string * Expr.t) list;
+  instruction_maps : instr_map list;
+  invariants : Expr.t list;
+  step_assumptions : Expr.t list;
+}
+
+exception Invalid_refmap of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_refmap s)) fmt
+
+let imap instr ?start finish = { instr; start; finish }
+
+let rtl_sort (rtl : Rtl.t) n =
+  match Rtl.input_sort rtl n with
+  | Some s -> Some s
+  | None -> (
+    match Rtl.register_sort rtl n with
+    | Some s -> Some s
+    | None -> Option.map Expr.sort (Rtl.wire_expr rtl n))
+
+let check_rtl_expr rtl context e =
+  List.iter
+    (fun (v, s) ->
+      match rtl_sort rtl v with
+      | None -> fail "%s references unknown RTL name %s" context v
+      | Some s' ->
+        if not (Sort.equal s s') then
+          fail "%s uses RTL name %s at sort %a, declared %a" context v Sort.pp
+            s Sort.pp s')
+    (Expr.vars e)
+
+let make ~ila ~rtl ~state_map ~interface_map ~instruction_maps
+    ?(invariants = []) ?(step_assumptions = []) () =
+  (* state map: total, no duplicates, sorts agree *)
+  List.iter
+    (fun (s : Ila.state) ->
+      match
+        List.filter (fun (n, _) -> n = s.Ila.state_name) state_map
+      with
+      | [] -> fail "state map misses ILA state %s" s.Ila.state_name
+      | [ (_, e) ] ->
+        if not (Sort.equal (Expr.sort e) s.Ila.sort) then
+          fail "state map entry for %s has sort %a, state is %a"
+            s.Ila.state_name Sort.pp (Expr.sort e) Sort.pp s.Ila.sort;
+        check_rtl_expr rtl ("state map entry for " ^ s.Ila.state_name) e
+      | _ -> fail "state map maps %s twice" s.Ila.state_name)
+    ila.Ila.states;
+  List.iter
+    (fun (n, _) ->
+      if Ila.find_state ila n = None then
+        fail "state map mentions unknown ILA state %s" n)
+    state_map;
+  (* interface map: total over ILA inputs *)
+  List.iter
+    (fun (n, sort) ->
+      match List.filter (fun (n', _) -> n' = n) interface_map with
+      | [] -> fail "interface map misses ILA input %s" n
+      | [ (_, e) ] ->
+        if not (Sort.equal (Expr.sort e) sort) then
+          fail "interface map entry for %s has wrong sort" n;
+        check_rtl_expr rtl ("interface map entry for " ^ n) e
+      | _ -> fail "interface map maps %s twice" n)
+    ila.Ila.inputs;
+  List.iter
+    (fun (n, _) ->
+      if List.assoc_opt n ila.Ila.inputs = None then
+        fail "interface map mentions unknown ILA input %s" n)
+    interface_map;
+  (* instruction map: total over leaf instructions *)
+  List.iter
+    (fun (i : Ila.instruction) ->
+      match
+        List.filter (fun m -> m.instr = i.Ila.instr_name) instruction_maps
+      with
+      | [] -> fail "instruction map misses %s" i.Ila.instr_name
+      | [ m ] -> (
+        (match m.start with
+        | Some e ->
+          if not (Sort.is_bool (Expr.sort e)) then
+            fail "start condition of %s is not boolean" m.instr;
+          check_rtl_expr rtl ("start condition of " ^ m.instr) e
+        | None -> ());
+        match m.finish with
+        | After_cycles n ->
+          if n < 1 then fail "finish of %s must be >= 1 cycle" m.instr
+        | Within { bound; condition } ->
+          if bound < 1 then fail "finish bound of %s must be >= 1" m.instr;
+          if not (Sort.is_bool (Expr.sort condition)) then
+            fail "finish condition of %s is not boolean" m.instr;
+          check_rtl_expr rtl ("finish condition of " ^ m.instr) condition)
+      | _ -> fail "instruction map maps %s twice" i.Ila.instr_name)
+    (Ila.leaf_instructions ila);
+  List.iter
+    (fun m ->
+      match Ila.find_instruction ila m.instr with
+      | None -> fail "instruction map mentions unknown instruction %s" m.instr
+      | Some i ->
+        if
+          i.Ila.updates = [] && Ila.sub_instructions ila i.Ila.instr_name <> []
+        then
+          fail
+            "instruction map entry for %s: it is a grouping header; map the \
+             sub-instructions instead"
+            m.instr)
+    instruction_maps;
+  List.iter
+    (fun e ->
+      if not (Sort.is_bool (Expr.sort e)) then fail "invariant is not boolean";
+      check_rtl_expr rtl "invariant" e)
+    invariants;
+  List.iter
+    (fun e ->
+      if not (Sort.is_bool (Expr.sort e)) then
+        fail "step assumption is not boolean";
+      check_rtl_expr rtl "step assumption" e)
+    step_assumptions;
+  { state_map; interface_map; instruction_maps; invariants; step_assumptions }
+
+let find_instr_map t name =
+  List.find_opt (fun m -> m.instr = name) t.instruction_maps
+
+let loc t =
+  let expr_lines e =
+    let n = Pp_expr.line_count e in
+    if n <= 1 then 1 else n
+  in
+  List.fold_left (fun acc (_, e) -> acc + expr_lines e) 0 t.state_map
+  + List.fold_left (fun acc (_, e) -> acc + expr_lines e) 0 t.interface_map
+  + List.fold_left
+      (fun acc m ->
+        acc + 2
+        + (match m.start with Some e -> expr_lines e - 1 | None -> 0)
+        +
+        match m.finish with
+        | After_cycles _ -> 0
+        | Within { condition; _ } -> expr_lines condition - 1)
+      0 t.instruction_maps
+  + List.fold_left (fun acc e -> acc + expr_lines e) 0 t.invariants
+  + List.fold_left (fun acc e -> acc + expr_lines e) 0 t.step_assumptions
+
+let pp fmt t =
+  let open Format in
+  fprintf fmt "@[<v>-- state map --@,";
+  List.iter
+    (fun (s, e) -> fprintf fmt "  %-18s %s@," s (Pp_expr.infix_to_string e))
+    t.state_map;
+  fprintf fmt "-- interface map --@,";
+  List.iter
+    (fun (s, e) -> fprintf fmt "  %-18s %s@," s (Pp_expr.infix_to_string e))
+    t.interface_map;
+  fprintf fmt "-- instruction map --@,";
+  List.iter
+    (fun m ->
+      fprintf fmt "  instruction: %s@," m.instr;
+      (match m.start with
+      | None -> fprintf fmt "    start condition:  decode@,"
+      | Some e ->
+        fprintf fmt "    start condition:  %s@," (Pp_expr.infix_to_string e));
+      match m.finish with
+      | After_cycles n -> fprintf fmt "    finish condition: %d cycle(s)@," n
+      | Within { bound; condition } ->
+        fprintf fmt "    finish condition: first %s within %d cycles@,"
+          (Pp_expr.infix_to_string condition)
+          bound)
+    t.instruction_maps;
+  (match t.invariants with
+  | [] -> ()
+  | invs ->
+    fprintf fmt "-- invariants --@,";
+    List.iter
+      (fun e -> fprintf fmt "  %s@," (Pp_expr.infix_to_string e))
+      invs);
+  (match t.step_assumptions with
+  | [] -> ()
+  | steps ->
+    fprintf fmt "-- step assumptions --@,";
+    List.iter
+      (fun e -> fprintf fmt "  %s@," (Pp_expr.infix_to_string e))
+      steps);
+  fprintf fmt "@]"

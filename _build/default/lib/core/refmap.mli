@@ -1,0 +1,73 @@
+(** Refinement maps (Fig. 5 of the paper).
+
+    A refinement map connects a port-ILA to the RTL implementation.  It
+    has three parts:
+
+    - the {e state map}: for each ILA architectural state, the RTL
+      expression (over register/wire/input names) holding the
+      corresponding value;
+    - the {e interface map}: for each ILA input, the corresponding RTL
+      input;
+    - the {e instruction map}: for each leaf (sub-)instruction, the
+      start condition (defaults to the decode function, with ILA names
+      replaced through the maps) and the finish condition — when the
+      architectural equivalence must be checked again.
+
+    Additionally, [invariants] restrict the symbolic start states to
+    RTL-reachable ones (assumed at cycle 0 — standard in refinement
+    checking), and [step_assumptions] constrain the RTL inputs on the
+    cycles {e during} a multi-cycle instruction (e.g. "no new command
+    arrives until this one finishes"). *)
+
+open Ilv_rtl
+
+open Ilv_expr
+
+type finish =
+  | After_cycles of int  (** check exactly [n] cycles after start *)
+  | Within of { bound : int; condition : Expr.t }
+      (** check at the first cycle <= bound where [condition] (an RTL
+          expression) holds; it must hold by [bound] *)
+
+type instr_map = {
+  instr : string;
+  start : Expr.t option;  (** over RTL names; [None] = decode via maps *)
+  finish : finish;
+}
+
+type t = {
+  state_map : (string * Expr.t) list;
+  interface_map : (string * Expr.t) list;
+  instruction_maps : instr_map list;
+  invariants : Expr.t list;
+  step_assumptions : Expr.t list;
+}
+
+exception Invalid_refmap of string
+
+val make :
+  ila:Ila.t ->
+  rtl:Rtl.t ->
+  state_map:(string * Expr.t) list ->
+  interface_map:(string * Expr.t) list ->
+  instruction_maps:instr_map list ->
+  ?invariants:Expr.t list ->
+  ?step_assumptions:Expr.t list ->
+  unit ->
+  t
+(** Validates the map against both models: every ILA state mapped once
+    with matching sort to an expression over RTL names; every ILA input
+    mapped; every leaf instruction has an instruction map; RTL-side
+    expressions reference only declared RTL names.
+    @raise Invalid_refmap when any part is missing or ill-sorted. *)
+
+val imap : string -> ?start:Expr.t -> finish -> instr_map
+
+val find_instr_map : t -> string -> instr_map option
+
+val loc : t -> int
+(** Pseudo-LoC of the map (the paper's "Ref-map Size"): one line per
+    mapping entry plus the rendered size of non-trivial expressions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Fig.-5-style rendering: state map, interface map, instruction map. *)

@@ -1,0 +1,168 @@
+open Ilv_rtl
+open Ilv_expr
+
+exception Syntax_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+(* One-line rendering of an expression. *)
+let flat e =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 1_000_000;
+  Format.fprintf fmt "%a@?" Pp_expr.pp e;
+  Buffer.contents buf
+
+let quote name = "\"" ^ name ^ "\""
+
+let print (r : Refmap.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter (fun (s, e) -> line "state %s = %s" s (flat e)) r.Refmap.state_map;
+  List.iter
+    (fun (w, e) -> line "input %s = %s" w (flat e))
+    r.Refmap.interface_map;
+  List.iter
+    (fun (m : Refmap.instr_map) ->
+      let start =
+        match m.Refmap.start with
+        | None -> ""
+        | Some e -> Printf.sprintf " start %s" (flat e)
+      in
+      match m.Refmap.finish with
+      | Refmap.After_cycles n ->
+        line "instruction %s%s after %d" (quote m.Refmap.instr) start n
+      | Refmap.Within { bound; condition } ->
+        line "instruction %s%s within %d until %s" (quote m.Refmap.instr)
+          start bound (flat condition))
+    r.Refmap.instruction_maps;
+  List.iter (fun e -> line "invariant %s" (flat e)) r.Refmap.invariants;
+  List.iter (fun e -> line "assume-step %s" (flat e)) r.Refmap.step_assumptions;
+  Buffer.contents buf
+
+let loc r =
+  String.split_on_char '\n' (print r)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+(* --- parsing --- *)
+
+let rtl_env (rtl : Rtl.t) name =
+  match Rtl.input_sort rtl name with
+  | Some s -> Some s
+  | None -> (
+    match Rtl.register_sort rtl name with
+    | Some s -> Some s
+    | None -> Option.map Expr.sort (Rtl.wire_expr rtl name))
+
+(* Split "instruction "NAME" rest" into the quoted name and the rest. *)
+let split_quoted line =
+  match String.index_opt line '"' with
+  | None -> fail "expected a quoted instruction name: %s" line
+  | Some start -> (
+    match String.index_from_opt line (start + 1) '"' with
+    | None -> fail "unterminated instruction name: %s" line
+    | Some stop ->
+      let name = String.sub line (start + 1) (stop - start - 1) in
+      let rest = String.sub line (stop + 1) (String.length line - stop - 1) in
+      (name, String.trim rest))
+
+(* Split an instruction-map tail into its keyword-introduced fields.
+   Expressions may contain spaces, so scan for the keywords at
+   top-level (parenthesis depth 0). *)
+let split_keywords tail =
+  let keywords = [ "start"; "after"; "within"; "until" ] in
+  let words = String.split_on_char ' ' tail |> List.filter (( <> ) "") in
+  let fields = ref [] in
+  let current_kw = ref None in
+  let current = Buffer.create 32 in
+  let depth = ref 0 in
+  let flush () =
+    match !current_kw with
+    | None -> ()
+    | Some kw ->
+      fields := (kw, String.trim (Buffer.contents current)) :: !fields;
+      Buffer.clear current
+  in
+  List.iter
+    (fun w ->
+      if !depth = 0 && List.mem w keywords then begin
+        flush ();
+        current_kw := Some w
+      end
+      else begin
+        String.iter
+          (fun c ->
+            if c = '(' then incr depth else if c = ')' then decr depth)
+          w;
+        Buffer.add_string current w;
+        Buffer.add_char current ' '
+      end)
+    words;
+  flush ();
+  List.rev !fields
+
+let parse ~ila ~rtl text =
+  let env = rtl_env rtl in
+  let pexpr s = Parse.expr ~env s in
+  let state_map = ref [] in
+  let interface_map = ref [] in
+  let instruction_maps = ref [] in
+  let invariants = ref [] in
+  let step_assumptions = ref [] in
+  let mapping_line rest =
+    match String.index_opt rest '=' with
+    | None -> fail "expected '=': %s" rest
+    | Some i ->
+      let name = String.trim (String.sub rest 0 i) in
+      let rhs = String.sub rest (i + 1) (String.length rest - i - 1) in
+      (name, pexpr rhs)
+  in
+  let instruction_line rest =
+    let name, tail = split_quoted rest in
+    let fields = split_keywords tail in
+    let start = Option.map pexpr (List.assoc_opt "start" fields) in
+    let finish =
+      match
+        ( List.assoc_opt "after" fields,
+          List.assoc_opt "within" fields,
+          List.assoc_opt "until" fields )
+      with
+      | Some n, None, None -> (
+        match int_of_string_opt (String.trim n) with
+        | Some n -> Refmap.After_cycles n
+        | None -> fail "bad cycle count %S" n)
+      | None, Some b, Some cond -> (
+        match int_of_string_opt (String.trim b) with
+        | Some bound -> Refmap.Within { bound; condition = pexpr cond }
+        | None -> fail "bad bound %S" b)
+      | _ -> fail "instruction %s needs 'after N' or 'within N until E'" name
+    in
+    instruction_maps := { Refmap.instr = name; start; finish } :: !instruction_maps
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.index_opt line ' ' with
+           | None -> fail "malformed line: %s" line
+           | Some i -> (
+             let keyword = String.sub line 0 i in
+             let rest =
+               String.trim (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             match keyword with
+             | "state" -> state_map := mapping_line rest :: !state_map
+             | "input" -> interface_map := mapping_line rest :: !interface_map
+             | "instruction" -> instruction_line rest
+             | "invariant" -> invariants := pexpr rest :: !invariants
+             | "assume-step" ->
+               step_assumptions := pexpr rest :: !step_assumptions
+             | other -> fail "unknown keyword %s" other));
+  Refmap.make ~ila ~rtl ~state_map:(List.rev !state_map)
+    ~interface_map:(List.rev !interface_map)
+    ~instruction_maps:(List.rev !instruction_maps)
+    ~invariants:(List.rev !invariants)
+    ~step_assumptions:(List.rev !step_assumptions)
+    ()

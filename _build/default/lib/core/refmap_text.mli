@@ -1,0 +1,35 @@
+(** A textual surface format for refinement maps — the counterpart of
+    the JSON refinement maps the paper's tooling consumes ("Ref-map
+    Size (LoC)" counts exactly such a file).
+
+    One declaration per line; [#] starts a comment.  Expressions use
+    the s-expression syntax of {!Ilv_expr.Pp_expr}/{!Ilv_expr.Parse}
+    over RTL net names; instruction names are double-quoted because
+    integrated instructions contain spaces:
+
+    {v
+    # refinement map for the decoder port
+    state current_word = op
+    state step         = status
+    input wait         = wait_data
+    instruction "stall"        after 1
+    instruction "SEND" start (not busy) within 22 until (not busy)
+    invariant (bvule count_q 0x10:5)
+    assume-step (not p1_valid)
+    v} *)
+
+exception Syntax_error of string
+
+val print : Refmap.t -> string
+(** Renders a refinement map in the surface format; [parse] of the
+    result reconstructs an equal map. *)
+
+val loc : Refmap.t -> int
+(** Number of non-empty lines of {!print} — the exact counterpart of
+    the paper's "Ref-map Size (LoC)" for its JSON files. *)
+
+val parse : ila:Ila.t -> rtl:Ilv_rtl.Rtl.t -> string -> Refmap.t
+(** Parses and validates (via {!Refmap.make}) a textual map.
+    @raise Syntax_error on malformed lines.
+    @raise Ilv_expr.Parse.Parse_error on malformed expressions.
+    @raise Refmap.Invalid_refmap if the map does not fit the models. *)

@@ -1,0 +1,133 @@
+open Ilv_expr
+open Ilv_rtl
+
+type outcome =
+  | Confirmed of string
+  | Not_reproduced
+  | Inapplicable of string
+
+(* Evaluation environment at one instant: registers, that cycle's
+   inputs, and the combinational wires computed from them. *)
+let instant_env (rtl : Rtl.t) ~regs ~inputs =
+  let env =
+    List.fold_left (fun acc (n, v) -> Eval.env_add n v acc) regs inputs
+  in
+  List.fold_left
+    (fun env (name, e) -> Eval.env_add name (Eval.eval env e) env)
+    env rtl.Rtl.wires
+
+let owned_states (ila : Ila.t) =
+  List.concat_map
+    (fun (i : Ila.instruction) -> List.map fst i.Ila.updates)
+    (Ila.leaf_instructions ila)
+  |> List.sort_uniq String.compare
+
+let confirm ~ila ~rtl ~(refmap : Refmap.t) (trace : Trace.t) =
+  match trace.Trace.cycles with
+  | [] -> Inapplicable "trace has no cycles"
+  | (c0, nets0) :: _ ->
+    if c0 <> 0 then Inapplicable "trace does not start at cycle 0"
+    else begin
+      (* Split the cycle-0 nets into registers and inputs.  A register
+         or input absent from the trace was never constrained by the
+         failing obligation (it did not reach the solver), so its value
+         is irrelevant to the violation: default it to zeros. *)
+      let regs0 =
+        List.fold_left
+          (fun acc (r : Rtl.register) ->
+            let v =
+              match List.assoc_opt r.Rtl.reg_name nets0 with
+              | Some v when Sort.equal (Value.sort v) r.Rtl.sort -> v
+              | Some _ | None -> Value.default_of_sort r.Rtl.sort
+            in
+            Eval.env_add r.Rtl.reg_name v acc)
+          Eval.env_empty rtl.Rtl.registers
+      in
+      let inputs_at c =
+        let nets =
+          match List.assoc_opt c trace.Trace.cycles with
+          | Some nets -> nets
+          | None -> []
+        in
+        List.map
+          (fun (n, sort) ->
+            match List.assoc_opt n nets with
+            | Some v when Sort.equal (Value.sort v) sort -> (n, v)
+            | Some _ | None -> (n, Value.default_of_sort sort))
+          rtl.Rtl.inputs
+      in
+      let inputs0 = inputs_at 0 in
+      (* ILA side: mapped start state and command, one step *)
+      (
+        let env0 = instant_env rtl ~regs:regs0 ~inputs:inputs0 in
+        let start_state =
+          Eval.env_of_list
+            (List.map
+               (fun (s, e) -> (s, Eval.eval env0 e))
+               refmap.Refmap.state_map)
+        in
+        let command =
+          List.map
+            (fun (w, e) -> (w, Eval.eval env0 e))
+            refmap.Refmap.interface_map
+        in
+        let ila_sim = Ila_sim.create ila in
+        Ila_sim.set_state ila_sim start_state;
+        match Ila_sim.step ila_sim command with
+        | Ila_sim.No_instruction ->
+          Inapplicable "no instruction decodes at cycle 0"
+        | Ila_sim.Ambiguous _ -> Inapplicable "ambiguous decode at cycle 0"
+        | Ila_sim.Stepped instr_name -> (
+            (* the finish depth comes from the instruction map *)
+            let m =
+              match Refmap.find_instr_map refmap instr_name with
+              | Some m -> m
+              | None -> invalid_arg "Replay: instruction without map"
+            in
+            let sim = Sim.create rtl in
+            Sim.set_registers sim regs0;
+            let env_now c =
+              instant_env rtl ~regs:(Sim.registers_env sim)
+                ~inputs:(inputs_at c)
+            in
+            let finish_cycle =
+              match m.Refmap.finish with
+              | Refmap.After_cycles k ->
+                for c = 0 to k - 1 do
+                  Sim.cycle sim (inputs_at c)
+                done;
+                Some k
+              | Refmap.Within { bound; condition } ->
+                (* drive until the finish condition first holds *)
+                let rec go c =
+                  if c > bound then None
+                  else begin
+                    Sim.cycle sim (inputs_at (c - 1));
+                    if Eval.eval_bool (env_now c) condition then Some c
+                    else go (c + 1)
+                  end
+                in
+                go 1
+            in
+            match finish_cycle with
+            | None ->
+              (* the instruction never finished: exactly the violated
+                 termination obligation *)
+              Confirmed "<termination>"
+            | Some k -> (
+              let env_k = env_now k in
+              let owned = owned_states ila in
+              let diverging =
+                List.find_opt
+                  (fun (s, e) ->
+                    List.mem s owned
+                    && not
+                         (Value.equal
+                            (Ila_sim.state ila_sim s)
+                            (Eval.eval env_k e)))
+                  refmap.Refmap.state_map
+              in
+              match diverging with
+              | Some (s, _) -> Confirmed s
+              | None -> Not_reproduced)))
+    end

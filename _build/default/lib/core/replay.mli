@@ -1,0 +1,28 @@
+(** Concrete replay of counterexample traces.
+
+    A failing refinement property yields a symbolic counterexample
+    (decoded from the SAT model).  [confirm] re-executes it concretely:
+    the RTL simulator starts from the trace's cycle-0 registers and is
+    driven with the trace's inputs, while the ILA executes the
+    instruction once from the mapped start state.  If the mapped
+    architectural states disagree at the finish cycle — exactly as the
+    checker claimed — the counterexample is {e confirmed}.
+
+    This closes the trust loop around the SAT path: every bug report in
+    the test suite is double-checked against the cycle-accurate
+    simulator. *)
+
+open Ilv_rtl
+
+type outcome =
+  | Confirmed of string  (** the first diverging architectural state *)
+  | Not_reproduced
+      (** simulation and ILA agree — the trace does not witness a
+          violation (would indicate a checker bug) *)
+  | Inapplicable of string
+      (** the trace cannot be replayed (e.g. the instruction did not
+          decode at cycle 0, or trace data is missing) *)
+
+val confirm :
+  ila:Ila.t -> rtl:Rtl.t -> refmap:Refmap.t -> Trace.t -> outcome
+(** Replays the trace of a failed equivalence obligation. *)

@@ -1,0 +1,92 @@
+open Ilv_expr
+
+type t = {
+  property : string;
+  obligation : string;
+  ila_vars : (string * Value.t) list;
+  cycles : (int * (string * Value.t) list) list;
+}
+
+let split_rtl_var name =
+  (* "rtl.foo@3" -> Some ("foo", 3) *)
+  if String.length name > 4 && String.sub name 0 4 = "rtl." then
+    match String.rindex_opt name '@' with
+    | Some i ->
+      let base = String.sub name 4 (i - 4) in
+      (match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+      | Some c -> Some (base, c)
+      | None -> None)
+    | None -> None
+  else None
+
+let strip_ila_prefix name =
+  match String.length name with
+  | n when n > 4 && String.sub name 0 4 = "ila." -> String.sub name 4 (n - 4)
+  | _ -> name
+
+let split_ila_var name =
+  if String.length name > 4 && String.sub name 0 4 = "ila." then
+    Some (String.sub name 4 (String.length name - 4))
+  else None
+
+let of_model ~property ~obligation ~vars ?(ila_values = []) model =
+  let ila_vars = ref [] in
+  let by_cycle : (int, (string * Value.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (name, sort) ->
+      let v = model name sort in
+      match split_ila_var name with
+      | Some base -> ila_vars := (base, v) :: !ila_vars
+      | None -> (
+        match split_rtl_var name with
+        | Some (base, c) ->
+          let cell =
+            match Hashtbl.find_opt by_cycle c with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.add by_cycle c r;
+              r
+          in
+          cell := (base, v) :: !cell
+        | None -> ()))
+    vars;
+  let cycles =
+    Hashtbl.fold (fun c r acc -> (c, List.sort compare !r) :: acc) by_cycle []
+    |> List.sort compare
+  in
+  let reconstructed =
+    List.map (fun (n, v) -> (strip_ila_prefix n, v)) ila_values
+  in
+  {
+    property;
+    obligation;
+    ila_vars = List.sort compare (reconstructed @ !ila_vars);
+    cycles;
+  }
+
+let pp_value fmt v =
+  match v with
+  | Value.V_mem m when Value.Int_map.is_empty m.Value.assoc ->
+    Format.fprintf fmt "mem(all=%a)" Bitvec.pp m.Value.default
+  | _ -> Value.pp fmt v
+
+let pp fmt t =
+  let open Format in
+  fprintf fmt "@[<v>counterexample for %s (%s):@," t.property t.obligation;
+  fprintf fmt "  ILA start state / command:@,";
+  List.iter
+    (fun (n, v) -> fprintf fmt "    %-24s = %a@," n pp_value v)
+    t.ila_vars;
+  List.iter
+    (fun (c, vars) ->
+      fprintf fmt "  RTL cycle %d:@," c;
+      List.iter
+        (fun (n, v) -> fprintf fmt "    %-24s = %a@," n pp_value v)
+        vars)
+    t.cycles;
+  fprintf fmt "@]"
+
+let to_vcd t = Ilv_rtl.Vcd.of_signals ~name:"counterexample" t.cycles

@@ -1,0 +1,34 @@
+(** Counterexample traces decoded from SAT models.
+
+    A trace shows the ILA start state and inputs, and the RTL
+    registers/inputs cycle by cycle, for a failing refinement
+    property — the "counter-example trace" of the paper's bug hunts. *)
+
+open Ilv_expr
+
+type t = {
+  property : string;
+  obligation : string;
+  ila_vars : (string * Value.t) list;  (** [ila.*] base variables *)
+  cycles : (int * (string * Value.t) list) list;
+      (** per cycle, the [rtl.*@c] base variables (registers at cycle 0,
+          inputs at every cycle) *)
+}
+
+val of_model :
+  property:string ->
+  obligation:string ->
+  vars:(string * Sort.t) list ->
+  ?ila_values:(string * Value.t) list ->
+  (string -> Sort.t -> Value.t) ->
+  t
+(** Decodes all base variables from a SAT model, splitting the [ila.]
+    and [rtl.…@c] namespaces.  [ila_values] supplies the reconstructed
+    ILA view when the generator substituted the ILA variables away. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_vcd : t -> string
+(** The RTL portion of the trace as a VCD waveform (registers at cycle
+    0 plus inputs at every cycle), viewable in standard waveform
+    viewers. *)

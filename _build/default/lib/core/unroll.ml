@@ -1,0 +1,65 @@
+open Ilv_rtl
+open Ilv_expr
+module Str_map = Map.Make (String)
+
+type t = {
+  rtl : Rtl.t;
+  mutable envs : Expr.t Str_map.t list; (* index = cycle *)
+  mutable base : (string * Sort.t) list;
+}
+
+let base_var name cycle = Printf.sprintf "rtl.%s@%d" name cycle
+
+let create rtl = { rtl; envs = []; base = [] }
+
+let fresh_base u name sort cycle =
+  let n = base_var name cycle in
+  if not (List.mem_assoc n u.base) then u.base <- (n, sort) :: u.base;
+  Expr.var n sort
+
+(* Build the environment of cycle [c]: registers first (from the
+   previous cycle or as fresh base vars), then this cycle's inputs, then
+   wires in topological order. *)
+let rec env_at u c =
+  match List.nth_opt u.envs c with
+  | Some env -> env
+  | None ->
+    let prev = if c = 0 then None else Some (env_at u (c - 1)) in
+    let regs =
+      List.fold_left
+        (fun m (r : Rtl.register) ->
+          let value =
+            match prev with
+            | None -> fresh_base u r.Rtl.reg_name r.Rtl.sort 0
+            | Some prev_env ->
+              Subst.apply (Str_map.bindings prev_env) r.Rtl.next
+          in
+          Str_map.add r.Rtl.reg_name value m)
+        Str_map.empty u.rtl.Rtl.registers
+    in
+    let with_inputs =
+      List.fold_left
+        (fun m (name, sort) -> Str_map.add name (fresh_base u name sort c) m)
+        regs u.rtl.Rtl.inputs
+    in
+    let env =
+      List.fold_left
+        (fun m (name, e) ->
+          Str_map.add name (Subst.apply (Str_map.bindings m) e) m)
+        with_inputs u.rtl.Rtl.wires
+    in
+    (* cycles are materialized in order, so this append stays aligned *)
+    assert (List.length u.envs = c);
+    u.envs <- u.envs @ [ env ];
+    env
+
+let net u ~cycle name =
+  match Str_map.find_opt name (env_at u cycle) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let at_cycle u ~cycle e =
+  let env = env_at u cycle in
+  Subst.apply (Str_map.bindings env) e
+
+let base_vars_used u = List.rev u.base

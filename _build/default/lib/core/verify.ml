@@ -1,0 +1,113 @@
+type instr_result = {
+  instr : string;
+  port : string;
+  verdict : Checker.verdict;
+  stats : Checker.stats;
+}
+
+type port_report = {
+  port_name : string;
+  instr_results : instr_result list;
+  port_time_s : float;
+}
+
+type report = {
+  design : string;
+  ports : port_report list;
+  total_time_s : float;
+  first_failure : instr_result option;
+}
+
+let proved r =
+  r.first_failure = None
+  && List.for_all
+       (fun p ->
+         List.for_all
+           (fun ir ->
+             match ir.verdict with
+             | Checker.Proved -> true
+             | Checker.Failed _ -> false)
+           p.instr_results)
+       r.ports
+
+let run ?(stop_at_first_failure = true) ?only_ports ~name module_ila rtl
+    ~refmap_for =
+  let t0 = Unix.gettimeofday () in
+  let first_failure = ref None in
+  let selected =
+    match only_ports with
+    | None -> module_ila.Module_ila.ports
+    | Some names ->
+      List.filter
+        (fun (p : Ila.t) -> List.mem p.Ila.name names)
+        module_ila.Module_ila.ports
+  in
+  let ports =
+    List.map
+      (fun (port : Ila.t) ->
+        let pt0 = Unix.gettimeofday () in
+        let refmap = refmap_for port.Ila.name in
+        let results = ref [] in
+        let rec check_all = function
+          | [] -> ()
+          | (i : Ila.instruction) :: rest ->
+            if stop_at_first_failure && !first_failure <> None then ()
+            else begin
+              let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
+              let verdict, stats = Checker.check property in
+              let result =
+                {
+                  instr = i.Ila.instr_name;
+                  port = port.Ila.name;
+                  verdict;
+                  stats;
+                }
+              in
+              results := result :: !results;
+              (match verdict with
+              | Checker.Failed _ when !first_failure = None ->
+                first_failure := Some result
+              | Checker.Failed _ | Checker.Proved -> ());
+              check_all rest
+            end
+        in
+        check_all (Ila.leaf_instructions port);
+        {
+          port_name = port.Ila.name;
+          instr_results = List.rev !results;
+          port_time_s = Unix.gettimeofday () -. pt0;
+        })
+      selected
+  in
+  {
+    design = name;
+    ports;
+    total_time_s = Unix.gettimeofday () -. t0;
+    first_failure = !first_failure;
+  }
+
+let pp_report fmt r =
+  let open Format in
+  fprintf fmt "@[<v>verification report: %s (%.3fs)@," r.design r.total_time_s;
+  List.iter
+    (fun p ->
+      fprintf fmt "  port %s (%.3fs):@," p.port_name p.port_time_s;
+      List.iter
+        (fun ir ->
+          let status =
+            match ir.verdict with
+            | Checker.Proved -> "proved"
+            | Checker.Failed _ -> "FAILED"
+          in
+          fprintf fmt "    %-34s %-7s %.3fs (%d obligations, %d conflicts)@,"
+            ir.instr status ir.stats.Checker.time_s
+            ir.stats.Checker.n_obligations ir.stats.Checker.conflicts)
+        p.instr_results)
+    r.ports;
+  (match r.first_failure with
+  | Some ir -> (
+    match ir.verdict with
+    | Checker.Failed trace -> fprintf fmt "%a@," Trace.pp trace
+    | Checker.Proved -> ())
+  | None -> ());
+  fprintf fmt "result: %s@]" (if proved r then "PROVED" else "FAILED")

@@ -1,0 +1,43 @@
+(** The verification driver (Fig. 4 of the paper).
+
+    For each independent port of a module-ILA: generate the complete
+    property set from the refinement map and check every (sub-)
+    instruction.  Optionally first run the model-level decode checks
+    (coverage / determinism) that back the completeness claim. *)
+
+type instr_result = {
+  instr : string;
+  port : string;
+  verdict : Checker.verdict;
+  stats : Checker.stats;
+}
+
+type port_report = {
+  port_name : string;
+  instr_results : instr_result list;
+  port_time_s : float;
+}
+
+type report = {
+  design : string;
+  ports : port_report list;
+  total_time_s : float;
+  first_failure : instr_result option;
+}
+
+val proved : report -> bool
+
+val run :
+  ?stop_at_first_failure:bool ->
+  ?only_ports:string list ->
+  name:string ->
+  Module_ila.t ->
+  Ilv_rtl.Rtl.t ->
+  refmap_for:(string -> Refmap.t) ->
+  report
+(** Verifies the RTL against each port-ILA.  [refmap_for] supplies the
+    refinement map of each port by name.  With
+    [stop_at_first_failure:true] (default), checking stops at the first
+    failing instruction — matching the paper's "Time (bug)" runs. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/designs/axi_master.ml: Build Compose Design Ila Ilv_core Ilv_expr Ilv_rtl List Refmap Rtl Sort

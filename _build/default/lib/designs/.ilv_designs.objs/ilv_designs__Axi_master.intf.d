@@ -1,0 +1,1 @@
+lib/designs/axi_master.mli: Design Ilv_core

@@ -1,0 +1,1 @@
+lib/designs/axi_slave.mli: Design Ilv_core Ilv_rtl

@@ -1,0 +1,1 @@
+lib/designs/catalog.ml: Axi_master Axi_slave Clock_gen Datapath_8051 Decoder_8051 Design L2_cache List Mem_iface_8051 Noc_router Store_buffer String Uart_tx

@@ -1,0 +1,1 @@
+lib/designs/clock_gen.ml: Build Compose Design Ila Ilv_core Ilv_expr Ilv_rtl Refmap Rtl Sort Value

@@ -1,0 +1,1 @@
+lib/designs/clock_gen.mli: Design Ilv_core

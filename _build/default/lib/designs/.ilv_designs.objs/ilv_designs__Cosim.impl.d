@@ -1,0 +1,1 @@
+lib/designs/cosim.ml: Bitvec Design Eval Ila Ila_sim Ilv_core Ilv_expr Ilv_rtl List Module_ila Printf Random Refmap Rtl Sim Sort String Value

@@ -1,0 +1,1 @@
+lib/designs/cosim.mli: Design Ilv_rtl

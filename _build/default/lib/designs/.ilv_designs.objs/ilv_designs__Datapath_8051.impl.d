@@ -1,0 +1,1 @@
+lib/designs/datapath_8051.ml: Build Compose Design Ila Ilv_core Ilv_expr Ilv_rtl List Option Printf Refmap Rtl Sort

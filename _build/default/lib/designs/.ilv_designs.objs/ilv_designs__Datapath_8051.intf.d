@@ -1,0 +1,1 @@
+lib/designs/datapath_8051.mli: Design Ilv_core Ilv_rtl

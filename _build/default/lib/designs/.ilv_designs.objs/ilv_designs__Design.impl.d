@@ -1,0 +1,1 @@
+lib/designs/design.ml: Ilv_core Ilv_expr Ilv_rtl Invariant List Module_ila Refmap Verify

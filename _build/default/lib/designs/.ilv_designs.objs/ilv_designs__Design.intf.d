@@ -1,0 +1,1 @@
+lib/designs/design.mli: Ilv_core Ilv_expr Ilv_rtl Invariant Module_ila Refmap Verify

@@ -1,0 +1,1 @@
+lib/designs/iss_8051.mli: Format

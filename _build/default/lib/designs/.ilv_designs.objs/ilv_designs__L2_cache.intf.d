@@ -1,0 +1,1 @@
+lib/designs/l2_cache.mli: Design Ilv_core

@@ -1,0 +1,1 @@
+lib/designs/mem_iface_8051.mli: Design Ilv_core

@@ -1,0 +1,1 @@
+lib/designs/noc_router.ml: Build Compose Design Fun Ila Ilv_core Ilv_expr Ilv_rtl List Printf Refmap Rtl Sort String

@@ -1,0 +1,1 @@
+lib/designs/noc_router.mli: Design Ilv_core

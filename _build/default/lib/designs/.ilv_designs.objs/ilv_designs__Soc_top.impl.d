@@ -1,0 +1,1 @@
+lib/designs/soc_top.ml: Build Datapath_8051 Decoder_8051 Ilv_expr Ilv_rtl Iss_8051 Rtl Rtl_compose Sim Sort Value

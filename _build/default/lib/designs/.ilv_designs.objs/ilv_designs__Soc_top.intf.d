@@ -1,0 +1,1 @@
+lib/designs/soc_top.mli: Ilv_rtl Rtl

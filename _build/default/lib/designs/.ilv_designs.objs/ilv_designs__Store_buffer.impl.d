@@ -1,0 +1,1 @@
+lib/designs/store_buffer.ml: Build Compose Design Ila Ilv_core Ilv_expr Ilv_rtl List Printf Refmap Rtl Sort

@@ -1,0 +1,1 @@
+lib/designs/store_buffer.mli: Design Ilv_core

@@ -1,0 +1,1 @@
+lib/designs/table_one.ml: Design Format Gc Ila Ila_stats Ilv_core Ilv_rtl List Module_ila Printf Refmap_text String Verify

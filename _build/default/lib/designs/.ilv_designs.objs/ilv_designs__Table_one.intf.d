@@ -1,0 +1,1 @@
+lib/designs/table_one.mli: Design Format

@@ -1,0 +1,1 @@
+lib/designs/uart_tx.ml: Build Compose Design Ila Ilv_core Ilv_expr Ilv_rtl Refmap Rtl Sort

@@ -1,0 +1,1 @@
+lib/designs/uart_tx.mli: Design Ilv_core Ilv_rtl

@@ -1,0 +1,326 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* ---------------- READ port ---------------- *)
+
+let read_port =
+  let host_rd_req = bool_var "host_rd_req" in
+  let host_rd_addr = bv_var "host_rd_addr" 8 in
+  let host_rd_len = bv_var "host_rd_len" 4 in
+  let s_ar_ready = bool_var "s_ar_ready" in
+  let s_rd_valid = bool_var "s_rd_valid" in
+  let s_rd_data = bv_var "s_rd_data" 16 in
+  let s_rd_last = bool_var "s_rd_last" in
+  let rd_busy = bool_var "rd_busy" in
+  let m_ar_valid = bool_var "m_ar_valid" in
+  Ila.make ~name:"M-READ"
+    ~inputs:
+      [
+        ("host_rd_req", Sort.bool);
+        ("host_rd_addr", Sort.bv 8);
+        ("host_rd_len", Sort.bv 4);
+        ("s_ar_ready", Sort.bool);
+        ("s_rd_valid", Sort.bool);
+        ("s_rd_data", Sort.bv 16);
+        ("s_rd_last", Sort.bool);
+      ]
+    ~states:
+      [
+        Ila.state "m_ar_valid" Sort.bool ();
+        Ila.state "m_ar_addr" (Sort.bv 8) ();
+        Ila.state "m_ar_len" (Sort.bv 4) ();
+        Ila.state "host_rd_data" (Sort.bv 16) ();
+        Ila.state "host_rd_done" Sort.bool ();
+        Ila.state "rd_busy" Sort.bool ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "MR_IDLE"
+          ~decode:(not_ rd_busy &&: not_ host_rd_req)
+          ~updates:[ ("host_rd_done", ff) ]
+          ();
+        Ila.instr "MR_ISSUE"
+          ~decode:(not_ rd_busy &&: host_rd_req)
+          ~updates:
+            [
+              ("m_ar_valid", tt);
+              ("m_ar_addr", host_rd_addr);
+              ("m_ar_len", host_rd_len);
+              ("rd_busy", tt);
+              ("host_rd_done", ff);
+            ]
+          ();
+        Ila.instr "MR_ADDR_PHASE" ~parent:"MR_ISSUE"
+          ~decode:(rd_busy &&: m_ar_valid)
+          ~updates:[ ("m_ar_valid", not_ s_ar_ready) ]
+          ();
+        Ila.instr "MR_DATA_BEAT" ~parent:"MR_ISSUE"
+          ~decode:(rd_busy &&: not_ m_ar_valid &&: s_rd_valid)
+          ~updates:
+            [
+              ("host_rd_data", s_rd_data);
+              ("host_rd_done", s_rd_last);
+              ("rd_busy", not_ s_rd_last);
+            ]
+          ();
+        Ila.instr "MR_DATA_WAIT" ~parent:"MR_ISSUE"
+          ~decode:(rd_busy &&: not_ m_ar_valid &&: not_ s_rd_valid)
+          ~updates:[] ();
+      ]
+
+(* ---------------- WRITE port ---------------- *)
+
+let write_port =
+  let host_wr_req = bool_var "host_wr_req" in
+  let host_wr_addr = bv_var "host_wr_addr" 8 in
+  let host_wr_len = bv_var "host_wr_len" 4 in
+  let host_wr_data = bv_var "host_wr_data" 16 in
+  let s_aw_ready = bool_var "s_aw_ready" in
+  let s_w_ready = bool_var "s_w_ready" in
+  let s_b_valid = bool_var "s_b_valid" in
+  let wr_busy = bool_var "wr_busy" in
+  let m_aw_valid = bool_var "m_aw_valid" in
+  let m_w_valid = bool_var "m_w_valid" in
+  let wr_beats = bv_var "wr_beats" 4 in
+  Ila.make ~name:"M-WRITE"
+    ~inputs:
+      [
+        ("host_wr_req", Sort.bool);
+        ("host_wr_addr", Sort.bv 8);
+        ("host_wr_len", Sort.bv 4);
+        ("host_wr_data", Sort.bv 16);
+        ("s_aw_ready", Sort.bool);
+        ("s_w_ready", Sort.bool);
+        ("s_b_valid", Sort.bool);
+      ]
+    ~states:
+      [
+        Ila.state "m_aw_valid" Sort.bool ();
+        Ila.state "m_aw_addr" (Sort.bv 8) ();
+        Ila.state "m_aw_len" (Sort.bv 4) ();
+        Ila.state "m_w_valid" Sort.bool ();
+        Ila.state "m_w_data" (Sort.bv 16) ();
+        Ila.state "host_wr_done" Sort.bool ();
+        Ila.state "wr_busy" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "wr_beats" (Sort.bv 4) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "MW_IDLE"
+          ~decode:(not_ wr_busy &&: not_ host_wr_req)
+          ~updates:[ ("host_wr_done", ff) ]
+          ();
+        Ila.instr "MW_ISSUE"
+          ~decode:(not_ wr_busy &&: host_wr_req)
+          ~updates:
+            [
+              ("m_aw_valid", tt);
+              ("m_aw_addr", host_wr_addr);
+              ("m_aw_len", host_wr_len);
+              ("wr_beats", host_wr_len);
+              ("wr_busy", tt);
+              ("host_wr_done", ff);
+            ]
+          ();
+        Ila.instr "MW_ADDR_PHASE" ~parent:"MW_ISSUE"
+          ~decode:(wr_busy &&: m_aw_valid)
+          ~updates:
+            [ ("m_aw_valid", not_ s_aw_ready); ("m_w_valid", s_aw_ready) ]
+          ();
+        Ila.instr "MW_DATA_SEND" ~parent:"MW_ISSUE"
+          ~decode:(wr_busy &&: not_ m_aw_valid &&: m_w_valid)
+          ~updates:
+            [
+              ("m_w_data", host_wr_data);
+              ("wr_beats", ite s_w_ready (sub_int wr_beats 1) wr_beats);
+              ("m_w_valid", ite s_w_ready (not_ (eq_int wr_beats 0)) tt);
+            ]
+          ();
+        Ila.instr "MW_RESP" ~parent:"MW_ISSUE"
+          ~decode:(wr_busy &&: not_ m_aw_valid &&: not_ m_w_valid &&: s_b_valid)
+          ~updates:[ ("host_wr_done", tt); ("wr_busy", ff) ]
+          ();
+        Ila.instr "MW_RESP_WAIT" ~parent:"MW_ISSUE"
+          ~decode:
+            (wr_busy &&: not_ m_aw_valid &&: not_ m_w_valid &&: not_ s_b_valid)
+          ~updates:[] ();
+      ]
+
+(* ---------------- RTL: FSM-encoded engines ---------------- *)
+
+let rtl =
+  let host_rd_req = bool_var "host_rd_req" in
+  let s_ar_ready = bool_var "s_ar_ready" in
+  let s_rd_valid = bool_var "s_rd_valid" in
+  let s_rd_last = bool_var "s_rd_last" in
+  let rd_fsm = bv_var "rd_fsm" 2 in
+  (* 0 idle, 1 addr, 2/3 data *)
+  let rd_idle = eq_int rd_fsm 0 in
+  let rd_addr = eq_int rd_fsm 1 in
+  let host_wr_req = bool_var "host_wr_req" in
+  let s_aw_ready = bool_var "s_aw_ready" in
+  let s_w_ready = bool_var "s_w_ready" in
+  let s_b_valid = bool_var "s_b_valid" in
+  let wr_fsm = bv_var "wr_fsm" 2 in
+  (* 0 idle, 1 addr, 2 data, 3 resp *)
+  let wr_idle = eq_int wr_fsm 0 in
+  let wr_addr = eq_int wr_fsm 1 in
+  let wr_data = eq_int wr_fsm 2 in
+  let wr_resp = eq_int wr_fsm 3 in
+  let beats = bv_var "wr_beats_q" 4 in
+  Rtl.make ~name:"elink_axi_master"
+    ~inputs:
+      [
+        ("host_rd_req", Sort.bool);
+        ("host_rd_addr", Sort.bv 8);
+        ("host_rd_len", Sort.bv 4);
+        ("s_ar_ready", Sort.bool);
+        ("s_rd_valid", Sort.bool);
+        ("s_rd_data", Sort.bv 16);
+        ("s_rd_last", Sort.bool);
+        ("host_wr_req", Sort.bool);
+        ("host_wr_addr", Sort.bv 8);
+        ("host_wr_len", Sort.bv 4);
+        ("host_wr_data", Sort.bv 16);
+        ("s_aw_ready", Sort.bool);
+        ("s_w_ready", Sort.bool);
+        ("s_b_valid", Sort.bool);
+      ]
+    ~wires:
+      [
+        ("rd_take", not_ rd_idle &&: not_ rd_addr &&: s_rd_valid);
+        ("wr_send", wr_data &&: s_w_ready);
+      ]
+    ~registers:
+      [
+        (* read engine *)
+        Rtl.reg "rd_fsm" (Sort.bv 2)
+          (ite rd_idle
+             (ite host_rd_req (bv ~width:2 1) (bv ~width:2 0))
+             (ite rd_addr
+                (ite s_ar_ready (bv ~width:2 2) (bv ~width:2 1))
+                (ite
+                   (bool_var "rd_take" &&: s_rd_last)
+                   (bv ~width:2 0) rd_fsm)));
+        Rtl.reg "rd_addr_q" (Sort.bv 8)
+          (ite (rd_idle &&: host_rd_req) (bv_var "host_rd_addr" 8)
+             (bv_var "rd_addr_q" 8));
+        Rtl.reg "rd_len_q" (Sort.bv 4)
+          (ite (rd_idle &&: host_rd_req) (bv_var "host_rd_len" 4)
+             (bv_var "rd_len_q" 4));
+        Rtl.reg "rd_data_q" (Sort.bv 16)
+          (ite (bool_var "rd_take") (bv_var "s_rd_data" 16)
+             (bv_var "rd_data_q" 16));
+        Rtl.reg "rd_done_q" Sort.bool
+          (ite (bool_var "rd_take") s_rd_last
+             (ite rd_idle ff (bool_var "rd_done_q")));
+        (* write engine *)
+        Rtl.reg "wr_fsm" (Sort.bv 2)
+          (ite wr_idle
+             (ite host_wr_req (bv ~width:2 1) (bv ~width:2 0))
+             (ite wr_addr
+                (ite s_aw_ready (bv ~width:2 2) (bv ~width:2 1))
+                (ite wr_data
+                   (ite
+                      (s_w_ready &&: eq_int beats 0)
+                      (bv ~width:2 3) (bv ~width:2 2))
+                   (ite s_b_valid (bv ~width:2 0) wr_fsm))));
+        Rtl.reg "wr_addr_q" (Sort.bv 8)
+          (ite (wr_idle &&: host_wr_req) (bv_var "host_wr_addr" 8)
+             (bv_var "wr_addr_q" 8));
+        Rtl.reg "wr_len_q" (Sort.bv 4)
+          (ite (wr_idle &&: host_wr_req) (bv_var "host_wr_len" 4)
+             (bv_var "wr_len_q" 4));
+        Rtl.reg "wr_beats_q" (Sort.bv 4)
+          (ite (wr_idle &&: host_wr_req) (bv_var "host_wr_len" 4)
+             (ite (bool_var "wr_send") (sub_int beats 1) beats));
+        Rtl.reg "wr_data_q" (Sort.bv 16)
+          (ite wr_data (bv_var "host_wr_data" 16) (bv_var "wr_data_q" 16));
+        Rtl.reg "wr_done_q" Sort.bool
+          (ite (wr_resp &&: s_b_valid) tt (ite wr_idle ff (bool_var "wr_done_q")));
+      ]
+    ~outputs:[ "rd_data_q"; "rd_done_q"; "wr_data_q"; "wr_done_q" ]
+
+let refmap_for rtl port =
+  let rd_fsm = bv_var "rd_fsm" 2 in
+  let wr_fsm = bv_var "wr_fsm" 2 in
+  match port with
+  | "M-READ" ->
+    Refmap.make ~ila:read_port ~rtl
+      ~state_map:
+        [
+          ("m_ar_valid", eq_int rd_fsm 1);
+          ("m_ar_addr", bv_var "rd_addr_q" 8);
+          ("m_ar_len", bv_var "rd_len_q" 4);
+          ("host_rd_data", bv_var "rd_data_q" 16);
+          ("host_rd_done", bool_var "rd_done_q");
+          ("rd_busy", not_ (eq_int rd_fsm 0));
+        ]
+      ~interface_map:
+        [
+          ("host_rd_req", bool_var "host_rd_req");
+          ("host_rd_addr", bv_var "host_rd_addr" 8);
+          ("host_rd_len", bv_var "host_rd_len" 4);
+          ("s_ar_ready", bool_var "s_ar_ready");
+          ("s_rd_valid", bool_var "s_rd_valid");
+          ("s_rd_data", bv_var "s_rd_data" 16);
+          ("s_rd_last", bool_var "s_rd_last");
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun n -> Refmap.imap n (Refmap.After_cycles 1))
+           [ "MR_IDLE"; "MR_ISSUE"; "MR_ADDR_PHASE"; "MR_DATA_BEAT"; "MR_DATA_WAIT" ])
+      ()
+  | "M-WRITE" ->
+    Refmap.make ~ila:write_port ~rtl
+      ~state_map:
+        [
+          ("m_aw_valid", eq_int wr_fsm 1);
+          ("m_aw_addr", bv_var "wr_addr_q" 8);
+          ("m_aw_len", bv_var "wr_len_q" 4);
+          ("m_w_valid", eq_int wr_fsm 2);
+          ("m_w_data", bv_var "wr_data_q" 16);
+          ("host_wr_done", bool_var "wr_done_q");
+          ("wr_busy", not_ (eq_int wr_fsm 0));
+          ("wr_beats", bv_var "wr_beats_q" 4);
+        ]
+      ~interface_map:
+        [
+          ("host_wr_req", bool_var "host_wr_req");
+          ("host_wr_addr", bv_var "host_wr_addr" 8);
+          ("host_wr_len", bv_var "host_wr_len" 4);
+          ("host_wr_data", bv_var "host_wr_data" 16);
+          ("s_aw_ready", bool_var "s_aw_ready");
+          ("s_w_ready", bool_var "s_w_ready");
+          ("s_b_valid", bool_var "s_b_valid");
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun n -> Refmap.imap n (Refmap.After_cycles 1))
+           [
+             "MW_IDLE";
+             "MW_ISSUE";
+             "MW_ADDR_PHASE";
+             "MW_DATA_SEND";
+             "MW_RESP";
+             "MW_RESP_WAIT";
+           ])
+      ()
+  | other -> invalid_arg ("Axi_master.refmap_for: unknown port " ^ other)
+
+let design =
+  {
+    Design.name = "AXI Master";
+    description =
+      "eLink AXI master: host requests translated to AXI signalling, \
+       independent read and write engines";
+    module_class = Design.Multi_port_independent;
+    ports_before_integration = 2;
+    module_ila = Compose.union ~name:"AXI-MASTER" [ read_port; write_port ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> []);
+  }

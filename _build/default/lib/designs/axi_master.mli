@@ -1,0 +1,21 @@
+(** Case study: AXI master (Sec. V-B2 of the paper; multiple command
+    interfaces, no shared state).
+
+    The master receives read/write requests from a host, translates
+    them into AXI channel signalling, and collects the responses.  Two
+    independent ports:
+
+    - READ-port (5 (sub-)instructions): idle, issue (raise AR), address
+      phase (drop AR on ARREADY), data beats (collect RDATA until
+      RLAST), wait.
+    - WRITE-port (6 (sub-)instructions): idle, issue (raise AW), address
+      phase, data send (stream WDATA while beats remain), response
+      accept, response wait.
+
+    The RTL realizes each engine as a small FSM whose states are
+    recovered through refinement-map expressions
+    (e.g. [m_ar_valid = (rd_fsm == 1)]). *)
+
+val read_port : Ilv_core.Ila.t
+val write_port : Ilv_core.Ila.t
+val design : Design.t

@@ -1,0 +1,371 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* Beat presentation: INCR bursts pass the downstream fifo word
+   through; FIXED bursts present it byte-swapped. *)
+let beat burst fifo =
+  ite burst fifo (concat (extract ~hi:7 ~lo:0 fifo) (extract ~hi:15 ~lo:8 fifo))
+
+(* ---------------- READ port ---------------- *)
+
+let read_port =
+  let rd_addr_valid = bool_var "rd_addr_valid" in
+  let rd_addr_in = bv_var "rd_addr_in" 8 in
+  let rd_length_in = bv_var "rd_length_in" 4 in
+  let rd_burst_in = bool_var "rd_burst_in" in
+  let rd_data_ready = bool_var "rd_data_ready" in
+  let rd_fifo_in = bv_var "rd_fifo_in" 16 in
+  let tx_rd_active = bool_var "tx_rd_active" in
+  let tx_rd_addr = bv_var "tx_rd_addr" 8 in
+  let tx_rd_length = bv_var "tx_rd_length" 4 in
+  let tx_rd_burst = bool_var "tx_rd_burst" in
+  Ila.make ~name:"READ"
+    ~inputs:
+      [
+        ("rd_addr_valid", Sort.bool);
+        ("rd_addr_in", Sort.bv 8);
+        ("rd_length_in", Sort.bv 4);
+        ("rd_burst_in", Sort.bool);
+        ("rd_data_ready", Sort.bool);
+        ("rd_fifo_in", Sort.bv 16);
+      ]
+    ~states:
+      [
+        Ila.state "rd_addr_ready" Sort.bool ();
+        Ila.state "rd_data" (Sort.bv 16) ();
+        Ila.state "rd_data_valid" Sort.bool ();
+        Ila.state "tx_rd_active" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "tx_rd_addr" (Sort.bv 8) ~kind:Ila.Internal ();
+        Ila.state "tx_rd_length" (Sort.bv 4) ~kind:Ila.Internal ();
+        Ila.state "tx_rd_burst" Sort.bool ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "RD_ADDR_WAIT"
+          ~decode:(not_ tx_rd_active &&: not_ rd_addr_valid)
+          ~updates:[ ("rd_addr_ready", tt); ("rd_data_valid", ff) ]
+          ();
+        Ila.instr "RD_ADDR_COMMIT"
+          ~decode:(not_ tx_rd_active &&: rd_addr_valid)
+          ~updates:
+            [
+              ("rd_addr_ready", ff);
+              ("tx_rd_active", tt);
+              ("tx_rd_addr", rd_addr_in);
+              ("tx_rd_length", rd_length_in);
+              ("tx_rd_burst", rd_burst_in);
+              ("rd_data_valid", ff);
+            ]
+          ();
+        Ila.instr "RD_DATA_PREPARE" ~parent:"RD_ADDR_COMMIT"
+          ~decode:(tx_rd_active &&: not_ rd_data_ready)
+          ~updates:
+            [ ("rd_data", beat tx_rd_burst rd_fifo_in); ("rd_data_valid", tt) ]
+          ();
+        Ila.instr "RD_DATA_COMMIT" ~parent:"RD_ADDR_COMMIT"
+          ~decode:(tx_rd_active &&: rd_data_ready)
+          ~updates:
+            [
+              ("tx_rd_addr", ite tx_rd_burst (add_int tx_rd_addr 1) tx_rd_addr);
+              ("tx_rd_length", sub_int tx_rd_length 1);
+              ("tx_rd_active", not_ (eq_int tx_rd_length 1));
+              ("rd_addr_ready", eq_int tx_rd_length 1);
+              ("rd_data_valid", ff);
+            ]
+          ();
+      ]
+
+(* ---------------- WRITE port ---------------- *)
+
+let write_port =
+  let wr_addr_valid = bool_var "wr_addr_valid" in
+  let wr_addr_in = bv_var "wr_addr_in" 8 in
+  let wr_length_in = bv_var "wr_length_in" 4 in
+  let wr_data_in = bv_var "wr_data_in" 16 in
+  let wr_data_valid = bool_var "wr_data_valid" in
+  let tx_wr_active = bool_var "tx_wr_active" in
+  let tx_wr_addr = bv_var "tx_wr_addr" 8 in
+  let tx_wr_length = bv_var "tx_wr_length" 4 in
+  let pending = tx_wr_active &&: not_ (eq_int tx_wr_length 0) in
+  let last = tx_wr_active &&: eq_int tx_wr_length 0 in
+  Ila.make ~name:"WRITE"
+    ~inputs:
+      [
+        ("wr_addr_valid", Sort.bool);
+        ("wr_addr_in", Sort.bv 8);
+        ("wr_length_in", Sort.bv 4);
+        ("wr_data_in", Sort.bv 16);
+        ("wr_data_valid", Sort.bool);
+      ]
+    ~states:
+      [
+        Ila.state "wr_addr_ready" Sort.bool ();
+        Ila.state "wr_data_ready" Sort.bool ();
+        Ila.state "wr_down_addr" (Sort.bv 8) ();
+        Ila.state "wr_down_data" (Sort.bv 16) ();
+        Ila.state "wr_down_en" Sort.bool ();
+        Ila.state "tx_wr_active" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "tx_wr_addr" (Sort.bv 8) ~kind:Ila.Internal ();
+        Ila.state "tx_wr_length" (Sort.bv 4) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "WR_ADDR_WAIT"
+          ~decode:(not_ tx_wr_active &&: not_ wr_addr_valid)
+          ~updates:[ ("wr_addr_ready", tt); ("wr_down_en", ff) ]
+          ();
+        Ila.instr "WR_ADDR_COMMIT"
+          ~decode:(not_ tx_wr_active &&: wr_addr_valid)
+          ~updates:
+            [
+              ("wr_addr_ready", ff);
+              ("tx_wr_active", tt);
+              ("tx_wr_addr", wr_addr_in);
+              ("tx_wr_length", wr_length_in);
+              ("wr_down_en", ff);
+            ]
+          ();
+        Ila.instr "WR_DATA_PREPARE" ~parent:"WR_ADDR_COMMIT"
+          ~decode:(pending &&: not_ wr_data_valid)
+          ~updates:[ ("wr_data_ready", tt); ("wr_down_en", ff) ]
+          ();
+        Ila.instr "WR_DATA_COMMIT" ~parent:"WR_ADDR_COMMIT"
+          ~decode:(pending &&: wr_data_valid)
+          ~updates:
+            [
+              ("wr_down_addr", tx_wr_addr);
+              ("wr_down_data", wr_data_in);
+              ("wr_down_en", tt);
+              ("tx_wr_addr", add_int tx_wr_addr 1);
+              ("tx_wr_length", sub_int tx_wr_length 1);
+              ("wr_data_ready", ff);
+            ]
+          ();
+        Ila.instr "WR_LAST_RESPONSE" ~parent:"WR_ADDR_COMMIT" ~decode:last
+          ~updates:
+            [ ("tx_wr_active", ff); ("wr_addr_ready", tt); ("wr_down_en", ff) ]
+          ();
+      ]
+
+(* ---------------- RTL implementation ---------------- *)
+
+(* The read engine keeps explicit flag registers; the write engine is a
+   two-bit FSM (0 = idle, 1 = data, 2 = response) whose "active" facet
+   is recovered by the refinement map as [wr_state != 0].  [data_mux]
+   selects the buggy or golden burst source. *)
+let make_rtl ~buggy name =
+  let rd_addr_valid = bool_var "rd_addr_valid" in
+  let rd_addr_in = bv_var "rd_addr_in" 8 in
+  let rd_length_in = bv_var "rd_length_in" 4 in
+  let rd_burst_in = bool_var "rd_burst_in" in
+  let rd_data_ready = bool_var "rd_data_ready" in
+  let rd_fifo_in = bv_var "rd_fifo_in" 16 in
+  let rd_active_q = bool_var "rd_active_q" in
+  let rd_addr_q = bv_var "rd_addr_q" 8 in
+  let rd_len_q = bv_var "rd_len_q" 4 in
+  let rd_burst_q = bool_var "rd_burst_q" in
+  let accept_rd = not_ rd_active_q &&: rd_addr_valid in
+  let rd_last = rd_active_q &&: rd_data_ready &&: eq_int rd_len_q 1 in
+  let burst_src = if buggy then rd_burst_in else rd_burst_q in
+  let wr_addr_valid = bool_var "wr_addr_valid" in
+  let wr_addr_in = bv_var "wr_addr_in" 8 in
+  let wr_length_in = bv_var "wr_length_in" 4 in
+  let wr_data_in = bv_var "wr_data_in" 16 in
+  let wr_data_valid = bool_var "wr_data_valid" in
+  let wr_state = bv_var "wr_state" 2 in
+  let wr_addr_q = bv_var "wr_addr_q" 8 in
+  let wr_len_q = bv_var "wr_len_q" 4 in
+  let in_idle = eq_int wr_state 0 in
+  let in_data = eq_int wr_state 1 in
+  let in_resp = eq_int wr_state 2 in
+  let accept_wr = in_idle &&: wr_addr_valid in
+  Rtl.make ~name
+    ~inputs:
+      [
+        ("rd_addr_valid", Sort.bool);
+        ("rd_addr_in", Sort.bv 8);
+        ("rd_length_in", Sort.bv 4);
+        ("rd_burst_in", Sort.bool);
+        ("rd_data_ready", Sort.bool);
+        ("rd_fifo_in", Sort.bv 16);
+        ("wr_addr_valid", Sort.bool);
+        ("wr_addr_in", Sort.bv 8);
+        ("wr_length_in", Sort.bv 4);
+        ("wr_data_in", Sort.bv 16);
+        ("wr_data_valid", Sort.bool);
+      ]
+    ~wires:
+      [
+        ("rd_beat", beat burst_src rd_fifo_in);
+        ( "wr_take_beat",
+          in_data &&: wr_data_valid &&: not_ (eq_int wr_len_q 0) );
+      ]
+    ~registers:
+      [
+        (* read engine *)
+        Rtl.reg "rd_active_q" Sort.bool
+          (ite accept_rd tt (ite rd_last ff rd_active_q));
+        Rtl.reg "rd_addr_q" (Sort.bv 8)
+          (ite accept_rd rd_addr_in
+             (ite
+                (rd_active_q &&: rd_data_ready &&: rd_burst_q)
+                (add_int rd_addr_q 1) rd_addr_q));
+        Rtl.reg "rd_len_q" (Sort.bv 4)
+          (ite accept_rd rd_length_in
+             (ite (rd_active_q &&: rd_data_ready) (sub_int rd_len_q 1) rd_len_q));
+        Rtl.reg "rd_burst_q" Sort.bool (ite accept_rd rd_burst_in rd_burst_q);
+        Rtl.reg "rd_data_q" (Sort.bv 16)
+          (ite
+             (rd_active_q &&: not_ rd_data_ready)
+             (bv_var "rd_beat" 16) (bv_var "rd_data_q" 16));
+        Rtl.reg "rd_valid_q" Sort.bool
+          (ite (rd_active_q &&: not_ rd_data_ready) tt ff);
+        Rtl.reg "rd_aready_q" Sort.bool
+          (ite accept_rd ff (ite (not_ rd_active_q ||: rd_last) tt (bool_var "rd_aready_q")));
+        (* write engine: FSM 0=idle 1=data 2=resp *)
+        Rtl.reg "wr_state" (Sort.bv 2)
+          (ite accept_wr
+             (ite (eq_int wr_length_in 0) (bv ~width:2 2) (bv ~width:2 1))
+             (ite
+                (bool_var "wr_take_beat" &&: eq_int wr_len_q 1)
+                (bv ~width:2 2)
+                (ite in_resp (bv ~width:2 0) wr_state)));
+        Rtl.reg "wr_addr_q" (Sort.bv 8)
+          (ite accept_wr wr_addr_in
+             (ite (bool_var "wr_take_beat") (add_int wr_addr_q 1) wr_addr_q));
+        Rtl.reg "wr_len_q" (Sort.bv 4)
+          (ite accept_wr wr_length_in
+             (ite (bool_var "wr_take_beat") (sub_int wr_len_q 1) wr_len_q));
+        Rtl.reg "wr_aready_q" Sort.bool
+          (ite accept_wr ff (ite (in_resp ||: in_idle) tt (bool_var "wr_aready_q")));
+        Rtl.reg "wr_dready_q" Sort.bool
+          (ite (in_data &&: not_ wr_data_valid) tt ff);
+        Rtl.reg "wr_down_addr_q" (Sort.bv 8)
+          (ite (bool_var "wr_take_beat") wr_addr_q (bv_var "wr_down_addr_q" 8));
+        Rtl.reg "wr_down_data_q" (Sort.bv 16)
+          (ite (bool_var "wr_take_beat") wr_data_in (bv_var "wr_down_data_q" 16));
+        Rtl.reg "wr_down_en_q" Sort.bool (bool_var "wr_take_beat");
+      ]
+    ~outputs:
+      [
+        "rd_aready_q";
+        "rd_data_q";
+        "rd_valid_q";
+        "wr_aready_q";
+        "wr_dready_q";
+        "wr_down_addr_q";
+        "wr_down_data_q";
+        "wr_down_en_q";
+      ]
+
+let rtl = make_rtl ~buggy:false "elink_axi_slave"
+let rtl_buggy = make_rtl ~buggy:true "elink_axi_slave_buggy"
+
+let refmap_for rtl port =
+  match port with
+  | "READ" ->
+    Refmap.make ~ila:read_port ~rtl
+      ~state_map:
+        [
+          ("rd_addr_ready", bool_var "rd_aready_q");
+          ("rd_data", bv_var "rd_data_q" 16);
+          ("rd_data_valid", bool_var "rd_valid_q");
+          ("tx_rd_active", bool_var "rd_active_q");
+          ("tx_rd_addr", bv_var "rd_addr_q" 8);
+          ("tx_rd_length", bv_var "rd_len_q" 4);
+          ("tx_rd_burst", bool_var "rd_burst_q");
+        ]
+      ~interface_map:
+        [
+          ("rd_addr_valid", bool_var "rd_addr_valid");
+          ("rd_addr_in", bv_var "rd_addr_in" 8);
+          ("rd_length_in", bv_var "rd_length_in" 4);
+          ("rd_burst_in", bool_var "rd_burst_in");
+          ("rd_data_ready", bool_var "rd_data_ready");
+          ("rd_fifo_in", bv_var "rd_fifo_in" 16);
+        ]
+      ~instruction_maps:
+        [
+          Refmap.imap "RD_ADDR_WAIT" (Refmap.After_cycles 1);
+          Refmap.imap "RD_ADDR_COMMIT" (Refmap.After_cycles 1);
+          Refmap.imap "RD_DATA_PREPARE" (Refmap.After_cycles 1);
+          Refmap.imap "RD_DATA_COMMIT" (Refmap.After_cycles 1);
+        ]
+      ~invariants:
+        [
+          (* mid-transaction the address channel is never ready *)
+          bool_var "rd_active_q" ==>: not_ (bool_var "rd_aready_q");
+        ]
+      ()
+  | "WRITE" ->
+    let wr_state = bv_var "wr_state" 2 in
+    Refmap.make ~ila:write_port ~rtl
+      ~state_map:
+        [
+          ("wr_addr_ready", bool_var "wr_aready_q");
+          ("wr_data_ready", bool_var "wr_dready_q");
+          ("wr_down_addr", bv_var "wr_down_addr_q" 8);
+          ("wr_down_data", bv_var "wr_down_data_q" 16);
+          ("wr_down_en", bool_var "wr_down_en_q");
+          ("tx_wr_active", not_ (eq_int wr_state 0));
+          ("tx_wr_addr", bv_var "wr_addr_q" 8);
+          ("tx_wr_length", bv_var "wr_len_q" 4);
+        ]
+      ~interface_map:
+        [
+          ("wr_addr_valid", bool_var "wr_addr_valid");
+          ("wr_addr_in", bv_var "wr_addr_in" 8);
+          ("wr_length_in", bv_var "wr_length_in" 4);
+          ("wr_data_in", bv_var "wr_data_in" 16);
+          ("wr_data_valid", bool_var "wr_data_valid");
+        ]
+      ~instruction_maps:
+        [
+          Refmap.imap "WR_ADDR_WAIT" (Refmap.After_cycles 1);
+          Refmap.imap "WR_ADDR_COMMIT" (Refmap.After_cycles 1);
+          Refmap.imap "WR_DATA_PREPARE" (Refmap.After_cycles 1);
+          Refmap.imap "WR_DATA_COMMIT" (Refmap.After_cycles 1);
+          Refmap.imap "WR_LAST_RESPONSE" (Refmap.After_cycles 1);
+        ]
+      ~invariants:
+        [
+          (* the response state is only entered with an exhausted
+             length; unreachable (state=2, len!=0) starts would
+             otherwise produce spurious counterexamples *)
+          eq_int wr_state 2 ==>: eq_int (bv_var "wr_len_q" 4) 0;
+          (* the FSM has no state 3 *)
+          not_ (eq_int wr_state 3);
+          (* the data state always has beats left *)
+          eq_int wr_state 1 ==>: not_ (eq_int (bv_var "wr_len_q" 4) 0);
+          (* data-ready is only raised in the data state *)
+          bool_var "wr_dready_q" ==>: eq_int wr_state 1;
+        ]
+      ()
+  | other -> invalid_arg ("Axi_slave.refmap_for: unknown port " ^ other)
+
+let design =
+  {
+    Design.name = "AXI Slave";
+    description =
+      "eLink AXI slave: independent READ and WRITE transaction ports \
+       (class: multiple command interfaces without shared state)";
+    module_class = Design.Multi_port_independent;
+    ports_before_integration = 2;
+    module_ila = Compose.union ~name:"AXI-SLAVE" [ read_port; write_port ];
+    rtl;
+    refmap_for;
+    bugs =
+      [
+        {
+          Design.bug_label = "rd_burst";
+          bug_description =
+            "rd_data update uses the input rd_burst_in instead of the \
+             architectural state tx_rd_burst (the bug reported in the paper, \
+             Sec. V-B1)";
+          buggy_rtl = rtl_buggy;
+        };
+      ];
+    coverage_assumptions = (fun _ -> []);
+  }

@@ -1,0 +1,23 @@
+(** Case study: AXI slave (Fig. 2 of the paper; multiple command
+    interfaces, no shared state).
+
+    Two independent ports accept read and write transactions
+    simultaneously:
+
+    - READ-port (4 (sub-)instructions): wait for / commit a read
+      address, then prepare and commit data beats.  Data presentation
+      depends on the {e registered} burst mode [tx_rd_burst]: INCR
+      bursts pass the downstream data through, FIXED bursts present it
+      byte-swapped, and the beat address advances only for INCR.
+    - WRITE-port (5 (sub-)instructions): wait for / commit a write
+      address, then accept data beats and issue the final response.
+
+    The paper's bug is reproduced as [bug_rd_burst]: the buggy RTL
+    computes the read data from the {e input pin} [rd_burst_in] instead
+    of the architectural state [tx_rd_burst], so a command presented
+    mid-burst corrupts the remaining beats. *)
+
+val read_port : Ilv_core.Ila.t
+val write_port : Ilv_core.Ila.t
+val rtl : Ilv_rtl.Rtl.t
+val design : Design.t

@@ -1,0 +1,36 @@
+let all =
+  [
+    Decoder_8051.design;
+    Axi_slave.design;
+    Axi_master.design;
+    Datapath_8051.design;
+    L2_cache.design;
+    Mem_iface_8051.design;
+    Store_buffer.design;
+    Noc_router.design;
+  ]
+
+let quick =
+  [
+    Decoder_8051.design;
+    Axi_slave.design;
+    Axi_master.design;
+    Datapath_8051.design_abstract;
+    L2_cache.design;
+    Mem_iface_8051.design;
+    Store_buffer.design_abstract;
+    Noc_router.design;
+  ]
+
+let extensions = [ Clock_gen.design; Uart_tx.design ]
+
+let variants =
+  all
+  @ [ Datapath_8051.design_abstract; Store_buffer.design_abstract ]
+  @ extensions
+
+let find name =
+  let norm s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun d -> norm d.Design.name = norm name) variants
+
+let names = List.map (fun d -> d.Design.name) variants

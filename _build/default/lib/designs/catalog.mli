@@ -1,0 +1,20 @@
+(** The complete case-study suite of the paper's Table I. *)
+
+val all : Design.t list
+(** The eight designs, in the paper's row order: Decoder, AXI Slave,
+    AXI Master, Datapath (256 B RAM), L2 Cache, Mem. Interface, Store
+    Buffer (64 entries), NoC Router. *)
+
+val quick : Design.t list
+(** The same suite with the memory-abstracted variants of the datapath
+    and store buffer — the configuration the paper's parenthesized
+    Table-I entries report, suitable for fast iteration. *)
+
+val extensions : Design.t list
+(** Designs beyond the paper's Table I (currently the "0"-command
+    clock generator of Sec. III-A3). *)
+
+val find : string -> Design.t option
+(** Look up a design by (case-insensitive) name among all variants. *)
+
+val names : string list

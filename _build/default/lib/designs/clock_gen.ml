@@ -1,0 +1,77 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+let divisor = 12
+let width = 4
+
+let ila =
+  let counter = bv_var "counter" width in
+  let phase = bool_var "phase" in
+  let wrap = eq_int counter (divisor - 1) in
+  Ila.zero_command ~name:"CLKGEN"
+    ~states:
+      [
+        Ila.state "counter" (Sort.bv width) ~kind:Ila.Internal ();
+        Ila.state "tick" Sort.bool ();
+        Ila.state "phase" Sort.bool ();
+      ]
+    ~updates:
+      [
+        ("counter", ite wrap (bv ~width 0) (add_int counter 1));
+        ("tick", wrap);
+        ("phase", ite wrap (not_ phase) phase);
+      ]
+
+(* The implementation counts down from divisor-1 to 0. *)
+let rtl =
+  let down = bv_var "down_q" width in
+  let at_zero = eq_int down 0 in
+  Rtl.make ~name:"baud_gen" ~inputs:[]
+    ~wires:[ ("wrap", at_zero) ]
+    ~registers:
+      [
+        Rtl.reg "down_q" (Sort.bv width)
+          ~init:(Value.of_int ~width (divisor - 1))
+          (ite at_zero (bv ~width (divisor - 1)) (sub_int down 1));
+        Rtl.reg "tick_q" Sort.bool (bool_var "wrap");
+        Rtl.reg "phase_q" Sort.bool
+          (ite (bool_var "wrap") (not_ (bool_var "phase_q"))
+             (bool_var "phase_q"));
+      ]
+    ~outputs:[ "tick_q"; "phase_q" ]
+
+let refmap_for rtl port =
+  if port <> "CLKGEN" then
+    invalid_arg ("Clock_gen.refmap_for: unknown port " ^ port);
+  let down = bv_var "down_q" width in
+  Refmap.make ~ila ~rtl
+    ~state_map:
+      [
+        (* up-counter recovered from the down-counter *)
+        ("counter", bv ~width (divisor - 1) -: down);
+        ("tick", bool_var "tick_q");
+        ("phase", bool_var "phase_q");
+      ]
+    ~interface_map:[ ("power_on", tt) ]
+    ~instruction_maps:[ Refmap.imap "START" (Refmap.After_cycles 1) ]
+    ~invariants:
+      [ (* the down counter never leaves [0, divisor-1] *)
+        down <=: bv ~width (divisor - 1) ]
+    ()
+
+let design =
+  {
+    Design.name = "Clock Gen";
+    description =
+      "baud-rate generator with no command interface: a single power-on \
+       START instruction (the paper's \"0\"-command class)";
+    module_class = Design.Single_port;
+    ports_before_integration = 1;
+    module_ila = Compose.union ~name:"CLKGEN" [ ila ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> [ bool_var "power_on" ]);
+  }

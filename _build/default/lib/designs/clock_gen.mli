@@ -1,0 +1,16 @@
+(** Extension case study: a baud-rate (clock tick) generator — the
+    paper's "0"-command-interface class (Sec. III-A3).
+
+    The module has no command inputs at all: once powered on it
+    free-runs, dividing the clock by {!divisor} and toggling a phase
+    output on each tick.  Its ILA is the single [START] instruction
+    triggered by the implicit [power_on] input.
+
+    The implementation counts {e down} where the specification counts
+    up, so the refinement map's state map is the arithmetic
+    relation [counter = divisor - 1 - down_counter] — a small showcase
+    of expression-valued state maps. *)
+
+val divisor : int
+val ila : Ilv_core.Ila.t
+val design : Design.t

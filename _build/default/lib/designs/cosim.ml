@@ -1,0 +1,119 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+
+type outcome =
+  | Agree of { cycles : int; steps : int }
+  | Diverged of { cycle : int; port : string; state : string; detail : string }
+
+exception Stop of outcome
+
+let random_value rng sort =
+  match sort with
+  | Sort.Bool -> Value.of_bool (Random.State.bool rng)
+  | Sort.Bitvec w ->
+    Value.of_bv (Bitvec.of_bits (List.init w (fun _ -> Random.State.bool rng)))
+  | Sort.Mem { addr_width; data_width } ->
+    Value.mem_const ~addr_width ~default:(Bitvec.zero data_width)
+
+let owned_states (ila : Ila.t) =
+  List.concat_map
+    (fun (i : Ila.instruction) -> List.map fst i.Ila.updates)
+    (Ila.leaf_instructions ila)
+  |> List.sort_uniq String.compare
+
+let run_rtl ?(cycles = 300) ~seed (d : Design.t) rtl =
+  let rng = Random.State.make [| seed |] in
+  let rtl_sim = Sim.create rtl in
+  let steps = ref 0 in
+  let ports =
+    List.map
+      (fun (port : Ila.t) ->
+        let refmap = d.Design.refmap_for rtl port.Ila.name in
+        (Ila_sim.create port, refmap, owned_states port))
+      d.Design.module_ila.Module_ila.ports
+  in
+  let mapped env e = Eval.eval env e in
+  let sync_all (ila_sim, (refmap : Refmap.t), _) =
+    let env = Sim.registers_env rtl_sim in
+    Ila_sim.set_state ila_sim
+      (Eval.env_of_list
+         (List.map (fun (s, e) -> (s, mapped env e)) refmap.Refmap.state_map))
+  in
+  List.iter sync_all ports;
+  try
+    for cycle = 1 to cycles do
+      let inputs =
+        List.map (fun (name, sort) -> (name, random_value rng sort)) rtl.Rtl.inputs
+      in
+      let input_env = Eval.env_of_list inputs in
+      (* refresh read-only shared states from the RTL, then step with
+         the mapped command *)
+      let stepped =
+        List.map
+          (fun ((ila_sim, (refmap : Refmap.t), owned) as port) ->
+            let env = Sim.registers_env rtl_sim in
+            let refreshed =
+              List.fold_left
+                (fun acc (s, e) ->
+                  if List.mem s owned then acc
+                  else Eval.env_add s (mapped env e) acc)
+                (Ila_sim.state_env ila_sim)
+                refmap.Refmap.state_map
+            in
+            Ila_sim.set_state ila_sim refreshed;
+            let command =
+              List.map
+                (fun (w, e) -> (w, Eval.eval input_env e))
+                refmap.Refmap.interface_map
+            in
+            match Ila_sim.step ila_sim command with
+            | Ila_sim.Stepped _ ->
+              incr steps;
+              (port, true)
+            | Ila_sim.No_instruction -> (port, false)
+            | Ila_sim.Ambiguous names ->
+              raise
+                (Stop
+                   (Diverged
+                      {
+                        cycle;
+                        port = (Ila_sim.ila ila_sim).Ila.name;
+                        state = "-";
+                        detail =
+                          "ambiguous decode: " ^ String.concat ", " names;
+                      })))
+          ports
+      in
+      Sim.cycle rtl_sim inputs;
+      let env = Sim.registers_env rtl_sim in
+      List.iter
+        (fun (((ila_sim, (refmap : Refmap.t), owned) as port), did_step) ->
+          if did_step then
+            List.iter
+              (fun (s, e) ->
+                if List.mem s owned then begin
+                  let expected = Ila_sim.state ila_sim s in
+                  let actual = mapped env e in
+                  if not (Value.equal expected actual) then
+                    raise
+                      (Stop
+                         (Diverged
+                            {
+                              cycle;
+                              port = (Ila_sim.ila ila_sim).Ila.name;
+                              state = s;
+                              detail =
+                                Printf.sprintf "ILA %s vs RTL %s"
+                                  (Value.to_string expected)
+                                  (Value.to_string actual);
+                            }))
+                end)
+              refmap.Refmap.state_map
+          else sync_all port)
+        stepped
+    done;
+    Agree { cycles; steps = !steps }
+  with Stop outcome -> outcome
+
+let run ?cycles ~seed (d : Design.t) = run_rtl ?cycles ~seed d d.Design.rtl

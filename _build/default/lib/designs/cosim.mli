@@ -1,0 +1,23 @@
+(** Random co-simulation of a design's RTL against its port-ILAs.
+
+    Each cycle, random values are driven into every RTL input; each
+    port-ILA receives the command mapped through its interface map and
+    steps alongside the RTL.  After every architectural step, the
+    refinement map must still relate the ILA state to the RTL state
+    (for the states the port owns).  This validates models and maps by
+    dynamic execution, independently of the SAT-based checker.
+
+    Applicable to designs whose instructions retire in one cycle (all
+    case studies except the pipelined L2 cache). *)
+
+type outcome =
+  | Agree of { cycles : int; steps : int }
+      (** steps = architectural steps taken across all ports *)
+  | Diverged of { cycle : int; port : string; state : string; detail : string }
+
+val run : ?cycles:int -> seed:int -> Design.t -> outcome
+
+val run_rtl :
+  ?cycles:int -> seed:int -> Design.t -> Ilv_rtl.Rtl.t -> outcome
+(** Co-simulate a specific RTL (e.g. a buggy variant) against the
+    design's ILAs. *)

@@ -1,0 +1,323 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* Operation encodings of the ALU port. *)
+let op_add = 0
+let op_addc = 1
+let op_sub = 2
+let op_subb = 3
+let op_inc = 4
+let op_dec = 5
+let op_mul = 6
+let op_div = 7
+let op_anl = 8
+let op_orl = 9
+let op_xrl = 10
+let op_clr = 11
+let op_cpl = 12
+let op_rl = 13
+let op_rr = 14
+let op_swap = 15
+
+(* Result and carry of each operation, shared between the specification
+   and the (differently structured) implementation tests. *)
+let alu_semantics ~acc ~carry ~src =
+  let z9 e = zext e 9 in
+  let cbit = ite carry (bv ~width:9 1) (bv ~width:9 0) in
+  let sum = z9 acc +: z9 src in
+  let sumc = z9 acc +: z9 src +: cbit in
+  let diff = z9 acc -: z9 src in
+  let diffb = z9 acc -: z9 src -: cbit in
+  let prod = zext acc 16 *: zext src 16 in
+  let low e = extract ~hi:7 ~lo:0 e in
+  let bit8 e = bit e 8 in
+  [
+    (op_add, [ ("acc", low sum); ("carry", bit8 sum) ]);
+    (op_addc, [ ("acc", low sumc); ("carry", bit8 sumc) ]);
+    (op_sub, [ ("acc", low diff); ("carry", bit8 diff) ]);
+    (op_subb, [ ("acc", low diffb); ("carry", bit8 diffb) ]);
+    (op_inc, [ ("acc", add_int acc 1) ]);
+    (op_dec, [ ("acc", sub_int acc 1) ]);
+    ( op_mul,
+      [
+        ("acc", low prod);
+        ("breg", extract ~hi:15 ~lo:8 prod);
+        ("carry", ff);
+      ] );
+    ( op_div,
+      [
+        ("acc", udiv acc src);
+        ("breg", urem acc src);
+        ("carry", eq_int src 0);
+      ] );
+    (op_anl, [ ("acc", acc &: src) ]);
+    (op_orl, [ ("acc", acc |: src) ]);
+    (op_xrl, [ ("acc", acc ^: src) ]);
+    (op_clr, [ ("acc", bv ~width:8 0); ("carry", ff) ]);
+    (op_cpl, [ ("acc", bv_not acc) ]);
+    ( op_rl,
+      [ ("acc", concat (extract ~hi:6 ~lo:0 acc) (extract ~hi:7 ~lo:7 acc)) ]
+    );
+    ( op_rr,
+      [ ("acc", concat (extract ~hi:0 ~lo:0 acc) (extract ~hi:7 ~lo:1 acc)) ]
+    );
+    ( op_swap,
+      [ ("acc", concat (extract ~hi:3 ~lo:0 acc) (extract ~hi:7 ~lo:4 acc)) ]
+    );
+  ]
+
+let op_name k =
+  List.nth
+    [
+      "ADD"; "ADDC"; "SUB"; "SUBB"; "INC"; "DEC"; "MUL"; "DIV"; "ANL"; "ORL";
+      "XRL"; "CLR"; "CPL"; "RL"; "RR"; "SWAP";
+    ]
+    k
+
+let alu_port =
+  let alu_en = bool_var "alu_en" in
+  let alu_op_in = bv_var "alu_op_in" 4 in
+  let acc = bv_var "acc" 8 in
+  let breg = bv_var "breg" 8 in
+  let carry = bool_var "carry" in
+  let src = bv_var "src_in" 8 in
+  let sems = alu_semantics ~acc ~carry ~src in
+  ignore breg;
+  Ila.make ~name:"ALU"
+    ~inputs:
+      [
+        ("alu_en", Sort.bool); ("alu_op_in", Sort.bv 4); ("src_in", Sort.bv 8);
+      ]
+    ~states:
+      [
+        Ila.state "acc" (Sort.bv 8) ();
+        Ila.state "breg" (Sort.bv 8) ();
+        Ila.state "carry" Sort.bool ();
+      ]
+    ~instructions:
+      (List.map
+         (fun (k, updates) ->
+           Ila.instr (op_name k)
+             ~decode:(alu_en &&: eq_int alu_op_in k)
+             ~updates ())
+         sems)
+
+let data_port ~ram_addr_width =
+  let d_en = bool_var "d_en" in
+  let d_wr = bool_var "d_wr" in
+  let d_sfr = bool_var "d_sfr" in
+  let d_addr = bv_var "d_addr" ram_addr_width in
+  let d_sfr_addr = bv_var "d_sfr_addr" 3 in
+  let d_data = bv_var "d_data" 8 in
+  let ram = mem_var "ram" ~addr_width:ram_addr_width ~data_width:8 in
+  let sfr = mem_var "sfr" ~addr_width:3 ~data_width:8 in
+  Ila.make ~name:"DATA"
+    ~inputs:
+      [
+        ("d_en", Sort.bool);
+        ("d_wr", Sort.bool);
+        ("d_sfr", Sort.bool);
+        ("d_addr", Sort.bv ram_addr_width);
+        ("d_sfr_addr", Sort.bv 3);
+        ("d_data", Sort.bv 8);
+      ]
+    ~states:
+      [
+        Ila.state "ram"
+          (Sort.mem ~addr_width:ram_addr_width ~data_width:8)
+          ~kind:Ila.Internal ();
+        Ila.state "sfr" (Sort.mem ~addr_width:3 ~data_width:8)
+          ~kind:Ila.Internal ();
+        Ila.state "rd_data" (Sort.bv 8) ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "RAM_WR"
+          ~decode:(d_en &&: d_wr &&: not_ d_sfr)
+          ~updates:[ ("ram", write ram d_addr d_data) ]
+          ();
+        Ila.instr "RAM_RD"
+          ~decode:(d_en &&: not_ d_wr &&: not_ d_sfr)
+          ~updates:[ ("rd_data", read ram d_addr) ]
+          ();
+        Ila.instr "SFR_WR"
+          ~decode:(d_en &&: d_wr &&: d_sfr)
+          ~updates:[ ("sfr", write sfr d_sfr_addr d_data) ]
+          ();
+        Ila.instr "SFR_RD"
+          ~decode:(d_en &&: not_ d_wr &&: d_sfr)
+          ~updates:[ ("rd_data", read sfr d_sfr_addr) ]
+          ();
+      ]
+
+(* The implementation: the ALU result is produced by a shared
+   result/carry network selected by the operation code, rather than one
+   mux per architectural effect.  The internal RAM write port is
+   *staged*: a write is latched into a staging register and committed to
+   the array one cycle later, with a combinational bypass so reads see
+   the pending store.  The architectural RAM is therefore the array
+   with the pending store applied — a genuinely different memory
+   micro-architecture from the specification's direct-write array, which
+   is what makes the verification cost scale with the RAM size (the
+   paper's 256 B vs 16 B ablation). *)
+let rtl ~ram_addr_width =
+  let alu_en = bool_var "alu_en" in
+  let alu_op_in = bv_var "alu_op_in" 4 in
+  let acc = bv_var "acc_q" 8 in
+  let breg = bv_var "b_q" 8 in
+  let carry = bool_var "cy_q" in
+  let src = bv_var "src_in" 8 in
+  let d_en = bool_var "d_en" in
+  let d_wr = bool_var "d_wr" in
+  let d_sfr = bool_var "d_sfr" in
+  let d_addr = bv_var "d_addr" ram_addr_width in
+  let d_sfr_addr = bv_var "d_sfr_addr" 3 in
+  let d_data = bv_var "d_data" 8 in
+  let ram = mem_var "ram_q" ~addr_width:ram_addr_width ~data_width:8 in
+  let sfr = mem_var "sfr_q" ~addr_width:3 ~data_width:8 in
+  let sems = alu_semantics ~acc ~carry ~src in
+  let field name default =
+    (* the value a state takes under each op, as one selector mux *)
+    switch alu_op_in ~default
+      (List.filter_map
+         (fun (k, updates) ->
+           Option.map (fun e -> (k, e)) (List.assoc_opt name updates))
+         sems)
+  in
+  Rtl.make ~name:"oc8051_alu_datapath"
+    ~inputs:
+      [
+        ("alu_en", Sort.bool);
+        ("alu_op_in", Sort.bv 4);
+        ("src_in", Sort.bv 8);
+        ("d_en", Sort.bool);
+        ("d_wr", Sort.bool);
+        ("d_sfr", Sort.bool);
+        ("d_addr", Sort.bv ram_addr_width);
+        ("d_sfr_addr", Sort.bv 3);
+        ("d_data", Sort.bv 8);
+      ]
+    ~wires:
+      [
+        ("acc_next", field "acc" acc);
+        ("b_next", field "breg" breg);
+        ("cy_next", field "carry" carry);
+        ("ram_we", d_en &&: d_wr &&: not_ d_sfr);
+        ("sfr_we", d_en &&: d_wr &&: d_sfr);
+        ("any_rd", d_en &&: not_ d_wr);
+        ( "ram_bypass",
+          (* a read sees the staged store when the address matches *)
+          ite
+            (bool_var "wpend_q" &&: eq (bv_var "waddr_q" ram_addr_width) d_addr)
+            (bv_var "wdata_q" 8)
+            (read ram d_addr) );
+        ( "rd_mux",
+          ite d_sfr (read sfr d_sfr_addr) (bv_var "ram_bypass" 8) );
+      ]
+    ~registers:
+      [
+        Rtl.reg "acc_q" (Sort.bv 8) (ite alu_en (bv_var "acc_next" 8) acc);
+        Rtl.reg "b_q" (Sort.bv 8) (ite alu_en (bv_var "b_next" 8) breg);
+        Rtl.reg "cy_q" Sort.bool (ite alu_en (bool_var "cy_next") carry);
+        (* staged write port: commit last cycle's store, stage this one *)
+        Rtl.reg "ram_q"
+          (Sort.mem ~addr_width:ram_addr_width ~data_width:8)
+          (ite (bool_var "wpend_q")
+             (write ram (bv_var "waddr_q" ram_addr_width) (bv_var "wdata_q" 8))
+             ram);
+        Rtl.reg "wpend_q" Sort.bool (bool_var "ram_we");
+        Rtl.reg "waddr_q" (Sort.bv ram_addr_width)
+          (ite (bool_var "ram_we") d_addr (bv_var "waddr_q" ram_addr_width));
+        Rtl.reg "wdata_q" (Sort.bv 8)
+          (ite (bool_var "ram_we") d_data (bv_var "wdata_q" 8));
+        Rtl.reg "sfr_q" (Sort.mem ~addr_width:3 ~data_width:8)
+          (ite (bool_var "sfr_we") (write sfr d_sfr_addr d_data) sfr);
+        Rtl.reg "rd_q" (Sort.bv 8)
+          (ite (bool_var "any_rd") (bv_var "rd_mux" 8) (bv_var "rd_q" 8));
+        (* implementation detail: last executed opcode, for debug *)
+        Rtl.reg "last_op" (Sort.bv 4)
+          (ite alu_en alu_op_in (bv_var "last_op" 4));
+      ]
+    ~outputs:[ "acc_q"; "b_q"; "cy_q"; "rd_q" ]
+
+let refmap_for ~ram_addr_width rtl port =
+  match port with
+  | "ALU" ->
+    Refmap.make ~ila:alu_port ~rtl
+      ~state_map:
+        [
+          ("acc", bv_var "acc_q" 8);
+          ("breg", bv_var "b_q" 8);
+          ("carry", bool_var "cy_q");
+        ]
+      ~interface_map:
+        [
+          ("alu_en", bool_var "alu_en");
+          ("alu_op_in", bv_var "alu_op_in" 4);
+          ("src_in", bv_var "src_in" 8);
+        ]
+      ~instruction_maps:
+        (List.init 16 (fun k -> Refmap.imap (op_name k) (Refmap.After_cycles 1)))
+      ()
+  | "DATA" ->
+    Refmap.make ~ila:(data_port ~ram_addr_width) ~rtl
+      ~state_map:
+        [
+          (* the architectural RAM is the array with the staged store
+             applied *)
+          ( "ram",
+            ite (bool_var "wpend_q")
+              (write
+                 (mem_var "ram_q" ~addr_width:ram_addr_width ~data_width:8)
+                 (bv_var "waddr_q" ram_addr_width)
+                 (bv_var "wdata_q" 8))
+              (mem_var "ram_q" ~addr_width:ram_addr_width ~data_width:8) );
+          ("sfr", mem_var "sfr_q" ~addr_width:3 ~data_width:8);
+          ("rd_data", bv_var "rd_q" 8);
+        ]
+      ~interface_map:
+        [
+          ("d_en", bool_var "d_en");
+          ("d_wr", bool_var "d_wr");
+          ("d_sfr", bool_var "d_sfr");
+          ("d_addr", bv_var "d_addr" ram_addr_width);
+          ("d_sfr_addr", bv_var "d_sfr_addr" 3);
+          ("d_data", bv_var "d_data" 8);
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun n -> Refmap.imap n (Refmap.After_cycles 1))
+           [ "RAM_WR"; "RAM_RD"; "SFR_WR"; "SFR_RD" ])
+      ()
+  | other -> invalid_arg ("Datapath_8051.refmap_for: unknown port " ^ other)
+
+let make_design ~ram_addr_width =
+  let rtl = rtl ~ram_addr_width in
+  let suffix =
+    if ram_addr_width = 8 then ""
+    else Printf.sprintf " (%d B RAM)" (1 lsl ram_addr_width)
+  in
+  {
+    Design.name = "Datapath" ^ suffix;
+    description =
+      "8051 datapath: 16-instruction ALU port plus 4-instruction internal \
+       RAM / SFR data port";
+    module_class = Design.Multi_port_independent;
+    ports_before_integration = 2;
+    module_ila =
+      Compose.union ~name:"DATAPATH"
+        [ alu_port; data_port ~ram_addr_width ];
+    rtl;
+    refmap_for = refmap_for ~ram_addr_width;
+    bugs = [];
+    coverage_assumptions =
+      (function
+      | "ALU" -> [ bool_var "alu_en" ]
+      | "DATA" -> [ bool_var "d_en" ]
+      | _ -> []);
+  }
+
+let design = make_design ~ram_addr_width:8
+let design_abstract = make_design ~ram_addr_width:4

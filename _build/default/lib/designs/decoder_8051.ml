@@ -1,0 +1,173 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* Decode semantics shared by the specification: the control outputs as
+   a function of the word being decoded and the *remaining-step* count
+   (phase).  Phase 0 is the final (executing) step; non-zero phases are
+   operand-fetch steps. *)
+
+let steps_of word = extract ~hi:1 ~lo:0 word
+
+let base_alu_op word =
+  (* opcode class in bits 7:5, width bit in 4 *)
+  concat (extract ~hi:4 ~lo:4 word) (extract ~hi:7 ~lo:5 word)
+
+let outs_spec word phase =
+  let final = eq_int phase 0 in
+  [
+    ("alu_op", ite final (base_alu_op word) (bv ~width:4 0b1111));
+    ("pc_wr", final &&: bit word 3);
+    ("wr_sfr", final &&: bit word 2);
+    ("mem_act", not_ final ||: bit word 0);
+    ("src_sel", ite final (extract ~hi:6 ~lo:5 word) (bv ~width:2 0));
+    ("dst_sel", ite final (extract ~hi:4 ~lo:3 word) (bv ~width:2 3));
+  ]
+
+let ila =
+  let wait = bool_var "wait" in
+  let word_in = bv_var "word_in" 8 in
+  let current_word = bv_var "current_word" 8 in
+  let step = bv_var "step" 2 in
+  let load_updates =
+    ("current_word", word_in)
+    :: ("step", steps_of word_in)
+    :: outs_spec word_in (steps_of word_in)
+  in
+  let continue_updates k =
+    ("step", bv ~width:2 (k - 1)) :: outs_spec current_word (bv ~width:2 (k - 1))
+  in
+  Ila.make ~name:"DECODER"
+    ~inputs:[ ("wait", Sort.bool); ("word_in", Sort.bv 8) ]
+    ~states:
+      [
+        Ila.state "alu_op" (Sort.bv 4) ();
+        Ila.state "pc_wr" Sort.bool ();
+        Ila.state "wr_sfr" Sort.bool ();
+        Ila.state "mem_act" Sort.bool ();
+        Ila.state "src_sel" (Sort.bv 2) ();
+        Ila.state "dst_sel" (Sort.bv 2) ();
+        Ila.state "current_word" (Sort.bv 8) ~kind:Ila.Internal ();
+        Ila.state "step" (Sort.bv 2) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "stall" ~decode:wait ~updates:[] ();
+        Ila.instr "process" ~decode:(not_ wait) ~updates:[] ();
+        Ila.instr "process-load" ~parent:"process"
+          ~decode:(not_ wait &&: eq_int step 0)
+          ~updates:load_updates ();
+        Ila.instr "process-step3" ~parent:"process"
+          ~decode:(not_ wait &&: eq_int step 3)
+          ~updates:(continue_updates 3) ();
+        Ila.instr "process-step2" ~parent:"process"
+          ~decode:(not_ wait &&: eq_int step 2)
+          ~updates:(continue_updates 2) ();
+        Ila.instr "process-step1" ~parent:"process"
+          ~decode:(not_ wait &&: eq_int step 1)
+          ~updates:(continue_updates 1) ();
+      ]
+
+(* The implementation: a down-counting status register, the output
+   network factored through shared wires, and a free-running fetch
+   counter that is *not* architectural. *)
+let rtl =
+  let wait_data = bool_var "wait_data" in
+  let op_in = bv_var "op_in" 8 in
+  let op = bv_var "op" 8 in
+  let status = bv_var "status" 2 in
+  let accept = bool_var "accept" in
+  let cur = bv_var "cur" 8 in
+  let new_status = bv_var "new_status" 2 in
+  let final = bool_var "final" in
+  let hold e old = ite wait_data old e in
+  Rtl.make ~name:"oc8051_decoder"
+    ~inputs:[ ("wait_data", Sort.bool); ("op_in", Sort.bv 8) ]
+    ~wires:
+      [
+        ("accept", not_ wait_data &&: eq_int (bv_var "status" 2) 0);
+        ("cur", ite accept op_in op);
+        ( "new_status",
+          (* accept: load the word's step count; otherwise count down,
+             saturating at zero (a different formulation from the spec's
+             per-step constants, same function) *)
+          ite accept
+            (extract ~hi:1 ~lo:0 op_in)
+            (ite (eq_int status 0) status (sub_int status 1)) );
+        ("final", eq_int new_status 0);
+        (* output network: same function as the spec, factored
+           differently (bit-level or/and instead of a big mux) *)
+        ( "alu_op_next",
+          (bool_to_bv (not_ final ||: bit cur 4)
+          |> fun hi -> concat hi (ite final (extract ~hi:7 ~lo:5 cur) (bv ~width:3 0b111))) );
+        ("pc_wr_next", bit cur 3 &&: final);
+        ("wr_next", bit cur 2 &&: final);
+        ("mem_act_next", bit cur 0 ||: not_ final);
+        ("src_sel_next", extract ~hi:6 ~lo:5 cur &: ite final (bv ~width:2 3) (bv ~width:2 0));
+        ( "dst_sel_next",
+          ite final (extract ~hi:4 ~lo:3 cur) (bv ~width:2 3) );
+      ]
+    ~registers:
+      [
+        Rtl.reg "op" (Sort.bv 8) (hold (bv_var "cur" 8) op);
+        Rtl.reg "status" (Sort.bv 2) (hold (bv_var "new_status" 2) status);
+        Rtl.reg "alu_op_q" (Sort.bv 4)
+          (hold (bv_var "alu_op_next" 4) (bv_var "alu_op_q" 4));
+        Rtl.reg "pc_wr_q" Sort.bool
+          (hold (bool_var "pc_wr_next") (bool_var "pc_wr_q"));
+        Rtl.reg "wr_q" Sort.bool (hold (bool_var "wr_next") (bool_var "wr_q"));
+        Rtl.reg "mem_act_q" Sort.bool
+          (hold (bool_var "mem_act_next") (bool_var "mem_act_q"));
+        Rtl.reg "src_sel_q" (Sort.bv 2)
+          (hold (bv_var "src_sel_next" 2) (bv_var "src_sel_q" 2));
+        Rtl.reg "dst_sel_q" (Sort.bv 2)
+          (hold (bv_var "dst_sel_next" 2) (bv_var "dst_sel_q" 2));
+        (* implementation detail below the abstraction: free-running
+           fetch counter used for bus arbitration debug *)
+        Rtl.reg "fetch_cnt" (Sort.bv 4)
+          (ite (bool_var "accept") (add_int (bv_var "fetch_cnt" 4) 1)
+             (bv_var "fetch_cnt" 4));
+      ]
+    ~outputs:
+      [ "alu_op_q"; "pc_wr_q"; "wr_q"; "mem_act_q"; "src_sel_q"; "dst_sel_q" ]
+
+let refmap_for rtl _port =
+  Refmap.make ~ila ~rtl
+    ~state_map:
+      [
+        ("alu_op", bv_var "alu_op_q" 4);
+        ("pc_wr", bool_var "pc_wr_q");
+        ("wr_sfr", bool_var "wr_q");
+        ("mem_act", bool_var "mem_act_q");
+        ("src_sel", bv_var "src_sel_q" 2);
+        ("dst_sel", bv_var "dst_sel_q" 2);
+        ("current_word", bv_var "op" 8);
+        ("step", bv_var "status" 2);
+      ]
+    ~interface_map:
+      [ ("wait", bool_var "wait_data"); ("word_in", bv_var "op_in" 8) ]
+    ~instruction_maps:
+      [
+        Refmap.imap "stall" (Refmap.After_cycles 1);
+        Refmap.imap "process-load" (Refmap.After_cycles 1);
+        Refmap.imap "process-step3" (Refmap.After_cycles 1);
+        Refmap.imap "process-step2" (Refmap.After_cycles 1);
+        Refmap.imap "process-step1" (Refmap.After_cycles 1);
+      ]
+    ()
+
+let design =
+  {
+    Design.name = "Decoder";
+    description =
+      "8051 instruction decoder: one command interface (wait, word_in), \
+       multi-step decoding of one program word";
+    module_class = Design.Single_port;
+    ports_before_integration = 1;
+    module_ila = Compose.union ~name:"DECODER" [ ila ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> []);
+  }

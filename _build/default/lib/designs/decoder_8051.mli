@@ -1,0 +1,21 @@
+(** Case study: the 8051 micro-controller instruction decoder
+    (Fig. 1 of the paper; single-command-interface class).
+
+    The decoder consumes one 8-bit program word and drives the control
+    outputs over one to four steps, depending on the word's operand
+    count.  Its single command interface is {b wait} (halt) plus
+    {b word_in} (the word to decode):
+
+    - [stall]   — triggered by [wait == 1]; every state holds;
+    - [process] — triggered by [wait == 0]; four sub-instructions, one
+      per value of the internal [step] counter.  Step 0 accepts a new
+      word and latches it into [current_word]; steps 3..1 continue the
+      multi-step decode of the latched word.
+
+    The RTL implements the same function with a down-counting [status]
+    register, a differently factored output network, and an extra
+    non-architectural fetch counter. *)
+
+val ila : Ilv_core.Ila.t
+val rtl : Ilv_rtl.Rtl.t
+val design : Design.t

@@ -1,0 +1,52 @@
+open Ilv_core
+
+type module_class =
+  | Single_port
+  | Multi_port_independent
+  | Multi_port_shared
+
+type bug = {
+  bug_label : string;
+  bug_description : string;
+  buggy_rtl : Ilv_rtl.Rtl.t;
+}
+
+type t = {
+  name : string;
+  description : string;
+  module_class : module_class;
+  ports_before_integration : int;
+  module_ila : Module_ila.t;
+  rtl : Ilv_rtl.Rtl.t;
+  refmap_for : Ilv_rtl.Rtl.t -> string -> Refmap.t;
+  bugs : bug list;
+  coverage_assumptions : string -> Ilv_expr.Expr.t list;
+}
+
+let class_to_string = function
+  | Single_port -> "single port"
+  | Multi_port_independent -> "multi-port, no shared states"
+  | Multi_port_shared -> "multi-port, shared states"
+
+let verify ?stop_at_first_failure ?only_ports d =
+  Verify.run ?stop_at_first_failure ?only_ports ~name:d.name d.module_ila
+    d.rtl
+    ~refmap_for:(d.refmap_for d.rtl)
+
+let check_invariants d =
+  List.filter_map
+    (fun (port : Ilv_core.Ila.t) ->
+      let refmap = d.refmap_for d.rtl port.Ilv_core.Ila.name in
+      match refmap.Refmap.invariants with
+      | [] -> None
+      | invs ->
+        Some
+          ( port.Ilv_core.Ila.name,
+            Invariant.check_inductive ~rtl:d.rtl invs ))
+    d.module_ila.Module_ila.ports
+
+let verify_buggy ?stop_at_first_failure d bug =
+  Verify.run ?stop_at_first_failure
+    ~name:(d.name ^ " [" ^ bug.bug_label ^ "]")
+    d.module_ila bug.buggy_rtl
+    ~refmap_for:(d.refmap_for bug.buggy_rtl)

@@ -1,0 +1,48 @@
+(** A packaged case study: module-ILA specification, golden RTL
+    implementation, refinement maps, and (where the paper found one)
+    buggy RTL variants reproducing the published bugs. *)
+
+open Ilv_core
+
+type module_class =
+  | Single_port
+  | Multi_port_independent
+  | Multi_port_shared
+
+type bug = {
+  bug_label : string;
+  bug_description : string;  (** what the paper reported *)
+  buggy_rtl : Ilv_rtl.Rtl.t;
+}
+
+type t = {
+  name : string;
+  description : string;
+  module_class : module_class;
+  ports_before_integration : int;
+      (** the paper's "# of ports" numerator (10 for the router) *)
+  module_ila : Module_ila.t;
+  rtl : Ilv_rtl.Rtl.t;
+  refmap_for : Ilv_rtl.Rtl.t -> string -> Refmap.t;
+      (** refinement map of a port, against the given RTL (golden or a
+          buggy variant — they share the interface) *)
+  bugs : bug list;
+  coverage_assumptions : string -> Ilv_expr.Expr.t list;
+      (** per port: interface assumptions under which the decode
+          functions must cover the command space *)
+}
+
+val class_to_string : module_class -> string
+
+val verify : ?stop_at_first_failure:bool -> ?only_ports:string list -> t -> Verify.report
+(** Verifies the golden RTL against the module-ILA. *)
+
+val verify_buggy : ?stop_at_first_failure:bool -> t -> bug -> Verify.report
+(** Verifies a buggy variant (expected to fail, yielding the paper's
+    "Time (bug)" measurement and a counterexample trace). *)
+
+val check_invariants : t -> (string * Invariant.result) list
+(** Discharges the soundness side condition for every port's
+    refinement-map invariants: each set must hold at reset and be
+    preserved by every RTL transition ({!Invariant.check_inductive}).
+    Returns one result per port that declares invariants. *)

@@ -1,0 +1,49 @@
+type state = { acc : int; breg : int; carry : bool }
+
+let reset = { acc = 0; breg = 0; carry = false }
+
+let opcode_of_word w = (((w lsr 4) land 1) lsl 3) lor ((w lsr 5) land 7)
+let steps_of_word w = w land 3
+
+let byte n = n land 0xff
+
+let execute s ~word ~src =
+  let cbit = if s.carry then 1 else 0 in
+  match opcode_of_word word with
+  | 0 (* ADD *) ->
+    let sum = s.acc + src in
+    { s with acc = byte sum; carry = sum > 0xff }
+  | 1 (* ADDC *) ->
+    let sum = s.acc + src + cbit in
+    { s with acc = byte sum; carry = sum > 0xff }
+  | 2 (* SUB *) ->
+    let diff = s.acc - src in
+    { s with acc = byte diff; carry = diff < 0 }
+  | 3 (* SUBB *) ->
+    let diff = s.acc - src - cbit in
+    { s with acc = byte diff; carry = diff < 0 }
+  | 4 (* INC *) -> { s with acc = byte (s.acc + 1) }
+  | 5 (* DEC *) -> { s with acc = byte (s.acc - 1) }
+  | 6 (* MUL *) ->
+    let prod = s.acc * src in
+    { acc = byte prod; breg = byte (prod lsr 8); carry = false }
+  | 7 (* DIV *) ->
+    if src = 0 then { acc = 0xff; breg = s.acc; carry = true }
+    else { acc = s.acc / src; breg = s.acc mod src; carry = false }
+  | 8 (* ANL *) -> { s with acc = s.acc land src }
+  | 9 (* ORL *) -> { s with acc = s.acc lor src }
+  | 10 (* XRL *) -> { s with acc = s.acc lxor src }
+  | 11 (* CLR *) -> { s with acc = 0; carry = false }
+  | 12 (* CPL *) -> { s with acc = byte (lnot s.acc) }
+  | 13 (* RL *) -> { s with acc = byte ((s.acc lsl 1) lor (s.acc lsr 7)) }
+  | 14 (* RR *) ->
+    { s with acc = byte ((s.acc lsr 1) lor ((s.acc land 1) lsl 7)) }
+  | 15 (* SWAP *) ->
+    { s with acc = byte ((s.acc lsl 4) lor (s.acc lsr 4)) }
+  | _ -> assert false
+
+let run program =
+  List.fold_left (fun s (word, src) -> execute s ~word ~src) reset program
+
+let pp fmt s =
+  Format.fprintf fmt "acc=0x%02x b=0x%02x cy=%b" s.acc s.breg s.carry

@@ -1,0 +1,27 @@
+(** A tiny instruction-set simulator for the 8051-subset executed by
+    the composed decoder + datapath core ({!Soc_top}).
+
+    Written in plain integer arithmetic, independently of the
+    expression language, so it can serve as a reference model for
+    system-level cross-checking of the composed RTL. *)
+
+type state = { acc : int; breg : int; carry : bool }
+
+val reset : state
+
+val opcode_of_word : int -> int
+(** The ALU operation the decoder extracts from a program word:
+    [{w[4], w[7:5]}]. *)
+
+val steps_of_word : int -> int
+(** Extra decode steps of a word ([w[1:0]]), i.e. the word occupies
+    [1 + steps] decoder cycles. *)
+
+val execute : state -> word:int -> src:int -> state
+(** Architectural effect of one completed program word with the given
+    source operand. *)
+
+val run : (int * int) list -> state
+(** Folds {!execute} over a program of (word, src) pairs from reset. *)
+
+val pp : Format.formatter -> state -> unit

@@ -1,0 +1,364 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* Cache geometry: 16 sets, direct-mapped; address = {tag[1:0], index[3:0]};
+   line = 16 bits.  Line states: 0 invalid, 1 shared/clean, 3 modified. *)
+
+let index_of addr = extract ~hi:3 ~lo:0 addr
+let tag_of addr = extract ~hi:5 ~lo:4 addr
+
+(* NoC message types handled by PIPE2. *)
+let msg_fill = 0
+let msg_inv = 1
+let msg_rd_fwd = 2
+let msg_wr_upd = 3
+let msg_wb_ack = 4
+let msg_nop = 5
+
+let pipe1_port =
+  let p1_valid = bool_var "p1_valid" in
+  let p1_type = bool_var "p1_type" in
+  let p1_addr = bv_var "p1_addr" 6 in
+  let p1_data = bv_var "p1_data" 16 in
+  let common =
+    [
+      ("mshr_valid", tt);
+      ("mshr_addr", p1_addr);
+      ("noc_req_valid", tt);
+      ("noc_req_addr", p1_addr);
+    ]
+  in
+  Ila.make ~name:"PIPE1"
+    ~inputs:
+      [
+        ("p1_valid", Sort.bool);
+        ("p1_type", Sort.bool);
+        ("p1_addr", Sort.bv 6);
+        ("p1_data", Sort.bv 16);
+      ]
+    ~states:
+      [
+        Ila.state "mshr_valid" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "mshr_addr" (Sort.bv 6) ~kind:Ila.Internal ();
+        Ila.state "mshr_is_store" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "mshr_data" (Sort.bv 16) ~kind:Ila.Internal ();
+        Ila.state "noc_req_valid" Sort.bool ();
+        Ila.state "noc_req_addr" (Sort.bv 6) ();
+        Ila.state "noc_req_type" Sort.bool ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "P1_LOAD_MISS"
+          ~decode:(p1_valid &&: not_ p1_type)
+          ~updates:
+            (("mshr_is_store", ff) :: ("noc_req_type", ff) :: common)
+          ();
+        Ila.instr "P1_STORE_MISS"
+          ~decode:(p1_valid &&: p1_type)
+          ~updates:
+            (("mshr_is_store", tt)
+            :: ("noc_req_type", tt)
+            :: ("mshr_data", p1_data)
+            :: common)
+          ();
+      ]
+
+let pipe2_port =
+  let p2_valid = bool_var "p2_valid" in
+  let p2_type = bv_var "p2_type" 3 in
+  let p2_addr = bv_var "p2_addr" 6 in
+  let p2_data = bv_var "p2_data" 16 in
+  let data_array = mem_var "data_array" ~addr_width:4 ~data_width:16 in
+  let tag_array = mem_var "tag_array" ~addr_width:4 ~data_width:2 in
+  let state_array = mem_var "state_array" ~addr_width:4 ~data_width:2 in
+  let idx = index_of p2_addr in
+  let dec k = p2_valid &&: eq_int p2_type k in
+  Ila.make ~name:"PIPE2"
+    ~inputs:
+      [
+        ("p2_valid", Sort.bool);
+        ("p2_type", Sort.bv 3);
+        ("p2_addr", Sort.bv 6);
+        ("p2_data", Sort.bv 16);
+      ]
+    ~states:
+      [
+        Ila.state "data_array" (Sort.mem ~addr_width:4 ~data_width:16)
+          ~kind:Ila.Internal ();
+        Ila.state "tag_array" (Sort.mem ~addr_width:4 ~data_width:2)
+          ~kind:Ila.Internal ();
+        Ila.state "state_array" (Sort.mem ~addr_width:4 ~data_width:2)
+          ~kind:Ila.Internal ();
+        Ila.state "resp_valid" Sort.bool ();
+        Ila.state "resp_data" (Sort.bv 16) ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "MSG_FILL" ~decode:(dec msg_fill)
+          ~updates:
+            [
+              ("data_array", write data_array idx p2_data);
+              ("tag_array", write tag_array idx (tag_of p2_addr));
+              ("state_array", write state_array idx (bv ~width:2 1));
+              ("resp_valid", tt);
+              ("resp_data", p2_data);
+            ]
+          ();
+        Ila.instr "MSG_INV" ~decode:(dec msg_inv)
+          ~updates:
+            [
+              ("state_array", write state_array idx (bv ~width:2 0));
+              ("resp_valid", tt);
+              ("resp_data", read data_array idx);
+            ]
+          ();
+        Ila.instr "MSG_RD_FWD" ~decode:(dec msg_rd_fwd)
+          ~updates:
+            [ ("resp_valid", tt); ("resp_data", read data_array idx) ]
+          ();
+        Ila.instr "MSG_WR_UPD" ~decode:(dec msg_wr_upd)
+          ~updates:
+            [
+              (* partial write: merge the set bits into the old line *)
+              ("data_array", write data_array idx (read data_array idx |: p2_data));
+              ("state_array", write state_array idx (bv ~width:2 3));
+              ("resp_valid", ff);
+            ]
+          ();
+        Ila.instr "MSG_WB_ACK" ~decode:(dec msg_wb_ack)
+          ~updates:
+            [
+              ("state_array", write state_array idx (bv ~width:2 1));
+              ("resp_valid", ff);
+            ]
+          ();
+        Ila.instr "MSG_NOP" ~decode:(dec msg_nop)
+          ~updates:[ ("resp_valid", ff) ]
+          ();
+      ]
+
+(* The implementation.
+
+   PIPE1 is three stages deep: stage 1 latches the request, stage 2
+   performs the (abstracted) tag lookup, stage 3 allocates the MSHR and
+   issues the NoC request.  Stage occupancy lives in msg_flag_1..3; the
+   architectural commit must be gated by msg_flag_3.  The buggy variant
+   gates it with msg_flag_2 — the informal document's typo — so the
+   stage-3 registers are committed one cycle before the travelling
+   request reaches them.
+
+   PIPE2 is two stages: stage 1 latches the message and reads the old
+   line, stage 2 merges and writes back. *)
+let make_rtl ~buggy name =
+  let p1_valid = bool_var "p1_valid" in
+  let p1_type = bool_var "p1_type" in
+  let p1_addr = bv_var "p1_addr" 6 in
+  let p1_data = bv_var "p1_data" 16 in
+  let p2_valid = bool_var "p2_valid" in
+  let p2_type = bv_var "p2_type" 3 in
+  let p2_addr = bv_var "p2_addr" 6 in
+  let p2_data = bv_var "p2_data" 16 in
+  let data_array = mem_var "data_q" ~addr_width:4 ~data_width:16 in
+  let tag_array = mem_var "tag_q" ~addr_width:4 ~data_width:2 in
+  let state_array = mem_var "state_q" ~addr_width:4 ~data_width:2 in
+  let commit_flag = if buggy then "msg_flag_2" else "msg_flag_3" in
+  let p1_commit = bool_var commit_flag in
+  let hold_unless c next cur = ite c next cur in
+  (* stage-2 message registers of PIPE2 *)
+  let m1_valid = bool_var "m1_valid" in
+  let m1_type = bv_var "m1_type" 3 in
+  let m1_addr = bv_var "m1_addr" 6 in
+  let m1_data = bv_var "m1_data" 16 in
+  let m1_lookup = bv_var "m1_lookup" 16 in
+  let m1_idx = index_of m1_addr in
+  let m1_is k = m1_valid &&: eq_int m1_type k in
+  Rtl.make ~name
+    ~inputs:
+      [
+        ("p1_valid", Sort.bool);
+        ("p1_type", Sort.bool);
+        ("p1_addr", Sort.bv 6);
+        ("p1_data", Sort.bv 16);
+        ("p2_valid", Sort.bool);
+        ("p2_type", Sort.bv 3);
+        ("p2_addr", Sort.bv 6);
+        ("p2_data", Sort.bv 16);
+      ]
+    ~wires:
+      [
+        (* PIPE2 write-back values computed at stage 2 *)
+        ("wb_fill", m1_is msg_fill);
+        ("wb_upd", m1_is msg_wr_upd);
+        ("merged_line", m1_lookup |: m1_data);
+      ]
+    ~registers:
+      [
+        (* ---- PIPE1: three-stage pipeline ---- *)
+        Rtl.reg "msg_flag_1" Sort.bool p1_valid;
+        Rtl.reg "s1_type" Sort.bool (hold_unless p1_valid p1_type (bool_var "s1_type"));
+        Rtl.reg "s1_addr" (Sort.bv 6) (hold_unless p1_valid p1_addr (bv_var "s1_addr" 6));
+        Rtl.reg "s1_data" (Sort.bv 16) (hold_unless p1_valid p1_data (bv_var "s1_data" 16));
+        Rtl.reg "msg_flag_2" Sort.bool (bool_var "msg_flag_1");
+        Rtl.reg "s2_type" Sort.bool (bool_var "s1_type");
+        Rtl.reg "s2_addr" (Sort.bv 6) (bv_var "s1_addr" 6);
+        Rtl.reg "s2_data" (Sort.bv 16) (bv_var "s1_data" 16);
+        Rtl.reg "msg_flag_3" Sort.bool (bool_var "msg_flag_2");
+        Rtl.reg "s3_type" Sort.bool (bool_var "s2_type");
+        Rtl.reg "s3_addr" (Sort.bv 6) (bv_var "s2_addr" 6);
+        Rtl.reg "s3_data" (Sort.bv 16) (bv_var "s2_data" 16);
+        Rtl.reg "mshr_valid_q" Sort.bool
+          (ite p1_commit tt (bool_var "mshr_valid_q"));
+        Rtl.reg "mshr_addr_q" (Sort.bv 6)
+          (ite p1_commit (bv_var "s3_addr" 6) (bv_var "mshr_addr_q" 6));
+        Rtl.reg "mshr_store_q" Sort.bool
+          (ite p1_commit (bool_var "s3_type") (bool_var "mshr_store_q"));
+        Rtl.reg "mshr_data_q" (Sort.bv 16)
+          (ite
+             (p1_commit &&: bool_var "s3_type")
+             (bv_var "s3_data" 16) (bv_var "mshr_data_q" 16));
+        Rtl.reg "noc_valid_q" Sort.bool
+          (ite p1_commit tt (bool_var "noc_valid_q"));
+        Rtl.reg "noc_addr_q" (Sort.bv 6)
+          (ite p1_commit (bv_var "s3_addr" 6) (bv_var "noc_addr_q" 6));
+        Rtl.reg "noc_type_q" Sort.bool
+          (ite p1_commit (bool_var "s3_type") (bool_var "noc_type_q"));
+        (* ---- PIPE2: two-stage pipeline ---- *)
+        Rtl.reg "m1_valid" Sort.bool p2_valid;
+        Rtl.reg "m1_type" (Sort.bv 3) (hold_unless p2_valid p2_type m1_type);
+        Rtl.reg "m1_addr" (Sort.bv 6) (hold_unless p2_valid p2_addr m1_addr);
+        Rtl.reg "m1_data" (Sort.bv 16) (hold_unless p2_valid p2_data m1_data);
+        Rtl.reg "m1_lookup" (Sort.bv 16)
+          (hold_unless p2_valid (read data_array (index_of p2_addr)) m1_lookup);
+        Rtl.reg "data_q" (Sort.mem ~addr_width:4 ~data_width:16)
+          (ite (bool_var "wb_fill")
+             (write data_array m1_idx m1_data)
+             (ite (bool_var "wb_upd")
+                (write data_array m1_idx (bv_var "merged_line" 16))
+                data_array));
+        Rtl.reg "tag_q" (Sort.mem ~addr_width:4 ~data_width:2)
+          (ite (bool_var "wb_fill")
+             (write tag_array m1_idx (tag_of m1_addr))
+             tag_array);
+        Rtl.reg "state_q" (Sort.mem ~addr_width:4 ~data_width:2)
+          (ite (bool_var "wb_fill")
+             (write state_array m1_idx (bv ~width:2 1))
+             (ite (m1_is msg_inv)
+                (write state_array m1_idx (bv ~width:2 0))
+                (ite (bool_var "wb_upd")
+                   (write state_array m1_idx (bv ~width:2 3))
+                   (ite (m1_is msg_wb_ack)
+                      (write state_array m1_idx (bv ~width:2 1))
+                      state_array))));
+        Rtl.reg "resp_valid_q" Sort.bool
+          (ite m1_valid
+             (eq_int m1_type msg_fill
+             ||: eq_int m1_type msg_inv
+             ||: eq_int m1_type msg_rd_fwd)
+             (bool_var "resp_valid_q"));
+        Rtl.reg "resp_data_q" (Sort.bv 16)
+          (ite (m1_is msg_fill) m1_data
+             (ite
+                (m1_is msg_inv ||: m1_is msg_rd_fwd)
+                m1_lookup (bv_var "resp_data_q" 16)));
+      ]
+    ~outputs:[ "noc_valid_q"; "noc_addr_q"; "noc_type_q"; "resp_valid_q"; "resp_data_q" ]
+
+let rtl = make_rtl ~buggy:false "openpiton_l2"
+let rtl_buggy = make_rtl ~buggy:true "openpiton_l2_buggy"
+
+let refmap_for rtl port =
+  match port with
+  | "PIPE1" ->
+    let pipe_empty =
+      and_list
+        [
+          not_ (bool_var "msg_flag_1");
+          not_ (bool_var "msg_flag_2");
+          not_ (bool_var "msg_flag_3");
+        ]
+    in
+    Refmap.make ~ila:pipe1_port ~rtl
+      ~state_map:
+        [
+          ("mshr_valid", bool_var "mshr_valid_q");
+          ("mshr_addr", bv_var "mshr_addr_q" 6);
+          ("mshr_is_store", bool_var "mshr_store_q");
+          ("mshr_data", bv_var "mshr_data_q" 16);
+          ("noc_req_valid", bool_var "noc_valid_q");
+          ("noc_req_addr", bv_var "noc_addr_q" 6);
+          ("noc_req_type", bool_var "noc_type_q");
+        ]
+      ~interface_map:
+        [
+          ("p1_valid", bool_var "p1_valid");
+          ("p1_type", bool_var "p1_type");
+          ("p1_addr", bv_var "p1_addr" 6);
+          ("p1_data", bv_var "p1_data" 16);
+        ]
+      ~instruction_maps:
+        [
+          Refmap.imap "P1_LOAD_MISS" ~start:pipe_empty (Refmap.After_cycles 4);
+          Refmap.imap "P1_STORE_MISS" ~start:pipe_empty (Refmap.After_cycles 4);
+        ]
+      ~step_assumptions:[ not_ (bool_var "p1_valid") ]
+      ()
+  | "PIPE2" ->
+    Refmap.make ~ila:pipe2_port ~rtl
+      ~state_map:
+        [
+          ("data_array", mem_var "data_q" ~addr_width:4 ~data_width:16);
+          ("tag_array", mem_var "tag_q" ~addr_width:4 ~data_width:2);
+          ("state_array", mem_var "state_q" ~addr_width:4 ~data_width:2);
+          ("resp_valid", bool_var "resp_valid_q");
+          ("resp_data", bv_var "resp_data_q" 16);
+        ]
+      ~interface_map:
+        [
+          ("p2_valid", bool_var "p2_valid");
+          ("p2_type", bv_var "p2_type" 3);
+          ("p2_addr", bv_var "p2_addr" 6);
+          ("p2_data", bv_var "p2_data" 16);
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun n ->
+             Refmap.imap n
+               ~start:(not_ (bool_var "m1_valid"))
+               (Refmap.After_cycles 2))
+           [ "MSG_FILL"; "MSG_INV"; "MSG_RD_FWD"; "MSG_WR_UPD"; "MSG_WB_ACK"; "MSG_NOP" ])
+      ~step_assumptions:[ not_ (bool_var "p2_valid") ]
+      ()
+  | other -> invalid_arg ("L2_cache.refmap_for: unknown port " ^ other)
+
+let design =
+  {
+    Design.name = "L2 Cache";
+    description =
+      "OpenPiton L2 cache: dual pipelines as independent ports (PIPE1: L1.5 \
+       misses through a 3-stage pipeline; PIPE2: six NoC message types \
+       through a 2-stage lookup/merge pipeline)";
+    module_class = Design.Multi_port_independent;
+    ports_before_integration = 2;
+    module_ila = Compose.union ~name:"L2" [ pipe1_port; pipe2_port ];
+    rtl;
+    refmap_for;
+    bugs =
+      [
+        {
+          Design.bug_label = "msg_flag";
+          bug_description =
+            "typo in the informal document: the PIPE1 commit is gated by the \
+             pipeline register msg_flag_2 where msg_flag_3 is needed (the \
+             bug reported in the paper, Sec. V-B4)";
+          buggy_rtl = rtl_buggy;
+        };
+      ];
+    coverage_assumptions =
+      (function
+      | "PIPE1" -> [ bool_var "p1_valid" ]
+      | "PIPE2" ->
+        [ bool_var "p2_valid"; bv_var "p2_type" 3 <=: bv ~width:3 5 ]
+      | _ -> []);
+  }

@@ -1,0 +1,23 @@
+(** Case study: the OpenPiton L2 cache (Sec. V-B4 of the paper;
+    multiple command interfaces without shared state).
+
+    The module sits between the L1.5 cache and the NoC, with two
+    parallel pipelines modeled as independent ports:
+
+    - PIPE1-port (2 instructions): LOAD_MISS / STORE_MISS from the
+      L1.5.  The implementation is a three-stage pipeline (request
+      latch, tag lookup, MSHR allocate + NoC request issue) whose stage
+      occupancy flags are [msg_flag_1..3]; the commit is gated by
+      [msg_flag_3].
+    - PIPE2-port (6 instructions): one per NoC message type (FILL, INV,
+      RD_FWD, WR_UPD, WB_ACK, NOP) maintaining the data/tag/state
+      arrays through a two-stage lookup-then-merge pipeline.
+
+    The paper's bug is reproduced as [bug_msg_flag]: the informal
+    document's typo makes the implementation gate the PIPE1 commit with
+    [msg_flag_2] instead of [msg_flag_3], committing stage-3 registers
+    one cycle before they hold the travelling request. *)
+
+val pipe1_port : Ilv_core.Ila.t
+val pipe2_port : Ilv_core.Ila.t
+val design : Design.t

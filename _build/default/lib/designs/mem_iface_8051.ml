@@ -1,0 +1,292 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+let rom_port =
+  let rom_req = bool_var "rom_req" in
+  let rom_data_valid = bool_var "rom_data_valid" in
+  Ila.make ~name:"ROM-PORT"
+    ~inputs:
+      [
+        ("rom_req", Sort.bool);
+        ("rom_addr_in", Sort.bv 16);
+        ("rom_data_valid", Sort.bool);
+        ("rom_data_in", Sort.bv 8);
+      ]
+    ~states:
+      [
+        Ila.state "rom_addr" (Sort.bv 16) ();
+        Ila.state "rom_data" (Sort.bv 8) ();
+        Ila.state "mem_wait" (Sort.bv 1) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "ROM_REQ" ~decode:rom_req
+          ~updates:
+            [
+              ("rom_addr", bv_var "rom_addr_in" 16);
+              ("mem_wait", bv ~width:1 1);
+            ]
+          ();
+        Ila.instr "ROM_RESP"
+          ~decode:(not_ rom_req &&: rom_data_valid)
+          ~updates:[ ("rom_data", bv_var "rom_data_in" 8) ]
+          ();
+        Ila.instr "ROM_IDLE"
+          ~decode:(not_ rom_req &&: not_ rom_data_valid)
+          ~updates:[ ("mem_wait", bv ~width:1 0) ]
+          ();
+      ]
+
+let ram_port =
+  let ram_req = bool_var "ram_req" in
+  let ram_data_valid = bool_var "ram_data_valid" in
+  Ila.make ~name:"RAM-PORT"
+    ~inputs:
+      [
+        ("ram_req", Sort.bool);
+        ("ram_addr_in", Sort.bv 8);
+        ("ram_data_valid", Sort.bool);
+        ("ram_data_in", Sort.bv 8);
+      ]
+    ~states:
+      [
+        Ila.state "ram_addr" (Sort.bv 8) ();
+        Ila.state "ram_data" (Sort.bv 8) ();
+        Ila.state "mem_wait" (Sort.bv 1) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "RAM_REQ" ~decode:ram_req
+          ~updates:
+            [
+              ("ram_addr", bv_var "ram_addr_in" 8);
+              ("ram_data", bv_var "ram_data_in" 8);
+              ("mem_wait", bv ~width:1 1);
+            ]
+          ();
+        Ila.instr "RAM_RESP"
+          ~decode:(not_ ram_req &&: ram_data_valid)
+          ~updates:[ ("ram_data", bv_var "ram_data_in" 8) ]
+          ();
+        Ila.instr "RAM_IDLE"
+          ~decode:(not_ ram_req &&: not_ ram_data_valid)
+          ~updates:[ ("mem_wait", bv ~width:1 0) ]
+          ();
+      ]
+
+(* "when both ports update mem_wait, an update to value 1 has higher
+   priority than an update to value 0" — the paper's resolution rule *)
+let rom_ram_port =
+  match
+    Compose.integrate ~name:"ROM-RAM-PORT"
+      ~resolve:(Compose.Resolve.priority_value (Value.of_int ~width:1 1))
+      [ rom_port; ram_port ]
+  with
+  | Ok ila -> ila
+  | Error gaps ->
+    invalid_arg
+      (Printf.sprintf "mem_iface integration left %d gaps" (List.length gaps))
+
+let pc_port =
+  let pc_cmd = bv_var "pc_cmd" 2 in
+  let pc_imp = bool_var "pc_imp" in
+  let pc = bv_var "pc" 16 in
+  let instr_buff = bv_var "instr_buff" 16 in
+  let output_updates =
+    [
+      ("imm_data0", extract ~hi:15 ~lo:8 instr_buff);
+      ("imm_data1", extract ~hi:7 ~lo:0 instr_buff);
+      ("operand0", bv_var "instr_in" 8);
+      ("operand1", extract ~hi:7 ~lo:0 pc);
+    ]
+  in
+  Ila.make ~name:"PC-PORT"
+    ~inputs:
+      [
+        ("pc_cmd", Sort.bv 2);
+        ("pc_imp", Sort.bool);
+        ("pc_target", Sort.bv 16);
+        ("instr_in", Sort.bv 8);
+      ]
+    ~states:
+      [
+        Ila.state "imm_data0" (Sort.bv 8) ();
+        Ila.state "imm_data1" (Sort.bv 8) ();
+        Ila.state "operand0" (Sort.bv 8) ();
+        Ila.state "operand1" (Sort.bv 8) ();
+        Ila.state "pc" (Sort.bv 16) ~kind:Ila.Internal ();
+        Ila.state "instr_buff" (Sort.bv 16) ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "LOAD_INST" ~decode:(eq_int pc_cmd 0)
+          ~updates:
+            [
+              ( "instr_buff",
+                concat (extract ~hi:7 ~lo:0 instr_buff) (bv_var "instr_in" 8)
+              );
+            ]
+          ();
+        Ila.instr "PC_UPDATE" ~decode:(eq_int pc_cmd 1)
+          ~updates:
+            (("pc", ite pc_imp (bv_var "pc_target" 16) (add_int pc 1))
+            :: output_updates)
+          ();
+        Ila.instr "PC_KEEP"
+          ~decode:(bv ~width:2 2 <=: pc_cmd)
+          ~updates:output_updates ();
+      ]
+
+(* The implementation: one module realizing all three ports, with a
+   set/clear formulation of mem_wait and a non-architectural bus-phase
+   counter. *)
+let rtl =
+  let rom_req = bool_var "rom_req" in
+  let rom_data_valid = bool_var "rom_data_valid" in
+  let ram_req = bool_var "ram_req" in
+  let ram_data_valid = bool_var "ram_data_valid" in
+  let pc_cmd = bv_var "pc_cmd" 2 in
+  let pc_imp = bool_var "pc_imp" in
+  let pc_q = bv_var "pc_q" 16 in
+  let ibuf = bv_var "ibuf" 16 in
+  let mem_wait_q = bv_var "mem_wait_q" 1 in
+  Rtl.make ~name:"oc8051_memory_interface"
+    ~inputs:
+      [
+        ("rom_req", Sort.bool);
+        ("rom_addr_in", Sort.bv 16);
+        ("rom_data_valid", Sort.bool);
+        ("rom_data_in", Sort.bv 8);
+        ("ram_req", Sort.bool);
+        ("ram_addr_in", Sort.bv 8);
+        ("ram_data_valid", Sort.bool);
+        ("ram_data_in", Sort.bv 8);
+        ("pc_cmd", Sort.bv 2);
+        ("pc_imp", Sort.bool);
+        ("pc_target", Sort.bv 16);
+        ("instr_in", Sort.bv 8);
+      ]
+    ~wires:
+      [
+        ("wait_set", rom_req ||: ram_req);
+        ( "wait_clr",
+          not_ rom_req &&: not_ ram_req
+          &&: not_ (rom_data_valid &&: ram_data_valid) );
+        ("pc_step", eq_int pc_cmd 1);
+        ("pc_out_en", not_ (eq_int pc_cmd 0));
+      ]
+    ~registers:
+      [
+        Rtl.reg "rom_addr_q" (Sort.bv 16)
+          (ite rom_req (bv_var "rom_addr_in" 16) (bv_var "rom_addr_q" 16));
+        Rtl.reg "rom_data_q" (Sort.bv 8)
+          (ite
+             (not_ rom_req &&: rom_data_valid)
+             (bv_var "rom_data_in" 8) (bv_var "rom_data_q" 8));
+        Rtl.reg "ram_addr_q" (Sort.bv 8)
+          (ite ram_req (bv_var "ram_addr_in" 8) (bv_var "ram_addr_q" 8));
+        Rtl.reg "ram_data_q" (Sort.bv 8)
+          (ite
+             (ram_req ||: ram_data_valid)
+             (bv_var "ram_data_in" 8) (bv_var "ram_data_q" 8));
+        Rtl.reg "mem_wait_q" (Sort.bv 1)
+          (ite (bool_var "wait_set") (bv ~width:1 1)
+             (ite (bool_var "wait_clr") (bv ~width:1 0) mem_wait_q));
+        Rtl.reg "pc_q" (Sort.bv 16)
+          (ite (bool_var "pc_step")
+             (ite pc_imp (bv_var "pc_target" 16) (add_int pc_q 1))
+             pc_q);
+        Rtl.reg "ibuf" (Sort.bv 16)
+          (ite (eq_int pc_cmd 0)
+             (concat (extract ~hi:7 ~lo:0 ibuf) (bv_var "instr_in" 8))
+             ibuf);
+        Rtl.reg "imm0_q" (Sort.bv 8)
+          (ite (bool_var "pc_out_en") (extract ~hi:15 ~lo:8 ibuf)
+             (bv_var "imm0_q" 8));
+        Rtl.reg "imm1_q" (Sort.bv 8)
+          (ite (bool_var "pc_out_en") (extract ~hi:7 ~lo:0 ibuf)
+             (bv_var "imm1_q" 8));
+        Rtl.reg "op0_q" (Sort.bv 8)
+          (ite (bool_var "pc_out_en") (bv_var "instr_in" 8) (bv_var "op0_q" 8));
+        Rtl.reg "op1_q" (Sort.bv 8)
+          (ite (bool_var "pc_out_en") (extract ~hi:7 ~lo:0 pc_q)
+             (bv_var "op1_q" 8));
+        (* non-architectural bus phase counter *)
+        Rtl.reg "bus_phase" (Sort.bv 2) (add_int (bv_var "bus_phase" 2) 1);
+      ]
+    ~outputs:
+      [ "rom_addr_q"; "rom_data_q"; "ram_addr_q"; "ram_data_q"; "imm0_q" ]
+
+let refmap_for rtl port =
+  match port with
+  | "ROM-RAM-PORT" ->
+    Refmap.make ~ila:rom_ram_port ~rtl
+      ~state_map:
+        [
+          ("rom_addr", bv_var "rom_addr_q" 16);
+          ("rom_data", bv_var "rom_data_q" 8);
+          ("ram_addr", bv_var "ram_addr_q" 8);
+          ("ram_data", bv_var "ram_data_q" 8);
+          ("mem_wait", bv_var "mem_wait_q" 1);
+        ]
+      ~interface_map:
+        [
+          ("rom_req", bool_var "rom_req");
+          ("rom_addr_in", bv_var "rom_addr_in" 16);
+          ("rom_data_valid", bool_var "rom_data_valid");
+          ("rom_data_in", bv_var "rom_data_in" 8);
+          ("ram_req", bool_var "ram_req");
+          ("ram_addr_in", bv_var "ram_addr_in" 8);
+          ("ram_data_valid", bool_var "ram_data_valid");
+          ("ram_data_in", bv_var "ram_data_in" 8);
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun (i : Ila.instruction) ->
+             Refmap.imap i.Ila.instr_name (Refmap.After_cycles 1))
+           rom_ram_port.Ila.instructions)
+      ()
+  | "PC-PORT" ->
+    Refmap.make ~ila:pc_port ~rtl
+      ~state_map:
+        [
+          ("imm_data0", bv_var "imm0_q" 8);
+          ("imm_data1", bv_var "imm1_q" 8);
+          ("operand0", bv_var "op0_q" 8);
+          ("operand1", bv_var "op1_q" 8);
+          ("pc", bv_var "pc_q" 16);
+          ("instr_buff", bv_var "ibuf" 16);
+        ]
+      ~interface_map:
+        [
+          ("pc_cmd", bv_var "pc_cmd" 2);
+          ("pc_imp", bool_var "pc_imp");
+          ("pc_target", bv_var "pc_target" 16);
+          ("instr_in", bv_var "instr_in" 8);
+        ]
+      ~instruction_maps:
+        [
+          Refmap.imap "LOAD_INST" (Refmap.After_cycles 1);
+          Refmap.imap "PC_UPDATE" (Refmap.After_cycles 1);
+          Refmap.imap "PC_KEEP" (Refmap.After_cycles 1);
+        ]
+      ()
+  | other -> invalid_arg ("Mem_iface_8051.refmap_for: unknown port " ^ other)
+
+let design =
+  {
+    Design.name = "Mem. Interface";
+    description =
+      "8051 memory interface: ROM and RAM ports share mem_wait and are \
+       integrated (priority: update to 1 wins); the PC port is independent";
+    module_class = Design.Multi_port_shared;
+    ports_before_integration = 3;
+    module_ila =
+      Compose.union ~name:"MEM-IFACE" [ rom_ram_port; pc_port ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> []);
+  }

@@ -1,0 +1,24 @@
+(** Case study: the 8051 memory interface (Fig. 3 of the paper;
+    multiple command interfaces {b with} shared state).
+
+    Three ports: the ROM port (instruction fetch), the RAM port (data
+    access) and the PC port (program-counter control).  ROM and RAM
+    ports share the [mem_wait] state: their REQ instructions set it to
+    1 and their IDLE instructions clear it, so a REQ on one port
+    combined with IDLE on the other updates [mem_wait] conflictingly.
+    The informal specification resolves the conflict by priority — an
+    update to 1 wins — so the two ports are {e integrated} into a
+    single ROM-RAM port whose 3 x 3 = 9 cross-product instructions
+    resolve [mem_wait] with {!Ilv_core.Compose.Resolve.priority_value}.
+    The PC port is independent, giving the module-ILA
+    [ROM-RAM-port, PC-port] (ports: 3 before, 2 after integration; 12
+    (sub-)instructions total). *)
+
+val rom_port : Ilv_core.Ila.t
+val ram_port : Ilv_core.Ila.t
+val pc_port : Ilv_core.Ila.t
+
+val rom_ram_port : Ilv_core.Ila.t
+(** The integrated port (9 instructions). *)
+
+val design : Design.t

@@ -1,0 +1,289 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+let directions = [ "n"; "s"; "e"; "w"; "p" ]
+let dir k = List.nth directions k
+let n_dirs = List.length directions
+
+(* Flit layout: bit 15 = config, bits 14:12 = destination id,
+   bits 2:0 = route to install; data flits use the full word. *)
+let is_config flit = bit flit 15
+let config_dest flit = extract ~hi:14 ~lo:12 flit
+let config_route flit = extract ~hi:2 ~lo:0 flit
+
+let table_var = mem_var "routing_table" ~addr_width:3 ~data_width:3
+
+let table_update flit =
+  ite (is_config flit)
+    (write table_var (config_dest flit) (config_route flit))
+    table_var
+
+(* ---------------- IN ports ---------------- *)
+
+let in_port k =
+  let d = dir k in
+  let valid = bool_var (d ^ "_in_valid") in
+  let flit = bv_var (d ^ "_in_flit") 16 in
+  let counter_state =
+    (* the arbiter counter lives once, in the first port *)
+    if k = 0 then [ Ila.state "rr_in" (Sort.bv 3) ~kind:Ila.Internal () ]
+    else []
+  in
+  Ila.make
+    ~name:("IN-" ^ String.uppercase_ascii d)
+    ~inputs:[ (d ^ "_in_valid", Sort.bool); (d ^ "_in_flit", Sort.bv 16) ]
+    ~states:
+      ([
+         Ila.state (d ^ "_in_buf") (Sort.bv 16) ();
+         Ila.state "routing_table" (Sort.mem ~addr_width:3 ~data_width:3)
+           ~kind:Ila.Internal ();
+       ]
+      @ counter_state)
+    ~instructions:
+      [
+        Ila.instr
+          (String.uppercase_ascii d ^ "_RECV")
+          ~decode:valid
+          ~updates:
+            [ (d ^ "_in_buf", flit); ("routing_table", table_update flit) ]
+          ();
+        Ila.instr
+          (String.uppercase_ascii d ^ "_IDLE")
+          ~decode:(not_ valid) ~updates:[] ();
+      ]
+
+(* ---------------- OUT ports ---------------- *)
+
+let out_port k =
+  let d = dir k in
+  let ready = bool_var (d ^ "_out_ready") in
+  let flit_in = bv_var (d ^ "_flit_in") 16 in
+  let counter_state =
+    if k = 0 then [ Ila.state "rr_out" (Sort.bv 3) ~kind:Ila.Internal () ]
+    else []
+  in
+  Ila.make
+    ~name:("OUT-" ^ String.uppercase_ascii d)
+    ~inputs:[ (d ^ "_out_ready", Sort.bool); (d ^ "_flit_in", Sort.bv 16) ]
+    ~states:
+      ([
+         Ila.state (d ^ "_out_valid") Sort.bool ();
+         Ila.state (d ^ "_out_flit") (Sort.bv 16) ();
+         Ila.state "grant" (Sort.bv 3) ~kind:Ila.Internal ();
+       ]
+      @ counter_state)
+    ~instructions:
+      [
+        Ila.instr
+          (String.uppercase_ascii d ^ "_SEND")
+          ~decode:ready
+          ~updates:
+            [
+              (d ^ "_out_flit", flit_in);
+              (d ^ "_out_valid", tt);
+              ("grant", bv ~width:3 k);
+            ]
+          ();
+        Ila.instr
+          (String.uppercase_ascii d ^ "_HOLD")
+          ~decode:(not_ ready)
+          ~updates:[ (d ^ "_out_valid", ff) ]
+          ();
+      ]
+
+let port_index prefix name =
+  let rec go k = function
+    | [] -> None
+    | d :: rest ->
+      if name = prefix ^ String.uppercase_ascii d then Some k else go (k + 1) rest
+  in
+  go 0 directions
+
+let advance counter =
+  ite (eq_int counter (n_dirs - 1)) (bv ~width:3 0) (add_int counter 1)
+
+let integrate_with ~name ~counter ~prefix ports =
+  let resolve =
+    Compose.Resolve.round_robin ~counter:(bv_var counter 3)
+      ~port_index:(port_index prefix)
+  in
+  match Compose.integrate ~name ~resolve ports with
+  | Error gaps ->
+    invalid_arg
+      (Printf.sprintf "router integration left %d gaps" (List.length gaps))
+  | Ok ila ->
+    (* the arbiter counter advances on every step *)
+    Compose.map_instructions
+      (fun i ->
+        Ila.instr i.Ila.instr_name ?parent:i.Ila.parent ~decode:i.Ila.decode
+          ~updates:(i.Ila.updates @ [ (counter, advance (bv_var counter 3)) ])
+          ())
+      ila
+
+let in_port_integrated =
+  integrate_with ~name:"IN" ~counter:"rr_in" ~prefix:"IN-"
+    (List.init n_dirs in_port)
+
+let out_port_integrated =
+  integrate_with ~name:"OUT" ~counter:"rr_out" ~prefix:"OUT-"
+    (List.init n_dirs out_port)
+
+(* ---------------- RTL ---------------- *)
+
+(* One unified priority network per shared resource, versus the ILA's
+   per-combination cross-product instructions. *)
+let rtl =
+  let recv k = bool_var (dir k ^ "_in_valid") in
+  let flit k = bv_var (dir k ^ "_in_flit") 16 in
+  let ready k = bool_var (dir k ^ "_out_ready") in
+  let table = mem_var "table_q" ~addr_width:3 ~data_width:3 in
+  let rr_in = bv_var "rr_in_q" 3 in
+  let rr_out = bv_var "rr_out_q" 3 in
+  let upd k =
+    ite (is_config (flit k))
+      (write table (config_dest (flit k)) (config_route (flit k)))
+      table
+  in
+  (* lowest receiving port's update, then the round-robin override *)
+  let fallback_table =
+    List.fold_right
+      (fun k acc -> ite (recv k) (upd k) acc)
+      (List.init n_dirs Fun.id)
+      table
+  in
+  let table_next =
+    List.fold_left
+      (fun acc k -> ite (eq_int rr_in k &&: recv k) (upd k) acc)
+      fallback_table
+      (List.init n_dirs Fun.id)
+  in
+  let fallback_grant =
+    List.fold_right
+      (fun k acc -> ite (ready k) (bv ~width:3 k) acc)
+      (List.init n_dirs Fun.id)
+      (bv_var "grant_q" 3)
+  in
+  let grant_next =
+    List.fold_left
+      (fun acc k -> ite (eq_int rr_out k &&: ready k) (bv ~width:3 k) acc)
+      fallback_grant
+      (List.init n_dirs Fun.id)
+  in
+  let in_regs =
+    List.concat_map
+      (fun k ->
+        let d = dir k in
+        [
+          Rtl.reg (d ^ "_in_buf_q") (Sort.bv 16)
+            (ite (recv k) (flit k) (bv_var (d ^ "_in_buf_q") 16));
+        ])
+      (List.init n_dirs Fun.id)
+  in
+  let out_regs =
+    List.concat_map
+      (fun k ->
+        let d = dir k in
+        [
+          Rtl.reg (d ^ "_out_valid_q") Sort.bool (ready k);
+          Rtl.reg (d ^ "_out_flit_q") (Sort.bv 16)
+            (ite (ready k)
+               (bv_var (d ^ "_flit_in") 16)
+               (bv_var (d ^ "_out_flit_q") 16));
+        ])
+      (List.init n_dirs Fun.id)
+  in
+  Rtl.make ~name:"openpiton_router"
+    ~inputs:
+      (List.concat_map
+         (fun k ->
+           let d = dir k in
+           [
+             (d ^ "_in_valid", Sort.bool);
+             (d ^ "_in_flit", Sort.bv 16);
+             (d ^ "_out_ready", Sort.bool);
+             (d ^ "_flit_in", Sort.bv 16);
+           ])
+         (List.init n_dirs Fun.id))
+    ~wires:[]
+    ~registers:
+      ([
+         Rtl.reg "table_q" (Sort.mem ~addr_width:3 ~data_width:3) table_next;
+         Rtl.reg "rr_in_q" (Sort.bv 3) (advance rr_in);
+         Rtl.reg "grant_q" (Sort.bv 3) grant_next;
+         Rtl.reg "rr_out_q" (Sort.bv 3) (advance rr_out);
+       ]
+      @ in_regs @ out_regs)
+    ~outputs:
+      (List.concat_map
+         (fun k -> [ dir k ^ "_out_valid_q"; dir k ^ "_out_flit_q" ])
+         (List.init n_dirs Fun.id))
+
+let refmap_for rtl port =
+  let maps_for (ila : Ila.t) =
+    List.map
+      (fun (i : Ila.instruction) ->
+        Refmap.imap i.Ila.instr_name (Refmap.After_cycles 1))
+      ila.Ila.instructions
+  in
+  match port with
+  | "IN" ->
+    Refmap.make ~ila:in_port_integrated ~rtl
+      ~state_map:
+        (("routing_table", mem_var "table_q" ~addr_width:3 ~data_width:3)
+        :: ("rr_in", bv_var "rr_in_q" 3)
+        :: List.map
+             (fun d -> (d ^ "_in_buf", bv_var (d ^ "_in_buf_q") 16))
+             directions)
+      ~interface_map:
+        (List.concat_map
+           (fun d ->
+             [
+               (d ^ "_in_valid", bool_var (d ^ "_in_valid"));
+               (d ^ "_in_flit", bv_var (d ^ "_in_flit") 16);
+             ])
+           directions)
+      ~instruction_maps:(maps_for in_port_integrated)
+      ()
+  | "OUT" ->
+    Refmap.make ~ila:out_port_integrated ~rtl
+      ~state_map:
+        (("grant", bv_var "grant_q" 3)
+        :: ("rr_out", bv_var "rr_out_q" 3)
+        :: List.concat_map
+             (fun d ->
+               [
+                 (d ^ "_out_valid", bool_var (d ^ "_out_valid_q"));
+                 (d ^ "_out_flit", bv_var (d ^ "_out_flit_q") 16);
+               ])
+             directions)
+      ~interface_map:
+        (List.concat_map
+           (fun d ->
+             [
+               (d ^ "_out_ready", bool_var (d ^ "_out_ready"));
+               (d ^ "_flit_in", bv_var (d ^ "_flit_in") 16);
+             ])
+           directions)
+      ~instruction_maps:(maps_for out_port_integrated)
+      ()
+  | other -> invalid_arg ("Noc_router.refmap_for: unknown port " ^ other)
+
+let design =
+  {
+    Design.name = "NoC Router";
+    description =
+      "OpenPiton NoC router: five IN-ports sharing the dynamic routing \
+       table and five OUT-ports sharing the crossbar grant, each set \
+       integrated with round-robin conflict resolution into one port of 32 \
+       instructions";
+    module_class = Design.Multi_port_shared;
+    ports_before_integration = 10;
+    module_ila =
+      Compose.union ~name:"ROUTER" [ in_port_integrated; out_port_integrated ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> []);
+  }

@@ -1,0 +1,24 @@
+(** Case study: the OpenPiton NoC router (Sec. V-C3 of the paper;
+    multiple command interfaces with shared state).
+
+    The router connects to four neighbours and the local core, so each
+    direction X in {N, S, E, W, P} has an IN-port-X (incoming flits) and
+    an OUT-port-X (outgoing flits) — ten ports in total.
+
+    Every IN-port can update the {e dynamic routing table} (a flit with
+    the config bit set installs a route), so the five IN-ports share the
+    table and are integrated into a single IN-port; simultaneous
+    conflicting installs are resolved by a {e round-robin} arbiter (a
+    counter state selects the winning port, the lowest-numbered
+    requester winning by default), per the specification.  The five
+    OUT-ports share the crossbar grant and are integrated the same way.
+    The result is one IN-port and one OUT-port with 2^5 = 32
+    instructions each — ports 10 before/2 after integration and 64
+    instructions, as in the paper's Table I. *)
+
+val directions : string list
+val in_port : int -> Ilv_core.Ila.t
+val out_port : int -> Ilv_core.Ila.t
+val in_port_integrated : Ilv_core.Ila.t
+val out_port_integrated : Ilv_core.Ila.t
+val design : Design.t

@@ -1,0 +1,76 @@
+open Ilv_expr
+open Ilv_rtl
+open Build
+
+let ram_addr_width = 4
+
+let rtl =
+  let z w = bv ~width:w 0 in
+  Rtl_compose.compose ~name:"oc8051_core"
+    ~instances:
+      [
+        ("dec", Decoder_8051.rtl); ("dp", Datapath_8051.rtl ~ram_addr_width);
+      ]
+    ~inputs:[ ("halt", Sort.bool); ("word", Sort.bv 8); ("src", Sort.bv 8) ]
+    ~connections:
+      [
+        (* decoder: program stream *)
+        ("dec_wait_data", bool_var "halt");
+        ("dec_op_in", bv_var "word" 8);
+        (* datapath ALU port: fired by the glue one cycle after a word
+           completes, with the registered decode outputs *)
+        ("dp_alu_en", bool_var "fire_q");
+        ("dp_alu_op_in", bv_var "dec_alu_op_q" 4);
+        ("dp_src_in", bv_var "src_q" 8);
+        (* the data port is quiet in this core configuration *)
+        ("dp_d_en", ff);
+        ("dp_d_wr", ff);
+        ("dp_d_sfr", ff);
+        ("dp_d_addr", z ram_addr_width);
+        ("dp_d_sfr_addr", z 3);
+        ("dp_d_data", z 8);
+      ]
+    ~wires:
+      [
+        (* a word completes when the decoder's status returns to 0 *)
+        ( "fire",
+          not_ (bool_var "halt") &&: eq_int (bv_var "dec_new_status" 2) 0 );
+      ]
+    ~registers:
+      [
+        Rtl.reg "fire_q" Sort.bool (bool_var "fire");
+        Rtl.reg "src_q" (Sort.bv 8)
+          (ite (bool_var "fire") (bv_var "src" 8) (bv_var "src_q" 8));
+      ]
+    ~outputs:[ "dp_acc_q"; "dp_b_q"; "dp_cy_q" ]
+    ()
+
+type driver = { sim : Sim.t }
+
+let create_driver () = { sim = Sim.create rtl }
+
+let cycle d ~halt ~word ~src =
+  Sim.cycle d.sim
+    [
+      ("halt", Value.of_bool halt);
+      ("word", Value.of_int ~width:8 word);
+      ("src", Value.of_int ~width:8 src);
+    ]
+
+let feed d ?(stall_before = 0) ~word ~src () =
+  for _ = 1 to stall_before do
+    cycle d ~halt:true ~word:0 ~src:0
+  done;
+  (* the word is consumed on its first non-halted cycle; the remaining
+     steps keep the source operand stable *)
+  for _ = 0 to Iss_8051.steps_of_word word do
+    cycle d ~halt:false ~word ~src
+  done
+
+let flush d =
+  (* one halted cycle lets the final fire_q pulse reach the datapath *)
+  cycle d ~halt:true ~word:0 ~src:0
+
+let acc d = Sim.peek_int d.sim "dp_acc_q"
+let breg d = Sim.peek_int d.sim "dp_b_q"
+let carry d = Value.to_bool (Sim.peek d.sim "dp_cy_q")

@@ -1,0 +1,36 @@
+(** The composed 8051-subset core: the verified decoder and datapath
+    modules flattened into one netlist with a thin layer of glue.
+
+    The decoder consumes one program word per cycle group (1-4 cycles,
+    per the word's operand count); when a word completes, the glue fires
+    the datapath's ALU port with the decoded operation and a latched
+    source operand.  {!Iss_8051} is the independent reference model; the
+    system-level tests drive random programs through both.
+
+    This demonstrates the payoff of the paper's methodology: modules
+    verified instruction-by-instruction against their ILAs compose into
+    a working core. *)
+
+open Ilv_rtl
+
+val rtl : Rtl.t
+(** Top-level pins: inputs [halt], [word] (8), [src] (8); outputs
+    [dp_acc_q], [dp_b_q], [dp_cy_q]. *)
+
+type driver
+(** A cycle-level testbench driving {!rtl} like the surrounding SoC
+    would: words presented when the decoder is ready, operands held for
+    the word's duration. *)
+
+val create_driver : unit -> driver
+
+val feed : driver -> ?stall_before:int -> word:int -> src:int -> unit -> unit
+(** Runs the core through one program word (optionally preceded by
+    [stall_before] halted cycles). *)
+
+val flush : driver -> unit
+(** Halts the core long enough for the last word's effect to commit. *)
+
+val acc : driver -> int
+val breg : driver -> int
+val carry : driver -> bool

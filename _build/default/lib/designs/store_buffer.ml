@@ -1,0 +1,261 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+(* An entry packs {addr[15:8], data[7:0]}. *)
+
+let entries_var k = mem_var "entries" ~addr_width:k ~data_width:16
+
+let not_empty k =
+  let head = bv_var "head" k and tail = bv_var "tail" k in
+  not_ (eq head tail &&: not_ (bool_var "full"))
+
+let in_port ~depth_log2:k =
+  let in_valid = bool_var "in_valid" in
+  let in_addr = bv_var "in_addr" 8 in
+  let in_data = bv_var "in_data" 8 in
+  let head = bv_var "head" k in
+  let tail = bv_var "tail" k in
+  let full = bool_var "full" in
+  Ila.make ~name:"IN"
+    ~inputs:
+      [ ("in_valid", Sort.bool); ("in_addr", Sort.bv 8); ("in_data", Sort.bv 8) ]
+    ~states:
+      [
+        Ila.state "entries" (Sort.mem ~addr_width:k ~data_width:16)
+          ~kind:Ila.Internal ();
+        Ila.state "tail" (Sort.bv k) ~kind:Ila.Internal ();
+        Ila.state "head" (Sort.bv k) ~kind:Ila.Internal ();
+        Ila.state "full" Sort.bool ~kind:Ila.Internal ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "SB_PUSH"
+          ~decode:(in_valid &&: not_ full)
+          ~updates:
+            [
+              ("entries", write (entries_var k) tail (concat in_addr in_data));
+              ("tail", add_int tail 1);
+              ("full", eq (add_int tail 1) head);
+            ]
+          ();
+        Ila.instr "SB_IN_IDLE" ~decode:(not_ in_valid ||: full) ~updates:[] ();
+      ]
+
+let out_port ~depth_log2:k =
+  let out_ready = bool_var "out_ready" in
+  let head = bv_var "head" k in
+  let pop = out_ready &&: not_empty k in
+  Ila.make ~name:"OUT"
+    ~inputs:[ ("out_ready", Sort.bool) ]
+    ~states:
+      [
+        Ila.state "entries" (Sort.mem ~addr_width:k ~data_width:16)
+          ~kind:Ila.Internal ();
+        Ila.state "tail" (Sort.bv k) ~kind:Ila.Internal ();
+        Ila.state "head" (Sort.bv k) ~kind:Ila.Internal ();
+        Ila.state "full" Sort.bool ~kind:Ila.Internal ();
+        Ila.state "out_valid" Sort.bool ();
+        Ila.state "out_entry" (Sort.bv 16) ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "SB_POP" ~decode:pop
+          ~updates:
+            [
+              ("head", add_int head 1);
+              ("full", ff);
+              ("out_entry", read (entries_var k) head);
+              ("out_valid", tt);
+            ]
+          ();
+        Ila.instr "SB_OUT_IDLE" ~decode:(not_ pop)
+          ~updates:[ ("out_valid", ff) ]
+          ();
+      ]
+
+(* A push and a pop in the same step keep the occupancy unchanged, so
+   the buffer can only be full afterwards if it was full before — and
+   SB_PUSH is refused at full, so the combined update is "not full".
+   This is the informal spec's resolution of the conflicting [full]
+   updates from the two ports. *)
+let in_out_port ~depth_log2:k =
+  let resolve (c : Compose.conflict) =
+    if c.Compose.state = "full" then Some ff else None
+  in
+  match
+    Compose.integrate ~name:"IN-OUT" ~resolve
+      [ in_port ~depth_log2:k; out_port ~depth_log2:k ]
+  with
+  | Ok ila -> ila
+  | Error gaps ->
+    invalid_arg
+      (Printf.sprintf "store buffer integration left %d gaps"
+         (List.length gaps))
+
+let load_port ~depth_log2:k =
+  let ld_valid = bool_var "ld_valid" in
+  let ld_idx = bv_var "ld_idx" k in
+  Ila.make ~name:"LOAD"
+    ~inputs:[ ("ld_valid", Sort.bool); ("ld_idx", Sort.bv k) ]
+    ~states:
+      [
+        Ila.state "entries" (Sort.mem ~addr_width:k ~data_width:16)
+          ~kind:Ila.Internal ();
+        Ila.state "ld_data" (Sort.bv 16) ();
+      ]
+    ~instructions:
+      [
+        Ila.instr "SB_LOAD" ~decode:ld_valid
+          ~updates:[ ("ld_data", read (entries_var k) ld_idx) ]
+          ();
+        Ila.instr "SB_LD_IDLE" ~decode:(not_ ld_valid) ~updates:[] ();
+      ]
+
+(* The implementation tracks occupancy with a counter; fullness is the
+   derived fact count == depth.  The buggy variant "optimizes" pushes:
+   it accepts a push at full when a pop frees the slot in the same
+   cycle — but the specification refuses that push, so the buffer flags
+   (tail) diverge exactly when both ports see traffic on a full
+   buffer: the paper's bug. *)
+let rtl ~buggy ~depth_log2:k name =
+  let depth = 1 lsl k in
+  let in_valid = bool_var "in_valid" in
+  let in_addr = bv_var "in_addr" 8 in
+  let in_data = bv_var "in_data" 8 in
+  let out_ready = bool_var "out_ready" in
+  let ld_valid = bool_var "ld_valid" in
+  let ld_idx = bv_var "ld_idx" k in
+  let mem = mem_var "sb_mem" ~addr_width:k ~data_width:16 in
+  let head = bv_var "head_q" k in
+  let tail = bv_var "tail_q" k in
+  let count = bv_var "count_q" (k + 1) in
+  let full_w = eq_int count depth in
+  let empty_w = eq_int count 0 in
+  let pop = bool_var "pop_w" in
+  let push = bool_var "push_w" in
+  let push_cond =
+    if buggy then in_valid &&: (not_ full_w ||: (out_ready &&: not_ empty_w))
+    else in_valid &&: not_ full_w
+  in
+  Rtl.make ~name
+    ~inputs:
+      [
+        ("in_valid", Sort.bool);
+        ("in_addr", Sort.bv 8);
+        ("in_data", Sort.bv 8);
+        ("out_ready", Sort.bool);
+        ("ld_valid", Sort.bool);
+        ("ld_idx", Sort.bv k);
+      ]
+    ~wires:
+      [
+        ("pop_w", out_ready &&: not_ empty_w);
+        ("push_w", push_cond);
+      ]
+    ~registers:
+      [
+        Rtl.reg "sb_mem"
+          (Sort.mem ~addr_width:k ~data_width:16)
+          (ite push (write mem tail (concat in_addr in_data)) mem);
+        Rtl.reg "tail_q" (Sort.bv k) (ite push (add_int tail 1) tail);
+        Rtl.reg "head_q" (Sort.bv k) (ite pop (add_int head 1) head);
+        Rtl.reg "count_q"
+          (Sort.bv (k + 1))
+          (ite (push &&: not_ pop) (add_int count 1)
+             (ite (pop &&: not_ push) (sub_int count 1) count));
+        Rtl.reg "out_q" (Sort.bv 16) (ite pop (read mem head) (bv_var "out_q" 16));
+        Rtl.reg "out_v_q" Sort.bool pop;
+        Rtl.reg "ld_q" (Sort.bv 16)
+          (ite ld_valid (read mem ld_idx) (bv_var "ld_q" 16));
+      ]
+    ~outputs:[ "out_q"; "out_v_q"; "ld_q" ]
+
+let refmap_for ~depth_log2:k rtl port =
+  let depth = 1 lsl k in
+  let count = bv_var "count_q" (k + 1) in
+  let head = bv_var "head_q" k in
+  let tail = bv_var "tail_q" k in
+  let invariants =
+    [
+      (* occupancy never exceeds the depth, and its low bits always
+         equal the pointer difference: the counter and the pointers
+         agree *)
+      count <=: bv ~width:(k + 1) depth;
+      eq (extract ~hi:(k - 1) ~lo:0 count) (tail -: head);
+    ]
+  in
+  match port with
+  | "IN-OUT" ->
+    let ila = in_out_port ~depth_log2:k in
+    Refmap.make ~ila ~rtl
+      ~state_map:
+        [
+          ("entries", mem_var "sb_mem" ~addr_width:k ~data_width:16);
+          ("head", head);
+          ("tail", tail);
+          ("full", eq_int count depth);
+          ("out_valid", bool_var "out_v_q");
+          ("out_entry", bv_var "out_q" 16);
+        ]
+      ~interface_map:
+        [
+          ("in_valid", bool_var "in_valid");
+          ("in_addr", bv_var "in_addr" 8);
+          ("in_data", bv_var "in_data" 8);
+          ("out_ready", bool_var "out_ready");
+        ]
+      ~instruction_maps:
+        (List.map
+           (fun (i : Ila.instruction) ->
+             Refmap.imap i.Ila.instr_name (Refmap.After_cycles 1))
+           ila.Ila.instructions)
+      ~invariants ()
+  | "LOAD" ->
+    Refmap.make ~ila:(load_port ~depth_log2:k) ~rtl
+      ~state_map:
+        [
+          ("entries", mem_var "sb_mem" ~addr_width:k ~data_width:16);
+          ("ld_data", bv_var "ld_q" 16);
+        ]
+      ~interface_map:
+        [ ("ld_valid", bool_var "ld_valid"); ("ld_idx", bv_var "ld_idx" k) ]
+      ~instruction_maps:
+        [
+          Refmap.imap "SB_LOAD" (Refmap.After_cycles 1);
+          Refmap.imap "SB_LD_IDLE" (Refmap.After_cycles 1);
+        ]
+      ()
+  | other -> invalid_arg ("Store_buffer.refmap_for: unknown port " ^ other)
+
+let make_design ~depth_log2:k =
+  let suffix = if k = 6 then "" else Printf.sprintf " (%d entries)" (1 lsl k) in
+  {
+    Design.name = "Store Buffer" ^ suffix;
+    description =
+      "RISC-V core store buffer: in/out ports share the occupancy flags and \
+       are integrated; the load port reads entries independently";
+    module_class = Design.Multi_port_shared;
+    ports_before_integration = 3;
+    module_ila =
+      Compose.union ~name:"STORE-BUFFER"
+        [ in_out_port ~depth_log2:k; load_port ~depth_log2:k ];
+    rtl = rtl ~buggy:false ~depth_log2:k "ridecore_store_buffer";
+    refmap_for = refmap_for ~depth_log2:k;
+    bugs =
+      [
+        {
+          Design.bug_label = "full_flag";
+          bug_description =
+            "the buffer flags update incorrectly when there is traffic on \
+             both the in-port and the out-port and the buffer is full (the \
+             bug reported in the paper, Sec. V-C2)";
+          buggy_rtl = rtl ~buggy:true ~depth_log2:k "ridecore_store_buffer_buggy";
+        };
+      ];
+    coverage_assumptions = (fun _ -> []);
+  }
+
+let design = make_design ~depth_log2:6
+let design_abstract = make_design ~depth_log2:4

@@ -1,0 +1,29 @@
+(** Case study: the RISC-V core store buffer (Sec. V-C2 of the paper;
+    multiple command interfaces {b with} shared state).
+
+    Three command interfaces: the in-port enqueues stores, the out-port
+    drains them toward memory, and the load-port forwards a buffered
+    store back to the processor pipeline.  The in- and out-ports share
+    the occupancy flags (head/tail/full): a simultaneous push and pop
+    updates [full] conflictingly, so they are integrated into a single
+    in-out-port whose resolver encodes the correct occupancy rule
+    (push & pop at full keeps the buffer full).  The load-port only
+    {e reads} the entries and head pointer, so it stays independent.
+
+    The buffer depth is a parameter: the paper verifies the 64-entry
+    buffer in 78 s and the 16-entry abstraction in 1.3 s.
+
+    The paper's bug is reproduced as [bug_full_flag]: with traffic on
+    both ports while the buffer is full, the buggy implementation
+    decrements its occupancy counter even though the accepted push
+    refills the freed slot, so the full flag drops spuriously. *)
+
+val in_port : depth_log2:int -> Ilv_core.Ila.t
+val out_port : depth_log2:int -> Ilv_core.Ila.t
+val load_port : depth_log2:int -> Ilv_core.Ila.t
+val in_out_port : depth_log2:int -> Ilv_core.Ila.t
+
+val make_design : depth_log2:int -> Design.t
+val design : Design.t  (** 64 entries *)
+
+val design_abstract : Design.t  (** 16 entries *)

@@ -1,0 +1,137 @@
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Build
+
+let cycles_per_bit = 2
+let frame_bits = 10 (* start + 8 data + stop *)
+let frame_cycles = frame_bits * cycles_per_bit
+
+(* The frame as transmitted, stop bit down to start bit. *)
+let frame_of byte = concat_list [ bv ~width:1 1; byte; bv ~width:1 0 ]
+
+let ila =
+  let tx_valid = bool_var "tx_valid" in
+  let tx_byte = bv_var "tx_byte" 8 in
+  let frames_sent = bv_var "frames_sent" 8 in
+  Ila.make ~name:"UART-TX"
+    ~inputs:[ ("tx_valid", Sort.bool); ("tx_byte", Sort.bv 8) ]
+    ~states:
+      [
+        Ila.state "buffer" (Sort.bv 8) ~kind:Ila.Internal ();
+        Ila.state "tx_busy" Sort.bool ();
+        Ila.state "frames_sent" (Sort.bv 8) ();
+        Ila.state "last_frame" (Sort.bv frame_bits) ();
+      ]
+    ~instructions:
+      [
+        (* one architectural step = one whole frame: the byte is
+           latched, shifted out on the line, and the module is idle
+           again with the sent frame recorded *)
+        Ila.instr "SEND" ~decode:tx_valid
+          ~updates:
+            [
+              ("buffer", tx_byte);
+              ("tx_busy", ff);
+              ("frames_sent", add_int frames_sent 1);
+              ("last_frame", frame_of tx_byte);
+            ]
+          ();
+        Ila.instr "TX_IDLE" ~decode:(not_ tx_valid) ~updates:[] ();
+      ]
+
+let rtl =
+  let tx_valid = bool_var "tx_valid" in
+  let tx_byte = bv_var "tx_byte" 8 in
+  let busy = bool_var "busy" in
+  let shifter = bv_var "shifter" frame_bits in
+  let bit_cnt = bv_var "bit_cnt" 4 in
+  let clk_cnt = bv_var "clk_cnt" 2 in
+  let capture = bv_var "capture" frame_bits in
+  let accept = bool_var "accept_w" in
+  let boundary = bool_var "boundary_w" in
+  let last_bit = bool_var "last_bit_w" in
+  Rtl.make ~name:"uart_tx"
+    ~inputs:[ ("tx_valid", Sort.bool); ("tx_byte", Sort.bv 8) ]
+    ~wires:
+      [
+        ("accept_w", tx_valid &&: not_ busy);
+        (* end of the current bit period *)
+        ("boundary_w", busy &&: eq_int clk_cnt (cycles_per_bit - 1));
+        ("last_bit_w", eq_int bit_cnt (frame_bits - 1));
+        ("tx_line", bit shifter 0);
+      ]
+    ~registers:
+      [
+        Rtl.reg "busy" Sort.bool
+          (ite accept tt (ite (boundary &&: last_bit) ff busy));
+        Rtl.reg "shifter" (Sort.bv frame_bits)
+          (ite accept (frame_of tx_byte)
+             (ite boundary
+                (concat (bv ~width:1 1) (extract ~hi:(frame_bits - 1) ~lo:1 shifter))
+                shifter));
+        Rtl.reg "bit_cnt" (Sort.bv 4)
+          (ite accept (bv ~width:4 0)
+             (ite boundary (add_int bit_cnt 1) bit_cnt));
+        Rtl.reg "clk_cnt" (Sort.bv 2)
+          (ite accept (bv ~width:2 0)
+             (ite busy
+                (ite boundary (bv ~width:2 0) (add_int clk_cnt 1))
+                clk_cnt));
+        (* loopback capture of the actual line value at each boundary:
+           after ten bits it holds the frame exactly *)
+        Rtl.reg "capture" (Sort.bv frame_bits)
+          (ite boundary
+             (concat (bool_to_bv (bool_var "tx_line"))
+                (extract ~hi:(frame_bits - 1) ~lo:1 capture))
+             capture);
+        Rtl.reg "buffer_q" (Sort.bv 8)
+          (ite accept tx_byte (bv_var "buffer_q" 8));
+        Rtl.reg "frames_q" (Sort.bv 8)
+          (ite (boundary &&: last_bit)
+             (add_int (bv_var "frames_q" 8) 1)
+             (bv_var "frames_q" 8));
+      ]
+    ~outputs:[ "tx_line"; "busy"; "frames_q" ]
+
+let refmap_for rtl port =
+  if port <> "UART-TX" then
+    invalid_arg ("Uart_tx.refmap_for: unknown port " ^ port);
+  let not_busy = not_ (bool_var "busy") in
+  Refmap.make ~ila ~rtl
+    ~state_map:
+      [
+        ("buffer", bv_var "buffer_q" 8);
+        ("tx_busy", bool_var "busy");
+        ("frames_sent", bv_var "frames_q" 8);
+        ("last_frame", bv_var "capture" frame_bits);
+      ]
+    ~interface_map:
+      [ ("tx_valid", bool_var "tx_valid"); ("tx_byte", bv_var "tx_byte" 8) ]
+    ~instruction_maps:
+      [
+        (* the frame takes a fixed number of cycles, but the natural
+           specification is "check when the shifter is idle again" —
+           the Within form also proves the frame *does* finish *)
+        Refmap.imap "SEND" ~start:not_busy
+          (Refmap.Within
+             { bound = frame_cycles + 2; condition = not_ (bool_var "busy") });
+        Refmap.imap "TX_IDLE" ~start:not_busy (Refmap.After_cycles 1);
+      ]
+    ()
+
+let design =
+  {
+    Design.name = "UART TX";
+    description =
+      "UART transmitter: one SEND instruction covering a whole serial \
+       frame, verified with a Within (bounded-liveness) finish condition \
+       against the loopback-captured line";
+    module_class = Design.Single_port;
+    ports_before_integration = 1;
+    module_ila = Compose.union ~name:"UART-TX" [ ila ];
+    rtl;
+    refmap_for;
+    bugs = [];
+    coverage_assumptions = (fun _ -> []);
+  }

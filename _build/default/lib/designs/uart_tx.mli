@@ -1,0 +1,19 @@
+(** Extension case study: a UART transmitter — a single-command-
+    interface module whose one instruction takes a {e data-dependent}
+    number of cycles, verified with a [Within] finish condition (the
+    bounded-liveness form of the refinement check).
+
+    The SEND command latches a byte; the implementation then shifts out
+    start bit, eight data bits and a stop bit at one bit per
+    [cycles_per_bit] clock cycles.  The ILA's SEND instruction captures
+    the architectural effect (byte latched, [tx_busy] raised and —
+    eventually — released with [tx_done]); its finish condition is "the
+    first cycle where the shifter goes idle again", bounded by the
+    frame length. *)
+
+val cycles_per_bit : int
+val frame_cycles : int  (** 10 bits x cycles_per_bit *)
+
+val ila : Ilv_core.Ila.t
+val rtl : Ilv_rtl.Rtl.t
+val design : Design.t

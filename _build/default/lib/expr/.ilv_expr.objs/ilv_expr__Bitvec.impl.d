@@ -1,0 +1,1 @@
+lib/expr/bitvec.ml: Array Buffer Char Format List Printf String Sys

@@ -1,0 +1,1 @@
+lib/expr/bitvec.mli: Format

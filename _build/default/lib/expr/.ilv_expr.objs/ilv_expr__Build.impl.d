@@ -1,0 +1,1 @@
+lib/expr/build.ml: Bitvec Expr List Sort

@@ -1,0 +1,1 @@
+lib/expr/build.mli: Bitvec Expr Sort

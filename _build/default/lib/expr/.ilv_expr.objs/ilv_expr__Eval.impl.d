@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Bitvec Expr Format Hashtbl List Map Sort String Value

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Bitvec Format Hashtbl List Sort Stdlib String

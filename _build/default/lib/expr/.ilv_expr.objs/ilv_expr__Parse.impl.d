@@ -1,0 +1,1 @@
+lib/expr/parse.ml: Bitvec Buffer Build Expr Format List String

@@ -1,0 +1,1 @@
+lib/expr/pp_expr.ml: Bitvec Buffer Expr Format String

@@ -1,0 +1,1 @@
+lib/expr/pp_expr.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/expr/simp.ml: Build Expr Hashtbl

@@ -1,0 +1,1 @@
+lib/expr/sort.ml: Format

@@ -1,0 +1,1 @@
+lib/expr/subst.ml: Build Expr Format Hashtbl List Map Sort String

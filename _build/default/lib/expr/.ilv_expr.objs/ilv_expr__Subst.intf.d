@@ -1,0 +1,1 @@
+lib/expr/subst.mli: Expr

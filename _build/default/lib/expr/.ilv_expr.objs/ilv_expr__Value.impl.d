@@ -1,0 +1,1 @@
+lib/expr/value.ml: Bitvec Format Int Map Sort

@@ -1,0 +1,1 @@
+lib/expr/value.mli: Bitvec Format Map Sort

@@ -1,0 +1,407 @@
+(* Bitvectors are stored as little-endian arrays of [limb_bits]-bit
+   limbs.  [limb_bits] is chosen so that a limb product plus carries
+   fits comfortably in a native int, making multiplication safe without
+   arbitrary-precision arithmetic. *)
+
+let limb_bits = 24
+let limb_mask = (1 lsl limb_bits) - 1
+let max_width = 1 lsl 16
+
+exception Width_mismatch of string
+
+type t = { width : int; limbs : int array }
+
+let nlimbs width = (width + limb_bits - 1) / limb_bits
+
+let check_width w =
+  if w < 1 || w > max_width then
+    invalid_arg (Printf.sprintf "Bitvec: bad width %d" w)
+
+(* Mask the top limb so unused bits are zero; every constructor must
+   leave values normalized. *)
+let normalize v =
+  let top = nlimbs v.width - 1 in
+  let used = v.width - (top * limb_bits) in
+  if used < limb_bits then
+    v.limbs.(top) <- v.limbs.(top) land ((1 lsl used) - 1);
+  v
+
+let make width = { width; limbs = Array.make (nlimbs width) 0 }
+
+let zero width =
+  check_width width;
+  make width
+
+let ones width =
+  check_width width;
+  normalize { width; limbs = Array.make (nlimbs width) limb_mask }
+
+let of_int ~width n =
+  check_width width;
+  let v = make width in
+  let rec fill i n =
+    if i < Array.length v.limbs then begin
+      v.limbs.(i) <- n land limb_mask;
+      (* arithmetic shift keeps the sign-fill for negative inputs,
+         giving two's-complement truncation *)
+      fill (i + 1) (n asr limb_bits)
+    end
+  in
+  fill 0 n;
+  normalize v
+
+let one width = of_int ~width 1
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let width v = v.width
+
+let bit v i =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec.bit: out of range";
+  v.limbs.(i / limb_bits) land (1 lsl (i mod limb_bits)) <> 0
+
+let msb v = bit v (v.width - 1)
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+
+let equal a b =
+  a.width = b.width && Array.for_all2 (fun x y -> x = y) a.limbs b.limbs
+
+let hash v =
+  Array.fold_left (fun acc l -> (acc * 31) + l) (v.width * 7) v.limbs
+
+let require_same_width op a b =
+  if a.width <> b.width then
+    raise
+      (Width_mismatch
+         (Printf.sprintf "Bitvec.%s: width %d vs %d" op a.width b.width))
+
+let compare_u a b =
+  require_same_width "compare_u" a b;
+  let rec go i =
+    if i < 0 then 0
+    else if a.limbs.(i) <> b.limbs.(i) then compare a.limbs.(i) b.limbs.(i)
+    else go (i - 1)
+  in
+  go (Array.length a.limbs - 1)
+
+let compare_s a b =
+  require_same_width "compare_s" a b;
+  match (msb a, msb b) with
+  | true, false -> -1
+  | false, true -> 1
+  | _ -> compare_u a b
+
+let to_int v =
+  let bits_per_int = Sys.int_size - 1 in
+  let res = ref 0 in
+  Array.iteri
+    (fun i l ->
+      if l <> 0 then
+        if i * limb_bits + limb_bits <= bits_per_int then
+          res := !res lor (l lsl (i * limb_bits))
+        else invalid_arg "Bitvec.to_int: value too large")
+    v.limbs;
+  !res
+
+let to_bits v = List.init v.width (fun i -> bit v i)
+
+let of_bits bits =
+  match bits with
+  | [] -> invalid_arg "Bitvec.of_bits: empty"
+  | _ ->
+    let w = List.length bits in
+    check_width w;
+    let v = make w in
+    List.iteri
+      (fun i b ->
+        if b then
+          v.limbs.(i / limb_bits) <-
+            v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+      bits;
+    v
+
+(* Bitwise *)
+
+let map2 f a b =
+  let v = make a.width in
+  Array.iteri (fun i x -> v.limbs.(i) <- f x b.limbs.(i)) a.limbs;
+  v
+
+let lognot a =
+  let v = make a.width in
+  Array.iteri (fun i x -> v.limbs.(i) <- lnot x land limb_mask) a.limbs;
+  normalize v
+
+let logand a b = require_same_width "logand" a b; map2 ( land ) a b
+let logor a b = require_same_width "logor" a b; map2 ( lor ) a b
+let logxor a b = require_same_width "logxor" a b; map2 ( lxor ) a b
+
+(* Arithmetic *)
+
+let add a b =
+  require_same_width "add" a b;
+  let v = make a.width in
+  let carry = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let s = x + b.limbs.(i) + !carry in
+      v.limbs.(i) <- s land limb_mask;
+      carry := s lsr limb_bits)
+    a.limbs;
+  normalize v
+
+let neg a =
+  (* two's complement: ~a + 1 *)
+  add (lognot a) (one a.width)
+
+let sub a b =
+  require_same_width "sub" a b;
+  add a (neg b)
+
+let mul a b =
+  require_same_width "mul" a b;
+  let n = Array.length a.limbs in
+  let acc = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to n - 1 - i do
+        let s = acc.(i + j) + (a.limbs.(i) * b.limbs.(j)) + !carry in
+        acc.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done
+    end
+  done;
+  normalize { width = a.width; limbs = acc }
+
+(* Shifts by a constant amount. *)
+
+let shl a k =
+  if k < 0 then invalid_arg "Bitvec.shl: negative shift";
+  if k >= a.width then zero a.width
+  else begin
+    let v = make a.width in
+    for i = a.width - 1 downto k do
+      if bit a (i - k) then
+        v.limbs.(i / limb_bits) <-
+          v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    v
+  end
+
+let lshr a k =
+  if k < 0 then invalid_arg "Bitvec.lshr: negative shift";
+  if k >= a.width then zero a.width
+  else begin
+    let v = make a.width in
+    for i = 0 to a.width - 1 - k do
+      if bit a (i + k) then
+        v.limbs.(i / limb_bits) <-
+          v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    v
+  end
+
+let ashr a k =
+  if k < 0 then invalid_arg "Bitvec.ashr: negative shift";
+  let fill = msb a in
+  let v = lshr a (min k a.width) in
+  if fill then begin
+    let lo = max 0 (a.width - k) in
+    for i = lo to a.width - 1 do
+      v.limbs.(i / limb_bits) <-
+        v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done
+  end;
+  v
+
+(* Shift amount given as a bitvector: saturate at [width] so huge
+   symbolic amounts behave like "shifted everything out". *)
+let amount_of a sh =
+  let cap = a.width in
+  let rec go i acc =
+    if i >= sh.width then acc
+    else if acc >= cap then cap
+    else if bit sh i then
+      let p = if i >= 30 then cap else 1 lsl i in
+      go (i + 1) (min cap (acc + p))
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let shl_bv a sh = shl a (amount_of a sh)
+let lshr_bv a sh = lshr a (amount_of a sh)
+let ashr_bv a sh = ashr a (amount_of a sh)
+
+(* Division: simple restoring long division over bits.  SMT-LIB
+   semantics for division by zero. *)
+
+let divmod a b =
+  require_same_width "udiv" a b;
+  if is_zero b then (ones a.width, a)
+  else begin
+    let w = a.width in
+    let q = make w in
+    let r = ref (zero w) in
+    for i = w - 1 downto 0 do
+      r := shl !r 1;
+      if bit a i then r := logor !r (one w);
+      if compare_u !r b >= 0 then begin
+        r := sub !r b;
+        q.limbs.(i / limb_bits) <-
+          q.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (q, !r)
+  end
+
+let udiv a b = fst (divmod a b)
+let urem a b = snd (divmod a b)
+
+(* Structure *)
+
+let concat hi lo =
+  let w = hi.width + lo.width in
+  check_width w;
+  let v = make w in
+  for i = 0 to lo.width - 1 do
+    if bit lo i then
+      v.limbs.(i / limb_bits) <-
+        v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  for i = 0 to hi.width - 1 do
+    if bit hi i then begin
+      let j = i + lo.width in
+      v.limbs.(j / limb_bits) <-
+        v.limbs.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+    end
+  done;
+  v
+
+let extract ~hi ~lo a =
+  if lo < 0 || hi < lo || hi >= a.width then
+    invalid_arg
+      (Printf.sprintf "Bitvec.extract: [%d:%d] of width %d" hi lo a.width);
+  let v = make (hi - lo + 1) in
+  for i = lo to hi do
+    if bit a i then begin
+      let j = i - lo in
+      v.limbs.(j / limb_bits) <-
+        v.limbs.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+    end
+  done;
+  v
+
+let zero_extend a w =
+  if w < a.width then invalid_arg "Bitvec.zero_extend: narrowing";
+  check_width w;
+  let v = make w in
+  Array.blit a.limbs 0 v.limbs 0 (Array.length a.limbs);
+  v
+
+let sign_extend a w =
+  if w < a.width then invalid_arg "Bitvec.sign_extend: narrowing";
+  check_width w;
+  let v = zero_extend a w in
+  if msb a then begin
+    for i = a.width to w - 1 do
+      v.limbs.(i / limb_bits) <-
+        v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done
+  end;
+  v
+
+let to_signed_int v =
+  if msb v then -(to_int (neg v)) else to_int v
+
+(* Predicates *)
+
+let ult a b = compare_u a b < 0
+let ule a b = compare_u a b <= 0
+let slt a b = compare_s a b < 0
+let sle a b = compare_s a b <= 0
+
+(* Printing / parsing *)
+
+let to_bin_string v =
+  let buf = Buffer.create (v.width + 2) in
+  Buffer.add_string buf "0b";
+  for i = v.width - 1 downto 0 do
+    Buffer.add_char buf (if bit v i then '1' else '0')
+  done;
+  Buffer.contents buf
+
+let to_string v =
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf "0x";
+  let ndigits = (v.width + 3) / 4 in
+  for d = ndigits - 1 downto 0 do
+    let nib = ref 0 in
+    for k = 3 downto 0 do
+      let i = (d * 4) + k in
+      nib := (!nib lsl 1) lor (if i < v.width && bit v i then 1 else 0)
+    done;
+    Buffer.add_char buf "0123456789abcdef".[!nib]
+  done;
+  Buffer.add_string buf (Printf.sprintf ":%d" v.width);
+  Buffer.contents buf
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Bitvec.of_string: %S" s) in
+  let body, explicit_width =
+    match String.index_opt s ':' with
+    | Some i ->
+      let w =
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some w when w >= 1 -> w
+        | Some _ | None -> fail ()
+      in
+      (String.sub s 0 i, Some w)
+    | None -> (s, None)
+  in
+  let starts_with p = String.length body > 2 && String.sub body 0 2 = p in
+  if starts_with "0b" then begin
+    let digits = String.sub body 2 (String.length body - 2) in
+    let bits =
+      List.rev_map
+        (function '0' -> false | '1' -> true | _ -> fail ())
+        (List.init (String.length digits) (String.get digits))
+    in
+    let v = of_bits bits in
+    match explicit_width with
+    | None -> v
+    | Some w when w >= width v -> zero_extend v w
+    | Some w -> extract ~hi:(w - 1) ~lo:0 v
+  end
+  else if starts_with "0x" then begin
+    let digits = String.sub body 2 (String.length body - 2) in
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail ()
+    in
+    let nibbles = List.init (String.length digits) (String.get digits) in
+    (* least significant hex digit contributes the lowest 4 bits *)
+    let bits =
+      List.concat_map
+        (fun c ->
+          let n = nibble c in
+          List.init 4 (fun k -> n land (1 lsl k) <> 0))
+        (List.rev nibbles)
+    in
+    let v = of_bits bits in
+    match explicit_width with
+    | None -> v
+    | Some w when w >= width v -> zero_extend v w
+    | Some w -> extract ~hi:(w - 1) ~lo:0 v
+  end
+  else begin
+    match (int_of_string_opt body, explicit_width) with
+    | Some n, Some w -> of_int ~width:w n
+    | Some _, None | None, _ -> fail ()
+  end

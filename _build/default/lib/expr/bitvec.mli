@@ -1,0 +1,140 @@
+(** Arbitrary-width bitvectors.
+
+    A bitvector has a fixed positive width [w] and holds an unsigned
+    value in [0, 2^w).  All arithmetic is modulo [2^w]; signed
+    operations interpret the value in two's complement.  Widths up to a
+    few thousand bits are supported; the implementation uses fixed-size
+    integer limbs, so every operation is total and never overflows. *)
+
+type t
+
+val max_width : int
+(** Largest supported width (generous; raising beyond it is a bug). *)
+
+exception Width_mismatch of string
+(** Raised by binary operations whose arguments have different widths. *)
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the value 1 at width [w]. Requires [w >= 1]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates [n] to [width] bits.  Negative [n] is
+    interpreted in two's complement. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1, [false] is 0. *)
+
+val of_string : string -> t
+(** Parses ["0b1010"], ["0xff:8"] or ["12:8"] (value:width; hex and
+    binary infer width from digit count when no [:width] is given).
+    @raise Invalid_argument on malformed input. *)
+
+val of_bits : bool list -> t
+(** [of_bits bits] builds a vector from a list of bits, least
+    significant first.  The width is [List.length bits] (must be >= 1). *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val to_int : t -> int
+(** Unsigned value as a native int.
+    @raise Invalid_argument if the value does not fit in a native int. *)
+
+val to_signed_int : t -> int
+(** Two's-complement value as a native int.
+    @raise Invalid_argument if it does not fit. *)
+
+val to_bits : t -> bool list
+(** Bits, least significant first. *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = least significant). *)
+
+val msb : t -> bool
+
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality; requires equal widths (else [false]). *)
+
+val compare_u : t -> t -> int
+(** Unsigned comparison. @raise Width_mismatch on width mismatch. *)
+
+val compare_s : t -> t -> int
+(** Signed (two's complement) comparison. *)
+
+val hash : t -> int
+
+(** {1 Bitwise operations} *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** {1 Arithmetic (modulo [2^w])} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val udiv : t -> t -> t
+(** SMT-LIB semantics: [udiv x 0] is all-ones. *)
+
+val urem : t -> t -> t
+(** SMT-LIB semantics: [urem x 0] is [x]. *)
+
+(** {1 Shifts} *)
+
+val shl : t -> int -> t
+val lshr : t -> int -> t
+val ashr : t -> int -> t
+
+val shl_bv : t -> t -> t
+(** Shift by the unsigned value of the second argument (any width);
+    amounts >= width yield zero (or sign fill for {!ashr_bv}). *)
+
+val lshr_bv : t -> t -> t
+val ashr_bv : t -> t -> t
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat hi lo] has width [width hi + width lo]; [lo] occupies the
+    least significant bits. *)
+
+val extract : hi:int -> lo:int -> t -> t
+(** [extract ~hi ~lo v] is bits [lo..hi] inclusive, width [hi-lo+1].
+    Requires [0 <= lo <= hi < width v]. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] widens to width [w] (>= current width). *)
+
+val sign_extend : t -> int -> t
+
+(** {1 Predicates} *)
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Hex form, e.g. ["0xff:8"]. *)
+
+val to_bin_string : t -> string
+(** Binary form, e.g. ["0b11111111"]. *)
+
+val pp : Format.formatter -> t -> unit

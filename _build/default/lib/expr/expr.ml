@@ -1,0 +1,325 @@
+type bv_unop = Bv_not | Bv_neg
+
+type bv_binop =
+  | Bv_add
+  | Bv_sub
+  | Bv_mul
+  | Bv_udiv
+  | Bv_urem
+  | Bv_and
+  | Bv_or
+  | Bv_xor
+  | Bv_shl
+  | Bv_lshr
+  | Bv_ashr
+
+type bv_cmp = Bv_ult | Bv_ule | Bv_slt | Bv_sle
+
+type t = { id : int; sort : Sort.t; node : node }
+
+and node =
+  | Var of string
+  | Bool_const of bool
+  | Bv_const of Bitvec.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Implies of t * t
+  | Eq of t * t
+  | Ite of t * t * t
+  | Unop of bv_unop * t
+  | Binop of bv_binop * t * t
+  | Cmp of bv_cmp * t * t
+  | Concat of t * t
+  | Extract of { hi : int; lo : int; arg : t }
+  | Extend of { signed : bool; width : int; arg : t }
+  | Read of { mem : t; addr : t }
+  | Write of { mem : t; addr : t; data : t }
+  | Mem_init of { addr_width : int; default : Bitvec.t }
+
+exception Sort_error of string
+
+let id e = e.id
+let sort e = e.sort
+let node e = e.node
+let equal a b = a == b
+let compare a b = Stdlib.compare a.id b.id
+let hash e = e.id
+
+let width e =
+  match e.sort with
+  | Sort.Bitvec w -> w
+  | Sort.Bool | Sort.Mem _ ->
+    raise (Sort_error (Format.asprintf "expected bitvector, got %a" Sort.pp e.sort))
+
+(* Hash-consing: structural equality one level deep (children compared
+   by physical identity), with the sort folded into the key. *)
+
+let unop_tag = function Bv_not -> 0 | Bv_neg -> 1
+
+let binop_tag = function
+  | Bv_add -> 0
+  | Bv_sub -> 1
+  | Bv_mul -> 2
+  | Bv_udiv -> 3
+  | Bv_urem -> 4
+  | Bv_and -> 5
+  | Bv_or -> 6
+  | Bv_xor -> 7
+  | Bv_shl -> 8
+  | Bv_lshr -> 9
+  | Bv_ashr -> 10
+
+let cmp_tag = function Bv_ult -> 0 | Bv_ule -> 1 | Bv_slt -> 2 | Bv_sle -> 3
+
+let node_hash sort n =
+  let h =
+    match n with
+    | Var s -> 3 + Hashtbl.hash s
+    | Bool_const b -> if b then 5 else 7
+    | Bv_const v -> 11 + Bitvec.hash v
+    | Not a -> 13 + a.id
+    | And (a, b) -> 17 + (a.id * 31) + b.id
+    | Or (a, b) -> 19 + (a.id * 31) + b.id
+    | Xor (a, b) -> 23 + (a.id * 31) + b.id
+    | Implies (a, b) -> 29 + (a.id * 31) + b.id
+    | Eq (a, b) -> 37 + (a.id * 31) + b.id
+    | Ite (c, a, b) -> 41 + (c.id * 961) + (a.id * 31) + b.id
+    | Unop (op, a) -> 43 + (unop_tag op * 31) + a.id
+    | Binop (op, a, b) -> 47 + (binop_tag op * 961) + (a.id * 31) + b.id
+    | Cmp (op, a, b) -> 53 + (cmp_tag op * 961) + (a.id * 31) + b.id
+    | Concat (a, b) -> 59 + (a.id * 31) + b.id
+    | Extract { hi; lo; arg } -> 61 + (hi * 961) + (lo * 31) + arg.id
+    | Extend { signed; width; arg } ->
+      67 + (if signed then 997 else 0) + (width * 31) + arg.id
+    | Read { mem; addr } -> 71 + (mem.id * 31) + addr.id
+    | Write { mem; addr; data } ->
+      73 + (mem.id * 961) + (addr.id * 31) + data.id
+    | Mem_init { addr_width; default } ->
+      79 + (addr_width * 31) + Bitvec.hash default
+  in
+  (h * 131) + Sort.hash sort
+
+let node_equal (s1, n1) (s2, n2) =
+  Sort.equal s1 s2
+  &&
+  match (n1, n2) with
+  | Var a, Var b -> String.equal a b
+  | Bool_const a, Bool_const b -> a = b
+  | Bv_const a, Bv_const b -> Bitvec.equal a b
+  | Not a, Not b -> a == b
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2)
+  | Xor (a1, a2), Xor (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Eq (a1, a2), Eq (b1, b2)
+  | Concat (a1, a2), Concat (b1, b2) -> a1 == b1 && a2 == b2
+  | Ite (c1, a1, a2), Ite (c2, b1, b2) -> c1 == c2 && a1 == b1 && a2 == b2
+  | Unop (o1, a), Unop (o2, b) -> o1 = o2 && a == b
+  | Binop (o1, a1, a2), Binop (o2, b1, b2) ->
+    o1 = o2 && a1 == b1 && a2 == b2
+  | Cmp (o1, a1, a2), Cmp (o2, b1, b2) -> o1 = o2 && a1 == b1 && a2 == b2
+  | Extract a, Extract b -> a.hi = b.hi && a.lo = b.lo && a.arg == b.arg
+  | Extend a, Extend b ->
+    a.signed = b.signed && a.width = b.width && a.arg == b.arg
+  | Read a, Read b -> a.mem == b.mem && a.addr == b.addr
+  | Write a, Write b -> a.mem == b.mem && a.addr == b.addr && a.data == b.data
+  | Mem_init a, Mem_init b ->
+    a.addr_width = b.addr_width && Bitvec.equal a.default b.default
+  | ( ( Var _ | Bool_const _ | Bv_const _ | Not _ | And _ | Or _ | Xor _
+      | Implies _ | Eq _ | Ite _ | Unop _ | Binop _ | Cmp _ | Concat _
+      | Extract _ | Extend _ | Read _ | Write _ | Mem_init _ ),
+      _ ) -> false
+
+module Key = struct
+  type t = Sort.t * node
+
+  let equal = node_equal
+  let hash (s, n) = node_hash s n
+end
+
+module Table = Hashtbl.Make (Key)
+
+let table : t Table.t = Table.create 65_536
+let next_id = ref 0
+
+let mk sort node =
+  let key = (sort, node) in
+  match Table.find_opt table key with
+  | Some e -> e
+  | None ->
+    let e = { id = !next_id; sort; node } in
+    incr next_id;
+    Table.add table key e;
+    e
+
+(* Checked constructors *)
+
+let sort_err fmt = Format.kasprintf (fun s -> raise (Sort_error s)) fmt
+
+let require_bool who e =
+  if not (Sort.is_bool e.sort) then
+    sort_err "%s: expected bool, got %a" who Sort.pp e.sort
+
+let require_bv who e =
+  if not (Sort.is_bv e.sort) then
+    sort_err "%s: expected bitvector, got %a" who Sort.pp e.sort
+
+let require_same who a b =
+  if not (Sort.equal a.sort b.sort) then
+    sort_err "%s: sort mismatch %a vs %a" who Sort.pp a.sort Sort.pp b.sort
+
+let var name s = mk s (Var name)
+let bool_const b = mk Sort.Bool (Bool_const b)
+let bv_const v = mk (Sort.bv (Bitvec.width v)) (Bv_const v)
+
+let not_ a =
+  require_bool "not" a;
+  mk Sort.Bool (Not a)
+
+let bool2 who ctor a b =
+  require_bool who a;
+  require_bool who b;
+  mk Sort.Bool (ctor a b)
+
+let and_ a b = bool2 "and" (fun a b -> And (a, b)) a b
+let or_ a b = bool2 "or" (fun a b -> Or (a, b)) a b
+let xor_ a b = bool2 "xor" (fun a b -> Xor (a, b)) a b
+let implies a b = bool2 "implies" (fun a b -> Implies (a, b)) a b
+
+let eq a b =
+  require_same "eq" a b;
+  mk Sort.Bool (Eq (a, b))
+
+let ite c a b =
+  require_bool "ite" c;
+  require_same "ite" a b;
+  mk a.sort (Ite (c, a, b))
+
+let unop op a =
+  require_bv "bv-unop" a;
+  mk a.sort (Unop (op, a))
+
+let binop op a b =
+  require_bv "bv-binop" a;
+  require_same "bv-binop" a b;
+  mk a.sort (Binop (op, a, b))
+
+let cmp op a b =
+  require_bv "bv-cmp" a;
+  require_same "bv-cmp" a b;
+  mk Sort.Bool (Cmp (op, a, b))
+
+let concat hi lo =
+  require_bv "concat" hi;
+  require_bv "concat" lo;
+  mk (Sort.bv (width hi + width lo)) (Concat (hi, lo))
+
+let extract ~hi ~lo arg =
+  require_bv "extract" arg;
+  if lo < 0 || hi < lo || hi >= width arg then
+    sort_err "extract: bad range [%d:%d] of bv%d" hi lo (width arg);
+  mk (Sort.bv (hi - lo + 1)) (Extract { hi; lo; arg })
+
+let extend ~signed ~width:w arg =
+  require_bv "extend" arg;
+  if w < width arg then sort_err "extend: narrowing bv%d to bv%d" (width arg) w;
+  if w = width arg then arg else mk (Sort.bv w) (Extend { signed; width = w; arg })
+
+let mem_sorts who mem =
+  match mem.sort with
+  | Sort.Mem { addr_width; data_width } -> (addr_width, data_width)
+  | Sort.Bool | Sort.Bitvec _ ->
+    sort_err "%s: expected memory, got %a" who Sort.pp mem.sort
+
+let read ~mem ~addr =
+  let addr_width, data_width = mem_sorts "read" mem in
+  require_bv "read" addr;
+  if width addr <> addr_width then
+    sort_err "read: address bv%d for mem with addr_width %d" (width addr)
+      addr_width;
+  mk (Sort.bv data_width) (Read { mem; addr })
+
+let write ~mem ~addr ~data =
+  let addr_width, data_width = mem_sorts "write" mem in
+  require_bv "write" addr;
+  require_bv "write" data;
+  if width addr <> addr_width then
+    sort_err "write: address bv%d for mem with addr_width %d" (width addr)
+      addr_width;
+  if width data <> data_width then
+    sort_err "write: data bv%d for mem with data_width %d" (width data)
+      data_width;
+  mk mem.sort (Write { mem; addr; data })
+
+let mem_init ~addr_width ~default =
+  mk
+    (Sort.mem ~addr_width ~data_width:(Bitvec.width default))
+    (Mem_init { addr_width; default })
+
+(* Traversal *)
+
+let children e =
+  match e.node with
+  | Var _ | Bool_const _ | Bv_const _ | Mem_init _ -> []
+  | Not a | Unop (_, a) | Extract { arg = a; _ } | Extend { arg = a; _ } -> [ a ]
+  | And (a, b)
+  | Or (a, b)
+  | Xor (a, b)
+  | Implies (a, b)
+  | Eq (a, b)
+  | Binop (_, a, b)
+  | Cmp (_, a, b)
+  | Concat (a, b) -> [ a; b ]
+  | Read { mem; addr } -> [ mem; addr ]
+  | Ite (c, a, b) -> [ c; a; b ]
+  | Write { mem; addr; data } -> [ mem; addr; data ]
+
+let fold f init e =
+  let seen = Hashtbl.create 64 in
+  let rec go acc e =
+    if Hashtbl.mem seen e.id then acc
+    else begin
+      Hashtbl.add seen e.id ();
+      let acc = List.fold_left go acc (children e) in
+      f acc e
+    end
+  in
+  go init e
+
+let dag_size e = fold (fun n _ -> n + 1) 0 e
+
+let vars e =
+  let add acc e =
+    match e.node with Var name -> (name, e.sort) :: acc | _ -> acc
+  in
+  fold add [] e
+  |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_unop fmt = function
+  | Bv_not -> Format.pp_print_string fmt "bvnot"
+  | Bv_neg -> Format.pp_print_string fmt "bvneg"
+
+let pp_binop fmt op =
+  Format.pp_print_string fmt
+    (match op with
+    | Bv_add -> "bvadd"
+    | Bv_sub -> "bvsub"
+    | Bv_mul -> "bvmul"
+    | Bv_udiv -> "bvudiv"
+    | Bv_urem -> "bvurem"
+    | Bv_and -> "bvand"
+    | Bv_or -> "bvor"
+    | Bv_xor -> "bvxor"
+    | Bv_shl -> "bvshl"
+    | Bv_lshr -> "bvlshr"
+    | Bv_ashr -> "bvashr")
+
+let pp_cmp fmt op =
+  Format.pp_print_string fmt
+    (match op with
+    | Bv_ult -> "bvult"
+    | Bv_ule -> "bvule"
+    | Bv_slt -> "bvslt"
+    | Bv_sle -> "bvsle")

@@ -1,0 +1,117 @@
+(** Hash-consed, typed expressions over booleans, bitvectors and
+    memories.
+
+    This is the shared word-level language of the whole system: ILA
+    decode and next-state functions, RTL combinational logic, refinement
+    maps and generated properties are all expressions of this type.
+
+    Construction goes through the checked constructors below, which
+    enforce sorts and perform hash-consing so that structurally equal
+    expressions are physically equal (and carry equal {!id}s).  Constant
+    folding and algebraic simplification live in {!Build}; the
+    constructors here are raw. *)
+
+type bv_unop = Bv_not | Bv_neg
+
+type bv_binop =
+  | Bv_add
+  | Bv_sub
+  | Bv_mul
+  | Bv_udiv
+  | Bv_urem
+  | Bv_and
+  | Bv_or
+  | Bv_xor
+  | Bv_shl
+  | Bv_lshr
+  | Bv_ashr
+
+type bv_cmp = Bv_ult | Bv_ule | Bv_slt | Bv_sle
+
+type t = private { id : int; sort : Sort.t; node : node }
+
+and node =
+  | Var of string
+  | Bool_const of bool
+  | Bv_const of Bitvec.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Implies of t * t
+  | Eq of t * t
+  | Ite of t * t * t
+  | Unop of bv_unop * t
+  | Binop of bv_binop * t * t
+  | Cmp of bv_cmp * t * t
+  | Concat of t * t  (** first argument is the high part *)
+  | Extract of { hi : int; lo : int; arg : t }
+  | Extend of { signed : bool; width : int; arg : t }
+      (** [width] is the target width *)
+  | Read of { mem : t; addr : t }
+  | Write of { mem : t; addr : t; data : t }
+  | Mem_init of { addr_width : int; default : Bitvec.t }
+      (** constant memory, every word equal to [default] *)
+
+exception Sort_error of string
+(** Raised by constructors on ill-sorted arguments. *)
+
+(** {1 Observation} *)
+
+val id : t -> int
+val sort : t -> Sort.t
+val node : t -> node
+
+val equal : t -> t -> bool
+(** Physical equality, thanks to hash-consing. *)
+
+val compare : t -> t -> int
+(** Total order by id. *)
+
+val hash : t -> int
+
+val width : t -> int
+(** Width of a bitvector-sorted expression.
+    @raise Sort_error otherwise. *)
+
+(** {1 Constructors} *)
+
+val var : string -> Sort.t -> t
+val bool_const : bool -> t
+val bv_const : Bitvec.t -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor_ : t -> t -> t
+val implies : t -> t -> t
+val eq : t -> t -> t
+val ite : t -> t -> t -> t
+val unop : bv_unop -> t -> t
+val binop : bv_binop -> t -> t -> t
+(** Both operands must have the same width (shift amounts included). *)
+
+val cmp : bv_cmp -> t -> t -> t
+val concat : t -> t -> t
+val extract : hi:int -> lo:int -> t -> t
+val extend : signed:bool -> width:int -> t -> t
+val read : mem:t -> addr:t -> t
+val write : mem:t -> addr:t -> data:t -> t
+val mem_init : addr_width:int -> default:Bitvec.t -> t
+
+(** {1 Traversal} *)
+
+val children : t -> t list
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Bottom-up fold over the DAG; each distinct subexpression is visited
+    exactly once. *)
+
+val dag_size : t -> int
+(** Number of distinct subexpressions. *)
+
+val vars : t -> (string * Sort.t) list
+(** Free variables, sorted by name, without duplicates. *)
+
+val pp_unop : Format.formatter -> bv_unop -> unit
+val pp_binop : Format.formatter -> bv_binop -> unit
+val pp_cmp : Format.formatter -> bv_cmp -> unit

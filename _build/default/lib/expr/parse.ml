@@ -1,0 +1,132 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token = Lparen | Rparen | Atom of string
+
+let tokenize text =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        flush ();
+        tokens := Lparen :: !tokens
+      | ')' ->
+        flush ();
+        tokens := Rparen :: !tokens
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | _ -> Buffer.add_char buf c)
+    text;
+  flush ();
+  List.rev !tokens
+
+(* S-expression layer. *)
+type sexp = A of string | L of sexp list
+
+let parse_sexp tokens =
+  let rec one = function
+    | [] -> fail "unexpected end of input"
+    | Atom a :: rest -> (A a, rest)
+    | Lparen :: rest ->
+      let items, rest = many rest in
+      (L items, rest)
+    | Rparen :: _ -> fail "unexpected ')'"
+  and many = function
+    | [] -> fail "missing ')'"
+    | Rparen :: rest -> ([], rest)
+    | tokens ->
+      let item, rest = one tokens in
+      let items, rest = many rest in
+      (item :: items, rest)
+  in
+  match one tokens with
+  | e, [] -> e
+  | _, _ -> fail "trailing input"
+
+let int_atom = function
+  | A a -> (
+    match int_of_string_opt a with
+    | Some n -> n
+    | None -> fail "expected integer, got %s" a)
+  | L _ -> fail "expected integer"
+
+let is_literal a =
+  String.length a >= 2
+  && (String.sub a 0 2 = "0x" || String.sub a 0 2 = "0b")
+
+let expr ~env text =
+  let lookup name =
+    match env name with
+    | Some sort -> Expr.var name sort
+    | None -> fail "unknown variable %s" name
+  in
+  let rec conv = function
+    | A "true" -> Build.tt
+    | A "false" -> Build.ff
+    | A a when is_literal a -> (
+      try Build.bv_of (Bitvec.of_string a)
+      with Invalid_argument _ -> fail "bad literal %s" a)
+    | A name -> lookup name
+    | L [ A "const-mem"; aw; A lit ] when is_literal lit ->
+      Build.const_mem ~addr_width:(int_atom aw)
+        ~default:(Bitvec.of_string lit)
+    | L (A op :: args) -> apply op (List.map conv args)
+    | L (L [ A "extract"; hi; lo ] :: [ arg ]) ->
+      Build.extract ~hi:(int_atom hi) ~lo:(int_atom lo) (conv arg)
+    | L (L [ A "zext"; w ] :: [ arg ]) -> Build.zext (conv arg) (int_atom w)
+    | L (L [ A "sext"; w ] :: [ arg ]) -> Build.sext (conv arg) (int_atom w)
+    | L _ -> fail "malformed application"
+  and apply op args =
+    let one () =
+      match args with [ a ] -> a | _ -> fail "%s expects 1 argument" op
+    in
+    let two () =
+      match args with
+      | [ a; b ] -> (a, b)
+      | _ -> fail "%s expects 2 arguments" op
+    in
+    let three () =
+      match args with
+      | [ a; b; c ] -> (a, b, c)
+      | _ -> fail "%s expects 3 arguments" op
+    in
+    match op with
+    | "not" -> Build.not_ (one ())
+    | "and" -> let a, b = two () in Build.( &&: ) a b
+    | "or" -> let a, b = two () in Build.( ||: ) a b
+    | "xor" -> let a, b = two () in Build.xor a b
+    | "=>" -> let a, b = two () in Build.( ==>: ) a b
+    | "=" -> let a, b = two () in Build.eq a b
+    | "ite" -> let c, a, b = three () in Build.ite c a b
+    | "bvnot" -> Build.bv_not (one ())
+    | "bvneg" -> Build.bv_neg (one ())
+    | "bvadd" -> let a, b = two () in Build.( +: ) a b
+    | "bvsub" -> let a, b = two () in Build.( -: ) a b
+    | "bvmul" -> let a, b = two () in Build.( *: ) a b
+    | "bvudiv" -> let a, b = two () in Build.udiv a b
+    | "bvurem" -> let a, b = two () in Build.urem a b
+    | "bvand" -> let a, b = two () in Build.( &: ) a b
+    | "bvor" -> let a, b = two () in Build.( |: ) a b
+    | "bvxor" -> let a, b = two () in Build.( ^: ) a b
+    | "bvshl" -> let a, b = two () in Build.shl a b
+    | "bvlshr" -> let a, b = two () in Build.lshr a b
+    | "bvashr" -> let a, b = two () in Build.ashr a b
+    | "bvult" -> let a, b = two () in Build.( <: ) a b
+    | "bvule" -> let a, b = two () in Build.( <=: ) a b
+    | "bvslt" -> let a, b = two () in Build.slt a b
+    | "bvsle" -> let a, b = two () in Build.sle a b
+    | "concat" -> let a, b = two () in Build.concat a b
+    | "select" -> let m, a = two () in Build.read m a
+    | "store" -> let m, a, d = three () in Build.write m a d
+    | "const-mem" -> fail "const-mem takes a width and a literal"
+    | other -> fail "unknown operator %s" other
+  in
+  conv (parse_sexp (tokenize text))

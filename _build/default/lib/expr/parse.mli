@@ -1,0 +1,14 @@
+(** Parsing of the s-expression syntax printed by {!Pp_expr.pp}.
+
+    Variables carry no sort annotation in the surface syntax, so the
+    caller supplies a sort environment (usually the name table of an
+    RTL design or an ILA).  Expressions are rebuilt through {!Build},
+    so parsing an already-simplified printout yields the same
+    hash-consed node in practice. *)
+
+exception Parse_error of string
+
+val expr : env:(string -> Sort.t option) -> string -> Expr.t
+(** Parses one expression.
+    @raise Parse_error on syntax errors or unknown variables.
+    @raise Expr.Sort_error on ill-sorted applications. *)

@@ -1,0 +1,105 @@
+open Format
+
+let rec pp fmt e =
+  match Expr.node e with
+  | Expr.Var name -> pp_print_string fmt name
+  | Expr.Bool_const b -> pp_print_bool fmt b
+  | Expr.Bv_const v -> Bitvec.pp fmt v
+  | Expr.Not a -> fprintf fmt "@[<hov 2>(not@ %a)@]" pp a
+  | Expr.And (a, b) -> fprintf fmt "@[<hov 2>(and@ %a@ %a)@]" pp a pp b
+  | Expr.Or (a, b) -> fprintf fmt "@[<hov 2>(or@ %a@ %a)@]" pp a pp b
+  | Expr.Xor (a, b) -> fprintf fmt "@[<hov 2>(xor@ %a@ %a)@]" pp a pp b
+  | Expr.Implies (a, b) -> fprintf fmt "@[<hov 2>(=>@ %a@ %a)@]" pp a pp b
+  | Expr.Eq (a, b) -> fprintf fmt "@[<hov 2>(=@ %a@ %a)@]" pp a pp b
+  | Expr.Ite (c, a, b) ->
+    fprintf fmt "@[<hov 2>(ite@ %a@ %a@ %a)@]" pp c pp a pp b
+  | Expr.Unop (op, a) -> fprintf fmt "@[<hov 2>(%a@ %a)@]" Expr.pp_unop op pp a
+  | Expr.Binop (op, a, b) ->
+    fprintf fmt "@[<hov 2>(%a@ %a@ %a)@]" Expr.pp_binop op pp a pp b
+  | Expr.Cmp (op, a, b) ->
+    fprintf fmt "@[<hov 2>(%a@ %a@ %a)@]" Expr.pp_cmp op pp a pp b
+  | Expr.Concat (a, b) -> fprintf fmt "@[<hov 2>(concat@ %a@ %a)@]" pp a pp b
+  | Expr.Extract { hi; lo; arg } ->
+    fprintf fmt "@[<hov 2>((extract %d %d)@ %a)@]" hi lo pp arg
+  | Expr.Extend { signed; width; arg } ->
+    fprintf fmt "@[<hov 2>((%s %d)@ %a)@]"
+      (if signed then "sext" else "zext")
+      width pp arg
+  | Expr.Read { mem; addr } ->
+    fprintf fmt "@[<hov 2>(select@ %a@ %a)@]" pp mem pp addr
+  | Expr.Write { mem; addr; data } ->
+    fprintf fmt "@[<hov 2>(store@ %a@ %a@ %a)@]" pp mem pp addr pp data
+  | Expr.Mem_init { addr_width; default } ->
+    fprintf fmt "@[<hov 2>(const-mem@ %d@ %a)@]" addr_width Bitvec.pp default
+
+let to_string e = asprintf "%a" pp e
+
+(* Infix rendering, used for the human-readable property dumps that
+   mirror the paper's Fig. 5.  Parenthesization is conservative. *)
+
+let infix_binop = function
+  | Expr.Bv_add -> "+"
+  | Expr.Bv_sub -> "-"
+  | Expr.Bv_mul -> "*"
+  | Expr.Bv_udiv -> "/u"
+  | Expr.Bv_urem -> "%u"
+  | Expr.Bv_and -> "&"
+  | Expr.Bv_or -> "|"
+  | Expr.Bv_xor -> "^"
+  | Expr.Bv_shl -> "<<"
+  | Expr.Bv_lshr -> ">>"
+  | Expr.Bv_ashr -> ">>>"
+
+let infix_cmp = function
+  | Expr.Bv_ult -> "<u"
+  | Expr.Bv_ule -> "<=u"
+  | Expr.Bv_slt -> "<s"
+  | Expr.Bv_sle -> "<=s"
+
+let rec pp_infix fmt e =
+  match Expr.node e with
+  | Expr.Var name -> pp_print_string fmt name
+  | Expr.Bool_const b -> pp_print_bool fmt b
+  | Expr.Bv_const v -> Bitvec.pp fmt v
+  | Expr.Not a -> fprintf fmt "!%a" pp_atom a
+  | Expr.And (a, b) ->
+    fprintf fmt "@[<hov>%a &&@ %a@]" pp_atom a pp_atom b
+  | Expr.Or (a, b) -> fprintf fmt "@[<hov>%a ||@ %a@]" pp_atom a pp_atom b
+  | Expr.Xor (a, b) -> fprintf fmt "@[<hov>%a ^^@ %a@]" pp_atom a pp_atom b
+  | Expr.Implies (a, b) ->
+    fprintf fmt "@[<hov>%a ->@ %a@]" pp_atom a pp_atom b
+  | Expr.Eq (a, b) -> fprintf fmt "@[<hov>%a ==@ %a@]" pp_atom a pp_atom b
+  | Expr.Ite (c, a, b) ->
+    fprintf fmt "@[<hov>%a ?@ %a :@ %a@]" pp_atom c pp_atom a pp_atom b
+  | Expr.Unop (Expr.Bv_not, a) -> fprintf fmt "~%a" pp_atom a
+  | Expr.Unop (Expr.Bv_neg, a) -> fprintf fmt "-%a" pp_atom a
+  | Expr.Binop (op, a, b) ->
+    fprintf fmt "@[<hov>%a %s@ %a@]" pp_atom a (infix_binop op) pp_atom b
+  | Expr.Cmp (op, a, b) ->
+    fprintf fmt "@[<hov>%a %s@ %a@]" pp_atom a (infix_cmp op) pp_atom b
+  | Expr.Concat (a, b) -> fprintf fmt "@[<hov>{%a,@ %a}@]" pp_infix a pp_infix b
+  | Expr.Extract { hi; lo; arg } -> fprintf fmt "%a[%d:%d]" pp_atom arg hi lo
+  | Expr.Extend { signed; width; arg } ->
+    fprintf fmt "%s(%a, %d)" (if signed then "sext" else "zext") pp_infix arg
+      width
+  | Expr.Read { mem; addr } -> fprintf fmt "%a[%a]" pp_atom mem pp_infix addr
+  | Expr.Write { mem; addr; data } ->
+    fprintf fmt "%a[%a := %a]" pp_atom mem pp_infix addr pp_infix data
+  | Expr.Mem_init { default; _ } ->
+    fprintf fmt "const_mem(%a)" Bitvec.pp default
+
+and pp_atom fmt e =
+  match Expr.node e with
+  | Expr.Var _ | Expr.Bool_const _ | Expr.Bv_const _ | Expr.Extract _
+  | Expr.Read _ | Expr.Mem_init _ -> pp_infix fmt e
+  | _ -> fprintf fmt "(%a)" pp_infix e
+
+let infix_to_string e = asprintf "%a" pp_infix e
+
+let line_count e =
+  let buf = Buffer.create 256 in
+  let fmt = formatter_of_buffer buf in
+  pp_set_margin fmt 80;
+  fprintf fmt "%a@?" pp e;
+  let s = Buffer.contents buf in
+  1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s

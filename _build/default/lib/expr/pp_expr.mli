@@ -1,0 +1,17 @@
+(** Pretty-printing of expressions in a compact SMT-LIB-like syntax. *)
+
+val pp : Format.formatter -> Expr.t -> unit
+(** Tree rendering (shared subexpressions are printed repeatedly); use
+    for small expressions such as decode conditions. *)
+
+val to_string : Expr.t -> string
+
+val pp_infix : Format.formatter -> Expr.t -> unit
+(** Infix rendering with operators like [&&], [==], [+]; used by the
+    Fig.-5-style property printer. *)
+
+val infix_to_string : Expr.t -> string
+
+val line_count : Expr.t -> int
+(** Number of lines the expression occupies when pretty-printed at 80
+    columns; this is the paper's "LoC" metric for model size. *)

@@ -1,0 +1,49 @@
+type t =
+  | Bool
+  | Bitvec of int
+  | Mem of { addr_width : int; data_width : int }
+
+let bool = Bool
+
+let bv w =
+  if w < 1 then invalid_arg "Sort.bv: width must be >= 1";
+  Bitvec w
+
+let mem ~addr_width ~data_width =
+  if addr_width < 1 || addr_width > 20 then
+    invalid_arg "Sort.mem: addr_width out of range [1,20]";
+  if data_width < 1 then invalid_arg "Sort.mem: data_width must be >= 1";
+  Mem { addr_width; data_width }
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool -> true
+  | Bitvec x, Bitvec y -> x = y
+  | Mem a, Mem b -> a.addr_width = b.addr_width && a.data_width = b.data_width
+  | (Bool | Bitvec _ | Mem _), _ -> false
+
+let hash = function
+  | Bool -> 1
+  | Bitvec w -> 31 + w
+  | Mem { addr_width; data_width } -> 1021 + (addr_width * 257) + data_width
+
+let is_bool = function Bool -> true | Bitvec _ | Mem _ -> false
+let is_bv = function Bitvec _ -> true | Bool | Mem _ -> false
+let is_mem = function Mem _ -> true | Bool | Bitvec _ -> false
+
+let bv_width = function
+  | Bitvec w -> w
+  | Bool | Mem _ -> invalid_arg "Sort.bv_width: not a bitvector"
+
+let bit_count = function
+  | Bool -> 1
+  | Bitvec w -> w
+  | Mem { addr_width; data_width } -> (1 lsl addr_width) * data_width
+
+let pp fmt = function
+  | Bool -> Format.pp_print_string fmt "bool"
+  | Bitvec w -> Format.fprintf fmt "bv%d" w
+  | Mem { addr_width; data_width } ->
+    Format.fprintf fmt "mem[%d->%d]" addr_width data_width
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,28 @@
+(** Sorts (types) of the expression language. *)
+
+type t =
+  | Bool
+  | Bitvec of int  (** width in bits, >= 1 *)
+  | Mem of { addr_width : int; data_width : int }
+      (** an array of [2^addr_width] words of [data_width] bits *)
+
+val bool : t
+val bv : int -> t
+val mem : addr_width:int -> data_width:int -> t
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_bool : t -> bool
+val is_bv : t -> bool
+val is_mem : t -> bool
+
+val bv_width : t -> int
+(** @raise Invalid_argument if the sort is not a bitvector. *)
+
+val bit_count : t -> int
+(** Number of state bits needed to hold a value of this sort ([Bool] is
+    1, [Bitvec w] is [w], [Mem] is [2^addr_width * data_width]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

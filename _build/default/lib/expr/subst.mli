@@ -1,0 +1,13 @@
+(** Substitution of variables by expressions.
+
+    The language has no binders, so substitution is purely structural;
+    the result is rebuilt through {!Build}, so it also benefits from
+    constant folding (substituting constants partially evaluates). *)
+
+val apply : (string * Expr.t) list -> Expr.t -> Expr.t
+(** [apply bindings e] replaces every variable whose name appears in
+    [bindings] by its expression.  Variables not mentioned are kept.
+    @raise Expr.Sort_error if a binding has the wrong sort. *)
+
+val rename : (string -> string) -> Expr.t -> Expr.t
+(** [rename f e] renames every variable [x] to [f x], keeping sorts. *)

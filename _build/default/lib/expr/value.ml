@@ -1,0 +1,109 @@
+module Int_map = Map.Make (Int)
+
+type t =
+  | V_bool of bool
+  | V_bv of Bitvec.t
+  | V_mem of mem
+
+and mem = {
+  addr_width : int;
+  data_width : int;
+  default : Bitvec.t;
+  assoc : Bitvec.t Int_map.t;
+}
+
+let of_bool b = V_bool b
+let of_bv v = V_bv v
+let of_int ~width n = V_bv (Bitvec.of_int ~width n)
+
+let mem_const ~addr_width ~default =
+  if Bitvec.width default < 1 then invalid_arg "Value.mem_const";
+  V_mem
+    {
+      addr_width;
+      data_width = Bitvec.width default;
+      default;
+      assoc = Int_map.empty;
+    }
+
+let mem_read m addr =
+  let a = Bitvec.to_int addr in
+  match Int_map.find_opt a m.assoc with
+  | Some v -> v
+  | None -> m.default
+
+let mem_write m addr data =
+  if Bitvec.width data <> m.data_width then
+    invalid_arg "Value.mem_write: data width mismatch";
+  { m with assoc = Int_map.add (Bitvec.to_int addr) data m.assoc }
+
+let sort = function
+  | V_bool _ -> Sort.Bool
+  | V_bv v -> Sort.Bitvec (Bitvec.width v)
+  | V_mem m -> Sort.Mem { addr_width = m.addr_width; data_width = m.data_width }
+
+let to_bool = function
+  | V_bool b -> b
+  | V_bv _ | V_mem _ -> invalid_arg "Value.to_bool"
+
+let to_bv = function
+  | V_bv v -> v
+  | V_bool _ | V_mem _ -> invalid_arg "Value.to_bv"
+
+let to_mem = function
+  | V_mem m -> m
+  | V_bool _ | V_bv _ -> invalid_arg "Value.to_mem"
+
+let to_int = function
+  | V_bool b -> if b then 1 else 0
+  | V_bv v -> Bitvec.to_int v
+  | V_mem _ -> invalid_arg "Value.to_int: memory"
+
+let default_of_sort = function
+  | Sort.Bool -> V_bool false
+  | Sort.Bitvec w -> V_bv (Bitvec.zero w)
+  | Sort.Mem { addr_width; data_width } ->
+    mem_const ~addr_width ~default:(Bitvec.zero data_width)
+
+let mem_equal a b =
+  a.addr_width = b.addr_width
+  && a.data_width = b.data_width
+  &&
+  (* compare extensionally: normalize entries equal to the default *)
+  let significant m =
+    Int_map.filter (fun _ v -> not (Bitvec.equal v m.default)) m.assoc
+  in
+  if Bitvec.equal a.default b.default then
+    Int_map.equal Bitvec.equal (significant a) (significant b)
+  else begin
+    (* different defaults: must agree on every address; only feasible to
+       check when the address space is small *)
+    let n = 1 lsl a.addr_width in
+    let rec go i =
+      i >= n
+      || Bitvec.equal
+           (mem_read a (Bitvec.of_int ~width:a.addr_width i))
+           (mem_read b (Bitvec.of_int ~width:b.addr_width i))
+         && go (i + 1)
+    in
+    go 0
+  end
+
+let equal x y =
+  match (x, y) with
+  | V_bool a, V_bool b -> a = b
+  | V_bv a, V_bv b -> Bitvec.equal a b
+  | V_mem a, V_mem b -> mem_equal a b
+  | (V_bool _ | V_bv _ | V_mem _), _ -> false
+
+let pp fmt = function
+  | V_bool b -> Format.pp_print_bool fmt b
+  | V_bv v -> Bitvec.pp fmt v
+  | V_mem m ->
+    Format.fprintf fmt "@[<hv 2>mem{default=%a" Bitvec.pp m.default;
+    Int_map.iter
+      (fun a v -> Format.fprintf fmt ";@ [%d]=%a" a Bitvec.pp v)
+      m.assoc;
+    Format.fprintf fmt "}@]"
+
+let to_string v = Format.asprintf "%a" pp v

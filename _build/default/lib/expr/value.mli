@@ -1,0 +1,46 @@
+(** Concrete values of the expression language. *)
+
+module Int_map : Map.S with type key = int
+
+type t =
+  | V_bool of bool
+  | V_bv of Bitvec.t
+  | V_mem of mem
+
+and mem = {
+  addr_width : int;
+  data_width : int;
+  default : Bitvec.t;  (** value of every address not in [assoc] *)
+  assoc : Bitvec.t Int_map.t;
+}
+
+val of_bool : bool -> t
+val of_bv : Bitvec.t -> t
+val of_int : width:int -> int -> t
+
+val mem_const : addr_width:int -> default:Bitvec.t -> t
+(** A memory with every word equal to [default]. *)
+
+val mem_read : mem -> Bitvec.t -> Bitvec.t
+val mem_write : mem -> Bitvec.t -> Bitvec.t -> mem
+
+val sort : t -> Sort.t
+
+val to_bool : t -> bool
+(** @raise Invalid_argument if not a boolean. *)
+
+val to_bv : t -> Bitvec.t
+(** @raise Invalid_argument if not a bitvector. *)
+
+val to_mem : t -> mem
+(** @raise Invalid_argument if not a memory. *)
+
+val to_int : t -> int
+(** Unsigned integer view of a bool or bitvector value. *)
+
+val default_of_sort : Sort.t -> t
+(** The all-zeros value of the given sort. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Expr Format Hashtbl Ilv_expr List Map Option Set Sort String Value

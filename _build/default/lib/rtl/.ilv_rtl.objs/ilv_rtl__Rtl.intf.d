@@ -1,0 +1,1 @@
+lib/rtl/rtl.mli: Expr Format Ilv_expr Sort Value

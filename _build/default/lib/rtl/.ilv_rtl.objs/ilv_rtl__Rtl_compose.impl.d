@@ -1,0 +1,1 @@
+lib/rtl/rtl_compose.ml: Expr Format Hashtbl Ilv_expr List Rtl Sort Subst

@@ -1,0 +1,1 @@
+lib/rtl/rtl_compose.mli: Expr Ilv_expr Rtl Sort

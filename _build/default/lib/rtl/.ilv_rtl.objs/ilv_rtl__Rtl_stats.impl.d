@@ -1,0 +1,1 @@
+lib/rtl/rtl_stats.ml: Expr Format Hashtbl Ilv_expr List Pp_expr Rtl String Verilog

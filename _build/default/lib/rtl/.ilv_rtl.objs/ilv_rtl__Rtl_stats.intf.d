@@ -1,0 +1,1 @@
+lib/rtl/rtl_stats.mli: Format Rtl

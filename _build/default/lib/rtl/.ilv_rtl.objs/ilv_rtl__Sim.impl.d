@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Eval Ilv_expr List Printf Rtl Sort Value

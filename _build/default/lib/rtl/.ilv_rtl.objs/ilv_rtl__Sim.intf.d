@@ -1,0 +1,1 @@
+lib/rtl/sim.mli: Ilv_expr Rtl Value

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bitvec Buffer Char Expr Hashtbl Ilv_expr List Option Printf Rtl Sim Sort String Value

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Bitvec Buffer Expr Format Hashtbl Ilv_expr List Option Printf Rtl Sort String Value

@@ -1,0 +1,129 @@
+open Ilv_expr
+
+type register = {
+  reg_name : string;
+  sort : Sort.t;
+  init : Value.t option;
+  next : Expr.t;
+}
+
+type t = {
+  name : string;
+  inputs : (string * Sort.t) list;
+  registers : register list;
+  wires : (string * Expr.t) list;
+  outputs : string list;
+}
+
+exception Invalid_design of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_design s)) fmt
+
+let reg reg_name sort ?init next = { reg_name; sort; init; next }
+
+module Str_map = Map.Make (String)
+module Str_set = Set.Make (String)
+
+(* Topological order of wires; raises on a combinational cycle. *)
+let sort_wires design_name wires depends_on =
+  let status = Hashtbl.create 16 in
+  (* 0 = in progress, 1 = done *)
+  let order = ref [] in
+  let rec visit path name =
+    match Hashtbl.find_opt status name with
+    | Some 1 -> ()
+    | Some _ ->
+      fail "%s: combinational cycle through %s" design_name
+        (String.concat " -> " (List.rev (name :: path)))
+    | None ->
+      (match Str_map.find_opt name wires with
+      | None -> () (* input or register: always available *)
+      | Some expr ->
+        Hashtbl.add status name 0;
+        List.iter (visit (name :: path)) (depends_on expr);
+        Hashtbl.replace status name 1;
+        order := (name, expr) :: !order)
+  in
+  Str_map.iter (fun name _ -> visit [] name) wires;
+  List.rev !order
+
+let validate ~name ~inputs ~registers ~wires ~outputs =
+  (* unique names across all namespaces *)
+  let all_names =
+    List.map fst inputs
+    @ List.map (fun r -> r.reg_name) registers
+    @ List.map fst wires
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then fail "%s: duplicate name %s" name n
+      else Hashtbl.add seen n ())
+    all_names;
+  let sorts =
+    List.fold_left
+      (fun m (n, s) -> Str_map.add n s m)
+      Str_map.empty
+      (inputs
+      @ List.map (fun r -> (r.reg_name, r.sort)) registers
+      @ List.map (fun (n, e) -> (n, Expr.sort e)) wires)
+  in
+  let check_expr context e =
+    List.iter
+      (fun (v, s) ->
+        match Str_map.find_opt v sorts with
+        | None -> fail "%s: %s references undeclared name %s" name context v
+        | Some s' ->
+          if not (Sort.equal s s') then
+            fail "%s: %s uses %s at sort %a but it is declared %a" name
+              context v Sort.pp s Sort.pp s')
+      (Expr.vars e)
+  in
+  List.iter (fun (n, e) -> check_expr ("wire " ^ n) e) wires;
+  List.iter
+    (fun r ->
+      check_expr ("register " ^ r.reg_name) r.next;
+      if not (Sort.equal (Expr.sort r.next) r.sort) then
+        fail "%s: register %s of sort %a has next of sort %a" name r.reg_name
+          Sort.pp r.sort Sort.pp (Expr.sort r.next);
+      match r.init with
+      | Some v when not (Sort.equal (Value.sort v) r.sort) ->
+        fail "%s: register %s init has wrong sort" name r.reg_name
+      | Some _ | None -> ())
+    registers;
+  List.iter
+    (fun o ->
+      if not (Str_map.mem o sorts) then
+        fail "%s: output %s is not a declared wire or register" name o)
+    outputs;
+  (* acyclic combinational logic: order the wires *)
+  let wire_map =
+    List.fold_left (fun m (n, e) -> Str_map.add n e m) Str_map.empty wires
+  in
+  let depends_on e = List.map fst (Expr.vars e) in
+  sort_wires name wire_map depends_on
+
+let make ~name ~inputs ~registers ~wires ~outputs =
+  let sorted_wires = validate ~name ~inputs ~registers ~wires ~outputs in
+  { name; inputs; registers; wires = sorted_wires; outputs }
+
+let input_sort d n = List.assoc_opt n d.inputs
+
+let register_sort d n =
+  List.find_opt (fun r -> r.reg_name = n) d.registers
+  |> Option.map (fun r -> r.sort)
+
+let wire_expr d n = List.assoc_opt n d.wires
+
+let state_bits d =
+  List.fold_left (fun acc r -> acc + Sort.bit_count r.sort) 0 d.registers
+
+let init_value r =
+  match r.init with Some v -> v | None -> Value.default_of_sort r.sort
+
+let pp_summary fmt d =
+  Format.fprintf fmt
+    "@[<v>design %s: %d inputs, %d registers (%d state bits), %d wires, %d \
+     outputs@]"
+    d.name (List.length d.inputs) (List.length d.registers) (state_bits d)
+    (List.length d.wires) (List.length d.outputs)

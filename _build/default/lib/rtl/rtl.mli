@@ -1,0 +1,58 @@
+(** A synchronous single-clock RTL netlist IR.
+
+    A design has input pins, registers (state elements updated on the
+    clock edge) and wires (combinational nets defined by expressions).
+    Clock and reset are implicit, as in the paper: every register has an
+    initial value applied at reset, and all registers update
+    simultaneously from their [next] expressions.
+
+    The expression of a wire or register [next] may refer to inputs,
+    registers and other wires (acyclically — see {!Check}). *)
+
+open Ilv_expr
+
+type register = {
+  reg_name : string;
+  sort : Sort.t;
+  init : Value.t option;  (** reset value; all-zeros when [None] *)
+  next : Expr.t;  (** next-state expression *)
+}
+
+type t = {
+  name : string;
+  inputs : (string * Sort.t) list;
+  registers : register list;
+  wires : (string * Expr.t) list;
+  outputs : string list;  (** names of wires or registers that are pins *)
+}
+
+exception Invalid_design of string
+(** Raised by {!make} on malformed designs: duplicate or undeclared
+    names, sort mismatches, combinational cycles, unknown outputs. *)
+
+val make :
+  name:string ->
+  inputs:(string * Sort.t) list ->
+  registers:register list ->
+  wires:(string * Expr.t) list ->
+  outputs:string list ->
+  t
+(** Builds a design after validating it.  Wires are reordered
+    topologically so that evaluation in list order is always safe.
+    @raise Invalid_design when malformed. *)
+
+val reg :
+  string -> Sort.t -> ?init:Value.t -> Expr.t -> register
+(** [reg name sort ?init next] is a register declaration. *)
+
+val input_sort : t -> string -> Sort.t option
+val register_sort : t -> string -> Sort.t option
+val wire_expr : t -> string -> Expr.t option
+
+val state_bits : t -> int
+(** Total register bits (the paper's "# of RTL State Bits"). *)
+
+val init_value : register -> Value.t
+(** The reset value ([init] or all-zeros). *)
+
+val pp_summary : Format.formatter -> t -> unit

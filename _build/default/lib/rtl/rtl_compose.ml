@@ -1,0 +1,73 @@
+open Ilv_expr
+
+exception Invalid_composition of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_composition s)) fmt
+
+let compose ~name ~instances ~connections ~inputs ~outputs ?(wires = [])
+    ?(registers = []) () =
+  (* unique, non-empty prefixes *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p, _) ->
+      if p = "" then fail "%s: empty instance prefix" name;
+      if Hashtbl.mem seen p then fail "%s: duplicate instance prefix %s" name p
+      else Hashtbl.add seen p ())
+    instances;
+  let prefixed p n = p ^ "_" ^ n in
+  let rename_in p e = Subst.rename (prefixed p) e in
+  (* every instance input must be connected exactly once *)
+  let instance_inputs =
+    List.concat_map
+      (fun (p, (d : Rtl.t)) ->
+        List.map (fun (n, sort) -> (prefixed p n, sort)) d.Rtl.inputs)
+      instances
+  in
+  List.iter
+    (fun (n, _) ->
+      match List.filter (fun (n', _) -> n' = n) connections with
+      | [] -> fail "%s: instance input %s is not connected" name n
+      | [ _ ] -> ()
+      | _ -> fail "%s: instance input %s connected twice" name n)
+    instance_inputs;
+  List.iter
+    (fun (n, _) ->
+      if not (List.mem_assoc n instance_inputs) then
+        fail "%s: connection to unknown instance input %s" name n)
+    connections;
+  (* instance inputs become wires driven by their connections; instance
+     wires and registers are renamed into the flat namespace *)
+  let connection_wires =
+    List.map
+      (fun (n, e) ->
+        let sort = List.assoc n instance_inputs in
+        if not (Sort.equal (Expr.sort e) sort) then
+          fail "%s: connection to %s has sort %a, expected %a" name n Sort.pp
+            (Expr.sort e) Sort.pp sort;
+        (n, e))
+      connections
+  in
+  let flat_wires =
+    List.concat_map
+      (fun (p, (d : Rtl.t)) ->
+        List.map (fun (n, e) -> (prefixed p n, rename_in p e)) d.Rtl.wires)
+      instances
+  in
+  let flat_registers =
+    List.concat_map
+      (fun (p, (d : Rtl.t)) ->
+        List.map
+          (fun (r : Rtl.register) ->
+            {
+              Rtl.reg_name = prefixed p r.Rtl.reg_name;
+              sort = r.Rtl.sort;
+              init = r.Rtl.init;
+              next = rename_in p r.Rtl.next;
+            })
+          d.Rtl.registers)
+      instances
+  in
+  Rtl.make ~name ~inputs
+    ~registers:(flat_registers @ registers)
+    ~wires:(connection_wires @ flat_wires @ wires)
+    ~outputs

@@ -1,0 +1,42 @@
+(** Hierarchical composition of RTL designs.
+
+    [compose] flattens a set of instantiated sub-designs into one
+    design: every net of instance [(p, d)] is renamed to ["p_<net>"],
+    each instance input becomes an internal wire driven by its
+    connection expression, and the connection expressions may refer to
+    top-level inputs and to any (prefixed) net of any instance —
+    hierarchical references included, as in a structural netlist.
+
+    Combinational legality of the result (no cycles through the
+    connections) is re-checked by {!Rtl.make}. *)
+
+open Ilv_expr
+
+exception Invalid_composition of string
+
+val compose :
+  name:string ->
+  instances:(string * Rtl.t) list ->
+  connections:(string * Expr.t) list ->
+  inputs:(string * Sort.t) list ->
+  outputs:string list ->
+  ?wires:(string * Expr.t) list ->
+  ?registers:Rtl.register list ->
+  unit ->
+  Rtl.t
+(** [compose ~name ~instances ~connections ~inputs ~outputs ()] builds
+    the flattened design.
+
+    - [instances]: (prefix, sub-design) pairs; prefixes must be unique
+      and non-empty.
+    - [connections]: one entry per instance input, keyed by its
+      prefixed name (e.g. [("dp_alu_en", e)]); the expression is over
+      top-level [inputs], glue [wires]/[registers], and prefixed
+      instance nets.
+    - [wires] / [registers]: top-level glue logic.
+    - [outputs]: prefixed nets or glue nets to expose.
+
+    @raise Invalid_composition on duplicate prefixes, missing or
+    unknown connections.
+    @raise Rtl.Invalid_design if the flattened design is malformed
+    (e.g. a combinational cycle through the connections). *)

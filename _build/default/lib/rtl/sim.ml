@@ -1,0 +1,91 @@
+open Ilv_expr
+
+type t = {
+  design : Rtl.t;
+  mutable state : Eval.env; (* register values *)
+  mutable last_nets : Eval.env; (* wires + inputs of the last cycle *)
+}
+
+let initial_state (d : Rtl.t) =
+  Eval.env_of_list
+    (List.map (fun r -> (r.Rtl.reg_name, Rtl.init_value r)) d.Rtl.registers)
+
+let create design =
+  { design; state = initial_state design; last_nets = Eval.env_empty }
+
+let reset sim =
+  sim.state <- initial_state sim.design;
+  sim.last_nets <- Eval.env_empty
+
+let design sim = sim.design
+let registers_env sim = sim.state
+
+let set_registers sim env =
+  let state =
+    List.fold_left
+      (fun acc (r : Rtl.register) ->
+        match Eval.env_find r.Rtl.reg_name env with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Sim.set_registers: missing register %s"
+               r.Rtl.reg_name)
+        | Some v ->
+          if not (Sort.equal (Value.sort v) r.Rtl.sort) then
+            invalid_arg
+              (Printf.sprintf "Sim.set_registers: register %s has wrong sort"
+                 r.Rtl.reg_name)
+          else Eval.env_add r.Rtl.reg_name v acc)
+      Eval.env_empty sim.design.Rtl.registers
+  in
+  sim.state <- state;
+  sim.last_nets <- Eval.env_empty
+
+let cycle sim inputs =
+  let d = sim.design in
+  (* check and bind inputs *)
+  let env =
+    List.fold_left
+      (fun env (name, sort) ->
+        match List.assoc_opt name inputs with
+        | None ->
+          invalid_arg (Printf.sprintf "Sim.cycle: missing input %s" name)
+        | Some v ->
+          if not (Sort.equal (Value.sort v) sort) then
+            invalid_arg (Printf.sprintf "Sim.cycle: input %s has wrong sort" name)
+          else Eval.env_add name v env)
+      sim.state d.Rtl.inputs
+  in
+  List.iter
+    (fun (name, _) ->
+      match List.assoc_opt name d.Rtl.inputs with
+      | Some _ -> ()
+      | None -> invalid_arg (Printf.sprintf "Sim.cycle: unknown input %s" name))
+    inputs;
+  (* phase 1: wires in topological order *)
+  let env =
+    List.fold_left
+      (fun env (name, expr) -> Eval.env_add name (Eval.eval env expr) env)
+      env d.Rtl.wires
+  in
+  (* phase 2: simultaneous register update *)
+  let next_state =
+    Eval.env_of_list
+      (List.map
+         (fun r -> (r.Rtl.reg_name, Eval.eval env r.Rtl.next))
+         d.Rtl.registers)
+  in
+  sim.last_nets <- env;
+  sim.state <- next_state
+
+let peek sim name =
+  match Eval.env_find name sim.state with
+  | Some v -> v
+  | None -> (
+    match Eval.env_find name sim.last_nets with
+    | Some v -> v
+    | None -> raise Not_found)
+
+let peek_int sim name = Value.to_int (peek sim name)
+let peek_bool sim name = Value.to_bool (peek sim name)
+
+let run sim vectors = List.iter (cycle sim) vectors

@@ -1,0 +1,42 @@
+(** Cycle-accurate two-phase simulation of an RTL design.
+
+    Phase 1 evaluates all wires from the inputs and current register
+    values; phase 2 commits every register's [next] simultaneously.
+    This matches synchronous single-clock-domain semantics. *)
+
+open Ilv_expr
+
+type t
+
+val create : Rtl.t -> t
+(** A fresh simulator in the reset state. *)
+
+val reset : t -> unit
+(** Returns all registers to their initial values. *)
+
+val design : t -> Rtl.t
+
+val registers_env : t -> Ilv_expr.Eval.env
+(** The current register values, as an evaluation environment (useful
+    for evaluating refinement-map expressions over the design state). *)
+
+val set_registers : t -> Ilv_expr.Eval.env -> unit
+(** Overrides the register state (used to replay counterexample traces
+    from their symbolic start state).
+    @raise Invalid_argument on missing or ill-sorted registers. *)
+
+val cycle : t -> (string * Value.t) list -> unit
+(** [cycle sim inputs] runs one clock cycle.  Every design input must be
+    supplied.
+    @raise Invalid_argument on missing or ill-sorted inputs. *)
+
+val peek : t -> string -> Value.t
+(** Value of a register (current state), or of a wire/input as computed
+    during the most recent {!cycle}.
+    @raise Not_found for unknown names, or for wires before any cycle. *)
+
+val peek_int : t -> string -> int
+val peek_bool : t -> string -> bool
+
+val run : t -> (string * Value.t) list list -> unit
+(** Applies a list of input vectors, one cycle each. *)

@@ -1,0 +1,23 @@
+(** VCD (Value Change Dump) waveform export, viewable in GTKWave and
+    friends.
+
+    Two sources:
+    - {!of_run} simulates a design over an input trace and dumps every
+      input, register and wire per cycle;
+    - {!of_signals} dumps pre-recorded per-cycle signal values (used to
+      render counterexample traces).
+
+    Memory-typed signals are omitted (VCD has no array type). *)
+
+open Ilv_expr
+
+val of_run : Rtl.t -> (string * Value.t) list list -> string
+(** [of_run rtl trace] runs one cycle per input vector from reset and
+    returns the VCD text.  Registers are sampled as the values entering
+    each cycle. *)
+
+val of_signals :
+  name:string -> (int * (string * Value.t) list) list -> string
+(** [of_signals ~name cycles] renders explicit per-cycle signal values
+    (e.g. {!Ilv_core.Trace.t} cycles).  Signal sorts are inferred from
+    the first occurrence; bool renders as a 1-bit wire. *)

@@ -1,0 +1,271 @@
+open Ilv_expr
+
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let identifier name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let width_of e =
+  match Expr.sort e with
+  | Sort.Bool -> 1
+  | Sort.Bitvec w -> w
+  | Sort.Mem _ -> fail "memory-typed net has no scalar width"
+
+let literal v =
+  Printf.sprintf "%d'b%s" (Bitvec.width v)
+    (let s = Bitvec.to_bin_string v in
+     String.sub s 2 (String.length s - 2))
+
+(* Emit one wire per DAG node; [net] returns the Verilog name holding a
+   node's value, emitting its definition first. *)
+type ctx = {
+  buf : Buffer.t;
+  names : (int, string) Hashtbl.t;
+  mutable fresh : int;
+}
+
+let rec net ctx e =
+  match Hashtbl.find_opt ctx.names (Expr.id e) with
+  | Some n -> n
+  | None ->
+    let rhs =
+      match Expr.node e with
+      | Expr.Var name -> Some (identifier name)
+      | _ -> None
+    in
+    (match rhs with
+    | Some n ->
+      Hashtbl.add ctx.names (Expr.id e) n;
+      n
+    | None ->
+      let define rhs =
+        ctx.fresh <- ctx.fresh + 1;
+        let n = Printf.sprintf "n%d" ctx.fresh in
+        Buffer.add_string ctx.buf
+          (Printf.sprintf "  wire [%d:0] %s = %s;\n" (width_of e - 1) n rhs);
+        Hashtbl.add ctx.names (Expr.id e) n;
+        n
+      in
+      compute ctx e define)
+
+and compute ctx e define =
+  let n = net ctx in
+  let bin op a b = define (Printf.sprintf "%s %s %s" (n a) op (n b)) in
+  match Expr.node e with
+  | Expr.Var _ -> assert false (* handled in net *)
+  | Expr.Bool_const b -> define (if b then "1'b1" else "1'b0")
+  | Expr.Bv_const v -> define (literal v)
+  | Expr.Not a | Expr.Unop (Expr.Bv_not, a) -> define ("~" ^ n a)
+  | Expr.Unop (Expr.Bv_neg, a) -> define ("-" ^ n a)
+  | Expr.And (a, b) -> bin "&" a b
+  | Expr.Or (a, b) -> bin "|" a b
+  | Expr.Xor (a, b) -> bin "^" a b
+  | Expr.Implies (a, b) -> define (Printf.sprintf "~%s | %s" (n a) (n b))
+  | Expr.Eq (a, b) -> (
+    match Expr.sort a with
+    | Sort.Mem _ -> fail "memory equality is not synthesizable"
+    | Sort.Bool | Sort.Bitvec _ -> bin "==" a b)
+  | Expr.Ite (c, a, b) -> (
+    match Expr.sort a with
+    | Sort.Mem _ -> fail "memory ite outside a register update"
+    | Sort.Bool | Sort.Bitvec _ ->
+      define (Printf.sprintf "%s ? %s : %s" (n c) (n a) (n b)))
+  | Expr.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Expr.Bv_add -> "+"
+      | Expr.Bv_sub -> "-"
+      | Expr.Bv_mul -> "*"
+      | Expr.Bv_udiv -> "/"
+      | Expr.Bv_urem -> "%"
+      | Expr.Bv_and -> "&"
+      | Expr.Bv_or -> "|"
+      | Expr.Bv_xor -> "^"
+      | Expr.Bv_shl -> "<<"
+      | Expr.Bv_lshr -> ">>"
+      | Expr.Bv_ashr -> ">>>"
+    in
+    (match op with
+    | Expr.Bv_ashr ->
+      define (Printf.sprintf "$signed(%s) >>> %s" (n a) (n b))
+    | _ -> bin sym a b)
+  | Expr.Cmp (op, a, b) -> (
+    match op with
+    | Expr.Bv_ult -> bin "<" a b
+    | Expr.Bv_ule -> bin "<=" a b
+    | Expr.Bv_slt ->
+      define (Printf.sprintf "$signed(%s) < $signed(%s)" (n a) (n b))
+    | Expr.Bv_sle ->
+      define (Printf.sprintf "$signed(%s) <= $signed(%s)" (n a) (n b)))
+  | Expr.Concat (hi, lo) -> define (Printf.sprintf "{%s, %s}" (n hi) (n lo))
+  | Expr.Extract { hi; lo; arg } ->
+    define (Printf.sprintf "%s[%d:%d]" (n arg) hi lo)
+  | Expr.Extend { signed; width; arg } ->
+    if signed then
+      define
+        (Printf.sprintf "{{%d{%s[%d]}}, %s}"
+           (width - Expr.width arg)
+           (n arg)
+           (Expr.width arg - 1)
+           (n arg))
+    else
+      define (Printf.sprintf "{%d'b0, %s}" (width - Expr.width arg) (n arg))
+  | Expr.Read { mem; addr } -> (
+    match Expr.node mem with
+    | Expr.Var name -> define (Printf.sprintf "%s[%s]" (identifier name) (n addr))
+    | _ -> fail "read of a non-register memory")
+  | Expr.Write _ -> fail "memory write outside a register update"
+  | Expr.Mem_init _ -> fail "constant memory outside a register update"
+
+(* Lower a memory register's next-state chain into guarded indexed
+   assignments inside the always block. *)
+let rec mem_statements ctx ~reg ~indent e out =
+  let pad = String.make indent ' ' in
+  match Expr.node e with
+  | Expr.Var name when identifier name = reg -> () (* hold *)
+  | Expr.Write { mem; addr; data } ->
+    mem_statements ctx ~reg ~indent mem out;
+    let a = net ctx addr and d = net ctx data in
+    Buffer.add_string out (Printf.sprintf "%s%s[%s] <= %s;\n" pad reg a d)
+  | Expr.Ite (c, t, f) ->
+    let cn = net ctx c in
+    Buffer.add_string out (Printf.sprintf "%sif (%s) begin\n" pad cn);
+    mem_statements ctx ~reg ~indent:(indent + 2) t out;
+    Buffer.add_string out (Printf.sprintf "%send else begin\n" pad);
+    mem_statements ctx ~reg ~indent:(indent + 2) f out;
+    Buffer.add_string out (Printf.sprintf "%send\n" pad);
+  | _ -> fail "register %s: memory next-state is not an ite/write chain" reg
+
+let value_literal = function
+  | Value.V_bool b -> if b then "1'b1" else "1'b0"
+  | Value.V_bv v -> literal v
+  | Value.V_mem _ -> fail "memory reset emitted separately"
+
+let emit (d : Rtl.t) =
+  let ctx = { buf = Buffer.create 4096; names = Hashtbl.create 256; fresh = 0 } in
+  let header = Buffer.create 1024 in
+  let body = Buffer.create 4096 in
+  let ports =
+    "clk, rst"
+    :: List.map (fun (n, _) -> identifier n) d.Rtl.inputs
+    @ List.map identifier d.Rtl.outputs
+  in
+  Buffer.add_string header
+    (Printf.sprintf "module %s(%s);\n" (identifier d.Rtl.name)
+       (String.concat ", " ports));
+  Buffer.add_string header "  input clk, rst;\n";
+  List.iter
+    (fun (n, sort) ->
+      match sort with
+      | Sort.Bool -> Buffer.add_string header (Printf.sprintf "  input %s;\n" (identifier n))
+      | Sort.Bitvec w ->
+        Buffer.add_string header
+          (Printf.sprintf "  input [%d:0] %s;\n" (w - 1) (identifier n))
+      | Sort.Mem _ -> fail "memory-typed input %s" n)
+    d.Rtl.inputs;
+  (* register declarations *)
+  List.iter
+    (fun (r : Rtl.register) ->
+      let n = identifier r.Rtl.reg_name in
+      match r.Rtl.sort with
+      | Sort.Bool -> Buffer.add_string header (Printf.sprintf "  reg %s;\n" n)
+      | Sort.Bitvec w ->
+        Buffer.add_string header (Printf.sprintf "  reg [%d:0] %s;\n" (w - 1) n)
+      | Sort.Mem { addr_width; data_width } ->
+        Buffer.add_string header
+          (Printf.sprintf "  reg [%d:0] %s [0:%d];\n" (data_width - 1) n
+             ((1 lsl addr_width) - 1)))
+    d.Rtl.registers;
+  (* output declarations: outputs are existing nets, re-exposed *)
+  List.iter
+    (fun o ->
+      let w =
+        match
+          ( Rtl.input_sort d o,
+            Rtl.register_sort d o,
+            Option.map Expr.sort (Rtl.wire_expr d o) )
+        with
+        | Some s, _, _ | _, Some s, _ | _, _, Some s -> (
+          match s with
+          | Sort.Bool -> 1
+          | Sort.Bitvec w -> w
+          | Sort.Mem _ -> fail "memory-typed output %s" o)
+        | None, None, None -> assert false (* validated by Rtl.make *)
+      in
+      if w = 1 then
+        Buffer.add_string header (Printf.sprintf "  output %s;\n" (identifier o))
+      else
+        Buffer.add_string header
+          (Printf.sprintf "  output [%d:0] %s;\n" (w - 1) (identifier o)))
+    d.Rtl.outputs;
+  (* named wires, in topological order; the per-node nets land in ctx.buf *)
+  List.iter
+    (fun (n, e) ->
+      let rhs = net ctx e in
+      let w = width_of e in
+      Buffer.add_string body
+        (Printf.sprintf "  wire [%d:0] %s = %s;\n" (w - 1) (identifier n) rhs);
+      (* later references to this wire go through its name *)
+      Hashtbl.replace ctx.names (Expr.id (Expr.var n (Expr.sort e))) (identifier n))
+    d.Rtl.wires;
+  (* next-state nets (scalar registers) *)
+  let scalar_next =
+    List.filter_map
+      (fun (r : Rtl.register) ->
+        match r.Rtl.sort with
+        | Sort.Mem _ -> None
+        | Sort.Bool | Sort.Bitvec _ ->
+          Some (r, net ctx r.Rtl.next))
+      d.Rtl.registers
+  in
+  (* always block *)
+  let always = Buffer.create 1024 in
+  Buffer.add_string always "  always @(posedge clk) begin\n";
+  Buffer.add_string always "    if (rst) begin\n";
+  List.iter
+    (fun (r : Rtl.register) ->
+      let n = identifier r.Rtl.reg_name in
+      match (r.Rtl.sort, Rtl.init_value r) with
+      | Sort.Mem { addr_width; _ }, Value.V_mem m ->
+        if not (Value.Int_map.is_empty m.Value.assoc) then
+          fail "register %s: non-uniform memory reset" r.Rtl.reg_name;
+        Buffer.add_string always
+          (Printf.sprintf
+             "      begin : rst_%s integer i; for (i = 0; i < %d; i = i + 1) \
+              %s[i] <= %s; end\n"
+             n (1 lsl addr_width) n (literal m.Value.default))
+      | (Sort.Bool | Sort.Bitvec _), v ->
+        Buffer.add_string always
+          (Printf.sprintf "      %s <= %s;\n" n (value_literal v))
+      | Sort.Mem _, (Value.V_bool _ | Value.V_bv _) -> assert false)
+    d.Rtl.registers;
+  Buffer.add_string always "    end else begin\n";
+  List.iter
+    (fun ((r : Rtl.register), next_net) ->
+      Buffer.add_string always
+        (Printf.sprintf "      %s <= %s;\n" (identifier r.Rtl.reg_name) next_net))
+    scalar_next;
+  List.iter
+    (fun (r : Rtl.register) ->
+      match r.Rtl.sort with
+      | Sort.Mem _ ->
+        mem_statements ctx ~reg:(identifier r.Rtl.reg_name) ~indent:6
+          r.Rtl.next always
+      | Sort.Bool | Sort.Bitvec _ -> ())
+    d.Rtl.registers;
+  Buffer.add_string always "    end\n  end\n";
+  String.concat ""
+    [
+      Buffer.contents header;
+      Buffer.contents ctx.buf;
+      Buffer.contents body;
+      Buffer.contents always;
+      "endmodule\n";
+    ]

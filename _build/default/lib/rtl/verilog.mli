@@ -1,0 +1,21 @@
+(** Verilog-2001 export of RTL designs.
+
+    Emits a synthesizable single-module netlist: one [wire] per
+    expression DAG node, [reg] declarations with a synchronous reset
+    arm, and [always @(posedge clk)] update logic.  Memory-typed
+    registers become unpacked arrays; their next-state expressions must
+    be chains of [ite]/[write] ending in the register itself (the shape
+    every design in this repository uses), which lower to conditional
+    indexed assignments.
+
+    No Verilog simulator ships in this environment, so the exporter is
+    validated by structural tests; it exists so the designs can be taken
+    to standard RTL tooling. *)
+
+exception Unsupported of string
+
+val emit : Rtl.t -> string
+(** The Verilog source of the design (module name = design name with
+    non-identifier characters replaced).
+    @raise Unsupported for memory next-state shapes outside the
+    ite/write chain fragment, or reads of non-register memories. *)

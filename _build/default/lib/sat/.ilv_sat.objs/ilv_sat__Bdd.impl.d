@@ -1,0 +1,1 @@
+lib/sat/bdd.ml: Hashtbl List

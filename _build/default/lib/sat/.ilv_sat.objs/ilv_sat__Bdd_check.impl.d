@@ -1,0 +1,1 @@
+lib/sat/bdd_check.ml: Array Bdd Bitvec Circuits Expr Hashtbl Ilv_expr List Option Sort Value

@@ -1,0 +1,1 @@
+lib/sat/bdd_check.mli: Bdd Expr Ilv_expr Sort Value

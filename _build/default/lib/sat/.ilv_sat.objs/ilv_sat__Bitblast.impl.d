@@ -1,0 +1,1 @@
+lib/sat/bitblast.ml: Array Bitvec Circuits Expr Format Hashtbl Ilv_expr List Sat Sort Value

@@ -1,0 +1,1 @@
+lib/sat/bitblast.mli: Expr Ilv_expr Sat Sort Value

@@ -1,0 +1,1 @@
+lib/sat/circuits.ml: Array Bitvec Expr Hashtbl Ilv_expr Seq Sort

@@ -1,0 +1,1 @@
+lib/sat/circuits.mli: Bitvec Expr Ilv_expr Sort

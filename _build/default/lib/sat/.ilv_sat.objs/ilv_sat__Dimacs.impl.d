@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Bitblast Buffer List Printf Sat String

@@ -1,0 +1,112 @@
+open Ilv_expr
+
+module Bdd_algebra = struct
+  type man = Bdd.man
+  type b = Bdd.t
+
+  let tt = Bdd.tt
+  let ff = Bdd.ff
+  let neg = Bdd.neg
+  let mk_and = Bdd.mk_and
+  let mk_or = Bdd.mk_or
+  let mk_xor = Bdd.mk_xor
+  let mk_iff = Bdd.mk_iff
+  let mk_ite = Bdd.mk_ite
+end
+
+module C = Circuits.Make (Bdd_algebra)
+
+type t = {
+  man : Bdd.man;
+  compiler : C.compiler;
+  vars : (string, Sort.t * int array) Hashtbl.t;
+      (* BDD variable indices backing each expression variable, in bit
+         order (memories: word-major) *)
+  mutable next_var : int;
+}
+
+let create () =
+  let man = Bdd.manager () in
+  let vars = Hashtbl.create 64 in
+  let t_ref = ref None in
+  let fresh_var name sort =
+    let t = Option.get !t_ref in
+    let alloc n =
+      let base = t.next_var in
+      t.next_var <- t.next_var + n;
+      Array.init n (fun i -> base + i)
+    in
+    let indices, bits =
+      match sort with
+      | Sort.Bool ->
+        let idx = alloc 1 in
+        (idx, C.B_bool (Bdd.var man idx.(0)))
+      | Sort.Bitvec w ->
+        let idx = alloc w in
+        (idx, C.B_vec (Array.map (Bdd.var man) idx))
+      | Sort.Mem { addr_width; data_width } ->
+        let n = 1 lsl addr_width in
+        let idx = alloc (n * data_width) in
+        let words =
+          Array.init n (fun i ->
+              Array.init data_width (fun j ->
+                  Bdd.var man idx.((i * data_width) + j)))
+        in
+        (idx, C.B_mem { C.addr_width; words })
+    in
+    Hashtbl.add t.vars name (sort, indices);
+    bits
+  in
+  let t =
+    { man; compiler = C.compiler man ~fresh_var; vars; next_var = 0 }
+  in
+  t_ref := Some t;
+  t
+
+let compile t e =
+  if not (Sort.is_bool (Expr.sort e)) then
+    raise (Expr.Sort_error "Bdd_check.compile: not a boolean");
+  C.bool_bit t.compiler e
+
+type answer = Unsat | Sat of (string -> Sort.t -> Value.t)
+
+let model_of t assignment =
+  let value_of_index i =
+    match List.assoc_opt i assignment with Some b -> b | None -> false
+  in
+  fun name sort ->
+    match Hashtbl.find_opt t.vars name with
+    | Some (s, indices) when Sort.equal s sort -> (
+      match sort with
+      | Sort.Bool -> Value.of_bool (value_of_index indices.(0))
+      | Sort.Bitvec _ ->
+        Value.of_bv
+          (Bitvec.of_bits (Array.to_list (Array.map value_of_index indices)))
+      | Sort.Mem { addr_width; data_width } ->
+        let m =
+          ref
+            (Value.to_mem
+               (Value.mem_const ~addr_width ~default:(Bitvec.zero data_width)))
+        in
+        for i = 0 to (1 lsl addr_width) - 1 do
+          let word =
+            Bitvec.of_bits
+              (List.init data_width (fun j ->
+                   value_of_index indices.((i * data_width) + j)))
+          in
+          m := Value.mem_write !m (Bitvec.of_int ~width:addr_width i) word
+        done;
+        Value.V_mem !m)
+    | Some _ | None -> Value.default_of_sort sort
+
+let check t es =
+  let conj =
+    List.fold_left
+      (fun acc e -> Bdd.mk_and t.man acc (compile t e))
+      (Bdd.tt t.man) es
+  in
+  match Bdd.any_sat conj with
+  | None -> Unsat
+  | Some assignment -> Sat (model_of t assignment)
+
+let valid t e = Bdd.is_tt (compile t e)

@@ -1,0 +1,27 @@
+(** Deciding expressions with the BDD backend.
+
+    A second, independent decision procedure over the same
+    {!Circuits} lowering as the bit-blaster — used for cross-checking
+    the SAT path, and as the foundation of symbolic reachability.
+    BDDs are canonical, so satisfiability/validity are read off the
+    root; variable order is allocation order of the expression's free
+    variables (bit-interleaved within each variable). *)
+
+open Ilv_expr
+
+type t
+
+val create : unit -> t
+
+val compile : t -> Expr.t -> Bdd.t
+(** Compiles a boolean expression; free variables are allocated BDD
+    variables on first sight (shared across calls on the same [t]). *)
+
+type answer = Unsat | Sat of (string -> Sort.t -> Value.t)
+
+val check : t -> Expr.t list -> answer
+(** Decides the conjunction, with a model on satisfiability (variables
+    not constrained by the BDD default to zeros). *)
+
+val valid : t -> Expr.t -> bool
+(** Is the expression true under every assignment? *)

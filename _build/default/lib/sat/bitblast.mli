@@ -1,0 +1,60 @@
+(** Bit-blasting: lowering word-level expressions to CNF.
+
+    Expressions are translated structurally with Tseitin encoding; a
+    gate cache keeps the CNF linear in the expression DAG.  Memories are
+    flattened into one word per address (reads become mux trees, writes
+    become per-word updates), which is exact for the small memories used
+    by the case studies and mirrors how hardware model checkers treat
+    embedded RAMs.
+
+    The word-level circuits themselves are shared with the BDD backend
+    through {!Circuits}; this module instantiates them over solver
+    literals.
+
+    A context accumulates assertions over a shared variable namespace
+    (a variable name + sort always maps to the same CNF bits);
+    {!check} and {!check_under} decide their conjunction, incrementally
+    (clauses and learnt facts persist across queries). *)
+
+open Ilv_expr
+
+type t
+
+val create : unit -> t
+
+val assert_bool : t -> Expr.t -> unit
+(** Asserts a boolean expression to be true (permanently).
+    @raise Expr.Sort_error if the expression is not boolean. *)
+
+val assert_not : t -> Expr.t -> unit
+(** Asserts a boolean expression to be false (permanently). *)
+
+val lit_of : t -> Expr.t -> int
+(** The solver literal holding a boolean expression's value (defining
+    clauses are added as needed). *)
+
+type answer =
+  | Unsat
+  | Sat of (string -> Sort.t -> Value.t)
+      (** A model: query a variable by name and sort.  Variables that
+          never reached the solver get default (all-zero) values.  The
+          closure reads the solver's current model: use it before the
+          next [check]/[assert]. *)
+
+val check : t -> answer
+(** Decides the conjunction of all assertions.  May be called
+    repeatedly, interleaved with further assertions (incremental use;
+    learnt clauses are reused across calls). *)
+
+val check_under : t -> hypotheses:Expr.t list -> answer
+(** Like {!check}, additionally assuming the hypotheses for this query
+    only (via solver assumptions — nothing is permanently asserted). *)
+
+val cnf : t -> int * int list list
+(** The accumulated CNF ([n_vars], clauses as external literals), for
+    DIMACS export. *)
+
+val cnf_size : t -> int * int
+(** [(variables, clauses)] created so far. *)
+
+val solver_stats : t -> Sat.stats

@@ -1,0 +1,278 @@
+open Ilv_expr
+
+module type ALGEBRA = sig
+  type man
+  type b
+
+  val tt : man -> b
+  val ff : man -> b
+  val neg : man -> b -> b
+  val mk_and : man -> b -> b -> b
+  val mk_or : man -> b -> b -> b
+  val mk_xor : man -> b -> b -> b
+  val mk_iff : man -> b -> b -> b
+  val mk_ite : man -> b -> b -> b -> b
+end
+
+module Make (A : ALGEBRA) = struct
+  type mem_bits = { addr_width : int; words : A.b array array }
+
+  type bits = B_bool of A.b | B_vec of A.b array | B_mem of mem_bits
+
+  let expect_bool = function
+    | B_bool l -> l
+    | B_vec _ | B_mem _ -> invalid_arg "Circuits: expected bool bits"
+
+  let expect_vec = function
+    | B_vec v -> v
+    | B_bool _ | B_mem _ -> invalid_arg "Circuits: expected vector bits"
+
+  let expect_mem = function
+    | B_mem m -> m
+    | B_bool _ | B_vec _ -> invalid_arg "Circuits: expected memory bits"
+
+  let of_bool man b = if b then A.tt man else A.ff man
+
+  let vec_const man bv =
+    Array.init (Bitvec.width bv) (fun i -> of_bool man (Bitvec.bit bv i))
+
+  let full_add man a b cin =
+    let ab = A.mk_xor man a b in
+    let sum = A.mk_xor man ab cin in
+    let cout = A.mk_or man (A.mk_and man a b) (A.mk_and man cin ab) in
+    (sum, cout)
+
+  let add_vec ?cin man a b =
+    let w = Array.length a in
+    let out = Array.make w (A.ff man) in
+    let carry = ref (match cin with Some c -> c | None -> A.ff man) in
+    for i = 0 to w - 1 do
+      let sum, cout = full_add man a.(i) b.(i) !carry in
+      out.(i) <- sum;
+      carry := cout
+    done;
+    out
+
+  let not_vec man a = Array.map (A.neg man) a
+
+  let neg_vec man a =
+    add_vec ~cin:(A.tt man) man (not_vec man a)
+      (Array.make (Array.length a) (A.ff man))
+
+  let sub_vec man a b = add_vec ~cin:(A.tt man) man a (not_vec man b)
+  let ite_vec man c a b = Array.map2 (A.mk_ite man c) a b
+
+  let mul_vec man a b =
+    let w = Array.length a in
+    let acc = ref (Array.make w (A.ff man)) in
+    for i = 0 to w - 1 do
+      let row =
+        Array.init w (fun j ->
+            if j < i then A.ff man else A.mk_and man a.(i) b.(j - i))
+      in
+      acc := add_vec man !acc row
+    done;
+    !acc
+
+  let ult_vec man a b =
+    let lt = ref (A.ff man) in
+    for i = 0 to Array.length a - 1 do
+      (* LSB to MSB: higher bits dominate *)
+      lt := A.mk_ite man (A.mk_xor man a.(i) b.(i)) b.(i) !lt
+    done;
+    !lt
+
+  let ule_vec man a b = A.neg man (ult_vec man b a)
+
+  let slt_vec man a b =
+    let w = Array.length a in
+    let sa = a.(w - 1) and sb = b.(w - 1) in
+    A.mk_ite man (A.mk_xor man sa sb) sa (ult_vec man a b)
+
+  let sle_vec man a b = A.neg man (slt_vec man b a)
+
+  let eq_vec man a b =
+    Array.to_seq (Array.map2 (A.mk_iff man) a b)
+    |> Seq.fold_left (A.mk_and man) (A.tt man)
+
+  (* Restoring division; a zero divisor naturally yields quotient =
+     all-ones and remainder = dividend (SMT-LIB semantics). *)
+  let divmod_vec man a d =
+    let w = Array.length a in
+    let q = Array.make w (A.ff man) in
+    let r = ref (Array.make w (A.ff man)) in
+    for i = w - 1 downto 0 do
+      let shifted = Array.init w (fun j -> if j = 0 then a.(i) else !r.(j - 1)) in
+      let geq = A.neg man (ult_vec man shifted d) in
+      let diff = sub_vec man shifted d in
+      r := ite_vec man geq diff shifted;
+      q.(i) <- geq
+    done;
+    (q, !r)
+
+  (* Barrel shifter; any set amount bit at weight >= width forces the
+     fully-shifted-out result. *)
+  let shift_sym man ~left ~fill a sh =
+    let w = Array.length a in
+    let shift_const x k =
+      Array.init w (fun j ->
+          if left then if j >= k then x.(j - k) else A.ff man
+          else if j + k < w then x.(j + k)
+          else fill)
+    in
+    let result = ref a in
+    let overflow = ref (A.ff man) in
+    Array.iteri
+      (fun k bit ->
+        if k < 30 && 1 lsl k < w then
+          result := ite_vec man bit (shift_const !result (1 lsl k)) !result
+        else overflow := A.mk_or man !overflow bit)
+      sh;
+    let out_value = if left then A.ff man else fill in
+    ite_vec man !overflow (Array.make w out_value) !result
+
+  let read_mem man words addr =
+    (* mux tree over address bits, most significant first *)
+    let rec go lo len bit =
+      if len = 1 then words.(lo)
+      else begin
+        let half = len / 2 in
+        let low = go lo half (bit - 1) in
+        let high = go (lo + half) half (bit - 1) in
+        ite_vec man addr.(bit) high low
+      end
+    in
+    go 0 (Array.length words) (Array.length addr - 1)
+
+  let addr_eq_const man addr i =
+    let acc = ref (A.tt man) in
+    Array.iteri
+      (fun j bit ->
+        let want = i land (1 lsl j) <> 0 in
+        acc := A.mk_and man !acc (if want then bit else A.neg man bit))
+      addr;
+    !acc
+
+  let write_mem man words addr data =
+    Array.mapi
+      (fun i word ->
+        let hit = addr_eq_const man addr i in
+        ite_vec man hit data word)
+      words
+
+  let eq_mem man wa wb =
+    let acc = ref (A.tt man) in
+    Array.iteri (fun i w -> acc := A.mk_and man !acc (eq_vec man w wb.(i))) wa;
+    !acc
+
+  (* --- expression compilation --- *)
+
+  type compiler = {
+    man : A.man;
+    memo : (int, bits) Hashtbl.t;
+    vars : (string, bits) Hashtbl.t;
+    fresh_var : string -> Sort.t -> bits;
+  }
+
+  let compiler man ~fresh_var =
+    { man; memo = Hashtbl.create 1024; vars = Hashtbl.create 64; fresh_var }
+
+  let var_bits c name sort =
+    match Hashtbl.find_opt c.vars name with
+    | Some bits -> bits
+    | None ->
+      let bits = c.fresh_var name sort in
+      Hashtbl.add c.vars name bits;
+      bits
+
+  let rec bits c e =
+    match Hashtbl.find_opt c.memo (Expr.id e) with
+    | Some b -> b
+    | None ->
+      let b = compute c e in
+      Hashtbl.add c.memo (Expr.id e) b;
+      b
+
+  and bool_bit c e = expect_bool (bits c e)
+  and vec c e = expect_vec (bits c e)
+
+  and compute c e =
+    let man = c.man in
+    match Expr.node e with
+    | Expr.Var name -> var_bits c name (Expr.sort e)
+    | Expr.Bool_const b -> B_bool (of_bool man b)
+    | Expr.Bv_const v -> B_vec (vec_const man v)
+    | Expr.Not a -> B_bool (A.neg man (bool_bit c a))
+    | Expr.And (a, b) -> B_bool (A.mk_and man (bool_bit c a) (bool_bit c b))
+    | Expr.Or (a, b) -> B_bool (A.mk_or man (bool_bit c a) (bool_bit c b))
+    | Expr.Xor (a, b) -> B_bool (A.mk_xor man (bool_bit c a) (bool_bit c b))
+    | Expr.Implies (a, b) ->
+      B_bool (A.mk_or man (A.neg man (bool_bit c a)) (bool_bit c b))
+    | Expr.Eq (a, b) -> (
+      match Expr.sort a with
+      | Sort.Bool -> B_bool (A.mk_iff man (bool_bit c a) (bool_bit c b))
+      | Sort.Bitvec _ -> B_bool (eq_vec man (vec c a) (vec c b))
+      | Sort.Mem _ ->
+        let ma = expect_mem (bits c a) and mb = expect_mem (bits c b) in
+        B_bool (eq_mem man ma.words mb.words))
+    | Expr.Ite (cond, a, b) -> (
+      let cl = bool_bit c cond in
+      match Expr.sort a with
+      | Sort.Bool -> B_bool (A.mk_ite man cl (bool_bit c a) (bool_bit c b))
+      | Sort.Bitvec _ -> B_vec (ite_vec man cl (vec c a) (vec c b))
+      | Sort.Mem _ ->
+        let ma = expect_mem (bits c a) and mb = expect_mem (bits c b) in
+        B_mem
+          {
+            addr_width = ma.addr_width;
+            words = Array.map2 (ite_vec man cl) ma.words mb.words;
+          })
+    | Expr.Unop (op, a) -> (
+      let x = vec c a in
+      match op with
+      | Expr.Bv_not -> B_vec (not_vec man x)
+      | Expr.Bv_neg -> B_vec (neg_vec man x))
+    | Expr.Binop (op, a, b) -> (
+      let x = vec c a and y = vec c b in
+      match op with
+      | Expr.Bv_add -> B_vec (add_vec man x y)
+      | Expr.Bv_sub -> B_vec (sub_vec man x y)
+      | Expr.Bv_mul -> B_vec (mul_vec man x y)
+      | Expr.Bv_udiv -> B_vec (fst (divmod_vec man x y))
+      | Expr.Bv_urem -> B_vec (snd (divmod_vec man x y))
+      | Expr.Bv_and -> B_vec (Array.map2 (A.mk_and man) x y)
+      | Expr.Bv_or -> B_vec (Array.map2 (A.mk_or man) x y)
+      | Expr.Bv_xor -> B_vec (Array.map2 (A.mk_xor man) x y)
+      | Expr.Bv_shl -> B_vec (shift_sym man ~left:true ~fill:(A.ff man) x y)
+      | Expr.Bv_lshr -> B_vec (shift_sym man ~left:false ~fill:(A.ff man) x y)
+      | Expr.Bv_ashr ->
+        B_vec (shift_sym man ~left:false ~fill:x.(Array.length x - 1) x y))
+    | Expr.Cmp (op, a, b) -> (
+      let x = vec c a and y = vec c b in
+      match op with
+      | Expr.Bv_ult -> B_bool (ult_vec man x y)
+      | Expr.Bv_ule -> B_bool (ule_vec man x y)
+      | Expr.Bv_slt -> B_bool (slt_vec man x y)
+      | Expr.Bv_sle -> B_bool (sle_vec man x y))
+    | Expr.Concat (hi, lo) -> B_vec (Array.append (vec c lo) (vec c hi))
+    | Expr.Extract { hi; lo; arg } ->
+      B_vec (Array.sub (vec c arg) lo (hi - lo + 1))
+    | Expr.Extend { signed; width; arg } ->
+      let x = vec c arg in
+      let wx = Array.length x in
+      let fill = if signed then x.(wx - 1) else A.ff man in
+      B_vec (Array.init width (fun i -> if i < wx then x.(i) else fill))
+    | Expr.Read { mem; addr } ->
+      let m = expect_mem (bits c mem) in
+      B_vec (read_mem man m.words (vec c addr))
+    | Expr.Write { mem; addr; data } ->
+      let m = expect_mem (bits c mem) in
+      B_mem
+        {
+          addr_width = m.addr_width;
+          words = write_mem man m.words (vec c addr) (vec c data);
+        }
+    | Expr.Mem_init { addr_width; default } ->
+      let word = vec_const man default in
+      B_mem { addr_width; words = Array.make (1 lsl addr_width) word }
+end

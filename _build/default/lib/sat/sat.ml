@@ -1,0 +1,603 @@
+(* CDCL solver.  Internal literal encoding: lit = 2*var for the positive
+   literal, 2*var+1 for the negative one ("negated if odd"), so arrays
+   can be indexed by literal directly.  External literals are ±var. *)
+
+type clause = {
+  lits : int array; (* internal encoding; lits.(0), lits.(1) are watched *)
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type t = {
+  mutable n_vars : int;
+  mutable clauses : clause list; (* problem clauses *)
+  mutable learnts : clause list;
+  mutable watches : clause list array; (* indexed by internal literal *)
+  mutable assign : int array; (* per var: 0 undef / 1 true / 2 false *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array; (* saved polarity *)
+  mutable heap : int array; (* binary max-heap of vars *)
+  mutable heap_pos : int array; (* var -> index in heap, -1 if absent *)
+  mutable heap_size : int;
+  mutable trail : int array; (* internal literals in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array; (* start of each decision level *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable unsat : bool; (* top-level conflict detected *)
+  mutable solved : result option;
+  mutable seen : bool array; (* scratch for analyze *)
+  (* statistics *)
+  mutable n_clauses : int;
+  mutable n_learnts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+}
+
+and result = Sat | Unsat
+
+let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    n_vars = 0;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 16 [];
+    assign = Array.make 8 0;
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_size = 0;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    unsat = false;
+    solved = None;
+    seen = Array.make 8 false;
+    n_clauses = 0;
+    n_learnts = 0;
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learnt_literals = 0;
+  }
+
+(* literal helpers *)
+let pos v = 2 * v
+let neg_of l = l lxor 1
+let var_of l = l / 2
+let is_neg l = l land 1 = 1
+
+let internal_of_ext s l =
+  let v = abs l in
+  if v = 0 || v > s.n_vars then
+    invalid_arg (Printf.sprintf "Sat: unknown literal %d" l);
+  if l > 0 then pos v else pos v + 1
+
+let grow_array a n default =
+  let len = Array.length a in
+  if n <= len then a
+  else begin
+    let a' = Array.make (max n (2 * len)) default in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let new_var s =
+  let v = s.n_vars + 1 in
+  s.n_vars <- v;
+  let n = v + 1 in
+  s.assign <- grow_array s.assign n 0;
+  s.level <- grow_array s.level n 0;
+  s.reason <- grow_array s.reason n None;
+  s.activity <- grow_array s.activity n 0.0;
+  s.phase <- grow_array s.phase n false;
+  s.heap <- grow_array s.heap n 0;
+  s.heap_pos <- grow_array s.heap_pos n (-1);
+  s.trail <- grow_array s.trail n 0;
+  s.trail_lim <- grow_array s.trail_lim n 0;
+  s.seen <- grow_array s.seen n false;
+  s.watches <- grow_array s.watches (2 * n + 2) [];
+  (* insert into the order heap *)
+  s.heap.(s.heap_size) <- v;
+  s.heap_pos.(v) <- s.heap_size;
+  s.heap_size <- s.heap_size + 1;
+  (* sift up not needed: activity 0 *)
+  v
+
+let num_vars s = s.n_vars
+let num_clauses s = s.n_clauses
+
+(* value of an internal literal: 0 undef / 1 true / 2 false *)
+let lit_value s l =
+  let a = s.assign.(var_of l) in
+  if a = 0 then 0 else if is_neg l then 3 - a else a
+
+(* --- order heap (max-heap on activity) --- *)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vj) <- i;
+  s.heap_pos.(vi) <- j
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      sift_up s p
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best))
+  then best := l;
+  if r < s.heap_size && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best))
+  then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    sift_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) = -1 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    sift_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    sift_down s 0
+  end;
+  v
+
+(* --- activities --- *)
+
+let rescale_var_activity s =
+  for v = 1 to s.n_vars do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_var_activity s;
+  if s.heap_pos.(v) >= 0 then sift_up s s.heap_pos.(v)
+
+let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity s = s.cla_inc <- s.cla_inc *. cla_decay
+
+(* --- assignment --- *)
+
+let decision_level s = s.trail_lim_size
+
+let enqueue s l reason =
+  let v = var_of l in
+  s.assign.(v) <- (if is_neg l then 2 else 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- not (is_neg l);
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = var_of s.trail.(i) in
+      s.assign.(v) <- 0;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.trail_lim_size <- lvl
+  end
+
+(* --- propagation --- *)
+
+exception Conflict of clause
+
+let attach s c =
+  s.watches.(neg_of c.lits.(0)) <- c :: s.watches.(neg_of c.lits.(0));
+  s.watches.(neg_of c.lits.(1)) <- c :: s.watches.(neg_of c.lits.(1))
+
+(* Propagate all enqueued facts; raises [Conflict] on a falsified
+   clause.  Clauses are stored in [watches.(l)] when the *falsification*
+   of one of their watched literals should trigger a visit, i.e. clause
+   c sits in watches.(neg c.lits.(0)) and watches.(neg c.lits.(1)). *)
+let propagate s =
+  while s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let watching = s.watches.(p) in
+    s.watches.(p) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest when c.deleted -> go rest
+      | c :: rest ->
+        (* make sure the false literal (neg p) is at position 1 *)
+        let false_lit = neg_of p in
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if lit_value s c.lits.(0) = 1 then begin
+          (* satisfied; keep watching *)
+          s.watches.(p) <- c :: s.watches.(p);
+          go rest
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c.lits in
+          let rec find i =
+            if i >= n then None
+            else if lit_value s c.lits.(i) <> 2 then Some i
+            else find (i + 1)
+          in
+          match find 2 with
+          | Some i ->
+            c.lits.(1) <- c.lits.(i);
+            c.lits.(i) <- false_lit;
+            s.watches.(neg_of c.lits.(1)) <- c :: s.watches.(neg_of c.lits.(1));
+            go rest
+          | None ->
+            (* unit or conflicting *)
+            s.watches.(p) <- c :: s.watches.(p);
+            if lit_value s c.lits.(0) = 2 then begin
+              (* conflict: restore remaining watchers before raising *)
+              s.watches.(p) <- List.rev_append rest s.watches.(p);
+              s.qhead <- s.trail_size;
+              raise (Conflict c)
+            end
+            else begin
+              enqueue s c.lits.(0) (Some c);
+              go rest
+            end
+        end
+    in
+    go watching
+  done
+
+(* --- clause addition (level 0 only) --- *)
+
+let add_clause s ext_lits =
+  (* incremental use: drop any previous search state and model *)
+  cancel_until s 0;
+  s.solved <- None;
+  if not s.unsat then begin
+    let lits = List.map (internal_of_ext s) ext_lits in
+    (* dedup, drop false lits (level 0), detect tautology/satisfied *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (neg_of l) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> 2) lits in
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] -> begin
+        enqueue s l None;
+        try propagate s with Conflict _ -> s.unsat <- true
+      end
+      | _ ->
+        let c =
+          {
+            lits = Array.of_list lits;
+            learnt = false;
+            activity = 0.0;
+            deleted = false;
+          }
+        in
+        s.clauses <- c :: s.clauses;
+        s.n_clauses <- s.n_clauses + 1;
+        attach s c
+    end
+  end
+
+(* --- conflict analysis (first UIP) --- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let seen = s.seen in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let first = ref true in
+  let bt_level = ref 0 in
+  let c = ref confl in
+  let index = ref (s.trail_size - 1) in
+  let continue = ref true in
+  while !continue do
+    bump_clause s !c;
+    let lits = !c.lits in
+    (* skip lits.(0) on subsequent rounds: it is the literal we just
+       resolved on (the reason clause's propagated literal) *)
+    let start = if !first then 0 else 1 in
+    first := false;
+    for i = start to Array.length lits - 1 do
+      let q = lits.(i) in
+      let v = var_of q in
+      if (not seen.(v)) && s.level.(v) > 0 then begin
+        seen.(v) <- true;
+        bump_var s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !bt_level then bt_level := s.level.(v)
+        end
+      end
+    done;
+    (* find the next literal on the trail that is marked *)
+    let rec next_marked i =
+      if seen.(var_of s.trail.(i)) then i else next_marked (i - 1)
+    in
+    index := next_marked !index;
+    let q = s.trail.(!index) in
+    let v = var_of q in
+    seen.(v) <- false;
+    decr counter;
+    index := !index - 1;
+    if !counter = 0 then begin
+      p := q;
+      continue := false
+    end
+    else begin
+      match s.reason.(v) with
+      | Some r ->
+        (* orient so that lits.(0) is q, skipped in the next round *)
+        if r.lits.(0) <> q then begin
+          let j = ref 0 in
+          Array.iteri (fun i l -> if l = q then j := i) r.lits;
+          r.lits.(!j) <- r.lits.(0);
+          r.lits.(0) <- q
+        end;
+        c := r
+      | None -> assert false (* decision variables end the loop via counter *)
+    end
+  done;
+  let learnt_lits = neg_of !p :: !learnt in
+  List.iter (fun l -> seen.(var_of l) <- false) !learnt;
+  (Array.of_list learnt_lits, !bt_level)
+
+let record_learnt s lits =
+  s.learnt_literals <- s.learnt_literals + Array.length lits;
+  if Array.length lits = 1 then enqueue s lits.(0) None
+  else begin
+    (* watch the asserting literal and one literal from the backtrack
+       level (position of max level among lits.(1..)) *)
+    let maxi = ref 1 in
+    for i = 2 to Array.length lits - 1 do
+      if s.level.(var_of lits.(i)) > s.level.(var_of lits.(!maxi)) then
+        maxi := i
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!maxi);
+    lits.(!maxi) <- tmp;
+    let c = { lits; learnt = true; activity = 0.0; deleted = false } in
+    s.learnts <- c :: s.learnts;
+    s.n_learnts <- s.n_learnts + 1;
+    bump_clause s c;
+    attach s c;
+    enqueue s lits.(0) (Some c)
+  end
+
+(* --- learnt clause DB reduction --- *)
+
+let locked s c =
+  (* a clause that is the reason of a current assignment must stay *)
+  lit_value s c.lits.(0) = 1
+  && (match s.reason.(var_of c.lits.(0)) with
+     | Some r -> r == c
+     | None -> false)
+
+let reduce_db s =
+  let arr = Array.of_list s.learnts in
+  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let kill = ref (n / 2) in
+  Array.iteri
+    (fun i c ->
+      if i < n / 2 && !kill > 0 && (not (locked s c)) && Array.length c.lits > 2
+      then begin
+        c.deleted <- true;
+        decr kill
+      end)
+    arr;
+  s.learnts <- List.filter (fun c -> not c.deleted) s.learnts;
+  s.n_learnts <- List.length s.learnts
+(* deleted clauses are skipped lazily and dropped from watch lists
+   during propagation *)
+
+(* --- search --- *)
+
+(* Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...; [x] is the
+   0-based index (classic MiniSat formulation). *)
+let luby x =
+  let rec grow size seq = if size < x + 1 then grow ((2 * size) + 1) (seq + 1) else (size, seq) in
+  let rec locate size seq x =
+    if size - 1 = x then seq
+    else begin
+      let size = (size - 1) / 2 in
+      locate size (seq - 1) (x mod size)
+    end
+  in
+  let size, seq = grow 1 0 in
+  1 lsl locate size seq x
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then 0
+    else begin
+      let v = heap_pop s in
+      if s.assign.(v) = 0 then v else go ()
+    end
+  in
+  go ()
+
+(* Incremental solving: re-solvable after further add_clause calls.
+   Assumptions are installed as the first decision levels (the MiniSat
+   scheme): whenever the decision level is below the number of
+   assumptions, the next assumption literal is decided (or a fresh
+   level is opened if it already holds); an assumption found false
+   makes the instance unsat *under the assumptions*. *)
+let solve ?(assumptions = []) s =
+  cancel_until s 0;
+  s.solved <- None;
+  let assumption_lits =
+    Array.of_list (List.map (internal_of_ext s) assumptions)
+  in
+  let result =
+    if s.unsat then Unsat
+    else begin
+      try
+        propagate s;
+        let restart_count = ref 0 in
+        let answer = ref None in
+        let new_level () =
+          s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+          s.trail_lim_size <- s.trail_lim_size + 1
+        in
+        while !answer = None do
+          let conflict_budget = 64 * luby !restart_count in
+          incr restart_count;
+          let conflicts_here = ref 0 in
+          (try
+             while !answer = None && !conflicts_here < conflict_budget do
+               match
+                 (try
+                    propagate s;
+                    None
+                  with Conflict c -> Some c)
+               with
+               | Some confl ->
+                 s.conflicts <- s.conflicts + 1;
+                 incr conflicts_here;
+                 if decision_level s = 0 then answer := Some Unsat
+                 else if decision_level s <= Array.length assumption_lits
+                 then
+                   (* the conflict depends only on assumptions *)
+                   answer := Some Unsat
+                 else begin
+                   let learnt, bt = analyze s confl in
+                   (* backjumps may undo assumption levels; the decision
+                      loop re-establishes them *)
+                   cancel_until s bt;
+                   record_learnt s learnt;
+                   decay_var_activity s;
+                   decay_clause_activity s;
+                   if s.n_learnts > 4000 + (2 * s.n_clauses) then
+                     reduce_db s
+                 end
+               | None ->
+                 if decision_level s < Array.length assumption_lits then begin
+                   let l = assumption_lits.(decision_level s) in
+                   match lit_value s l with
+                   | 1 -> new_level () (* already holds: placeholder level *)
+                   | 2 -> answer := Some Unsat
+                   | _ ->
+                     new_level ();
+                     enqueue s l None
+                 end
+                 else begin
+                   let v = pick_branch_var s in
+                   if v = 0 then answer := Some Sat
+                   else begin
+                     s.decisions <- s.decisions + 1;
+                     new_level ();
+                     let l = if s.phase.(v) then pos v else pos v + 1 in
+                     enqueue s l None
+                   end
+                 end
+             done
+           with Conflict _ -> assert false);
+          if !answer = None then begin
+            (* restart, keeping the assumption prefix *)
+            s.restarts <- s.restarts + 1;
+            cancel_until s (min (decision_level s) (Array.length assumption_lits))
+          end
+        done;
+        (match !answer with Some r -> r | None -> assert false)
+      with Conflict _ -> Unsat
+    end
+  in
+  s.solved <- Some result;
+  result
+
+let value s v =
+  match s.solved with
+  | Some Sat ->
+    if v < 1 || v > s.n_vars then invalid_arg "Sat.value: unknown variable";
+    s.assign.(v) = 1
+  | Some Unsat | None -> invalid_arg "Sat.value: no model available"
+
+let export s =
+  let ext l = (if is_neg l then -1 else 1) * var_of l in
+  let level0_bound =
+    if s.trail_lim_size > 0 then s.trail_lim.(0) else s.trail_size
+  in
+  let units = List.init level0_bound (fun i -> [ ext s.trail.(i) ]) in
+  let clauses =
+    List.rev_map
+      (fun c -> Array.to_list (Array.map ext c.lits))
+      (List.filter (fun c -> not c.deleted) s.clauses)
+  in
+  (* a top-level conflict discovered during clause addition has no
+     stored witness clause: export it as the empty clause *)
+  let contradiction = if s.unsat then [ [] ] else [] in
+  (s.n_vars, contradiction @ units @ clauses)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+let stats (s : t) =
+  {
+    decisions = s.decisions;
+    propagations = s.propagations;
+    conflicts = s.conflicts;
+    restarts = s.restarts;
+    learnt_literals = s.learnt_literals;
+  }

@@ -1,0 +1,62 @@
+(** A CDCL SAT solver.
+
+    This is the decision procedure behind the refinement checker (the
+    stand-in for the commercial model checker used in the paper).  It
+    implements the standard modern architecture: two-watched-literal
+    propagation, first-UIP conflict analysis with clause learning,
+    VSIDS variable activities with phase saving, Luby restarts and
+    activity-based deletion of learnt clauses.
+
+    Usage is non-incremental: create a solver, allocate variables, add
+    clauses, then call {!solve} once.  Literals are non-zero integers:
+    [+v] for variable [v], [-v] for its negation (DIMACS convention). *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its (positive) index. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Problem clauses added so far (excluding learnt clauses). *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause.  Tautologies are dropped and duplicate literals
+    merged.  Adding the empty clause makes the instance trivially
+    unsatisfiable.  May be called between {!solve} calls (incremental
+    use); doing so invalidates the previous model.
+    @raise Invalid_argument on a literal whose variable was never
+    allocated. *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Decides the conjunction of all added clauses, under the optional
+    assumption literals (decided first, MiniSat-style).  [Unsat] with
+    assumptions means unsatisfiable {e under those assumptions}.
+    Learnt clauses persist across calls, so related queries get
+    cheaper. *)
+
+val value : t -> int -> bool
+(** [value s v] is the model value of variable [v] after the most
+    recent {!solve} returned [Sat].  Variables untouched by the search
+    default to [false].
+    @raise Invalid_argument if the last result was not [Sat] or the
+    formula changed since. *)
+
+val export : t -> int * int list list
+(** [(n_vars, clauses)] of the problem in external literal convention.
+    Level-0 facts (from unit clauses) are exported as unit clauses;
+    learnt clauses are not included.  Useful for DIMACS dumps. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Bdd_check Bitblast Build Eval Expr Ilv_expr Ilv_sat List Pp_expr QCheck QCheck_alcotest Sort Value

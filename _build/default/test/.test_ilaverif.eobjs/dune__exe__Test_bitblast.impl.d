@@ -1,0 +1,1 @@
+test/test_bitblast.ml: Alcotest Bitblast Build Eval Expr Ilv_expr Ilv_sat List Pp_expr Printf QCheck QCheck_alcotest Sort Value

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Ilv_expr List Printf QCheck QCheck_alcotest

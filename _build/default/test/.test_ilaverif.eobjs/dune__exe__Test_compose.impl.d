@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Eval Ila Ila_sim Ilv_core Ilv_designs Ilv_expr List Mem_iface_8051 Option Printf QCheck QCheck_alcotest Value

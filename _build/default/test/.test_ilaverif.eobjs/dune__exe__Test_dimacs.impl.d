@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Bitblast Build Dimacs Format Ilv_expr Ilv_sat List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Bitvec Build Eval Expr Ilv_expr List Pp_expr Printf QCheck QCheck_alcotest Subst Value

@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Build Catalog Design Ilv_core Ilv_designs Ilv_expr Ilv_rtl Invariant List Rtl Sort Trace Value

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Bitvec Build Catalog Design Expr Ila Ila_text Ilv_core Ilv_designs Ilv_expr List Module_ila Parse Pp_expr QCheck QCheck_alcotest Refmap Refmap_text Sort

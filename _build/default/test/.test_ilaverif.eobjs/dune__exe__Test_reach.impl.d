@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Build Hashtbl Ilv_core Ilv_designs Ilv_expr Ilv_rtl List QCheck QCheck_alcotest Reach Rtl Sort Value

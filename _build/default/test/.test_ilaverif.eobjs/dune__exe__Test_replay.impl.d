@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Axi_slave Checker Design Ila Ilv_core Ilv_designs L2_cache List Module_ila Option Printf Replay Store_buffer Trace Verify

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Build Ilv_expr Ilv_rtl List QCheck QCheck_alcotest Rtl Rtl_stats Sim Sort String Value

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Format Fun Ilv_sat List Printf QCheck QCheck_alcotest Sat String

@@ -1,0 +1,1 @@
+test/test_simp.ml: Alcotest Build Eval Expr Ilv_expr Pp_expr Printf QCheck QCheck_alcotest Simp Value

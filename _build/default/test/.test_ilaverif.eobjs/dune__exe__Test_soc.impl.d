@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Decoder_8051 Ilv_designs Ilv_expr Ilv_rtl Iss_8051 List Printf QCheck QCheck_alcotest Rtl Soc_top String

@@ -1,0 +1,1 @@
+test/test_tutorial.ml: Alcotest Build Compose Ila Ila_check Ila_sim Ilv_core Ilv_expr Ilv_rtl List Refmap Rtl Sort Value Verify

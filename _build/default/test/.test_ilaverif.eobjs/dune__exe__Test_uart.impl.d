@@ -1,0 +1,1 @@
+test/test_uart.ml: Alcotest Design Ilv_core Ilv_designs Ilv_expr Ilv_rtl List Sim Uart_tx Value

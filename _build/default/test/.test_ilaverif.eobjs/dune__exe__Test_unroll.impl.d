@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Build Eval Ilv_core Ilv_expr Ilv_rtl List Pp_expr Printf QCheck QCheck_alcotest Rtl Sim Sort String Unroll Value

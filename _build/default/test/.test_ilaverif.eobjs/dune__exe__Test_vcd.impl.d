@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Axi_slave Build Checker Design Ilv_core Ilv_designs Ilv_expr Ilv_rtl List Rtl Sort String Trace Value Vcd Verify

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Catalog Clock_gen Datapath_8051 Decoder_8051 Design Ilv_designs Ilv_rtl List Rtl Soc_top Store_buffer String Verilog

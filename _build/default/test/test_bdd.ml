@@ -1,0 +1,179 @@
+(* Tests for the BDD package and the BDD-based expression checker,
+   including cross-checks against the SAT backend over the shared
+   circuit lowering. *)
+
+open Ilv_expr
+open Ilv_sat
+
+let t name f = Alcotest.test_case name `Quick f
+
+let bdd_tests =
+  [
+    t "canonicity: same function, same node" (fun () ->
+        let m = Bdd.manager () in
+        let x = Bdd.var m 0 and y = Bdd.var m 1 in
+        let a = Bdd.mk_and m x y in
+        let b = Bdd.neg m (Bdd.mk_or m (Bdd.neg m x) (Bdd.neg m y)) in
+        Alcotest.(check bool) "de morgan" true (Bdd.equal a b));
+    t "tautology reduces to the true leaf" (fun () ->
+        let m = Bdd.manager () in
+        let x = Bdd.var m 0 in
+        Alcotest.(check bool) "x or !x" true
+          (Bdd.is_tt (Bdd.mk_or m x (Bdd.neg m x)));
+        Alcotest.(check bool) "x and !x" true
+          (Bdd.is_ff (Bdd.mk_and m x (Bdd.neg m x))));
+    t "exists drops the variable" (fun () ->
+        let m = Bdd.manager () in
+        let x = Bdd.var m 0 and y = Bdd.var m 1 in
+        let f = Bdd.mk_and m x y in
+        Alcotest.(check bool) "exists x (x and y) = y" true
+          (Bdd.equal (Bdd.exists m [ 0 ] f) y);
+        Alcotest.(check bool) "forall x (x and y) = ff" true
+          (Bdd.is_ff (Bdd.forall m [ 0 ] f)));
+    t "rename shifts variables" (fun () ->
+        let m = Bdd.manager () in
+        let f = Bdd.mk_xor m (Bdd.var m 0) (Bdd.var m 2) in
+        let g = Bdd.rename m (fun v -> v + 1) f in
+        Alcotest.(check bool) "same as building directly" true
+          (Bdd.equal g (Bdd.mk_xor m (Bdd.var m 1) (Bdd.var m 3))));
+    t "non-monotone rename is rejected" (fun () ->
+        let m = Bdd.manager () in
+        let f = Bdd.mk_and m (Bdd.var m 0) (Bdd.var m 1) in
+        try
+          ignore (Bdd.rename m (fun v -> 1 - v) f);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "restrict cofactors" (fun () ->
+        let m = Bdd.manager () in
+        let x = Bdd.var m 0 and y = Bdd.var m 1 in
+        let f = Bdd.mk_ite m x y (Bdd.neg m y) in
+        Alcotest.(check bool) "f[x:=1] = y" true
+          (Bdd.equal (Bdd.restrict m 0 true f) y);
+        Alcotest.(check bool) "f[x:=0] = !y" true
+          (Bdd.equal (Bdd.restrict m 0 false f) (Bdd.neg m y)));
+    t "any_sat finds a witness" (fun () ->
+        let m = Bdd.manager () in
+        let f = Bdd.mk_and m (Bdd.var m 0) (Bdd.neg m (Bdd.var m 1)) in
+        match Bdd.any_sat f with
+        | Some assignment ->
+          Alcotest.(check (list (pair int bool)))
+            "witness"
+            [ (0, true); (1, false) ]
+            (List.sort compare assignment)
+        | None -> Alcotest.fail "expected sat");
+  ]
+
+let check_tests =
+  [
+    t "bdd validity of a word-level identity" (fun () ->
+        let c = Bdd_check.create () in
+        let x = Build.bv_var "x" 6 and y = Build.bv_var "y" 6 in
+        Alcotest.(check bool) "x+y = y+x" true
+          (Bdd_check.valid c Build.(eq (x +: y) (y +: x)));
+        Alcotest.(check bool) "x+1 != x" true
+          (Bdd_check.valid c Build.(neq (add_int x 1) x));
+        Alcotest.(check bool) "x < y not valid" false
+          (Bdd_check.valid c Build.(x <: y)));
+    t "bdd model extraction" (fun () ->
+        let c = Bdd_check.create () in
+        let x = Build.bv_var "x" 8 in
+        match Bdd_check.check c [ Build.eq_int x 77 ] with
+        | Bdd_check.Unsat -> Alcotest.fail "expected sat"
+        | Bdd_check.Sat model ->
+          Alcotest.(check int) "x" 77 (Value.to_int (model "x" (Sort.bv 8))));
+    t "bdd memory reasoning" (fun () ->
+        let c = Bdd_check.create () in
+        let m = Build.mem_var "m" ~addr_width:2 ~data_width:4 in
+        let a = Build.bv_var "a" 2 and d = Build.bv_var "d" 4 in
+        Alcotest.(check bool) "read-over-write" true
+          (Bdd_check.valid c
+             Build.(eq (read (Expr.write ~mem:m ~addr:a ~data:d) a) d)));
+  ]
+
+(* Cross-check: the BDD and SAT backends must agree on random
+   formulas (they share the circuit lowering, so this mainly exercises
+   the two algebras and decision procedures). *)
+let arb_formula =
+  let gen =
+    QCheck.Gen.(
+      let bv_leaf =
+        oneof
+          [
+            return (Build.bv_var "x" 4);
+            return (Build.bv_var "y" 4);
+            (int_range 0 15 >|= fun n -> Build.bv ~width:4 n);
+          ]
+      in
+      let rec bv n =
+        if n = 0 then bv_leaf
+        else
+          oneof
+            [
+              bv_leaf;
+              (pair (bv (n - 1)) (bv (n - 1)) >|= fun (a, b) -> Expr.binop Expr.Bv_add a b);
+              (pair (bv (n - 1)) (bv (n - 1)) >|= fun (a, b) -> Expr.binop Expr.Bv_mul a b);
+              (pair (bv (n - 1)) (bv (n - 1)) >|= fun (a, b) -> Expr.binop Expr.Bv_xor a b);
+              (pair (bv (n - 1)) (bv (n - 1)) >|= fun (a, b) -> Expr.binop Expr.Bv_udiv a b);
+            ]
+      in
+      let rec formula n =
+        if n = 0 then
+          oneof
+            [
+              (pair (bv 2) (bv 2) >|= fun (a, b) -> Expr.eq a b);
+              (pair (bv 2) (bv 2) >|= fun (a, b) -> Expr.cmp Expr.Bv_ult a b);
+            ]
+        else
+          oneof
+            [
+              (pair (formula (n - 1)) (formula (n - 1)) >|= fun (a, b) ->
+               Expr.and_ a b);
+              (pair (formula (n - 1)) (formula (n - 1)) >|= fun (a, b) ->
+               Expr.or_ a b);
+              (formula (n - 1) >|= Expr.not_);
+            ]
+      in
+      formula 3)
+  in
+  QCheck.make ~print:Pp_expr.to_string gen
+
+let cross_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"BDD and SAT agree on satisfiability"
+         ~count:200 arb_formula (fun f ->
+           let bdd_answer =
+             match Bdd_check.check (Bdd_check.create ()) [ f ] with
+             | Bdd_check.Unsat -> `Unsat
+             | Bdd_check.Sat _ -> `Sat
+           in
+           let ctx = Bitblast.create () in
+           Bitblast.assert_bool ctx f;
+           let sat_answer =
+             match Bitblast.check ctx with
+             | Bitblast.Unsat -> `Unsat
+             | Bitblast.Sat _ -> `Sat
+           in
+           bdd_answer = sat_answer));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"BDD models satisfy the formula" ~count:200
+         arb_formula (fun f ->
+           let c = Bdd_check.create () in
+           match Bdd_check.check c [ f ] with
+           | Bdd_check.Unsat -> true
+           | Bdd_check.Sat model ->
+             let env =
+               Eval.env_of_list
+                 (List.map
+                    (fun (name, sort) -> (name, model name sort))
+                    (Expr.vars f))
+             in
+             Eval.eval_bool env f));
+  ]
+
+let suite =
+  [
+    ("bdd:core", bdd_tests);
+    ("bdd:check", check_tests);
+    ("bdd:cross", cross_tests);
+  ]

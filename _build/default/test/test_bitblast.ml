@@ -1,0 +1,254 @@
+(* Tests for the bit-blaster: every word-level operation is
+   cross-checked against the concrete evaluator through the SAT solver.
+   The core oracle: for expression [e] over variables bound by [env],
+   asserting [vars = env] together with [e <> eval env e] must be UNSAT,
+   and together with [e = eval env e] must be SAT. *)
+
+open Ilv_expr
+open Ilv_sat
+
+let t name f = Alcotest.test_case name `Quick f
+
+let value_expr v =
+  match v with
+  | Value.V_bool b -> Build.bool b
+  | Value.V_bv bv -> Build.bv_of bv
+  | Value.V_mem _ -> invalid_arg "value_expr: memory"
+
+(* Check that under [env], [e] bit-blasts to exactly [eval env e]. *)
+let agrees env e =
+  let expected = Eval.eval env e in
+  let bind ctx =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Value.V_mem _ -> ()
+        | _ ->
+          Bitblast.assert_bool ctx
+            (Build.eq (Expr.var name (Value.sort v)) (value_expr v)))
+      (Eval.env_bindings env)
+  in
+  (* negation is unsat *)
+  let ctx = Bitblast.create () in
+  bind ctx;
+  Bitblast.assert_not ctx (Build.eq e (value_expr expected));
+  let neg_unsat = Bitblast.check ctx = Bitblast.Unsat in
+  (* assertion is sat *)
+  let ctx2 = Bitblast.create () in
+  bind ctx2;
+  Bitblast.assert_bool ctx2 (Build.eq e (value_expr expected));
+  let pos_sat = match Bitblast.check ctx2 with Bitblast.Sat _ -> true | Bitblast.Unsat -> false in
+  neg_unsat && pos_sat
+
+let check_agrees name env e =
+  Alcotest.(check bool) name true (agrees env e)
+
+let unit_tests =
+  [
+    t "true is sat, false is unsat" (fun () ->
+        let ctx = Bitblast.create () in
+        Bitblast.assert_bool ctx Build.tt;
+        Alcotest.(check bool) "sat" true
+          (match Bitblast.check ctx with Bitblast.Sat _ -> true | Bitblast.Unsat -> false);
+        let ctx = Bitblast.create () in
+        Bitblast.assert_bool ctx Build.ff;
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "x && !x is unsat" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bool_var "x" in
+        Bitblast.assert_bool ctx Build.(x &&: not_ x);
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "model extraction" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 8 in
+        Bitblast.assert_bool ctx (Build.eq_int x 137);
+        match Bitblast.check ctx with
+        | Bitblast.Unsat -> Alcotest.fail "expected sat"
+        | Bitblast.Sat model ->
+          Alcotest.(check int) "x" 137
+            (Value.to_int (model "x" (Sort.bv 8))));
+    t "excluded middle over a vector" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 4 in
+        (* no 4-bit value is both < 5 and >= 9 *)
+        Bitblast.assert_bool ctx
+          Build.((x <: bv ~width:4 5) &&: (x >=: bv ~width:4 9));
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "add commutativity is valid" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 8 and y = Build.bv_var "y" 8 in
+        Bitblast.assert_not ctx Build.(eq (x +: y) (y +: x));
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "sub then add round-trips" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 8 and y = Build.bv_var "y" 8 in
+        Bitblast.assert_not ctx Build.(eq (x -: y +: y) x);
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "mul distributes over add (valid)" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 5
+        and y = Build.bv_var "y" 5
+        and z = Build.bv_var "z" 5 in
+        Bitblast.assert_not ctx Build.(eq (x *: (y +: z)) ((x *: y) +: (x *: z)));
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "division reconstruction is valid" (fun () ->
+        let ctx = Bitblast.create () in
+        let x = Build.bv_var "x" 5 and y = Build.bv_var "y" 5 in
+        (* y <> 0 ==> (x/y)*y + x%y == x *)
+        Bitblast.assert_bool ctx (Build.neq y (Build.bv ~width:5 0));
+        Bitblast.assert_not ctx
+          Build.(eq ((udiv x y *: y) +: urem x y) x);
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "symbolic memory read-over-write" (fun () ->
+        let ctx = Bitblast.create () in
+        let m = Build.mem_var "m" ~addr_width:3 ~data_width:8 in
+        let a = Build.bv_var "a" 3 and d = Build.bv_var "d" 8 in
+        (* forwarding must hold for every address *)
+        Bitblast.assert_not ctx Build.(eq (read (Expr.write ~mem:m ~addr:a ~data:d) a) d);
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "memory write preserves other addresses" (fun () ->
+        let ctx = Bitblast.create () in
+        let m = Build.mem_var "m" ~addr_width:3 ~data_width:8 in
+        let a = Build.bv_var "a" 3
+        and b = Build.bv_var "b" 3
+        and d = Build.bv_var "d" 8 in
+        Bitblast.assert_bool ctx (Build.neq a b);
+        Bitblast.assert_not ctx
+          Build.(eq (read (Expr.write ~mem:m ~addr:a ~data:d) b) (read m b));
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "memory equality is extensional" (fun () ->
+        let ctx = Bitblast.create () in
+        let m = Build.mem_var "m" ~addr_width:2 ~data_width:4 in
+        let n = Build.mem_var "n" ~addr_width:2 ~data_width:4 in
+        let a = Build.bv_var "a" 2 in
+        Bitblast.assert_bool ctx (Build.eq m n);
+        Bitblast.assert_not ctx Build.(eq (read m a) (read n a));
+        Alcotest.(check bool) "unsat" true (Bitblast.check ctx = Bitblast.Unsat));
+    t "variable reused at two sorts is rejected" (fun () ->
+        let ctx = Bitblast.create () in
+        Bitblast.assert_bool ctx (Build.eq_int (Build.bv_var "v" 8) 0);
+        try
+          Bitblast.assert_bool ctx (Build.bool_var "v");
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+(* Exhaustive small-width checks, one per operator. *)
+
+let exhaustive_binop_tests =
+  let ops =
+    [
+      ("add", Build.( +: ));
+      ("sub", Build.( -: ));
+      ("mul", Build.( *: ));
+      ("udiv", Build.udiv);
+      ("urem", Build.urem);
+      ("and", Build.( &: ));
+      ("or", Build.( |: ));
+      ("xor", Build.( ^: ));
+      ("shl", Build.shl);
+      ("lshr", Build.lshr);
+      ("ashr", Build.ashr);
+    ]
+  in
+  let cmps =
+    [
+      ("ult", Build.( <: ));
+      ("ule", Build.( <=: ));
+      ("slt", Build.slt);
+      ("sle", Build.sle);
+      ("eq", Build.eq);
+    ]
+  in
+  let x = Build.bv_var "x" 3 and y = Build.bv_var "y" 3 in
+  let mk_test kind name op =
+    t
+      (Printf.sprintf "%s %s agrees with eval at width 3 (exhaustive)" kind
+         name) (fun () ->
+        for a = 0 to 7 do
+          for b = 0 to 7 do
+            let env =
+              Eval.env_of_list
+                [ ("x", Value.of_int ~width:3 a); ("y", Value.of_int ~width:3 b) ]
+            in
+            if not (agrees env (op x y)) then
+              Alcotest.failf "%s %s disagrees at a=%d b=%d" kind name a b
+          done
+        done)
+  in
+  List.map (fun (name, op) -> mk_test "binop" name op) ops
+  @ List.map (fun (name, op) -> mk_test "cmp" name op) cmps
+
+let structure_tests =
+  [
+    t "concat/extract/extend agree with eval" (fun () ->
+        let x = Build.bv_var "x" 5 and y = Build.bv_var "y" 3 in
+        for a = 0 to 31 do
+          for b = 0 to 7 do
+            let env =
+              Eval.env_of_list
+                [ ("x", Value.of_int ~width:5 a); ("y", Value.of_int ~width:3 b) ]
+            in
+            check_agrees "concat" env (Build.concat x y);
+            check_agrees "extract" env (Build.extract ~hi:3 ~lo:1 x);
+            check_agrees "zext" env (Build.zext y 7);
+            check_agrees "sext" env (Build.sext y 7);
+            check_agrees "neg" env (Build.bv_neg x);
+            check_agrees "not" env (Build.bv_not x)
+          done
+        done);
+  ]
+
+(* Random compound expressions. *)
+let arb_case =
+  let gen =
+    QCheck.Gen.(
+      let leaf =
+        oneof
+          [
+            return (Build.bv_var "x" 6);
+            return (Build.bv_var "y" 6);
+            (int_range 0 63 >|= fun n -> Build.bv ~width:6 n);
+          ]
+      in
+      let rec expr n =
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              (pair (expr (n - 1)) (expr (n - 1)) >|= fun (a, b) -> Build.( +: ) a b);
+              (pair (expr (n - 1)) (expr (n - 1)) >|= fun (a, b) -> Build.( -: ) a b);
+              (pair (expr (n - 1)) (expr (n - 1)) >|= fun (a, b) -> Build.( ^: ) a b);
+              (pair (expr (n - 1)) (expr (n - 1)) >|= fun (a, b) -> Build.( &: ) a b);
+              (pair (expr (n - 1)) (expr (n - 1)) >|= fun (a, b) -> Build.lshr a b);
+              ( triple (expr (n - 1)) (expr (n - 1)) (expr (n - 1))
+              >|= fun (c, a, b) -> Build.ite (Build.bv_to_bool c) a b );
+            ]
+      in
+      triple (expr 3) (int_range 0 63) (int_range 0 63))
+  in
+  QCheck.make
+    ~print:(fun (e, a, b) ->
+      Printf.sprintf "%s where x=%d y=%d" (Pp_expr.to_string e) a b)
+    gen
+
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random word-level exprs agree with eval"
+         ~count:150 arb_case (fun (e, a, b) ->
+           let env =
+             Eval.env_of_list
+               [ ("x", Value.of_int ~width:6 a); ("y", Value.of_int ~width:6 b) ]
+           in
+           agrees env e));
+  ]
+
+let suite =
+  [
+    ("bitblast:unit", unit_tests);
+    ("bitblast:exhaustive", exhaustive_binop_tests);
+    ("bitblast:structure", structure_tests);
+    ("bitblast:props", prop_tests);
+  ]

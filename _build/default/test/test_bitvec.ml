@@ -1,0 +1,199 @@
+(* Unit and property tests for the Bitvec substrate.  Property tests
+   compare every operation against native-int reference arithmetic at
+   widths small enough for exact modelling. *)
+
+open Ilv_expr
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let check_bv = Alcotest.check bv
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Reference model: width <= 20, value as masked int. *)
+let wmask w = (1 lsl w) - 1
+
+let arb_width = QCheck.Gen.int_range 1 20
+
+let arb_wv =
+  (* a width together with a value of that width *)
+  QCheck.make
+    ~print:(fun (w, n) -> Printf.sprintf "(w=%d, n=%d)" w n)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      int_range 0 (wmask w) >>= fun n -> return (w, n))
+
+let arb_wvv =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "(w=%d, a=%d, b=%d)" w a b)
+    QCheck.Gen.(
+      arb_width >>= fun w ->
+      int_range 0 (wmask w) >>= fun a ->
+      int_range 0 (wmask w) >>= fun b -> return (w, a, b))
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb f)
+
+let unit_tests =
+  [
+    t "zero/one/ones" (fun () ->
+        check_int "zero" 0 (Bitvec.to_int (Bitvec.zero 8));
+        check_int "one" 1 (Bitvec.to_int (Bitvec.one 8));
+        check_int "ones" 255 (Bitvec.to_int (Bitvec.ones 8)));
+    t "of_int truncates" (fun () ->
+        check_int "256->0" 0 (Bitvec.to_int (Bitvec.of_int ~width:8 256));
+        check_int "257->1" 1 (Bitvec.to_int (Bitvec.of_int ~width:8 257)));
+    t "of_int negative is two's complement" (fun () ->
+        check_int "-1" 255 (Bitvec.to_int (Bitvec.of_int ~width:8 (-1)));
+        check_int "-2" 254 (Bitvec.to_int (Bitvec.of_int ~width:8 (-2)));
+        check_int "signed" (-2)
+          (Bitvec.to_signed_int (Bitvec.of_int ~width:8 (-2))));
+    t "wide values cross limb boundaries" (fun () ->
+        let v = Bitvec.of_int ~width:60 0xdeadbeef123 in
+        check_int "round-trip" 0xdeadbeef123 (Bitvec.to_int v);
+        check_bool "bit 0" true (Bitvec.bit v 0);
+        check_bool "bit 1" true (Bitvec.bit v 1);
+        check_bool "msb" false (Bitvec.msb v));
+    t "very wide ops" (fun () ->
+        let a = Bitvec.ones 200 in
+        let b = Bitvec.one 200 in
+        check_bool "ones+1 = 0" true (Bitvec.is_zero (Bitvec.add a b));
+        check_bv "x-x" (Bitvec.zero 200) (Bitvec.sub a a);
+        check_bv "not ones" (Bitvec.zero 200) (Bitvec.lognot a));
+    t "concat/extract" (fun () ->
+        let hi = Bitvec.of_int ~width:4 0xa in
+        let lo = Bitvec.of_int ~width:8 0x5c in
+        let v = Bitvec.concat hi lo in
+        check_int "width" 12 (Bitvec.width v);
+        check_int "value" 0xa5c (Bitvec.to_int v);
+        check_bv "extract hi" hi (Bitvec.extract ~hi:11 ~lo:8 v);
+        check_bv "extract lo" lo (Bitvec.extract ~hi:7 ~lo:0 v));
+    t "extend" (fun () ->
+        let v = Bitvec.of_int ~width:4 0xc in
+        check_int "zext" 0xc (Bitvec.to_int (Bitvec.zero_extend v 8));
+        check_int "sext" 0xfc (Bitvec.to_int (Bitvec.sign_extend v 8));
+        let p = Bitvec.of_int ~width:4 0x5 in
+        check_int "sext positive" 0x5 (Bitvec.to_int (Bitvec.sign_extend p 8)));
+    t "shifts" (fun () ->
+        let v = Bitvec.of_int ~width:8 0b1001_0110 in
+        check_int "shl 2" 0b0101_1000 (Bitvec.to_int (Bitvec.shl v 2));
+        check_int "lshr 2" 0b0010_0101 (Bitvec.to_int (Bitvec.lshr v 2));
+        check_int "ashr 2" 0b1110_0101 (Bitvec.to_int (Bitvec.ashr v 2));
+        check_int "shl width" 0 (Bitvec.to_int (Bitvec.shl v 8));
+        check_int "ashr width" 0xff (Bitvec.to_int (Bitvec.ashr v 8)));
+    t "shift by bitvector saturates" (fun () ->
+        let v = Bitvec.of_int ~width:8 0xff in
+        let big = Bitvec.of_int ~width:8 200 in
+        check_int "shl sat" 0 (Bitvec.to_int (Bitvec.shl_bv v big));
+        check_int "ashr sat" 0xff (Bitvec.to_int (Bitvec.ashr_bv v big)));
+    t "division by zero follows SMT-LIB" (fun () ->
+        let x = Bitvec.of_int ~width:8 42 in
+        let z = Bitvec.zero 8 in
+        check_int "udiv0" 255 (Bitvec.to_int (Bitvec.udiv x z));
+        check_int "urem0" 42 (Bitvec.to_int (Bitvec.urem x z)));
+    t "of_string forms" (fun () ->
+        check_bv "bin" (Bitvec.of_int ~width:4 0b1010) (Bitvec.of_string "0b1010");
+        check_bv "hex" (Bitvec.of_int ~width:8 0xff) (Bitvec.of_string "0xff");
+        check_bv "dec" (Bitvec.of_int ~width:8 12) (Bitvec.of_string "12:8");
+        check_bv "hex widened"
+          (Bitvec.of_int ~width:12 0xff)
+          (Bitvec.of_string "0xff:12"));
+    t "of_string rejects garbage" (fun () ->
+        Alcotest.check_raises "no width" (Invalid_argument "Bitvec.of_string: \"12\"")
+          (fun () -> ignore (Bitvec.of_string "12"));
+        Alcotest.check_raises "bad digit"
+          (Invalid_argument "Bitvec.of_string: \"0b12\"") (fun () ->
+            ignore (Bitvec.of_string "0b12")));
+    t "width mismatch raises" (fun () ->
+        let a = Bitvec.zero 8 and b = Bitvec.zero 9 in
+        (try
+           ignore (Bitvec.add a b);
+           Alcotest.fail "expected Width_mismatch"
+         with Bitvec.Width_mismatch _ -> ()));
+    t "to_bits round-trip" (fun () ->
+        let v = Bitvec.of_int ~width:10 0x2b3 in
+        check_bv "round" v (Bitvec.of_bits (Bitvec.to_bits v)));
+    t "to_string" (fun () ->
+        Alcotest.check Alcotest.string "hex" "0xff:8"
+          (Bitvec.to_string (Bitvec.of_int ~width:8 255));
+        Alcotest.check Alcotest.string "bin" "0b1010"
+          (Bitvec.to_bin_string (Bitvec.of_int ~width:4 10)));
+  ]
+
+let property_tests =
+  [
+    prop "add matches int" arb_wvv (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.add (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = (a + b) land wmask w);
+    prop "sub matches int" arb_wvv (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.sub (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = (a - b) land wmask w);
+    prop "mul matches int" arb_wvv (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.mul (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = a * b land wmask w);
+    prop "udiv matches int" arb_wvv (fun (w, a, b) ->
+        let expected = if b = 0 then wmask w else a / b in
+        Bitvec.to_int (Bitvec.udiv (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = expected);
+    prop "urem matches int" arb_wvv (fun (w, a, b) ->
+        let expected = if b = 0 then a else a mod b in
+        Bitvec.to_int (Bitvec.urem (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = expected);
+    prop "divmod reconstructs" arb_wvv (fun (w, a, b) ->
+        QCheck.assume (b <> 0);
+        let x = Bitvec.of_int ~width:w a and y = Bitvec.of_int ~width:w b in
+        let q = Bitvec.udiv x y and r = Bitvec.urem x y in
+        Bitvec.to_int (Bitvec.add (Bitvec.mul q y) r) = a && Bitvec.ult r y);
+    prop "logical ops match int" arb_wvv (fun (w, a, b) ->
+        let x = Bitvec.of_int ~width:w a and y = Bitvec.of_int ~width:w b in
+        Bitvec.to_int (Bitvec.logand x y) = a land b
+        && Bitvec.to_int (Bitvec.logor x y) = a lor b
+        && Bitvec.to_int (Bitvec.logxor x y) = a lxor b);
+    prop "lognot is complement" arb_wv (fun (w, a) ->
+        Bitvec.to_int (Bitvec.lognot (Bitvec.of_int ~width:w a))
+        = lnot a land wmask w);
+    prop "neg is two's complement" arb_wv (fun (w, a) ->
+        Bitvec.to_int (Bitvec.neg (Bitvec.of_int ~width:w a)) = -a land wmask w);
+    prop "compare_u matches int order" arb_wvv (fun (w, a, b) ->
+        compare a b
+        = Bitvec.compare_u (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b));
+    prop "compare_s matches signed order" arb_wvv (fun (w, a, b) ->
+        let signed n = if n land (1 lsl (w - 1)) <> 0 then n - (1 lsl w) else n in
+        compare (signed a) (signed b)
+        = Bitvec.compare_s (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b));
+    prop "shl matches int" arb_wv (fun (w, a) ->
+        List.for_all
+          (fun k ->
+            Bitvec.to_int (Bitvec.shl (Bitvec.of_int ~width:w a) k)
+            = (a lsl k) land wmask w)
+          [ 0; 1; 2; w - 1; w; w + 3 ]);
+    prop "lshr matches int" arb_wv (fun (w, a) ->
+        List.for_all
+          (fun k ->
+            Bitvec.to_int (Bitvec.lshr (Bitvec.of_int ~width:w a) k) = a lsr k)
+          [ 0; 1; 2; w - 1; w ]);
+    prop "concat then extract round-trips" arb_wvv (fun (w, a, b) ->
+        let x = Bitvec.of_int ~width:w a and y = Bitvec.of_int ~width:w b in
+        let c = Bitvec.concat x y in
+        Bitvec.equal x (Bitvec.extract ~hi:((2 * w) - 1) ~lo:w c)
+        && Bitvec.equal y (Bitvec.extract ~hi:(w - 1) ~lo:0 c));
+    prop "to_bits/of_bits round-trips" arb_wv (fun (w, a) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.equal v (Bitvec.of_bits (Bitvec.to_bits v)));
+    prop "of_string/to_string round-trips" arb_wv (fun (w, a) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)));
+    prop "hash respects equality" arb_wv (fun (w, a) ->
+        Bitvec.hash (Bitvec.of_int ~width:w a)
+        = Bitvec.hash (Bitvec.of_int ~width:w a));
+    prop "add commutes, associates" arb_wvv (fun (w, a, b) ->
+        let x = Bitvec.of_int ~width:w a and y = Bitvec.of_int ~width:w b in
+        Bitvec.equal (Bitvec.add x y) (Bitvec.add y x));
+    prop "sign_extend preserves signed value" arb_wv (fun (w, a) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.to_signed_int (Bitvec.sign_extend v (w + 7))
+        = Bitvec.to_signed_int v);
+  ]
+
+let suite = [ ("bitvec:unit", unit_tests); ("bitvec:props", property_tests) ]

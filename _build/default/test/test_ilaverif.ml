@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "ilaverif"
+    (List.concat
+       [
+         Test_bitvec.suite;
+         Test_expr.suite;
+         Test_simp.suite;
+         Test_parse.suite;
+         Test_sat.suite;
+         Test_bitblast.suite;
+         Test_dimacs.suite;
+         Test_bdd.suite;
+         Test_rtl.suite;
+         Test_core.suite;
+         Test_unroll.suite;
+         Test_invariant.suite;
+         Test_reach.suite;
+         Test_compose.suite;
+         Test_designs.suite;
+         Test_soc.suite;
+         Test_verilog.suite;
+         Test_selfref.suite;
+         Test_tutorial.suite;
+         Test_uart.suite;
+         Test_vcd.suite;
+         Test_misc.suite;
+         Test_replay.suite;
+       ])

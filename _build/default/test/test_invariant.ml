@@ -1,0 +1,136 @@
+(* Tests for the inductive-invariant checker and BMC engine, including
+   the soundness side condition of every case study: the refinement-map
+   invariants must be inductive for the golden RTL. *)
+
+open Ilv_expr
+open Ilv_rtl
+open Ilv_core
+open Ilv_designs
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* A saturating counter: counts up to 10 and holds. *)
+let saturating =
+  let open Build in
+  let c = bv_var "c" 4 in
+  Rtl.make ~name:"sat_counter"
+    ~inputs:[ ("step", Sort.bool) ]
+    ~registers:
+      [
+        Rtl.reg "c" (Sort.bv 4)
+          (ite (bool_var "step" &&: (c <: bv ~width:4 10)) (add_int c 1) c);
+      ]
+    ~wires:[] ~outputs:[ "c" ]
+
+let unit_tests =
+  [
+    t "true invariant is inductive" (fun () ->
+        let inv = Build.(bv_var "c" 4 <=: bv ~width:4 10) in
+        match Invariant.check_inductive ~rtl:saturating [ inv ] with
+        | Invariant.Inductive -> ()
+        | Invariant.Violated _ -> Alcotest.fail "expected inductive");
+    t "invariant violated at reset is caught as base case" (fun () ->
+        let inv = Build.(bv_var "c" 4 >=: bv ~width:4 1) in
+        match Invariant.check_inductive ~rtl:saturating [ inv ] with
+        | Invariant.Violated { kind = `Base; _ } -> ()
+        | Invariant.Violated { kind = `Step; _ } ->
+          Alcotest.fail "expected base-case violation"
+        | Invariant.Inductive -> Alcotest.fail "expected violation");
+    t "non-inductive invariant is caught as step case" (fun () ->
+        (* holds at reset (c=0) but a step from c=4 breaks it *)
+        let inv = Build.(bv_var "c" 4 <=: bv ~width:4 4) in
+        match Invariant.check_inductive ~rtl:saturating [ inv ] with
+        | Invariant.Violated { kind = `Step; trace } ->
+          Alcotest.(check bool) "trace has two cycles" true
+            (List.length trace.Trace.cycles >= 1)
+        | Invariant.Violated { kind = `Base; _ } ->
+          Alcotest.fail "expected step violation"
+        | Invariant.Inductive -> Alcotest.fail "expected violation");
+    t "mutually supporting invariants check as a conjunction" (fun () ->
+        (* a wrap-at-9 counter: x != 15 alone is not inductive (a state
+           x = 14 steps to 15), but together with x <= 9 it is *)
+        let open Build in
+        let rtl =
+          Rtl.make ~name:"wrap9" ~inputs:[]
+            ~registers:
+              [
+                Rtl.reg "x" (Sort.bv 4)
+                  (ite
+                     (eq_int (bv_var "x" 4) 9)
+                     (bv ~width:4 0)
+                     (add_int (bv_var "x" 4) 1));
+              ]
+            ~wires:[] ~outputs:[]
+        in
+        let bound = bv_var "x" 4 <=: bv ~width:4 9 in
+        let not15 = not_ (eq_int (bv_var "x" 4) 15) in
+        (match Invariant.check_inductive ~rtl [ not15 ] with
+        | Invariant.Violated { kind = `Step; _ } -> ()
+        | _ -> Alcotest.fail "x != 15 alone should not be inductive");
+        match Invariant.check_inductive ~rtl [ bound; not15 ] with
+        | Invariant.Inductive -> ()
+        | Invariant.Violated _ -> Alcotest.fail "pair should be inductive");
+  ]
+
+let bmc_tests =
+  [
+    t "bmc holds within reach" (fun () ->
+        let p = Build.(bv_var "c" 4 <=: bv ~width:4 10) in
+        match Invariant.bmc ~rtl:saturating ~depth:12 p with
+        | Invariant.Holds_up_to 12 -> ()
+        | Invariant.Holds_up_to k -> Alcotest.failf "odd bound %d" k
+        | Invariant.Fails_at (k, _) -> Alcotest.failf "failed at %d" k);
+    t "bmc finds the earliest violation" (fun () ->
+        (* c < 3 first fails after 3 steps of stepping *)
+        let p = Build.(bv_var "c" 4 <: bv ~width:4 3) in
+        match Invariant.bmc ~rtl:saturating ~depth:10 p with
+        | Invariant.Fails_at (3, trace) ->
+          Alcotest.(check bool) "trace cycles" true
+            (List.length trace.Trace.cycles >= 1)
+        | Invariant.Fails_at (k, _) -> Alcotest.failf "failed at %d, not 3" k
+        | Invariant.Holds_up_to _ -> Alcotest.fail "expected a violation");
+    t "bmc respects non-zero reset values" (fun () ->
+        let open Build in
+        let rtl =
+          Rtl.make ~name:"init7" ~inputs:[]
+            ~registers:
+              [
+                Rtl.reg "r" (Sort.bv 4)
+                  ~init:(Value.of_int ~width:4 7)
+                  (bv_var "r" 4);
+              ]
+            ~wires:[] ~outputs:[]
+        in
+        match Invariant.bmc ~rtl ~depth:2 (eq_int (bv_var "r" 4) 7) with
+        | Invariant.Holds_up_to 2 -> ()
+        | _ -> Alcotest.fail "expected to hold");
+  ]
+
+(* The soundness side condition of the whole suite. *)
+let design_invariant_tests =
+  List.filter_map
+    (fun (d : Design.t) ->
+      let checks = Design.check_invariants d in
+      if checks = [] then None
+      else
+        Some
+          (t (d.Design.name ^ ": refinement-map invariants are inductive")
+             (fun () ->
+               List.iter
+                 (fun (port, result) ->
+                   match result with
+                   | Invariant.Inductive -> ()
+                   | Invariant.Violated { kind; _ } ->
+                     Alcotest.failf "port %s: invariant violated (%s)" port
+                       (match kind with
+                       | `Base -> "base case"
+                       | `Step -> "inductive step"))
+                 checks)))
+    (Catalog.quick @ Catalog.extensions)
+
+let suite =
+  [
+    ("invariant:unit", unit_tests);
+    ("invariant:bmc", bmc_tests);
+    ("invariant:designs", design_invariant_tests);
+  ]

@@ -1,0 +1,203 @@
+(* Tests for the expression parser and the textual refinement-map
+   format: hand-written cases, print/parse round trips over random
+   expressions, and a full round trip of every case-study refinement
+   map. *)
+
+open Ilv_expr
+open Ilv_core
+open Ilv_designs
+
+let t name f = Alcotest.test_case name `Quick f
+let expr_eq = Alcotest.testable Pp_expr.pp Expr.equal
+
+let env name =
+  match name with
+  | "x" | "y" -> Some (Sort.bv 8)
+  | "p" | "q" -> Some Sort.Bool
+  | "m" -> Some (Sort.mem ~addr_width:3 ~data_width:8)
+  | "a3" -> Some (Sort.bv 3)
+  | _ -> None
+
+let parse s = Parse.expr ~env s
+
+let parse_tests =
+  [
+    t "atoms" (fun () ->
+        Alcotest.check expr_eq "var" (Build.bv_var "x" 8) (parse "x");
+        Alcotest.check expr_eq "true" Build.tt (parse "true");
+        Alcotest.check expr_eq "literal"
+          (Build.bv ~width:8 255)
+          (parse "0xff:8"));
+    t "applications" (fun () ->
+        Alcotest.check expr_eq "add"
+          Build.(bv_var "x" 8 +: bv_var "y" 8)
+          (parse "(bvadd x y)");
+        Alcotest.check expr_eq "ite"
+          Build.(ite (bool_var "p") (bv_var "x" 8) (bv_var "y" 8))
+          (parse "(ite p x y)");
+        Alcotest.check expr_eq "nested"
+          Build.(eq (bv_var "x" 8 &: bv ~width:8 15) (bv ~width:8 3))
+          (parse "(= (bvand x 0x0f:8) 0x03:8)"));
+    t "indexed operators" (fun () ->
+        Alcotest.check expr_eq "extract"
+          (Build.extract ~hi:6 ~lo:2 (Build.bv_var "x" 8))
+          (parse "((extract 6 2) x)");
+        Alcotest.check expr_eq "zext"
+          (Build.zext (Build.bv_var "x" 8) 12)
+          (parse "((zext 12) x)");
+        Alcotest.check expr_eq "sext"
+          (Build.sext (Build.bv_var "x" 8) 12)
+          (parse "((sext 12) x)"));
+    t "memory operators" (fun () ->
+        Alcotest.check expr_eq "select"
+          (Build.read (Build.mem_var "m" ~addr_width:3 ~data_width:8)
+             (Build.bv_var "a3" 3))
+          (parse "(select m a3)");
+        Alcotest.check expr_eq "const-mem"
+          (Build.const_mem ~addr_width:3 ~default:(Bitvec.of_int ~width:8 7))
+          (parse "(const-mem 3 0x07:8)"));
+    t "errors" (fun () ->
+        let expect_error s =
+          try
+            ignore (parse s);
+            Alcotest.failf "expected Parse_error for %s" s
+          with Parse.Parse_error _ -> ()
+        in
+        expect_error "";
+        expect_error "(bvadd x";
+        expect_error "(bvadd x y z)";
+        expect_error "unknown_var";
+        expect_error "(nosuchop x)";
+        expect_error "(= x y))");
+    t "ill-sorted input raises Sort_error" (fun () ->
+        try
+          ignore (parse "(bvadd x p)");
+          Alcotest.fail "expected Sort_error"
+        with Expr.Sort_error _ -> ());
+  ]
+
+(* Round trip random expressions through the printer. *)
+let arb_expr =
+  let gen =
+    QCheck.Gen.(
+      let leaf =
+        oneof
+          [
+            return (Build.bv_var "x" 8);
+            return (Build.bv_var "y" 8);
+            (int_range 0 255 >|= fun n -> Build.bv ~width:8 n);
+          ]
+      in
+      let rec go n =
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              (* built through Build so the original is already in the
+                 same simplified form parsing produces *)
+              (pair (go (n - 1)) (go (n - 1)) >|= fun (a, b) ->
+               Build.( +: ) a b);
+              (pair (go (n - 1)) (go (n - 1)) >|= fun (a, b) ->
+               Build.( &: ) a b);
+              (go (n - 1) >|= fun a ->
+               Build.zext (Build.extract ~hi:5 ~lo:1 a) 8);
+              (pair (go (n - 1)) (go (n - 1)) >|= fun (a, b) ->
+               Build.ite (Build.( <: ) a b) a b);
+            ]
+      in
+      go 4)
+  in
+  QCheck.make ~print:Pp_expr.to_string gen
+
+let roundtrip_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"print/parse round-trips structurally"
+         ~count:300 arb_expr (fun e ->
+           Expr.equal e (parse (Pp_expr.to_string e))));
+  ]
+
+(* Textual refinement maps for every design round-trip. *)
+let refmap_roundtrip_tests =
+  List.map
+    (fun (d : Design.t) ->
+      t (d.Design.name ^ ": textual refinement maps round-trip") (fun () ->
+          List.iter
+            (fun (port : Ila.t) ->
+              let original = d.Design.refmap_for d.Design.rtl port.Ila.name in
+              let text = Refmap_text.print original in
+              let reparsed = Refmap_text.parse ~ila:port ~rtl:d.Design.rtl text in
+              (* compare piecewise *)
+              List.iter2
+                (fun (s1, e1) (s2, e2) ->
+                  Alcotest.(check string) "state name" s1 s2;
+                  Alcotest.check expr_eq ("state " ^ s1) e1 e2)
+                original.Refmap.state_map reparsed.Refmap.state_map;
+              List.iter2
+                (fun (s1, e1) (s2, e2) ->
+                  Alcotest.(check string) "input name" s1 s2;
+                  Alcotest.check expr_eq ("input " ^ s1) e1 e2)
+                original.Refmap.interface_map reparsed.Refmap.interface_map;
+              List.iter2
+                (fun (m1 : Refmap.instr_map) (m2 : Refmap.instr_map) ->
+                  Alcotest.(check string) "instr" m1.Refmap.instr m2.Refmap.instr;
+                  (match (m1.Refmap.finish, m2.Refmap.finish) with
+                  | Refmap.After_cycles a, Refmap.After_cycles b ->
+                    Alcotest.(check int) "cycles" a b
+                  | Refmap.Within w1, Refmap.Within w2 ->
+                    Alcotest.(check int) "bound" w1.bound w2.bound;
+                    Alcotest.check expr_eq "cond" w1.condition w2.condition
+                  | _ -> Alcotest.fail "finish kind changed"))
+                original.Refmap.instruction_maps reparsed.Refmap.instruction_maps;
+              Alcotest.(check int) "invariants"
+                (List.length original.Refmap.invariants)
+                (List.length reparsed.Refmap.invariants))
+            d.Design.module_ila.Module_ila.ports))
+    (Catalog.quick @ Catalog.extensions)
+
+
+(* Textual ILA models for every port of every design round-trip. *)
+let ila_roundtrip_tests =
+  List.map
+    (fun (d : Design.t) ->
+      t (d.Design.name ^ ": textual ILA models round-trip") (fun () ->
+          List.iter
+            (fun (port : Ila.t) ->
+              let text = Ila_text.print port in
+              let reparsed = Ila_text.parse text in
+              Alcotest.(check string) "name" port.Ila.name reparsed.Ila.name;
+              Alcotest.(check int) "inputs"
+                (List.length port.Ila.inputs)
+                (List.length reparsed.Ila.inputs);
+              List.iter2
+                (fun (s1 : Ila.state) (s2 : Ila.state) ->
+                  Alcotest.(check string) "state" s1.Ila.state_name
+                    s2.Ila.state_name;
+                  Alcotest.(check bool) "sort" true
+                    (Sort.equal s1.Ila.sort s2.Ila.sort))
+                port.Ila.states reparsed.Ila.states;
+              List.iter2
+                (fun (i1 : Ila.instruction) (i2 : Ila.instruction) ->
+                  Alcotest.(check string) "instr" i1.Ila.instr_name
+                    i2.Ila.instr_name;
+                  Alcotest.check expr_eq
+                    (i1.Ila.instr_name ^ " decode")
+                    i1.Ila.decode i2.Ila.decode;
+                  List.iter2
+                    (fun (t1, e1) (t2, e2) ->
+                      Alcotest.(check string) "target" t1 t2;
+                      Alcotest.check expr_eq (i1.Ila.instr_name ^ "/" ^ t1) e1
+                        e2)
+                    i1.Ila.updates i2.Ila.updates)
+                port.Ila.instructions reparsed.Ila.instructions)
+            d.Design.module_ila.Module_ila.ports))
+    (Catalog.quick @ Catalog.extensions)
+
+let suite =
+  [
+    ("parse:unit", parse_tests);
+    ("parse:roundtrip", roundtrip_tests);
+    ("parse:refmaps", refmap_roundtrip_tests);
+    ("parse:ila-models", ila_roundtrip_tests);
+  ]

@@ -1,0 +1,263 @@
+(* Tests for the RTL IR: validation, topological ordering of wires, and
+   cycle-accurate simulation. *)
+
+open Ilv_expr
+open Ilv_rtl
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* An 8-bit counter with enable and synchronous clear. *)
+let counter =
+  let open Build in
+  let count = bv_var "count" 8 in
+  Rtl.make ~name:"counter"
+    ~inputs:[ ("enable", Sort.bool); ("clear", Sort.bool) ]
+    ~registers:
+      [
+        Rtl.reg "count" (Sort.bv 8)
+          (ite (bool_var "clear") (bv ~width:8 0)
+             (ite (bool_var "enable") (add_int count 1) count));
+      ]
+    ~wires:[ ("at_max", eq_int count 255) ]
+    ~outputs:[ "count"; "at_max" ]
+
+let inputs ~enable ~clear =
+  [ ("enable", Value.of_bool enable); ("clear", Value.of_bool clear) ]
+
+let validation_tests =
+  [
+    t "duplicate names rejected" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad"
+               ~inputs:[ ("x", Sort.bool); ("x", Sort.bool) ]
+               ~registers:[] ~wires:[] ~outputs:[]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design _ -> ());
+    t "undeclared reference rejected" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad" ~inputs:[] ~registers:[]
+               ~wires:[ ("w", Build.bool_var "ghost") ]
+               ~outputs:[]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design _ -> ());
+    t "combinational cycle rejected" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad" ~inputs:[] ~registers:[]
+               ~wires:
+                 [
+                   ("a", Build.not_ (Build.bool_var "b"));
+                   ("b", Build.not_ (Build.bool_var "a"));
+                 ]
+               ~outputs:[]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design msg ->
+          Alcotest.(check bool) "mentions cycle" true
+            (String.length msg > 0));
+    t "register/next sort mismatch rejected" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad" ~inputs:[]
+               ~registers:[ Rtl.reg "r" (Sort.bv 8) (Build.bv ~width:4 0) ]
+               ~wires:[] ~outputs:[]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design _ -> ());
+    t "unknown output rejected" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad" ~inputs:[] ~registers:[] ~wires:[]
+               ~outputs:[ "nope" ]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design _ -> ());
+    t "wires are sorted topologically" (fun () ->
+        (* declare wires in reverse dependency order; make must reorder *)
+        let d =
+          Rtl.make ~name:"topo"
+            ~inputs:[ ("x", Sort.bv 4) ]
+            ~registers:[]
+            ~wires:
+              [
+                ("c", Build.add_int (Build.bv_var "b" 4) 1);
+                ("b", Build.add_int (Build.bv_var "a" 4) 1);
+                ("a", Build.add_int (Build.bv_var "x" 4) 1);
+              ]
+            ~outputs:[ "c" ]
+        in
+        let order = List.map fst d.Rtl.wires in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order);
+    t "self-referential wire is a cycle" (fun () ->
+        try
+          ignore
+            (Rtl.make ~name:"bad" ~inputs:[] ~registers:[]
+               ~wires:[ ("w", Build.not_ (Build.bool_var "w")) ]
+               ~outputs:[]);
+          Alcotest.fail "expected Invalid_design"
+        with Rtl.Invalid_design _ -> ());
+  ]
+
+let sim_tests =
+  [
+    t "counter counts" (fun () ->
+        let sim = Sim.create counter in
+        Alcotest.(check int) "reset" 0 (Sim.peek_int sim "count");
+        Sim.cycle sim (inputs ~enable:true ~clear:false);
+        Alcotest.(check int) "after 1" 1 (Sim.peek_int sim "count");
+        Sim.cycle sim (inputs ~enable:true ~clear:false);
+        Sim.cycle sim (inputs ~enable:true ~clear:false);
+        Alcotest.(check int) "after 3" 3 (Sim.peek_int sim "count"));
+    t "enable gates the counter" (fun () ->
+        let sim = Sim.create counter in
+        Sim.cycle sim (inputs ~enable:true ~clear:false);
+        Sim.cycle sim (inputs ~enable:false ~clear:false);
+        Alcotest.(check int) "held" 1 (Sim.peek_int sim "count"));
+    t "clear wins" (fun () ->
+        let sim = Sim.create counter in
+        Sim.run sim
+          [
+            inputs ~enable:true ~clear:false;
+            inputs ~enable:true ~clear:false;
+            inputs ~enable:true ~clear:true;
+          ];
+        Alcotest.(check int) "cleared" 0 (Sim.peek_int sim "count"));
+    t "counter wraps at 256" (fun () ->
+        let sim = Sim.create counter in
+        for _ = 1 to 256 do
+          Sim.cycle sim (inputs ~enable:true ~clear:false)
+        done;
+        Alcotest.(check int) "wrapped" 0 (Sim.peek_int sim "count"));
+    t "wire peek reflects the cycle that ran" (fun () ->
+        let sim = Sim.create counter in
+        for _ = 1 to 255 do
+          Sim.cycle sim (inputs ~enable:true ~clear:false)
+        done;
+        (* during cycle 255 the count was 254, so at_max was false *)
+        Alcotest.(check bool) "not yet" false (Sim.peek_bool sim "at_max");
+        Sim.cycle sim (inputs ~enable:false ~clear:false);
+        Alcotest.(check bool) "now at max" true (Sim.peek_bool sim "at_max"));
+    t "reset restores initial state" (fun () ->
+        let sim = Sim.create counter in
+        Sim.run sim [ inputs ~enable:true ~clear:false ];
+        Sim.reset sim;
+        Alcotest.(check int) "reset" 0 (Sim.peek_int sim "count"));
+    t "missing input raises" (fun () ->
+        let sim = Sim.create counter in
+        try
+          Sim.cycle sim [ ("enable", Value.of_bool true) ];
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "unknown input raises" (fun () ->
+        let sim = Sim.create counter in
+        try
+          Sim.cycle sim (("bogus", Value.of_bool true) :: inputs ~enable:true ~clear:false);
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "ill-sorted input raises" (fun () ->
+        let sim = Sim.create counter in
+        try
+          Sim.cycle sim
+            [ ("enable", Value.of_int ~width:2 1); ("clear", Value.of_bool false) ];
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "registers update simultaneously (swap)" (fun () ->
+        let open Build in
+        let d =
+          Rtl.make ~name:"swap" ~inputs:[]
+            ~registers:
+              [
+                Rtl.reg "a" (Sort.bv 4)
+                  ~init:(Value.of_int ~width:4 1)
+                  (bv_var "b" 4);
+                Rtl.reg "b" (Sort.bv 4)
+                  ~init:(Value.of_int ~width:4 2)
+                  (bv_var "a" 4);
+              ]
+            ~wires:[] ~outputs:[ "a"; "b" ]
+        in
+        let sim = Sim.create d in
+        Sim.cycle sim [];
+        Alcotest.(check int) "a" 2 (Sim.peek_int sim "a");
+        Alcotest.(check int) "b" 1 (Sim.peek_int sim "b");
+        Sim.cycle sim [];
+        Alcotest.(check int) "a back" 1 (Sim.peek_int sim "a"));
+    t "memory-typed register works" (fun () ->
+        let open Build in
+        let m = mem_var "m" ~addr_width:3 ~data_width:8 in
+        let d =
+          Rtl.make ~name:"ram"
+            ~inputs:
+              [ ("we", Sort.bool); ("addr", Sort.bv 3); ("data", Sort.bv 8) ]
+            ~registers:
+              [
+                Rtl.reg "m"
+                  (Sort.mem ~addr_width:3 ~data_width:8)
+                  (ite (bool_var "we")
+                     (write m (bv_var "addr" 3) (bv_var "data" 8))
+                     m);
+              ]
+            ~wires:[ ("q", read m (bv_var "addr" 3)) ]
+            ~outputs:[ "q" ]
+        in
+        let sim = Sim.create d in
+        Sim.cycle sim
+          [
+            ("we", Value.of_bool true);
+            ("addr", Value.of_int ~width:3 5);
+            ("data", Value.of_int ~width:8 99);
+          ];
+        Sim.cycle sim
+          [
+            ("we", Value.of_bool false);
+            ("addr", Value.of_int ~width:3 5);
+            ("data", Value.of_int ~width:8 0);
+          ];
+        Alcotest.(check int) "read back" 99 (Sim.peek_int sim "q"));
+  ]
+
+let stats_tests =
+  [
+    t "state bits of the counter" (fun () ->
+        Alcotest.(check int) "bits" 8 (Rtl.state_bits counter);
+        let s = Rtl_stats.of_design counter in
+        Alcotest.(check int) "stats bits" 8 s.Rtl_stats.state_bits;
+        Alcotest.(check bool) "loc positive" true (s.Rtl_stats.loc > 0));
+    t "memory register counts all bits" (fun () ->
+        let open Build in
+        let m = mem_var "m" ~addr_width:4 ~data_width:8 in
+        let d =
+          Rtl.make ~name:"ram" ~inputs:[]
+            ~registers:[ Rtl.reg "m" (Sort.mem ~addr_width:4 ~data_width:8) m ]
+            ~wires:[] ~outputs:[]
+        in
+        Alcotest.(check int) "bits" (16 * 8) (Rtl.state_bits d));
+  ]
+
+(* Property: the counter value after a random enable/clear trace matches
+   a trivial reference model. *)
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"counter matches reference model" ~count:200
+         QCheck.(list (pair bool bool))
+         (fun trace ->
+           let sim = Sim.create counter in
+           let expected =
+             List.fold_left
+               (fun acc (enable, clear) ->
+                 Sim.cycle sim (inputs ~enable ~clear);
+                 if clear then 0
+                 else if enable then (acc + 1) land 255
+                 else acc)
+               0 trace
+           in
+           Sim.peek_int sim "count" = expected));
+  ]
+
+let suite =
+  [
+    ("rtl:validate", validation_tests);
+    ("rtl:sim", sim_tests);
+    ("rtl:stats", stats_tests);
+    ("rtl:props", prop_tests);
+  ]

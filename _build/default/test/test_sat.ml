@@ -1,0 +1,231 @@
+(* Tests for the CDCL solver: hand-written instances, pigeonhole
+   problems, and random CNFs cross-checked against brute force. *)
+
+open Ilv_sat
+
+let t name f = Alcotest.test_case name `Quick f
+
+let result =
+  Alcotest.testable
+    (fun fmt -> function
+      | Sat.Sat -> Format.pp_print_string fmt "SAT"
+      | Sat.Unsat -> Format.pp_print_string fmt "UNSAT")
+    ( = )
+
+let mk n_vars clauses =
+  let s = Sat.create () in
+  for _ = 1 to n_vars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) clauses;
+  s
+
+let solve n_vars clauses = Sat.solve (mk n_vars clauses)
+
+let unit_tests =
+  [
+    t "empty problem is sat" (fun () ->
+        Alcotest.check result "sat" Sat.Sat (solve 0 []));
+    t "single unit" (fun () ->
+        let s = mk 1 [ [ 1 ] ] in
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+        Alcotest.(check bool) "v1" true (Sat.value s 1));
+    t "contradicting units" (fun () ->
+        Alcotest.check result "unsat" Sat.Unsat (solve 1 [ [ 1 ]; [ -1 ] ]));
+    t "empty clause" (fun () ->
+        Alcotest.check result "unsat" Sat.Unsat (solve 1 [ [] ]));
+    t "tautology is dropped" (fun () ->
+        Alcotest.check result "sat" Sat.Sat (solve 1 [ [ 1; -1 ] ]));
+    t "implication chain forces value" (fun () ->
+        (* 1, 1->2, 2->3, 3->4 *)
+        let s = mk 4 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ] in
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+        List.iter
+          (fun v -> Alcotest.(check bool) (string_of_int v) true (Sat.value s v))
+          [ 1; 2; 3; 4 ]);
+    t "xor chain unsat" (fun () ->
+        (* x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable *)
+        let xor_cnf a b =
+          [ [ a; b ]; [ -a; -b ] ]
+        in
+        let clauses = xor_cnf 1 2 @ xor_cnf 2 3 @ xor_cnf 1 3 in
+        Alcotest.check result "unsat" Sat.Unsat (solve 3 clauses));
+    t "add_clause rejects unknown vars" (fun () ->
+        let s = mk 1 [] in
+        try
+          Sat.add_clause s [ 2 ];
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "incremental: clauses can be added between solves" (fun () ->
+        let s = mk 2 [ [ 1; 2 ] ] in
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+        Sat.add_clause s [ -1 ];
+        Alcotest.check result "still sat" Sat.Sat (Sat.solve s);
+        Alcotest.(check bool) "v2 forced" true (Sat.value s 2);
+        Sat.add_clause s [ -2 ];
+        Alcotest.check result "now unsat" Sat.Unsat (Sat.solve s));
+    t "assumptions restrict without committing" (fun () ->
+        let s = mk 2 [ [ 1; 2 ] ] in
+        Alcotest.check result "unsat under -1 -2" Sat.Unsat
+          (Sat.solve ~assumptions:[ -1; -2 ] s);
+        Alcotest.check result "sat under -1" Sat.Sat
+          (Sat.solve ~assumptions:[ -1 ] s);
+        Alcotest.(check bool) "model has 2" true (Sat.value s 2);
+        Alcotest.check result "sat unconstrained" Sat.Sat (Sat.solve s));
+    t "assumption contradicting a unit is unsat" (fun () ->
+        let s = mk 1 [ [ 1 ] ] in
+        Alcotest.check result "unsat" Sat.Unsat (Sat.solve ~assumptions:[ -1 ] s);
+        Alcotest.check result "sat again" Sat.Sat (Sat.solve s));
+  ]
+
+(* Pigeonhole principle: [php p h] encodes "p pigeons into h holes". *)
+let php pigeons holes =
+  let var p h = (p * holes) + h + 1 in
+  let n_vars = pigeons * holes in
+  let every_pigeon_somewhere =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+  in
+  let no_two_in_same_hole =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  (n_vars, every_pigeon_somewhere @ no_two_in_same_hole)
+
+let pigeonhole_tests =
+  [
+    t "php 3 into 3 is sat" (fun () ->
+        let n, cs = php 3 3 in
+        Alcotest.check result "sat" Sat.Sat (solve n cs));
+    t "php 4 into 3 is unsat" (fun () ->
+        let n, cs = php 4 3 in
+        Alcotest.check result "unsat" Sat.Unsat (solve n cs));
+    t "php 6 into 5 is unsat" (fun () ->
+        let n, cs = php 6 5 in
+        Alcotest.check result "unsat" Sat.Unsat (solve n cs));
+    t "php 7 into 7 is sat with valid model" (fun () ->
+        let n, cs = php 7 7 in
+        let s = mk n cs in
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+        let ok =
+          List.for_all
+            (fun clause ->
+              List.exists (fun l -> Sat.value s (abs l) = (l > 0)) clause)
+            cs
+        in
+        Alcotest.(check bool) "model satisfies" true ok);
+  ]
+
+(* Random CNF cross-check against brute force. *)
+
+let brute_force n_vars clauses =
+  let rec go assignment v =
+    if v > n_vars then
+      if
+        List.for_all
+          (List.exists (fun l ->
+               let value = List.nth assignment (abs l - 1) in
+               if l > 0 then value else not value))
+          clauses
+      then Some assignment
+      else None
+    else
+      match go (assignment @ [ true ]) (v + 1) with
+      | Some a -> Some a
+      | None -> go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 1
+
+let arb_cnf =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 9 >>= fun n_vars ->
+      int_range 0 40 >>= fun n_clauses ->
+      let lit = int_range 1 n_vars >>= fun v -> oneofl [ v; -v ] in
+      let clause = list_size (int_range 1 3) lit in
+      list_size (return n_clauses) clause >>= fun clauses ->
+      return (n_vars, clauses))
+  in
+  QCheck.make
+    ~print:(fun (n, cs) ->
+      Printf.sprintf "%d vars: %s" n
+        (String.concat " "
+           (List.map
+              (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+              cs)))
+    gen
+
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random cnf matches brute force" ~count:400
+         arb_cnf (fun (n_vars, clauses) ->
+           let expected =
+             match brute_force n_vars clauses with
+             | Some _ -> Sat.Sat
+             | None -> Sat.Unsat
+           in
+           solve n_vars clauses = expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sat models satisfy all clauses" ~count:400
+         arb_cnf (fun (n_vars, clauses) ->
+           let s = mk n_vars clauses in
+           match Sat.solve s with
+           | Sat.Unsat -> true
+           | Sat.Sat ->
+             List.for_all
+               (fun clause ->
+                 clause = []
+                 || List.exists (fun l -> Sat.value s (abs l) = (l > 0)) clause)
+               clauses));
+  ]
+
+let arb_cnf_with_assumptions =
+  QCheck.make
+    ~print:(fun ((n, cs), assumptions) ->
+      Printf.sprintf "%d vars, %d clauses, assume %s" n (List.length cs)
+        (String.concat "," (List.map string_of_int assumptions)))
+    QCheck.Gen.(
+      int_range 1 8 >>= fun n_vars ->
+      let lit = int_range 1 n_vars >>= fun v -> oneofl [ v; -v ] in
+      list_size (int_range 0 30) (list_size (int_range 1 3) lit)
+      >>= fun clauses ->
+      list_size (int_range 0 3) lit >>= fun assumptions ->
+      return ((n_vars, clauses), assumptions))
+
+let incremental_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"solving under assumptions equals solving with unit clauses"
+         ~count:400 arb_cnf_with_assumptions
+         (fun ((n_vars, clauses), assumptions) ->
+           let s = mk n_vars clauses in
+           let under = Sat.solve ~assumptions s in
+           let s' = mk n_vars (clauses @ List.map (fun l -> [ l ]) assumptions) in
+           under = Sat.solve s'));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"a second unconstrained solve is consistent with the first"
+         ~count:200 arb_cnf_with_assumptions
+         (fun ((n_vars, clauses), assumptions) ->
+           let s = mk n_vars clauses in
+           let first = Sat.solve s in
+           ignore (Sat.solve ~assumptions s);
+           first = Sat.solve s));
+  ]
+
+let suite =
+  [
+    ("sat:unit", unit_tests);
+    ("sat:pigeonhole", pigeonhole_tests);
+    ("sat:props", prop_tests);
+    ("sat:incremental", incremental_props);
+  ]

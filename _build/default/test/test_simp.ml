@@ -1,0 +1,139 @@
+(* Tests for the word-level simplifier: targeted rewrites plus the
+   global property that simplification preserves semantics on random
+   expressions and environments. *)
+
+open Ilv_expr
+
+let t name f = Alcotest.test_case name `Quick f
+let expr_eq = Alcotest.testable Pp_expr.pp Expr.equal
+
+let x = Build.bv_var "x" 8
+let y = Build.bv_var "y" 8
+let p = Build.bool_var "p"
+let q = Build.bool_var "q"
+
+let unit_tests =
+  [
+    t "ite with negated condition flips" (fun () ->
+        let open Build in
+        Alcotest.check expr_eq "flip" (ite p y x)
+          (Simp.simplify (Expr.ite (Expr.not_ p) x y)));
+    t "nested same-condition ite collapses" (fun () ->
+        (* in the else branch p is false, so its inner ite is decided:
+           ite p x (ite p y x) = ite p x x = x *)
+        let e = Expr.ite p x (Expr.ite p y x) in
+        Alcotest.check expr_eq "decided" x (Simp.simplify e));
+    t "shared-arm ite factor" (fun () ->
+        let open Build in
+        let d = bool_var "d" in
+        let e = Expr.ite p (Expr.ite d x y) (Expr.ite d x (bv ~width:8 3)) in
+        let s = Simp.simplify e in
+        (* must be ite d x (ite p y 3) *)
+        Alcotest.check expr_eq "factored" (ite d x (ite p y (bv ~width:8 3))) s);
+    t "additive cancellation" (fun () ->
+        Alcotest.check expr_eq "x+y-y" x (Simp.simplify (Expr.binop Expr.Bv_sub (Expr.binop Expr.Bv_add x y) y));
+        Alcotest.check expr_eq "x-y+y" x (Simp.simplify (Expr.binop Expr.Bv_add (Expr.binop Expr.Bv_sub x y) y)));
+    t "xor cancellation" (fun () ->
+        Alcotest.check expr_eq "x^y^y" x
+          (Simp.simplify (Expr.binop Expr.Bv_xor (Expr.binop Expr.Bv_xor x y) y)));
+    t "boolean complement and absorption" (fun () ->
+        let open Build in
+        Alcotest.check expr_eq "p && !p" ff
+          (Simp.simplify (Expr.and_ p (Expr.not_ p)));
+        Alcotest.check expr_eq "p || !p" tt
+          (Simp.simplify (Expr.or_ p (Expr.not_ p)));
+        Alcotest.check expr_eq "p && (p || q)" p
+          (Simp.simplify (Expr.and_ p (Expr.or_ p q))));
+    t "flag-mux equality decides the condition" (fun () ->
+        let open Build in
+        let e =
+          Expr.eq (Expr.ite p (bv ~width:4 1) (bv ~width:4 0)) (bv ~width:4 1)
+        in
+        Alcotest.check expr_eq "c" p (Simp.simplify e));
+    t "fixpoint terminates and is idempotent" (fun () ->
+        let open Build in
+        let e = Expr.ite (Expr.not_ p) (x +: y -: y) x in
+        let s = Simp.simplify_fix e in
+        Alcotest.check expr_eq "idempotent" s (Simp.simplify_fix s));
+  ]
+
+(* Random expressions over a small vocabulary; semantics preservation. *)
+let arb_expr_env =
+  let gen =
+    QCheck.Gen.(
+      let leaf =
+        oneof
+          [
+            return (Build.bv_var "x" 8);
+            return (Build.bv_var "y" 8);
+            (int_range 0 255 >|= fun n -> Build.bv ~width:8 n);
+          ]
+      in
+      let bleaf =
+        oneof
+          [
+            return (Build.bool_var "p");
+            return (Build.bool_var "q");
+            (bool >|= Build.bool);
+          ]
+      in
+      let rec bv_expr n =
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              (pair (bv_expr (n - 1)) (bv_expr (n - 1)) >|= fun (a, b) ->
+               Expr.binop Expr.Bv_add a b);
+              (pair (bv_expr (n - 1)) (bv_expr (n - 1)) >|= fun (a, b) ->
+               Expr.binop Expr.Bv_sub a b);
+              (pair (bv_expr (n - 1)) (bv_expr (n - 1)) >|= fun (a, b) ->
+               Expr.binop Expr.Bv_xor a b);
+              ( triple (bool_expr (n - 1)) (bv_expr (n - 1)) (bv_expr (n - 1))
+              >|= fun (c, a, b) -> Expr.ite c a b );
+            ]
+      and bool_expr n =
+        if n = 0 then bleaf
+        else
+          oneof
+            [
+              bleaf;
+              (bool_expr (n - 1) >|= Expr.not_);
+              (pair (bool_expr (n - 1)) (bool_expr (n - 1)) >|= fun (a, b) ->
+               Expr.and_ a b);
+              (pair (bool_expr (n - 1)) (bool_expr (n - 1)) >|= fun (a, b) ->
+               Expr.or_ a b);
+              (pair (bv_expr (n - 1)) (bv_expr (n - 1)) >|= fun (a, b) ->
+               Expr.eq a b);
+            ]
+      in
+      tup5 (bv_expr 4) (int_range 0 255) (int_range 0 255) bool bool)
+  in
+  QCheck.make
+    ~print:(fun (e, a, b, vp, vq) ->
+      Printf.sprintf "%s with x=%d y=%d p=%b q=%b" (Pp_expr.to_string e) a b vp
+        vq)
+    gen
+
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplification preserves semantics" ~count:500
+         arb_expr_env (fun (e, a, b, vp, vq) ->
+           let env =
+             Eval.env_of_list
+               [
+                 ("x", Value.of_int ~width:8 a);
+                 ("y", Value.of_int ~width:8 b);
+                 ("p", Value.of_bool vp);
+                 ("q", Value.of_bool vq);
+               ]
+           in
+           Value.equal (Eval.eval env e) (Eval.eval env (Simp.simplify_fix e))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplification does not grow the DAG much"
+         ~count:300 arb_expr_env (fun (e, _, _, _, _) ->
+           Expr.dag_size (Simp.simplify_fix e) <= Expr.dag_size e + 4));
+  ]
+
+let suite = [ ("simp:unit", unit_tests); ("simp:props", prop_tests) ]

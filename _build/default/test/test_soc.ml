@@ -1,0 +1,174 @@
+(* System-level tests: the composed decoder + datapath core must agree
+   with the independent instruction-set simulator on random programs —
+   the payoff of verifying each module against its ILA. *)
+
+open Ilv_designs
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Build a word with a given opcode and step count: opcode [{w4,w7:5}]
+   and steps in w[1:0]. *)
+let word_of ~opcode ~steps =
+  assert (opcode >= 0 && opcode < 16);
+  assert (steps >= 0 && steps < 4);
+  (((opcode lsr 3) land 1) lsl 4) lor ((opcode land 7) lsl 5) lor steps
+
+let run_program ?(stalls = fun _ -> 0) program =
+  let d = Soc_top.create_driver () in
+  List.iteri
+    (fun i (word, src) ->
+      Soc_top.feed d ~stall_before:(stalls i) ~word ~src ())
+    program;
+  Soc_top.flush d;
+  d
+
+let check_against_iss ?(stalls = fun _ -> 0) program =
+  let d = run_program ~stalls program in
+  let expected = Iss_8051.run program in
+  Alcotest.(check int) "acc" expected.Iss_8051.acc (Soc_top.acc d);
+  Alcotest.(check int) "breg" expected.Iss_8051.breg (Soc_top.breg d);
+  Alcotest.(check bool) "carry" expected.Iss_8051.carry (Soc_top.carry d)
+
+let op_add = 0
+let op_addc = 1
+let op_sub = 2
+let op_mul = 6
+let op_div = 7
+let op_clr = 11
+let op_swap = 15
+
+let unit_tests =
+  [
+    t "single ADD" (fun () ->
+        check_against_iss [ (word_of ~opcode:op_add ~steps:0, 42) ]);
+    t "ADD with carry chains into ADDC" (fun () ->
+        check_against_iss
+          [
+            (word_of ~opcode:op_add ~steps:0, 200);
+            (word_of ~opcode:op_add ~steps:0, 100) (* wraps, sets carry *);
+            (word_of ~opcode:op_addc ~steps:0, 1) (* consumes the carry *);
+          ]);
+    t "multi-step words execute once" (fun () ->
+        check_against_iss
+          [
+            (word_of ~opcode:op_add ~steps:3, 5);
+            (word_of ~opcode:op_add ~steps:1, 5);
+          ]);
+    t "MUL fills B" (fun () ->
+        check_against_iss
+          [
+            (word_of ~opcode:op_add ~steps:0, 20);
+            (word_of ~opcode:op_mul ~steps:0, 20) (* 400 = 0x190 *);
+          ]);
+    t "DIV by zero follows the spec" (fun () ->
+        check_against_iss
+          [
+            (word_of ~opcode:op_add ~steps:0, 9);
+            (word_of ~opcode:op_div ~steps:0, 0);
+          ]);
+    t "stalls do not change the architectural result" (fun () ->
+        let program =
+          [
+            (word_of ~opcode:op_add ~steps:2, 13);
+            (word_of ~opcode:op_swap ~steps:0, 0);
+            (word_of ~opcode:op_sub ~steps:1, 200);
+          ]
+        in
+        let d1 = run_program program in
+        let d2 = run_program ~stalls:(fun i -> (i * 3) + 1) program in
+        Alcotest.(check int) "acc" (Soc_top.acc d1) (Soc_top.acc d2);
+        Alcotest.(check bool) "carry" (Soc_top.carry d1) (Soc_top.carry d2));
+    t "CLR resets accumulator and carry" (fun () ->
+        check_against_iss
+          [
+            (word_of ~opcode:op_sub ~steps:0, 1) (* borrow sets carry *);
+            (word_of ~opcode:op_clr ~steps:0, 0);
+          ]);
+  ]
+
+let arb_program =
+  QCheck.make
+    ~print:(fun prog ->
+      String.concat "; "
+        (List.map
+           (fun (w, s) -> Printf.sprintf "(w=0x%02x src=%d)" w s)
+           prog))
+    QCheck.Gen.(
+      list_size (int_range 1 25)
+        (pair
+           (map2
+              (fun opcode steps -> word_of ~opcode ~steps)
+              (int_range 0 15) (int_range 0 3))
+           (int_range 0 255)))
+
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random programs match the ISS" ~count:200
+         arb_program (fun program ->
+           let d = run_program program in
+           let expected = Iss_8051.run program in
+           Soc_top.acc d = expected.Iss_8051.acc
+           && Soc_top.breg d = expected.Iss_8051.breg
+           && Soc_top.carry d = expected.Iss_8051.carry));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random stalls are architecturally invisible"
+         ~count:100
+         QCheck.(pair arb_program (small_int_corners ()))
+         (fun (program, seed) ->
+           let d1 = run_program program in
+           let d2 =
+             run_program ~stalls:(fun i -> (i + seed) mod 4) program
+           in
+           Soc_top.acc d1 = Soc_top.acc d2
+           && Soc_top.breg d1 = Soc_top.breg d2
+           && Soc_top.carry d1 = Soc_top.carry d2));
+  ]
+
+let compose_tests =
+  [
+    t "composition flattens both modules" (fun () ->
+        let open Ilv_rtl in
+        let regs =
+          List.map (fun r -> r.Rtl.reg_name) Soc_top.rtl.Rtl.registers
+        in
+        Alcotest.(check bool) "decoder regs" true (List.mem "dec_status" regs);
+        Alcotest.(check bool) "datapath regs" true (List.mem "dp_acc_q" regs);
+        Alcotest.(check bool) "glue regs" true (List.mem "fire_q" regs));
+    t "unconnected instance input is rejected" (fun () ->
+        try
+          ignore
+            (Ilv_rtl.Rtl_compose.compose ~name:"bad"
+               ~instances:[ ("dec", Decoder_8051.rtl) ]
+               ~connections:[] ~inputs:[] ~outputs:[] ());
+          Alcotest.fail "expected Invalid_composition"
+        with Ilv_rtl.Rtl_compose.Invalid_composition _ -> ());
+    t "duplicate prefix is rejected" (fun () ->
+        try
+          ignore
+            (Ilv_rtl.Rtl_compose.compose ~name:"bad"
+               ~instances:[ ("d", Decoder_8051.rtl); ("d", Decoder_8051.rtl) ]
+               ~connections:[] ~inputs:[] ~outputs:[] ());
+          Alcotest.fail "expected Invalid_composition"
+        with Ilv_rtl.Rtl_compose.Invalid_composition _ -> ());
+    t "ill-sorted connection is rejected" (fun () ->
+        try
+          ignore
+            (Ilv_rtl.Rtl_compose.compose ~name:"bad"
+               ~instances:[ ("dec", Decoder_8051.rtl) ]
+               ~connections:
+                 [
+                   ("dec_wait_data", Ilv_expr.Build.bv ~width:4 0);
+                   ("dec_op_in", Ilv_expr.Build.bv ~width:8 0);
+                 ]
+               ~inputs:[] ~outputs:[] ());
+          Alcotest.fail "expected Invalid_composition"
+        with Ilv_rtl.Rtl_compose.Invalid_composition _ -> ());
+  ]
+
+let suite =
+  [
+    ("soc:compose", compose_tests);
+    ("soc:unit", unit_tests);
+    ("soc:props", prop_tests);
+  ]
