@@ -319,6 +319,37 @@ let extensions () =
     self.Verify.total_time_s
 
 (* ------------------------------------------------------------------ *)
+(* Mutation campaigns (fault injection)                                *)
+(* ------------------------------------------------------------------ *)
+
+let mutation_campaigns () =
+  section
+    "Mutation campaigns: seeded fault injection, mutation score per design";
+  let designs =
+    if quick_mode then [ Clock_gen.design; Uart_tx.design ]
+    else
+      [
+        Clock_gen.design; Uart_tx.design; Axi_slave.design; Noc_router.design;
+      ]
+  in
+  let max_mutants = if quick_mode then 15 else 40 in
+  let campaigns =
+    List.map
+      (fun d -> Ilv_fault.Campaign.run ~seed:1 ~max_mutants d)
+      designs
+  in
+  Ilv_fault.Campaign.pp_table_header Format.std_formatter ();
+  List.iter (Ilv_fault.Campaign.pp_table_row Format.std_formatter) campaigns;
+  let oc = open_out "BENCH_mutation.json" in
+  output_string oc
+    ("[\n  "
+    ^ String.concat ",\n  " (List.map Ilv_fault.Campaign.to_json campaigns)
+    ^ "\n]\n");
+  close_out oc;
+  Format.printf "@.per-design scores, kill times and inconclusive counts \
+                 written to BENCH_mutation.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -370,5 +401,6 @@ let () =
   ablation_integration ();
   ablation_solver ();
   extensions ();
+  mutation_campaigns ();
   bechamel_benchmarks ();
   Format.printf "@.done.@."

@@ -471,6 +471,114 @@ let cosim_cmd =
        ~doc:"Randomly co-simulate the RTL against the port-ILAs")
     Term.(const run $ design_arg $ cycles_arg $ seeds_arg $ bug_arg)
 
+(* ---- mutate ---- *)
+
+let mutate_cmd =
+  let designs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DESIGN"
+          ~doc:
+            "Designs to mutate (default: a representative quick set; see \
+             the list subcommand).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Mutant sampling seed (default 1).")
+  in
+  let max_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "max-mutants" ] ~docv:"N"
+          ~doc:"Mutants checked per design (default 40).")
+  in
+  let conflicts_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "conflicts" ] ~docv:"N"
+          ~doc:"Initial SAT conflict budget per obligation (default 50000).")
+  in
+  let wall_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "wall" ] ~docv:"SECONDS"
+          ~doc:"Initial wall-clock budget per obligation (default 10).")
+  in
+  let no_sim_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sim-fallback" ]
+          ~doc:
+            "Disable the bounded co-simulation hunt for mutants the bounded \
+             checker could not decide.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the campaign results as a JSON array.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print the per-mutant listing.")
+  in
+  let run names seed max_mutants conflicts wall no_sim json verbose =
+    let designs =
+      match names with
+      | [] ->
+        [ Clock_gen.design; Uart_tx.design; Axi_slave.design;
+          Noc_router.design ]
+      | names -> List.map (fun n -> or_die (find_design n)) names
+    in
+    let budget =
+      Checker.budget ~conflicts ~wall_s:wall ~escalations:2
+        ~escalation_factor:4 ()
+    in
+    let campaigns =
+      List.map
+        (fun d ->
+          let c =
+            Ilv_fault.Campaign.run ~seed ~max_mutants ~budget
+              ~fallback_sim:(not no_sim) d
+          in
+          if verbose then Format.printf "%a@.@." Ilv_fault.Campaign.pp c;
+          c)
+        designs
+    in
+    Ilv_fault.Campaign.pp_table_header Format.std_formatter ();
+    List.iter
+      (Ilv_fault.Campaign.pp_table_row Format.std_formatter)
+      campaigns;
+    (match json with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc
+        ("[\n  "
+        ^ String.concat ",\n  "
+            (List.map Ilv_fault.Campaign.to_json campaigns)
+        ^ "\n]\n");
+      close_out oc;
+      Format.printf "campaign results written to %s@." file);
+    (* survivors are coverage gaps worth inspecting, but only an
+       undecided campaign (inconclusive with no kills hunted down) is a
+       tooling failure *)
+    if List.exists (fun c -> c.Ilv_fault.Campaign.n_mutants > 0
+                             && c.Ilv_fault.Campaign.killed = 0) campaigns
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Run a seeded fault-injection campaign and report per-design \
+          mutation scores")
+    Term.(
+      const run $ designs_arg $ seed_arg $ max_arg $ conflicts_arg $ wall_arg
+      $ no_sim_arg $ json_arg $ verbose_arg)
+
 (* ---- bugs ---- *)
 
 let bugs_cmd =
@@ -519,5 +627,6 @@ let () =
             verilog_cmd;
             cosim_cmd;
             reach_cmd;
+            mutate_cmd;
             bugs_cmd;
           ]))

@@ -47,7 +47,8 @@ let () =
                   ir.Verify.instr
                   (match ir.Verify.verdict with
                   | Checker.Proved -> "proved"
-                  | Checker.Failed _ -> "FAILED")
+                  | Checker.Failed _ -> "FAILED"
+                  | Checker.Unknown _ -> "UNKNOWN")
                   ir.Verify.stats.Checker.time_s)
               p.Verify.instr_results)
           report.Verify.ports;

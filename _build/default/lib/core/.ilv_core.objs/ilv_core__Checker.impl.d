@@ -1,1 +1,1 @@
-lib/core/checker.ml: Bitblast Build Eval Expr Ilv_expr Ilv_sat List Property Sat Simp String Trace Unix
+lib/core/checker.ml: Bitblast Build Eval Expr Ilv_expr Ilv_sat List Printf Property Sat Simp String Trace Unix

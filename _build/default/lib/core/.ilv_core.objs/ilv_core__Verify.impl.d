@@ -1,1 +1,1 @@
-lib/core/verify.ml: Checker Format Ila List Module_ila Propgen Trace Unix
+lib/core/verify.ml: Checker Format Ila List Module_ila Printexc Propgen Trace Unix

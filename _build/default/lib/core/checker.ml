@@ -1,14 +1,45 @@
 open Ilv_expr
 open Ilv_sat
 
-type verdict = Proved | Failed of Trace.t
+type verdict = Proved | Failed of Trace.t | Unknown of string
+
+type budget = {
+  conflicts : int option;
+  propagations : int option;
+  wall_s : float option;
+  escalations : int;
+  escalation_factor : int;
+}
+
+let unlimited =
+  {
+    conflicts = None;
+    propagations = None;
+    wall_s = None;
+    escalations = 0;
+    escalation_factor = 4;
+  }
+
+let budget ?conflicts ?propagations ?wall_s ?(escalations = 2)
+    ?(escalation_factor = 4) () =
+  { conflicts; propagations; wall_s; escalations; escalation_factor }
+
+let is_unlimited b =
+  b.conflicts = None && b.propagations = None && b.wall_s = None
+
+let limit_of b =
+  Sat.limit ?conflicts:b.conflicts ?propagations:b.propagations
+    ?wall_s:b.wall_s ()
 
 type stats = {
   time_s : float;
+  obligation_times_s : float list;
   n_obligations : int;
   cnf_vars : int;
   cnf_clauses : int;
   conflicts : int;
+  restarts : int;
+  attempts : int;
 }
 
 let base_vars_of (p : Property.t) (ob : Property.obligation) =
@@ -30,22 +61,67 @@ let ila_view (p : Property.t) vars model =
   in
   List.map (fun (n, e) -> (n, Eval.eval env e)) p.Property.ila_bindings
 
-let check ?(simplify = true) (p : Property.t) =
-  let t0 = Unix.gettimeofday () in
+(* Decide one obligation, escalating the budget on [Unknown]: attempt
+   [k] runs under the initial limit scaled by [escalation_factor^k].
+   Learnt clauses persist in [ctx], so a retry resumes rather than
+   restarts the search. *)
+let decide ctx ~budget:b ~hypotheses attempts =
+  if is_unlimited b then begin
+    incr attempts;
+    Bitblast.check_under ctx ~hypotheses
+  end
+  else begin
+    let base = limit_of b in
+    let rec go k =
+      let limit =
+        if k = 0 then base
+        else
+          Sat.scale_limit
+            (int_of_float (float_of_int b.escalation_factor ** float_of_int k))
+            base
+      in
+      incr attempts;
+      match Bitblast.check_under ~limit ctx ~hypotheses with
+      | Bitblast.Unknown _ when k < b.escalations -> go (k + 1)
+      | answer -> answer
+    in
+    go 0
+  end
+
+let check ?(simplify = true) ?(budget = unlimited) (p : Property.t) =
   (* one incremental context per property: the assumptions are asserted
      once and each obligation is decided under per-query hypotheses *)
   let ctx = Bitblast.create () in
   let prep e = if simplify then Simp.simplify_fix e else e in
   List.iter (fun a -> Bitblast.assert_bool ctx (prep a)) p.Property.assumptions;
-  let rec go = function
-    | [] -> Proved
+  let attempts = ref 0 in
+  let obligation_times = ref [] in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    obligation_times := (Unix.gettimeofday () -. t0) :: !obligation_times;
+    r
+  in
+  let rec go unknowns = function
+    | [] -> (
+      match List.rev unknowns with
+      | [] -> Proved
+      | (label, reason) :: _ ->
+        Unknown (Printf.sprintf "obligation %s: %s" label reason))
     | (ob : Property.obligation) :: rest -> (
       let result =
-        Bitblast.check_under ctx
-          ~hypotheses:[ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ]
+        timed (fun () ->
+            decide ctx ~budget
+              ~hypotheses:
+                [ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ]
+              attempts)
       in
       match result with
-      | Bitblast.Unsat -> go rest
+      | Bitblast.Unsat -> go unknowns rest
+      | Bitblast.Unknown reason ->
+        (* keep going: a definite failure on a later obligation is more
+           informative than this obligation's timeout *)
+        go ((ob.Property.label, reason) :: unknowns) rest
       | Bitblast.Sat model ->
         let vars = base_vars_of p ob in
         Failed
@@ -53,19 +129,22 @@ let check ?(simplify = true) (p : Property.t) =
              ~obligation:ob.Property.label ~vars
              ~ila_values:(ila_view p vars model) model))
   in
-  let verdict = go p.Property.obligations in
-  let vars, clauses =
-    let v, c = Bitblast.cnf_size ctx in
-    (ref v, ref c)
-  in
-  let conflicts = ref (Bitblast.solver_stats ctx).Sat.conflicts in
+  let verdict = go [] p.Property.obligations in
+  let cnf_vars, cnf_clauses = Bitblast.cnf_size ctx in
+  let solver_stats = Bitblast.solver_stats ctx in
+  let obligation_times_s = List.rev !obligation_times in
   let stats =
     {
-      time_s = Unix.gettimeofday () -. t0;
+      (* summed per-obligation wall clock: correct even when checking
+         stopped early at a failing obligation *)
+      time_s = List.fold_left ( +. ) 0.0 obligation_times_s;
+      obligation_times_s;
       n_obligations = List.length p.Property.obligations;
-      cnf_vars = !vars;
-      cnf_clauses = !clauses;
-      conflicts = !conflicts;
+      cnf_vars;
+      cnf_clauses;
+      conflicts = solver_stats.Sat.conflicts;
+      restarts = solver_stats.Sat.restarts;
+      attempts = !attempts;
     }
   in
   (verdict, stats)

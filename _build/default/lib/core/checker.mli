@@ -3,22 +3,71 @@
     Each obligation is decided as a separate query: the property holds
     iff [assumptions ∧ guard ∧ ¬goal] is unsatisfiable for every
     obligation.  A satisfying assignment decodes into a counterexample
-    trace. *)
+    trace.
+
+    Checking can be resource-bounded: a {!budget} limits every
+    obligation's SAT query, and an exhausted budget is escalated
+    (retried with a larger limit) before the obligation — and the
+    property — degrades to the explicit {!Unknown} verdict.  This is
+    what keeps large campaigns (e.g. mutation testing, {!Ilv_fault})
+    free of hangs. *)
 
 type verdict =
   | Proved
   | Failed of Trace.t  (** with the decoded counterexample *)
+  | Unknown of string
+      (** no verdict within the budget (or a checking error upstream);
+          carries the reason *)
+
+type budget = {
+  conflicts : int option;  (** initial per-obligation conflict budget *)
+  propagations : int option;
+  wall_s : float option;  (** initial per-obligation wall clock, seconds *)
+  escalations : int;
+      (** extra attempts after the first, each with the limits scaled
+          up by [escalation_factor] *)
+  escalation_factor : int;
+}
+
+val unlimited : budget
+(** No bounds: {!check} never returns [Unknown]. *)
+
+val budget :
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?wall_s:float ->
+  ?escalations:int ->
+  ?escalation_factor:int ->
+  unit ->
+  budget
+(** Defaults: 2 escalations, factor 4 — so an obligation gets up to
+    three attempts at 1x, 4x and 16x the initial limits before giving
+    up.  Learnt clauses persist across attempts, so escalation resumes
+    the search rather than restarting it. *)
+
+val is_unlimited : budget -> bool
 
 type stats = {
   time_s : float;
+      (** summed wall clock over the obligations actually checked —
+          meaningful even when checking stopped early at a failure *)
+  obligation_times_s : float list;
+      (** per-obligation wall clock, in checking order; shorter than
+          [n_obligations] when checking stopped early *)
   n_obligations : int;
   cnf_vars : int;  (** summed over obligations *)
   cnf_clauses : int;
   conflicts : int;
+  restarts : int;  (** solver restarts (from {!Ilv_sat.Sat.stats}) *)
+  attempts : int;  (** SAT queries issued, counting escalation retries *)
 }
 
-val check : ?simplify:bool -> Property.t -> verdict * stats
-(** Checks obligations in order; stops at the first failure.
-    [simplify] (default true) applies the word-level simplifier
-    ({!Ilv_expr.Simp}) to every formula before bit-blasting; disabling
-    it is only useful for measuring the simplifier's effect. *)
+val check :
+  ?simplify:bool -> ?budget:budget -> Property.t -> verdict * stats
+(** Checks obligations in order; stops at the first failure.  An
+    obligation that exhausts its (escalated) budget yields [Unknown],
+    but later obligations are still checked — a definite [Failed] wins
+    over [Unknown].  [simplify] (default true) applies the word-level
+    simplifier ({!Ilv_expr.Simp}) to every formula before bit-blasting;
+    disabling it is only useful for measuring the simplifier's
+    effect. *)

@@ -26,12 +26,42 @@ let proved r =
            (fun ir ->
              match ir.verdict with
              | Checker.Proved -> true
-             | Checker.Failed _ -> false)
+             | Checker.Failed _ | Checker.Unknown _ -> false)
            p.instr_results)
        r.ports
 
-let run ?(stop_at_first_failure = true) ?only_ports ~name module_ila rtl
-    ~refmap_for =
+let unknowns r =
+  List.concat_map
+    (fun p ->
+      List.filter
+        (fun ir ->
+          match ir.verdict with
+          | Checker.Unknown _ -> true
+          | Checker.Proved | Checker.Failed _ -> false)
+        p.instr_results)
+    r.ports
+
+let empty_stats =
+  {
+    Checker.time_s = 0.0;
+    obligation_times_s = [];
+    n_obligations = 0;
+    cnf_vars = 0;
+    cnf_clauses = 0;
+    conflicts = 0;
+    restarts = 0;
+    attempts = 0;
+  }
+
+(* Errors while checking one instruction (a malformed mutant tripping
+   the bit-blaster, an ill-sorted refinement expression, ...) must not
+   abort the whole report: they become that instruction's verdict. *)
+let message_of_exn = function
+  | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+  | e -> Printexc.to_string e
+
+let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
+    rtl ~refmap_for =
   let t0 = Unix.gettimeofday () in
   let first_failure = ref None in
   let selected =
@@ -46,15 +76,29 @@ let run ?(stop_at_first_failure = true) ?only_ports ~name module_ila rtl
     List.map
       (fun (port : Ila.t) ->
         let pt0 = Unix.gettimeofday () in
-        let refmap = refmap_for port.Ila.name in
+        let refmap =
+          try Ok (refmap_for port.Ila.name)
+          with e -> Error (message_of_exn e)
+        in
         let results = ref [] in
+        let check_instr refmap (i : Ila.instruction) =
+          try
+            let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
+            Checker.check ?budget property
+          with e ->
+            (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
+        in
         let rec check_all = function
           | [] -> ()
           | (i : Ila.instruction) :: rest ->
             if stop_at_first_failure && !first_failure <> None then ()
             else begin
-              let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
-              let verdict, stats = Checker.check property in
+              let verdict, stats =
+                match refmap with
+                | Ok refmap -> check_instr refmap i
+                | Error msg ->
+                  (Checker.Unknown ("exception: " ^ msg), empty_stats)
+              in
               let result =
                 {
                   instr = i.Ila.instr_name;
@@ -67,7 +111,7 @@ let run ?(stop_at_first_failure = true) ?only_ports ~name module_ila rtl
               (match verdict with
               | Checker.Failed _ when !first_failure = None ->
                 first_failure := Some result
-              | Checker.Failed _ | Checker.Proved -> ());
+              | Checker.Failed _ | Checker.Proved | Checker.Unknown _ -> ());
               check_all rest
             end
         in
@@ -98,16 +142,26 @@ let pp_report fmt r =
             match ir.verdict with
             | Checker.Proved -> "proved"
             | Checker.Failed _ -> "FAILED"
+            | Checker.Unknown _ -> "UNKNOWN"
           in
           fprintf fmt "    %-34s %-7s %.3fs (%d obligations, %d conflicts)@,"
             ir.instr status ir.stats.Checker.time_s
-            ir.stats.Checker.n_obligations ir.stats.Checker.conflicts)
+            ir.stats.Checker.n_obligations ir.stats.Checker.conflicts;
+          match ir.verdict with
+          | Checker.Unknown reason -> fprintf fmt "      reason: %s@," reason
+          | Checker.Proved | Checker.Failed _ -> ())
         p.instr_results)
     r.ports;
   (match r.first_failure with
   | Some ir -> (
     match ir.verdict with
     | Checker.Failed trace -> fprintf fmt "%a@," Trace.pp trace
-    | Checker.Proved -> ())
+    | Checker.Proved | Checker.Unknown _ -> ())
   | None -> ());
-  fprintf fmt "result: %s@]" (if proved r then "PROVED" else "FAILED")
+  let result =
+    if proved r then "PROVED"
+    else if r.first_failure <> None then "FAILED"
+    else if unknowns r <> [] then "UNKNOWN"
+    else "FAILED"
+  in
+  fprintf fmt "result: %s@]" result

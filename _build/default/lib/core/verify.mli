@@ -26,10 +26,18 @@ type report = {
 }
 
 val proved : report -> bool
+(** True only when every instruction is [Proved] — an [Unknown]
+    verdict (budget exhausted, or an exception while checking) makes
+    the report not-proved. *)
+
+val unknowns : report -> instr_result list
+(** The instructions whose verdict is {!Checker.Unknown}, across all
+    ports — the candidates for a bounded-simulation fallback. *)
 
 val run :
   ?stop_at_first_failure:bool ->
   ?only_ports:string list ->
+  ?budget:Checker.budget ->
   name:string ->
   Module_ila.t ->
   Ilv_rtl.Rtl.t ->
@@ -38,6 +46,12 @@ val run :
 (** Verifies the RTL against each port-ILA.  [refmap_for] supplies the
     refinement map of each port by name.  With
     [stop_at_first_failure:true] (default), checking stops at the first
-    failing instruction — matching the paper's "Time (bug)" runs. *)
+    failing instruction — matching the paper's "Time (bug)" runs.
+    [budget] bounds every obligation's SAT query
+    ({!Checker.check}); exhausted budgets surface as per-instruction
+    {!Checker.Unknown} verdicts rather than hangs.  Exceptions raised
+    while checking one instruction (including from [refmap_for] or the
+    property generator) are converted into an [Unknown] verdict with
+    the exception message instead of aborting the whole report. *)
 
 val pp_report : Format.formatter -> report -> unit

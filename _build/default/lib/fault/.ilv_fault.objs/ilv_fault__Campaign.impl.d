@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Buffer Char Checker Cosim Design Format Ilv_core Ilv_designs List Module_ila Mutate Printf Replay String Unix Verify

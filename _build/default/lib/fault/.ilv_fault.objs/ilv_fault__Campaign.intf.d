@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Design Format Ilv_core Ilv_designs Mutate

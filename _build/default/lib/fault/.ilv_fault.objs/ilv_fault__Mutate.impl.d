@@ -1,0 +1,1 @@
+lib/fault/mutate.ml: Array Bitvec Build Expr Hashtbl Ilv_expr Ilv_rtl List Option Pp_expr Printf Random Rtl Sort String Value

@@ -1,0 +1,1 @@
+lib/fault/mutate.mli: Expr Ilv_expr Ilv_rtl Rtl

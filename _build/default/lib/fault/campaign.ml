@@ -1,0 +1,257 @@
+open Ilv_core
+open Ilv_designs
+
+type kill_method =
+  | By_property of { instr : string; port : string }
+  | By_simulation of { sim_seed : int; cycle : int; state : string }
+
+type classification =
+  | Killed of kill_method
+  | Survived
+  | Inconclusive of string
+
+type mutant_report = {
+  mutation : Mutate.mutation;
+  classification : classification;
+  time_s : float;
+  replay_confirmed : bool option;
+}
+
+type t = {
+  design : string;
+  seed : int;
+  n_sites : int;
+  n_mutants : int;
+  killed : int;
+  survived : int;
+  inconclusive : int;
+  killed_by_simulation : int;
+  score : float;
+  total_time_s : float;
+  mutants : mutant_report list;
+}
+
+let default_budget =
+  Checker.budget ~conflicts:50_000 ~wall_s:10.0 ~escalations:2
+    ~escalation_factor:4 ()
+
+let score ~killed ~survived =
+  if killed + survived = 0 then 1.0
+  else float_of_int killed /. float_of_int (killed + survived)
+
+(* Double-check a property kill in the cycle-accurate simulator when
+   possible; [None] when the replay machinery does not apply. *)
+let replay_kill (d : Design.t) mutant_rtl (ir : Verify.instr_result) =
+  match ir.Verify.verdict with
+  | Checker.Failed trace -> (
+    match Module_ila.find_port d.Design.module_ila ir.Verify.port with
+    | None -> None
+    | Some ila -> (
+      try
+        let refmap = d.Design.refmap_for mutant_rtl ir.Verify.port in
+        match Replay.confirm ~ila ~rtl:mutant_rtl ~refmap trace with
+        | Replay.Confirmed _ -> Some true
+        | Replay.Not_reproduced -> Some false
+        | Replay.Inapplicable _ -> None
+      with _ -> None))
+  | Checker.Proved | Checker.Unknown _ -> None
+
+(* Budget exhausted on every checkable path: degrade to bounded random
+   co-simulation and hunt for a concrete divergence before conceding
+   "inconclusive". *)
+let simulate_for_kill (d : Design.t) mutant_rtl ~sim_seeds ~sim_cycles =
+  let rec go s =
+    if s > sim_seeds then None
+    else
+      match Cosim.run_rtl ~cycles:sim_cycles ~seed:s d mutant_rtl with
+      | Cosim.Diverged { cycle; state; _ } ->
+        Some (By_simulation { sim_seed = s; cycle; state })
+      | Cosim.Agree _ -> go (s + 1)
+      | exception _ -> go (s + 1)
+  in
+  go 1
+
+let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
+    ~sim_cycles (m : Mutate.mutant) =
+  let t0 = Unix.gettimeofday () in
+  let rtl = m.Mutate.rtl in
+  let report =
+    Verify.run ~stop_at_first_failure:true ~budget
+      ~name:(d.Design.name ^ " [" ^ Mutate.describe m.Mutate.mutation ^ "]")
+      d.Design.module_ila rtl
+      ~refmap_for:(fun port -> d.Design.refmap_for rtl port)
+  in
+  let classification, replay_confirmed =
+    match report.Verify.first_failure with
+    | Some ir ->
+      ( Killed (By_property { instr = ir.Verify.instr; port = ir.Verify.port }),
+        replay_kill d rtl ir )
+    | None -> (
+      match Verify.unknowns report with
+      | [] ->
+        (* every property proved.  Transition-shaped properties are
+           blind to reset-state faults, so give the from-reset
+           co-simulation a chance before declaring the fault
+           undetectable. *)
+        ( (if not fallback_sim then Survived
+           else
+             match simulate_for_kill d rtl ~sim_seeds ~sim_cycles with
+             | Some kill -> Killed kill
+             | None -> Survived),
+          None )
+      | ir :: _ -> (
+        let reason =
+          match ir.Verify.verdict with
+          | Checker.Unknown reason -> ir.Verify.instr ^ ": " ^ reason
+          | Checker.Proved | Checker.Failed _ -> assert false
+        in
+        if not fallback_sim then (Inconclusive reason, None)
+        else
+          match simulate_for_kill d rtl ~sim_seeds ~sim_cycles with
+          | Some kill -> (Killed kill, None)
+          | None -> (Inconclusive reason, None)))
+  in
+  {
+    mutation = m.Mutate.mutation;
+    classification;
+    time_s = Unix.gettimeofday () -. t0;
+    replay_confirmed;
+  }
+
+let run ?(seed = 1) ?(max_mutants = 100) ?(budget = default_budget)
+    ?(fallback_sim = true) ?(sim_seeds = 3) ?(sim_cycles = 300)
+    (d : Design.t) =
+  let t0 = Unix.gettimeofday () in
+  let n_sites = List.length (Mutate.enumerate d.Design.rtl) in
+  let mutants = Mutate.sample ~seed ~max_mutants d.Design.rtl in
+  let reports =
+    List.map
+      (classify_mutant d ~budget ~fallback_sim ~sim_seeds ~sim_cycles)
+      mutants
+  in
+  let count p = List.length (List.filter p reports) in
+  let killed =
+    count (fun r ->
+        match r.classification with Killed _ -> true | _ -> false)
+  in
+  let survived = count (fun r -> r.classification = Survived) in
+  let inconclusive =
+    count (fun r ->
+        match r.classification with Inconclusive _ -> true | _ -> false)
+  in
+  let killed_by_simulation =
+    count (fun r ->
+        match r.classification with
+        | Killed (By_simulation _) -> true
+        | _ -> false)
+  in
+  {
+    design = d.Design.name;
+    seed;
+    n_sites;
+    n_mutants = List.length reports;
+    killed;
+    survived;
+    inconclusive;
+    killed_by_simulation;
+    score = score ~killed ~survived;
+    total_time_s = Unix.gettimeofday () -. t0;
+    mutants = reports;
+  }
+
+let kill_times c =
+  List.filter_map
+    (fun r ->
+      match r.classification with Killed _ -> Some r.time_s | _ -> None)
+    c.mutants
+
+let pp_table_header fmt () =
+  Format.fprintf fmt "%-26s %8s %8s %8s %8s %8s %8s %9s@." "Design" "sites"
+    "mutants" "killed" "surv" "incl" "score" "time"
+
+let score_string c =
+  if c.killed + c.survived = 0 then "n/a"
+  else Printf.sprintf "%.1f%%" (100.0 *. c.score)
+
+let pp_table_row fmt c =
+  Format.fprintf fmt "%-26s %8d %8d %8d %8d %8d %8s %8.2fs@." c.design
+    c.n_sites c.n_mutants c.killed c.survived c.inconclusive (score_string c)
+    c.total_time_s
+
+let pp fmt c =
+  let open Format in
+  fprintf fmt "@[<v>mutation campaign: %s (seed %d)@," c.design c.seed;
+  fprintf fmt "  %d fault sites, %d mutants checked in %.2fs@," c.n_sites
+    c.n_mutants c.total_time_s;
+  List.iter
+    (fun r ->
+      let status =
+        match r.classification with
+        | Killed (By_property { instr; port }) ->
+          Printf.sprintf "killed by %s.%s%s" port instr
+            (match r.replay_confirmed with
+            | Some true -> " (replay confirmed)"
+            | Some false -> " (replay MISMATCH)"
+            | None -> "")
+        | Killed (By_simulation { sim_seed; cycle; state }) ->
+          Printf.sprintf "killed by simulation (seed %d, cycle %d, state %s)"
+            sim_seed cycle state
+        | Survived -> "SURVIVED"
+        | Inconclusive reason -> "inconclusive: " ^ reason
+      in
+      fprintf fmt "  %-56s %-7.3fs %s@,"
+        (Mutate.describe r.mutation)
+        r.time_s status)
+    c.mutants;
+  fprintf fmt
+    "  killed %d (%d via simulation fallback), survived %d, inconclusive \
+     %d — mutation score %s@]"
+    c.killed c.killed_by_simulation c.survived c.inconclusive
+    (score_string c)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json c =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{";
+  add "\"design\": \"%s\", " (json_escape c.design);
+  add "\"seed\": %d, " c.seed;
+  add "\"fault_sites\": %d, " c.n_sites;
+  add "\"mutants\": %d, " c.n_mutants;
+  add "\"killed\": %d, " c.killed;
+  add "\"killed_by_simulation\": %d, " c.killed_by_simulation;
+  add "\"survived\": %d, " c.survived;
+  add "\"inconclusive\": %d, " c.inconclusive;
+  add "\"mutation_score\": %.4f, " c.score;
+  add "\"total_time_s\": %.3f, " c.total_time_s;
+  add "\"kill_times_s\": [%s], "
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.4f") (kill_times c)));
+  add "\"results\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ", ";
+      add "{\"mutation\": \"%s\", \"class\": \"%s\", \"time_s\": %.4f}"
+        (json_escape (Mutate.describe r.mutation))
+        (match r.classification with
+        | Killed (By_property _) -> "killed"
+        | Killed (By_simulation _) -> "killed_by_simulation"
+        | Survived -> "survived"
+        | Inconclusive _ -> "inconclusive")
+        r.time_s)
+    c.mutants;
+  add "]}";
+  Buffer.contents b

@@ -1,1 +1,1 @@
-lib/sat/sat.ml: Array List Printf
+lib/sat/sat.ml: Array List Option Printf Unix

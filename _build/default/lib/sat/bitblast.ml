@@ -153,7 +153,10 @@ let lit_of t e =
 let assert_bool t e = Sat.add_clause t.ctx.solver [ lit_of t e ]
 let assert_not t e = Sat.add_clause t.ctx.solver [ -lit_of t e ]
 
-type answer = Unsat | Sat of (string -> Sort.t -> Value.t)
+type answer =
+  | Unsat
+  | Sat of (string -> Sort.t -> Value.t)
+  | Unknown of string
 
 let decode_bits t name sort =
   let lit_val l =
@@ -184,16 +187,18 @@ let decode_bits t name sort =
         Value.V_mem (snd value)
     end
 
-let check t =
-  match Sat.solve t.ctx.solver with
-  | Sat.Unsat -> Unsat
-  | Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
+let check ?limit t =
+  match Sat.solve_bounded ?limit t.ctx.solver with
+  | Sat.Result Sat.Unsat -> Unsat
+  | Sat.Result Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
+  | Sat.Unknown reason -> Unknown reason
 
-let check_under t ~hypotheses =
+let check_under ?limit t ~hypotheses =
   let assumptions = List.map (lit_of t) hypotheses in
-  match Sat.solve ~assumptions t.ctx.solver with
-  | Sat.Unsat -> Unsat
-  | Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
+  match Sat.solve_bounded ~assumptions ?limit t.ctx.solver with
+  | Sat.Result Sat.Unsat -> Unsat
+  | Sat.Result Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
+  | Sat.Unknown reason -> Unknown reason
 
 let cnf t = Sat.export t.ctx.solver
 let cnf_size t = (Sat.num_vars t.ctx.solver, Sat.num_clauses t.ctx.solver)

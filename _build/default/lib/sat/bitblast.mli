@@ -40,13 +40,18 @@ type answer =
           never reached the solver get default (all-zero) values.  The
           closure reads the solver's current model: use it before the
           next [check]/[assert]. *)
+  | Unknown of string
+      (** the solver's resource budget ran out ({!Sat.limit}); never
+          returned when no [limit] is passed *)
 
-val check : t -> answer
+val check : ?limit:Sat.limit -> t -> answer
 (** Decides the conjunction of all assertions.  May be called
     repeatedly, interleaved with further assertions (incremental use;
-    learnt clauses are reused across calls). *)
+    learnt clauses are reused across calls).  With [limit], gives up
+    with [Unknown] once a bound is exceeded (the context stays
+    usable). *)
 
-val check_under : t -> hypotheses:Expr.t list -> answer
+val check_under : ?limit:Sat.limit -> t -> hypotheses:Expr.t list -> answer
 (** Like {!check}, additionally assuming the hypotheses for this query
     only (via solver assumptions — nothing is permanently asserted). *)
 

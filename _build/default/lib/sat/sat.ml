@@ -473,20 +473,66 @@ let pick_branch_var s =
   in
   go ()
 
+(* --- resource limits --- *)
+
+type limit = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_wall_s : float option;
+}
+
+let no_limit = { max_conflicts = None; max_propagations = None; max_wall_s = None }
+
+let limit ?conflicts ?propagations ?wall_s () =
+  { max_conflicts = conflicts; max_propagations = propagations; max_wall_s = wall_s }
+
+let scale_limit factor l =
+  let scale = Option.map (fun n -> n * factor) in
+  {
+    max_conflicts = scale l.max_conflicts;
+    max_propagations = scale l.max_propagations;
+    max_wall_s = Option.map (fun w -> w *. float_of_int factor) l.max_wall_s;
+  }
+
+type outcome = Result of result | Unknown of string
+
 (* Incremental solving: re-solvable after further add_clause calls.
    Assumptions are installed as the first decision levels (the MiniSat
    scheme): whenever the decision level is below the number of
    assumptions, the next assumption literal is decided (or a fresh
    level is opened if it already holds); an assumption found false
-   makes the instance unsat *under the assumptions*. *)
-let solve ?(assumptions = []) s =
+   makes the instance unsat *under the assumptions*.
+
+   Limits are per-call and soft: they are checked between propagation
+   rounds, so the solver may overshoot by one BCP pass. *)
+let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
   cancel_until s 0;
   s.solved <- None;
   let assumption_lits =
     Array.of_list (List.map (internal_of_ext s) assumptions)
   in
+  let conflicts0 = s.conflicts and propagations0 = s.propagations in
+  let deadline =
+    Option.map (fun w -> Unix.gettimeofday () +. w) limit.max_wall_s
+  in
+  let exhausted () =
+    match limit.max_conflicts with
+    | Some b when s.conflicts - conflicts0 >= b ->
+      Some (Printf.sprintf "conflict budget exhausted (%d)" b)
+    | _ -> (
+      match limit.max_propagations with
+      | Some b when s.propagations - propagations0 >= b ->
+        Some (Printf.sprintf "propagation budget exhausted (%d)" b)
+      | _ -> (
+        match deadline with
+        | Some d when Unix.gettimeofday () > d ->
+          Some
+            (Printf.sprintf "deadline exceeded (%.3fs)"
+               (Option.get limit.max_wall_s))
+        | _ -> None))
+  in
   let result =
-    if s.unsat then Unsat
+    if s.unsat then Result Unsat
     else begin
       try
         propagate s;
@@ -502,6 +548,11 @@ let solve ?(assumptions = []) s =
           let conflicts_here = ref 0 in
           (try
              while !answer = None && !conflicts_here < conflict_budget do
+               (match exhausted () with
+               | Some reason -> answer := Some (Unknown reason)
+               | None -> ());
+               if !answer <> None then ()
+               else
                match
                  (try
                     propagate s;
@@ -511,11 +562,11 @@ let solve ?(assumptions = []) s =
                | Some confl ->
                  s.conflicts <- s.conflicts + 1;
                  incr conflicts_here;
-                 if decision_level s = 0 then answer := Some Unsat
+                 if decision_level s = 0 then answer := Some (Result Unsat)
                  else if decision_level s <= Array.length assumption_lits
                  then
                    (* the conflict depends only on assumptions *)
-                   answer := Some Unsat
+                   answer := Some (Result Unsat)
                  else begin
                    let learnt, bt = analyze s confl in
                    (* backjumps may undo assumption levels; the decision
@@ -532,14 +583,14 @@ let solve ?(assumptions = []) s =
                    let l = assumption_lits.(decision_level s) in
                    match lit_value s l with
                    | 1 -> new_level () (* already holds: placeholder level *)
-                   | 2 -> answer := Some Unsat
+                   | 2 -> answer := Some (Result Unsat)
                    | _ ->
                      new_level ();
                      enqueue s l None
                  end
                  else begin
                    let v = pick_branch_var s in
-                   if v = 0 then answer := Some Sat
+                   if v = 0 then answer := Some (Result Sat)
                    else begin
                      s.decisions <- s.decisions + 1;
                      new_level ();
@@ -556,11 +607,21 @@ let solve ?(assumptions = []) s =
           end
         done;
         (match !answer with Some r -> r | None -> assert false)
-      with Conflict _ -> Unsat
+      with Conflict _ -> Result Unsat
     end
   in
-  s.solved <- Some result;
+  (match result with
+  | Result r -> s.solved <- Some r
+  | Unknown _ ->
+    (* give up cleanly: no model, and the next solve starts fresh *)
+    cancel_until s 0;
+    s.solved <- None);
   result
+
+let solve ?assumptions s =
+  match solve_bounded ?assumptions ~limit:no_limit s with
+  | Result r -> r
+  | Unknown _ -> assert false (* impossible without a limit *)
 
 let value s v =
   match s.solved with

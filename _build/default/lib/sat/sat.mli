@@ -39,6 +39,42 @@ val solve : ?assumptions:int list -> t -> result
     Learnt clauses persist across calls, so related queries get
     cheaper. *)
 
+(** {1 Resource-bounded solving}
+
+    A single pathological query can hang an entire verification
+    campaign; bounded solving turns that hang into an explicit
+    [Unknown] verdict that callers can degrade from gracefully. *)
+
+type limit = {
+  max_conflicts : int option;  (** per-call conflict budget *)
+  max_propagations : int option;  (** per-call propagation budget *)
+  max_wall_s : float option;  (** per-call wall-clock deadline, seconds *)
+}
+
+val no_limit : limit
+(** All fields [None]: {!solve_bounded} behaves exactly like {!solve}. *)
+
+val limit :
+  ?conflicts:int -> ?propagations:int -> ?wall_s:float -> unit -> limit
+
+val scale_limit : int -> limit -> limit
+(** [scale_limit k l] multiplies every bound by [k] (used by callers
+    implementing retry-with-larger-budget escalation). *)
+
+type outcome =
+  | Result of result
+  | Unknown of string
+      (** the budget ran out before a verdict; carries the reason
+          (which bound was hit) *)
+
+val solve_bounded : ?assumptions:int list -> ?limit:limit -> t -> outcome
+(** Like {!solve}, but gives up with [Unknown] once any bound of
+    [limit] is exceeded.  Limits are per-call and {e soft}: they are
+    checked between propagation rounds, so the solver may overshoot by
+    one BCP pass.  After [Unknown] the solver remains usable (learnt
+    clauses are kept; a later call with a larger budget resumes
+    progress), but no model is available. *)
+
 val value : t -> int -> bool
 (** [value s v] is the model value of variable [v] after the most
     recent {!solve} returned [Sat].  Variables untouched by the search

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Build Campaign Checker Clock_gen Design Expr Fun Ilv_core Ilv_designs Ilv_expr Ilv_fault Ilv_rtl Ilv_sat List Mutate Option Sat Sort String Uart_tx Verify

@@ -153,6 +153,7 @@ let cross_tests =
              match Bitblast.check ctx with
              | Bitblast.Unsat -> `Unsat
              | Bitblast.Sat _ -> `Sat
+             | Bitblast.Unknown _ -> `Unknown
            in
            bdd_answer = sat_answer));
     QCheck_alcotest.to_alcotest

@@ -601,7 +601,9 @@ let e2e_tests =
                   if expected_fail then Alcotest.fail "CLEAR should fail"
                 | Checker.Failed _ ->
                   if not expected_fail then
-                    Alcotest.failf "%s should hold" ir.Verify.instr)
+                    Alcotest.failf "%s should hold" ir.Verify.instr
+                | Checker.Unknown reason ->
+                  Alcotest.failf "%s unknown: %s" ir.Verify.instr reason)
               p.Verify.instr_results)
           report.Verify.ports);
     t "two-cycle implementation verified with After_cycles" (fun () ->

@@ -86,7 +86,7 @@ let prop_tests =
            in
            match (direct, reimported) with
            | Bitblast.Sat _, Sat.Sat | Bitblast.Unsat, Sat.Unsat -> true
-           | (Bitblast.Sat _ | Bitblast.Unsat), _ -> false));
+           | _, _ -> false));
   ]
 
 let suite = [ ("dimacs:unit", unit_tests); ("dimacs:props", prop_tests) ]

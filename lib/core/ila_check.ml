@@ -24,6 +24,7 @@ let coverage ?(assuming = []) ila =
   match Bitblast.check ctx with
   | Bitblast.Unsat -> Covered
   | Bitblast.Sat model -> Uncovered model
+  | Bitblast.Unknown _ -> assert false (* no limit passed *)
 
 let determinism ?(assuming = []) ila =
   let leaves = Ila.leaf_instructions ila in
@@ -41,6 +42,7 @@ let determinism ?(assuming = []) ila =
       | Bitblast.Unsat -> go rest
       | Bitblast.Sat witness ->
         Overlap
-          { instr_a = a.Ila.instr_name; instr_b = b.Ila.instr_name; witness })
+          { instr_a = a.Ila.instr_name; instr_b = b.Ila.instr_name; witness }
+      | Bitblast.Unknown _ -> assert false (* no limit passed *))
   in
   go (pairs leaves)

@@ -45,6 +45,7 @@ let check_inductive ~rtl invs =
           kind = `Base;
           trace = trace_of ~property:"invariant" ~obligation:"base case" u model;
         }
+    | Bitblast.Unknown _ -> assert false (* no limit passed *)
   in
   match base with
   | Some cex -> Violated cex
@@ -63,7 +64,8 @@ let check_inductive ~rtl invs =
           trace =
             trace_of ~property:"invariant" ~obligation:"inductive step" u
               model;
-        })
+        }
+    | Bitblast.Unknown _ -> assert false (* no limit passed *))
 
 type bmc_result = Holds_up_to of int | Fails_at of int * Trace.t
 
@@ -83,6 +85,7 @@ let bmc ~rtl ~depth p =
             trace_of ~property:"bmc"
               ~obligation:(Printf.sprintf "violation at cycle %d" k)
               u model )
+      | Bitblast.Unknown _ -> assert false (* no limit passed *)
     end
   in
   go 0

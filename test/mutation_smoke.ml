@@ -1,0 +1,24 @@
+(* Quick mutation-campaign smoke: a seeded campaign of at most 20
+   mutants on the smallest design, run as part of `dune runtest` via
+   the @mutation-smoke alias.  Fails if the campaign cannot kill
+   anything or leaves every mutant undecided. *)
+
+let () =
+  let c =
+    Ilv_fault.Campaign.run ~seed:1 ~max_mutants:20
+      Ilv_designs.Clock_gen.design
+  in
+  Format.printf "%a@." Ilv_fault.Campaign.pp c;
+  if c.Ilv_fault.Campaign.n_mutants = 0 then begin
+    prerr_endline "mutation-smoke: no mutants generated";
+    exit 1
+  end;
+  if c.Ilv_fault.Campaign.killed = 0 then begin
+    prerr_endline "mutation-smoke: campaign killed nothing";
+    exit 1
+  end;
+  if c.Ilv_fault.Campaign.inconclusive > c.Ilv_fault.Campaign.n_mutants / 2
+  then begin
+    prerr_endline "mutation-smoke: campaign mostly inconclusive";
+    exit 1
+  end

@@ -139,7 +139,8 @@ let bug_case (d : Design.t) (bug : Design.bug) expected_instr =
         | Checker.Failed trace ->
           Alcotest.(check bool) "trace has cycles" true
             (List.length trace.Trace.cycles > 0)
-        | Checker.Proved -> Alcotest.fail "failure without trace"))
+        | Checker.Proved | Checker.Unknown _ ->
+          Alcotest.fail "failure without trace"))
 
 let bug_tests =
   [
