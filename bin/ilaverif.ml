@@ -7,11 +7,13 @@
      property DESIGN INSTR       print one auto-generated property
      check DESIGN                decode coverage / determinism checks
      verify DESIGN [--bug L]     refinement-check a design (or a buggy variant)
+     cache stats|clear|verify    manage the persistent proof cache
      bugs                        reproduce the paper's three bug hunts *)
 
 open Cmdliner
 open Ilv_core
 open Ilv_designs
+open Ilv_engine
 
 let find_design name =
   match Catalog.find name with
@@ -30,6 +32,72 @@ let or_die = function
   | Error msg ->
     prerr_endline msg;
     exit 2
+
+(* ---- shared engine options ---- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Discharge refinement obligations on $(docv) parallel worker \
+           processes (default 1: in-process, no fork).  Verdicts and their \
+           order are identical for any worker count.")
+
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Consult and populate the persistent proof cache: obligations \
+           whose bit-blasted content was already discharged skip the solver \
+           entirely.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Proof-cache directory (default: \\$ILAVERIF_CACHE_DIR, else \
+           \\$XDG_CACHE_HOME/ilaverif, else ~/.cache/ilaverif).  Implies \
+           $(b,--cache).")
+
+let portfolio_arg =
+  let modes =
+    [
+      ("auto", Portfolio.Auto);
+      ("sat", Portfolio.Force Portfolio.Sat_backend);
+      ("bdd", Portfolio.Force Portfolio.Bdd_backend);
+      ("race", Portfolio.Race);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Portfolio.Auto
+    & info [ "portfolio" ] ~docv:"MODE"
+        ~doc:
+          "Backend selection per obligation: $(b,auto) (size heuristic \
+           between SAT and BDD), $(b,sat), $(b,bdd), or $(b,race) (both in \
+           parallel, first definitive verdict wins).")
+
+let open_cache ~use_cache ~cache_dir =
+  if use_cache || cache_dir <> None then Some (Proof_cache.open_ ?dir:cache_dir ())
+  else None
+
+(* Engine-path verification of one design (golden or buggy variant):
+   enumerate the obligations as jobs, discharge on the pool, reassemble
+   the standard report. *)
+let engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio (d : Design.t)
+    rtl =
+  let job_list =
+    Engine.jobs_of ?variant ?only_ports ~name:d.Design.name
+      d.Design.module_ila rtl
+      ~refmap_for:(fun port -> d.Design.refmap_for rtl port)
+      ()
+  in
+  let results, summary = Engine.run ~jobs ?cache ~portfolio job_list in
+  (Engine.report_of ~name:d.Design.name ~results, summary)
 
 (* ---- list ---- *)
 
@@ -210,26 +278,48 @@ let verify_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
-  let run name bug port keep_going vcd =
+  let run name bug port keep_going vcd jobs use_cache cache_dir portfolio =
     let d = or_die (find_design name) in
     let only_ports = Option.map (fun p -> [ p ]) port in
-    let report =
-      match bug with
+    let cache = open_cache ~use_cache ~cache_dir in
+    let use_engine =
+      jobs > 1 || cache <> None || portfolio <> Portfolio.Auto
+    in
+    let find_bug label =
+      match
+        List.find_opt (fun b -> b.Design.bug_label = label) d.Design.bugs
+      with
+      | Some bug -> bug
       | None ->
-        Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports d
-      | Some label -> (
-        match
-          List.find_opt (fun b -> b.Design.bug_label = label) d.Design.bugs
-        with
-        | Some bug ->
-          Design.verify_buggy ~stop_at_first_failure:(not keep_going) d bug
+        prerr_endline
+          (Printf.sprintf "no bug %S in %s (available: %s)" label
+             d.Design.name
+             (String.concat ", "
+                (List.map (fun b -> b.Design.bug_label) d.Design.bugs)));
+        exit 2
+    in
+    let report =
+      if use_engine then begin
+        (* the engine sweeps every obligation (it cannot stop a worker
+           that is mid-proof), so --keep-going is implied here *)
+        let variant, rtl =
+          match bug with
+          | None -> (None, d.Design.rtl)
+          | Some label -> (Some label, (find_bug label).Design.buggy_rtl)
+        in
+        let report, summary =
+          engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio d rtl
+        in
+        Format.printf "%a@." Engine.pp_summary summary;
+        report
+      end
+      else
+        match bug with
         | None ->
-          prerr_endline
-            (Printf.sprintf "no bug %S in %s (available: %s)" label
-               d.Design.name
-               (String.concat ", "
-                  (List.map (fun b -> b.Design.bug_label) d.Design.bugs)));
-          exit 2)
+          Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports d
+        | Some label ->
+          Design.verify_buggy ~stop_at_first_failure:(not keep_going) d
+            (find_bug label)
     in
     Format.printf "%a@." Verify.pp_report report;
     (match (vcd, report.Verify.first_failure) with
@@ -245,7 +335,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Refinement-check a design's RTL against its module-ILA")
-    Term.(const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg)
+    Term.(
+      const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
+      $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg)
 
 (* ---- dimacs ---- *)
 
@@ -342,16 +434,29 @@ let table_cmd =
             "Use the memory-abstracted datapath and store buffer (the \
              paper's parenthesized configuration).")
   in
-  let run quick =
+  let run quick jobs use_cache cache_dir portfolio =
     let suite = if quick then Catalog.quick else Catalog.all in
-    let rows = List.map Table_one.measure suite in
+    let cache = open_cache ~use_cache ~cache_dir in
+    let use_engine =
+      jobs > 1 || cache <> None || portfolio <> Portfolio.Auto
+    in
+    let verify d =
+      if use_engine then
+        fst
+          (engine_verify ?cache ~jobs ~portfolio d
+             d.Design.rtl)
+      else Design.verify d
+    in
+    let rows = List.map (Table_one.measure ~verify) suite in
     Table_one.print_rows Format.std_formatter rows;
     Format.printf "@.Paper's Table I, for shape comparison:@.";
     Table_one.print_paper Format.std_formatter
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
-    Term.(const run $ quick)
+    Term.(
+      const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
+      $ portfolio_arg)
 
 (* ---- reach ---- *)
 
@@ -525,7 +630,7 @@ let mutate_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Print the per-mutant listing.")
   in
-  let run names seed max_mutants conflicts wall no_sim json verbose =
+  let run names seed max_mutants conflicts wall no_sim json verbose jobs =
     let designs =
       match names with
       | [] ->
@@ -542,7 +647,7 @@ let mutate_cmd =
         (fun d ->
           let c =
             Ilv_fault.Campaign.run ~seed ~max_mutants ~budget
-              ~fallback_sim:(not no_sim) d
+              ~fallback_sim:(not no_sim) ~jobs d
           in
           if verbose then Format.printf "%a@.@." Ilv_fault.Campaign.pp c;
           c)
@@ -577,7 +682,66 @@ let mutate_cmd =
           mutation scores")
     Term.(
       const run $ designs_arg $ seed_arg $ max_arg $ conflicts_arg $ wall_arg
-      $ no_sim_arg $ json_arg $ verbose_arg)
+      $ no_sim_arg $ json_arg $ verbose_arg $ jobs_arg)
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let open_from_dir cache_dir = Proof_cache.open_ ?dir:cache_dir () in
+  let stats_cmd =
+    let run cache_dir =
+      let c = open_from_dir cache_dir in
+      Format.printf "proof cache at %s@.%a@." (Proof_cache.dir c)
+        Proof_cache.pp_stats (Proof_cache.stats c)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report entry counts and size of the proof cache")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      let c = open_from_dir cache_dir in
+      let removed = Proof_cache.clear c in
+      Format.printf "removed %d entries from %s@." removed (Proof_cache.dir c)
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every entry from the proof cache")
+      Term.(const run $ cache_dir_arg)
+  in
+  let verify_cache_cmd =
+    let sample_arg =
+      Arg.(
+        value & opt int 5
+        & info [ "sample" ] ~docv:"N"
+            ~doc:"How many entries to re-solve (default 5).")
+    in
+    let run cache_dir sample =
+      let c = open_from_dir cache_dir in
+      let v = Proof_cache.validate ~sample c in
+      Format.printf
+        "re-solved %d of the entries at %s: %d agreed, %d mismatched, %d \
+         corrupt@."
+        v.Proof_cache.checked (Proof_cache.dir c) v.Proof_cache.agreed
+        (List.length v.Proof_cache.mismatched)
+        (List.length v.Proof_cache.corrupt_entries);
+      List.iter
+        (fun key -> Format.printf "  MISMATCH %s@." key)
+        v.Proof_cache.mismatched;
+      List.iter
+        (fun file -> Format.printf "  corrupt %s@." file)
+        v.Proof_cache.corrupt_entries;
+      if v.Proof_cache.mismatched <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Guard against stale or corrupted entries: re-solve a sample of \
+            cached obligations from their stored CNF and compare verdicts")
+      Term.(const run $ cache_dir_arg $ sample_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect, clear or validate the persistent proof cache")
+    [ stats_cmd; clear_cmd; verify_cache_cmd ]
 
 (* ---- bugs ---- *)
 
@@ -628,5 +792,6 @@ let () =
             cosim_cmd;
             reach_cmd;
             mutate_cmd;
+            cache_cmd;
             bugs_cmd;
           ]))

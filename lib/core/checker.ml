@@ -42,7 +42,7 @@ type stats = {
   attempts : int;
 }
 
-let base_vars_of (p : Property.t) (ob : Property.obligation) =
+let base_vars (p : Property.t) (ob : Property.obligation) =
   let add acc e = Expr.vars e @ acc in
   let all =
     List.fold_left add (add (add [] ob.Property.guard) ob.Property.goal)
@@ -60,6 +60,13 @@ let ila_view (p : Property.t) vars model =
     Eval.env_of_list (List.map (fun (n, sort) -> (n, model n sort)) vars)
   in
   List.map (fun (n, e) -> (n, Eval.eval env e)) p.Property.ila_bindings
+
+let failed_of_model (p : Property.t) (ob : Property.obligation) model =
+  let vars = base_vars p ob in
+  Failed
+    (Trace.of_model ~property:p.Property.prop_name
+       ~obligation:ob.Property.label ~vars
+       ~ila_values:(ila_view p vars model) model)
 
 (* Decide one obligation, escalating the budget on [Unknown]: attempt
    [k] runs under the initial limit scaled by [escalation_factor^k].
@@ -88,12 +95,39 @@ let decide ctx ~budget:b ~hypotheses attempts =
     go 0
   end
 
-let check ?(simplify = true) ?(budget = unlimited) (p : Property.t) =
-  (* one incremental context per property: the assumptions are asserted
-     once and each obligation is decided under per-query hypotheses *)
+(* A prepared property: the assumptions are asserted into one
+   incremental bit-blasting context, and every obligation's guard and
+   negated goal are pre-encoded to solver literals.  Preparing is the
+   complete CNF encoding of the whole query set — after [prepare] the
+   CNF is stable, which is what makes {!cnf} a sound content address
+   for the proof cache — while the SAT search itself has not started. *)
+type prepared = {
+  prop : Property.t;
+  ctx : Bitblast.t;
+  hyps : (Property.obligation * Expr.t list * int list) list;
+      (* obligation, prepped hypothesis exprs, their literals *)
+}
+
+let prepare ?(simplify = true) (p : Property.t) =
   let ctx = Bitblast.create () in
   let prep e = if simplify then Simp.simplify_fix e else e in
   List.iter (fun a -> Bitblast.assert_bool ctx (prep a)) p.Property.assumptions;
+  let hyps =
+    List.map
+      (fun (ob : Property.obligation) ->
+        let exprs = [ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ] in
+        (ob, exprs, List.map (Bitblast.lit_of ctx) exprs))
+      p.Property.obligations
+  in
+  { prop = p; ctx; hyps }
+
+let cnf pr = Bitblast.cnf pr.ctx
+let hypothesis_literals pr = List.map (fun (_, _, lits) -> lits) pr.hyps
+let property pr = pr.prop
+let cnf_size pr = Bitblast.cnf_size pr.ctx
+
+let check_prepared ?(budget = unlimited) pr =
+  let p = pr.prop in
   let attempts = ref 0 in
   let obligation_times = ref [] in
   let timed f =
@@ -108,13 +142,9 @@ let check ?(simplify = true) ?(budget = unlimited) (p : Property.t) =
       | [] -> Proved
       | (label, reason) :: _ ->
         Unknown (Printf.sprintf "obligation %s: %s" label reason))
-    | (ob : Property.obligation) :: rest -> (
+    | (ob, hypotheses, _lits) :: rest -> (
       let result =
-        timed (fun () ->
-            decide ctx ~budget
-              ~hypotheses:
-                [ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ]
-              attempts)
+        timed (fun () -> decide pr.ctx ~budget ~hypotheses attempts)
       in
       match result with
       | Bitblast.Unsat -> go unknowns rest
@@ -122,21 +152,17 @@ let check ?(simplify = true) ?(budget = unlimited) (p : Property.t) =
         (* keep going: a definite failure on a later obligation is more
            informative than this obligation's timeout *)
         go ((ob.Property.label, reason) :: unknowns) rest
-      | Bitblast.Sat model ->
-        let vars = base_vars_of p ob in
-        Failed
-          (Trace.of_model ~property:p.Property.prop_name
-             ~obligation:ob.Property.label ~vars
-             ~ila_values:(ila_view p vars model) model))
+      | Bitblast.Sat model -> failed_of_model p ob model)
   in
-  let verdict = go [] p.Property.obligations in
-  let cnf_vars, cnf_clauses = Bitblast.cnf_size ctx in
-  let solver_stats = Bitblast.solver_stats ctx in
+  let verdict = go [] pr.hyps in
+  let cnf_vars, cnf_clauses = Bitblast.cnf_size pr.ctx in
+  let solver_stats = Bitblast.solver_stats pr.ctx in
   let obligation_times_s = List.rev !obligation_times in
   let stats =
     {
-      (* summed per-obligation wall clock: correct even when checking
-         stopped early at a failing obligation *)
+      (* summed per-obligation wall clock, each delta captured exactly
+         once around the solver call: correct and monotone even when
+         checking stopped early at a failing obligation *)
       time_s = List.fold_left ( +. ) 0.0 obligation_times_s;
       obligation_times_s;
       n_obligations = List.length p.Property.obligations;
@@ -148,3 +174,6 @@ let check ?(simplify = true) ?(budget = unlimited) (p : Property.t) =
     }
   in
   (verdict, stats)
+
+let check ?simplify ?budget (p : Property.t) =
+  check_prepared ?budget (prepare ?simplify p)

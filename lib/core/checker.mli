@@ -70,4 +70,61 @@ val check :
     over [Unknown].  [simplify] (default true) applies the word-level
     simplifier ({!Ilv_expr.Simp}) to every formula before bit-blasting;
     disabling it is only useful for measuring the simplifier's
-    effect. *)
+    effect.  Equivalent to [check_prepared (prepare p)]. *)
+
+(** {1 Two-phase checking}
+
+    The verification engine ({!Ilv_engine}) needs the complete
+    bit-blasted encoding of a property {e before} deciding how (or
+    whether) to solve it: the CNF is the content address of the
+    persistent proof cache, and its size drives portfolio backend
+    selection.  [prepare] performs the full encoding — assumptions
+    asserted, every obligation's guard and negated goal Tseitin-encoded
+    to a selector literal — without starting any search;
+    [check_prepared] then decides the prepared obligations in the same
+    incremental context. *)
+
+type prepared
+
+val prepare : ?simplify:bool -> Property.t -> prepared
+(** Bit-blasts the whole property into one incremental context.  After
+    this call the CNF is complete and stable: further solving only adds
+    learnt clauses, never problem clauses. *)
+
+val check_prepared : ?budget:budget -> prepared -> verdict * stats
+
+val cnf : prepared -> int * int list list
+(** The prepared problem CNF ([n_vars], clauses in external literal
+    convention) — the raw material of the proof-cache key. *)
+
+val hypothesis_literals : prepared -> int list list
+(** Per obligation (in property order), the selector literals assumed
+    for that obligation's query: [assumptions ∧ guard ∧ ¬goal] is
+    decided as the prepared CNF under these assumptions. *)
+
+val property : prepared -> Property.t
+(** The property this preparation encodes. *)
+
+val cnf_size : prepared -> int * int
+(** [(variables, clauses)] of the prepared CNF — the cheap size probe
+    behind portfolio backend selection. *)
+
+(** {1 Model decoding helpers}
+
+    Exposed for alternative decision procedures (the BDD leg of the
+    engine's portfolio) that produce the same [(name -> sort -> value)]
+    model shape as {!Ilv_sat.Bitblast} and need to decode it into a
+    counterexample the same way the SAT leg does. *)
+
+val base_vars :
+  Property.t -> Property.obligation -> (string * Ilv_expr.Sort.t) list
+(** All base variables of one obligation's query (assumptions, guard,
+    goal, and the ILA bindings), sorted by name. *)
+
+val failed_of_model :
+  Property.t ->
+  Property.obligation ->
+  (string -> Ilv_expr.Sort.t -> Ilv_expr.Value.t) ->
+  verdict
+(** Decodes a satisfying model of [assumptions ∧ guard ∧ ¬goal] into
+    the [Failed] verdict with its counterexample trace. *)

@@ -3,6 +3,7 @@ type instr_result = {
   port : string;
   verdict : Checker.verdict;
   stats : Checker.stats;
+  time_s : float;
 }
 
 type port_report = {
@@ -60,6 +61,24 @@ let message_of_exn = function
   | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
   | e -> Printexc.to_string e
 
+type task = { task_port : Ila.t; task_instr : Ila.instruction }
+
+let enumerate ?only_ports (module_ila : Module_ila.t) =
+  let selected =
+    match only_ports with
+    | None -> module_ila.Module_ila.ports
+    | Some names ->
+      List.filter
+        (fun (p : Ila.t) -> List.mem p.Ila.name names)
+        module_ila.Module_ila.ports
+  in
+  List.concat_map
+    (fun (port : Ila.t) ->
+      List.map
+        (fun (i : Ila.instruction) -> { task_port = port; task_instr = i })
+        (Ila.leaf_instructions port))
+    selected
+
 let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
     rtl ~refmap_for =
   let t0 = Unix.gettimeofday () in
@@ -93,6 +112,9 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
           | (i : Ila.instruction) :: rest ->
             if stop_at_first_failure && !first_failure <> None then ()
             else begin
+              (* wall time per instruction (property generation included),
+                 captured as one gettimeofday delta around the check *)
+              let it0 = Unix.gettimeofday () in
               let verdict, stats =
                 match refmap with
                 | Ok refmap -> check_instr refmap i
@@ -105,6 +127,7 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
                   port = port.Ila.name;
                   verdict;
                   stats;
+                  time_s = Unix.gettimeofday () -. it0;
                 }
               in
               results := result :: !results;
@@ -145,8 +168,8 @@ let pp_report fmt r =
             | Checker.Unknown _ -> "UNKNOWN"
           in
           fprintf fmt "    %-34s %-7s %.3fs (%d obligations, %d conflicts)@,"
-            ir.instr status ir.stats.Checker.time_s
-            ir.stats.Checker.n_obligations ir.stats.Checker.conflicts;
+            ir.instr status ir.time_s ir.stats.Checker.n_obligations
+            ir.stats.Checker.conflicts;
           match ir.verdict with
           | Checker.Unknown reason -> fprintf fmt "      reason: %s@," reason
           | Checker.Proved | Checker.Failed _ -> ())

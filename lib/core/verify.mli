@@ -10,6 +10,11 @@ type instr_result = {
   port : string;
   verdict : Checker.verdict;
   stats : Checker.stats;
+  time_s : float;
+      (** wall clock of this instruction's check (property generation
+          included), captured as a single [Unix.gettimeofday] delta —
+          monotone, and the number reports and engine job records
+          display *)
 }
 
 type port_report = {
@@ -33,6 +38,16 @@ val proved : report -> bool
 val unknowns : report -> instr_result list
 (** The instructions whose verdict is {!Checker.Unknown}, across all
     ports — the candidates for a bounded-simulation fallback. *)
+
+type task = { task_port : Ila.t; task_instr : Ila.instruction }
+(** One refinement obligation, as data: a leaf (sub-)instruction of one
+    port.  The paper's flow discharges these independently, which is
+    what lets {!Ilv_engine} schedule them on parallel workers. *)
+
+val enumerate : ?only_ports:string list -> Module_ila.t -> task list
+(** Every leaf (sub-)instruction of every (selected) port, in the
+    deterministic report order of {!run}: ports in declaration order,
+    instructions in declaration order within each port. *)
 
 val run :
   ?stop_at_first_failure:bool ->

@@ -1,0 +1,248 @@
+open Ilv_core
+
+type job = {
+  id : int;
+  design : string;
+  variant : string option;
+  port : string;
+  instr : string;
+  property : Property.t Lazy.t;
+}
+
+let jobs_of ?variant ?only_ports ?(first_id = 0) ~name module_ila rtl
+    ~refmap_for () =
+  let tasks = Verify.enumerate ?only_ports module_ila in
+  List.mapi
+    (fun i (t : Verify.task) ->
+      let port = t.Verify.task_port in
+      let instr = t.Verify.task_instr in
+      {
+        id = first_id + i;
+        design = name;
+        variant;
+        port = port.Ila.name;
+        instr = instr.Ila.instr_name;
+        property =
+          lazy
+            (Propgen.generate_for ~ila:port ~rtl
+               ~refmap:(refmap_for port.Ila.name) instr);
+      })
+    tasks
+
+type result = {
+  job_id : int;
+  r_design : string;
+  r_variant : string option;
+  r_port : string;
+  r_instr : string;
+  verdict : Checker.verdict;
+  stats : Checker.stats;
+  time_s : float;
+  backend : string;
+  cache_hit : bool;
+}
+
+type summary = {
+  n_jobs : int;
+  n_proved : int;
+  n_failed : int;
+  n_unknown : int;
+  n_errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  fresh_sat_attempts : int;
+  wall_s : float;
+  jobs_used : int;
+}
+
+let empty_stats =
+  {
+    Checker.time_s = 0.0;
+    obligation_times_s = [];
+    n_obligations = 0;
+    cnf_vars = 0;
+    cnf_clauses = 0;
+    conflicts = 0;
+    restarts = 0;
+    attempts = 0;
+  }
+
+let result_of_job (j : job) ~verdict ~stats ~time_s ~backend ~cache_hit =
+  {
+    job_id = j.id;
+    r_design = j.design;
+    r_variant = j.variant;
+    r_port = j.port;
+    r_instr = j.instr;
+    verdict;
+    stats;
+    time_s;
+    backend;
+    cache_hit;
+  }
+
+(* Discharge one job: generate + prepare the property, try the cache,
+   then the portfolio; store definitive fresh verdicts.  Any exception
+   becomes this job's [Unknown] — never the sweep's. *)
+let run_one ~cache ~portfolio ~budget (j : job) =
+  let t0 = Unix.gettimeofday () in
+  try
+    let p = Lazy.force j.property in
+    let pr = Checker.prepare p in
+    (* Snapshot the proof problem before any solving: the solver appends
+       learned clauses to the context's CNF, so a key computed afterwards
+       would never match a fresh run's lookup. *)
+    let snapshot =
+      match cache with
+      | None -> None
+      | Some _ ->
+        let n_vars, clauses = Checker.cnf pr in
+        let hyps = Checker.hypothesis_literals pr in
+        Some
+          ( Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps,
+            Proof_cache.canonical_cnf (n_vars, clauses),
+            hyps )
+    in
+    let cached =
+      match (cache, snapshot) with
+      | Some c, Some (key, _, _) ->
+        Option.map (fun e -> (key, e)) (Proof_cache.lookup c key)
+      | _ -> None
+    in
+    match cached with
+    | Some (_, (e : Proof_cache.entry)) ->
+      result_of_job j ~verdict:e.Proof_cache.verdict
+        ~stats:e.Proof_cache.stats
+        ~time_s:(Unix.gettimeofday () -. t0)
+        ~backend:"cache" ~cache_hit:true
+    | None ->
+      let verdict, stats, backend = Portfolio.decide ?budget portfolio pr in
+      (match (cache, snapshot) with
+      | Some c, Some (key, cnf, hyps) ->
+        Proof_cache.store c
+          {
+            Proof_cache.key;
+            engine_version = Proof_cache.version;
+            design = j.design;
+            instr = j.port ^ "." ^ j.instr;
+            verdict;
+            stats;
+            cnf;
+            hyps;
+            created_s = Unix.gettimeofday ();
+          }
+      | _ -> ());
+      result_of_job j ~verdict ~stats
+        ~time_s:(Unix.gettimeofday () -. t0)
+        ~backend ~cache_hit:false
+  with
+  | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+  | e ->
+    result_of_job j
+      ~verdict:(Checker.Unknown ("engine: " ^ Printexc.to_string e))
+      ~stats:empty_stats
+      ~time_s:(Unix.gettimeofday () -. t0)
+      ~backend:"error" ~cache_hit:false
+
+let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.map ~jobs (run_one ~cache ~portfolio ~budget) job_list
+  in
+  let results =
+    List.map2
+      (fun j outcome ->
+        match outcome with
+        | Pool.Done r -> r
+        | Pool.Crashed reason ->
+          result_of_job j
+            ~verdict:(Checker.Unknown ("engine: " ^ reason))
+            ~stats:empty_stats ~time_s:0.0 ~backend:"error" ~cache_hit:false)
+      job_list outcomes
+  in
+  let results = List.sort (fun a b -> compare a.job_id b.job_id) results in
+  let count p = List.length (List.filter p results) in
+  let summary =
+    {
+      n_jobs = List.length results;
+      n_proved =
+        count (fun r ->
+            match r.verdict with Checker.Proved -> true | _ -> false);
+      n_failed =
+        count (fun r ->
+            match r.verdict with Checker.Failed _ -> true | _ -> false);
+      n_unknown =
+        count (fun r ->
+            match r.verdict with Checker.Unknown _ -> true | _ -> false);
+      n_errors = count (fun r -> r.backend = "error");
+      cache_hits = count (fun r -> r.cache_hit);
+      cache_misses =
+        (match cache with
+        | None -> 0
+        | Some _ -> count (fun r -> (not r.cache_hit) && r.backend <> "error"));
+      fresh_sat_attempts =
+        List.fold_left
+          (fun acc r ->
+            if r.cache_hit then acc else acc + r.stats.Checker.attempts)
+          0 results;
+      wall_s = Unix.gettimeofday () -. t0;
+      jobs_used = max 1 jobs;
+    }
+  in
+  (results, summary)
+
+let report_of ~name ~results =
+  let rec group = function
+    | [] -> []
+    | r :: _ as rs ->
+      let mine, rest =
+        List.partition (fun x -> x.r_port = r.r_port) rs
+      in
+      (r.r_port, mine) :: group rest
+  in
+  let instr_result r =
+    {
+      Verify.instr = r.r_instr;
+      port = r.r_port;
+      verdict = r.verdict;
+      stats = r.stats;
+      time_s = r.time_s;
+    }
+  in
+  let ports =
+    List.map
+      (fun (port_name, rs) ->
+        {
+          Verify.port_name;
+          instr_results = List.map instr_result rs;
+          port_time_s =
+            List.fold_left (fun acc r -> acc +. r.time_s) 0.0 rs;
+        })
+      (group results)
+  in
+  let first_failure =
+    List.find_map
+      (fun r ->
+        match r.verdict with
+        | Checker.Failed _ -> Some (instr_result r)
+        | _ -> None)
+      results
+  in
+  {
+    Verify.design = name;
+    ports;
+    total_time_s =
+      List.fold_left (fun acc r -> acc +. r.time_s) 0.0 results;
+    first_failure;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>engine: %d jobs on %d worker%s in %.3fs@,\
+    \  verdicts: %d proved, %d failed, %d unknown (%d engine errors)@,\
+    \  cache: %d hits, %d misses@,\
+    \  fresh SAT attempts: %d (cache hits solve zero)@]"
+    s.n_jobs s.jobs_used
+    (if s.jobs_used = 1 then "" else "s")
+    s.wall_s s.n_proved s.n_failed s.n_unknown s.n_errors s.cache_hits
+    s.cache_misses s.fresh_sat_attempts

@@ -1,0 +1,93 @@
+(** The verification orchestration engine.
+
+    The paper's flow (Fig. 4) discharges one refinement obligation per
+    (sub-)instruction, and those obligations are independent by
+    construction.  This module turns a sweep — one design, a Table-I
+    suite, a mutation campaign — into an explicit {e job list}, then
+    discharges it on a {!Pool} of parallel worker processes, consulting
+    the persistent {!Proof_cache} before any solving and dispatching
+    misses through the {!Portfolio}.
+
+    Determinism: job ids follow {!Ilv_core.Verify.enumerate} order and
+    results are returned sorted by id, so the verdicts and their order
+    are identical for any worker count (times, of course, vary).
+    Failure isolation: a job whose property generation or checking
+    raises — or whose worker process dies — yields an ["engine:"]
+    [Unknown] verdict for that job only; the sweep continues. *)
+
+open Ilv_core
+
+type job = {
+  id : int;  (** position in the deterministic enumeration *)
+  design : string;
+  variant : string option;  (** bug label or mutant description, if any *)
+  port : string;
+  instr : string;
+  property : Property.t Lazy.t;
+      (** forced inside the worker — property generation is part of the
+          parallelised work *)
+}
+
+val jobs_of :
+  ?variant:string ->
+  ?only_ports:string list ->
+  ?first_id:int ->
+  name:string ->
+  Module_ila.t ->
+  Ilv_rtl.Rtl.t ->
+  refmap_for:(string -> Refmap.t) ->
+  unit ->
+  job list
+(** One job per leaf (sub-)instruction, in {!Verify.enumerate} order,
+    ids starting at [first_id] (default 0) — pass a running offset to
+    concatenate several designs into one sweep. *)
+
+type result = {
+  job_id : int;
+  r_design : string;
+  r_variant : string option;
+  r_port : string;
+  r_instr : string;
+  verdict : Checker.verdict;
+  stats : Checker.stats;
+  time_s : float;  (** wall clock of the whole job, captured once *)
+  backend : string;
+      (** what produced the verdict: ["sat"], ["bdd"], ["race:sat"],
+          ["race:bdd"], ["cache"], or ["error"] *)
+  cache_hit : bool;
+}
+
+type summary = {
+  n_jobs : int;
+  n_proved : int;
+  n_failed : int;
+  n_unknown : int;
+  n_errors : int;  (** jobs that errored or whose worker crashed *)
+  cache_hits : int;
+  cache_misses : int;  (** jobs that went to a solver (cache enabled) *)
+  fresh_sat_attempts : int;
+      (** SAT queries issued by this run — cache hits contribute zero *)
+  wall_s : float;
+  jobs_used : int;
+}
+
+val run :
+  ?jobs:int ->
+  ?cache:Proof_cache.t ->
+  ?portfolio:Portfolio.choice ->
+  ?budget:Checker.budget ->
+  job list ->
+  result list * summary
+(** Discharges every job.  [jobs] (default 1) is the worker count —
+    [1] runs in-process with no fork.  With [cache], every job first
+    computes its proof-cache key from the prepared CNF; a hit skips
+    solving entirely, a miss solves and stores any definitive verdict.
+    [portfolio] (default [Auto]) selects the backend per obligation;
+    [budget] bounds the SAT leg as in {!Checker.check_prepared}. *)
+
+val report_of : name:string -> results:result list -> Verify.report
+(** Reassembles engine results (of one design sweep) into the
+    standard {!Verify.report} shape — same verdicts, same order as a
+    sequential {!Verify.run} with [stop_at_first_failure:false]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,199 @@
+type 'b outcome = Done of 'b | Crashed of string
+
+let protected f x =
+  match f x with
+  | y -> Done y
+  | exception (Out_of_memory | Stack_overflow) ->
+    (* still contained: in a forked worker only this process dies and
+       the parent degrades the job; in-process we match that contract *)
+    Crashed "resource exhaustion (out of memory / stack overflow)"
+  | exception e -> Crashed (Printexc.to_string e)
+
+type worker = {
+  pid : int;
+  job_fd : Unix.file_descr;  (* parent writes job indices here *)
+  job_oc : out_channel;
+  res_fd : Unix.file_descr;  (* parent reads (index, outcome) here *)
+  res_ic : in_channel;
+  mutable current : int option;
+}
+
+(* Worker side: serve job indices until told to stop (negative index or
+   closed pipe).  Results are serialised to a string first so that a
+   Marshal failure (a closure smuggled into 'b) degrades to a [Crashed]
+   message instead of corrupting the result stream mid-write. *)
+let serve_jobs arr f jr rw =
+  let ic = Unix.in_channel_of_descr jr in
+  let oc = Unix.out_channel_of_descr rw in
+  let rec serve () =
+    match (Marshal.from_channel ic : int) with
+    | exception _ -> ()
+    | i when i < 0 -> ()
+    | i ->
+      let r = protected f arr.(i) in
+      let payload =
+        try Marshal.to_string (i, r) []
+        with e ->
+          Marshal.to_string
+            (i, Crashed ("unmarshalable result: " ^ Printexc.to_string e))
+            []
+      in
+      output_string oc payload;
+      flush oc;
+      serve ()
+  in
+  (try serve () with _ -> ());
+  (try flush oc with _ -> ())
+
+let map ?(jobs = 1) f items =
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 then List.map (protected f) items
+  else begin
+    let arr = Array.of_list items in
+    let results = Array.make n None in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i queue
+    done;
+    let alive = ref [] in
+    (* a worker write can hit a dead worker's pipe; that must surface as
+       an exception on the write, not kill this process *)
+    let old_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let respawns = ref (2 * jobs) in
+    let spawn () =
+      let jr, jw = Unix.pipe () in
+      let rr, rw = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close jw;
+        Unix.close rr;
+        (* drop the pipe ends of sibling workers inherited over the
+           fork: a sibling holding a dead worker's write end would mask
+           the EOF the parent uses to detect the death *)
+        List.iter
+          (fun w ->
+            (try Unix.close w.job_fd with Unix.Unix_error _ -> ());
+            (try Unix.close w.res_fd with Unix.Unix_error _ -> ()))
+          !alive;
+        serve_jobs arr f jr rw;
+        Unix._exit 0
+      | pid ->
+        Unix.close jr;
+        Unix.close rw;
+        let w =
+          {
+            pid;
+            job_fd = jw;
+            job_oc = Unix.out_channel_of_descr jw;
+            res_fd = rr;
+            res_ic = Unix.in_channel_of_descr rr;
+            current = None;
+          }
+        in
+        alive := w :: !alive;
+        w
+    in
+    let reap w =
+      alive := List.filter (fun x -> x.pid <> w.pid) !alive;
+      (try close_out w.job_oc with _ -> ());
+      (try close_in w.res_ic with _ -> ());
+      (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    in
+    let retire w =
+      (try
+         Marshal.to_channel w.job_oc (-1) [];
+         flush w.job_oc
+       with _ -> ());
+      reap w
+    in
+    (* true when the job was delivered; false when the worker is dead
+       (the job goes back on the queue — it never started there) *)
+    let assign w =
+      match Queue.take_opt queue with
+      | None ->
+        retire w;
+        true
+      | Some i -> (
+        w.current <- Some i;
+        try
+          Marshal.to_channel w.job_oc i [];
+          flush w.job_oc;
+          true
+        with _ ->
+          w.current <- None;
+          Queue.add i queue;
+          reap w;
+          false)
+    in
+    let crash w reason =
+      (match w.current with
+      | Some i ->
+        results.(i) <- Some (Crashed reason);
+        w.current <- None
+      | None -> ());
+      reap w
+    in
+    let unfilled () = Array.exists (fun r -> r = None) results in
+    for _ = 1 to min jobs n do
+      ignore (assign (spawn ()))
+    done;
+    while unfilled () do
+      (* keep enough workers alive for the queued jobs *)
+      while
+        (not (Queue.is_empty queue))
+        && List.length !alive < jobs
+        && !respawns > 0
+      do
+        decr respawns;
+        ignore (assign (spawn ()))
+      done;
+      let busy = List.filter (fun w -> w.current <> None) !alive in
+      if busy = [] then begin
+        (* no worker is running and nothing can be (re)spawned: fail the
+           leftovers rather than spin *)
+        Queue.iter
+          (fun i ->
+            if results.(i) = None then
+              results.(i) <- Some (Crashed "worker pool exhausted"))
+          queue;
+        Queue.clear queue;
+        Array.iteri
+          (fun i r ->
+            if r = None then
+              results.(i) <- Some (Crashed "worker pool exhausted"))
+          results
+      end
+      else begin
+        let fds = List.map (fun w -> w.res_fd) busy in
+        match Unix.select fds [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun w -> w.res_fd == fd) busy with
+              | None -> ()
+              | Some w -> (
+                match (Marshal.from_channel w.res_ic : int * 'b outcome) with
+                | i, r ->
+                  results.(i) <- Some r;
+                  w.current <- None;
+                  ignore (assign w)
+                | exception _ ->
+                  crash w "worker process died unexpectedly"))
+            readable
+      end
+    done;
+    List.iter retire !alive;
+    (match old_sigpipe with
+    | Some behaviour -> (try Sys.set_signal Sys.sigpipe behaviour with _ -> ())
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> Crashed "internal: job never completed")
+         results)
+  end

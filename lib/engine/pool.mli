@@ -1,0 +1,31 @@
+(** A worker pool over [Unix.fork].
+
+    The expression language is hash-consed through global tables, so
+    sharing live expression values across OCaml domains is unsafe;
+    process workers sidestep that entirely.  Each worker inherits the
+    parent's full heap (including the job descriptors) at fork time,
+    receives job {e indices} over a pipe, and sends back marshalled
+    results — so the work items themselves may capture arbitrary
+    closures, while results must be plain (closure-free) data.
+
+    Scheduling is dynamic (a worker gets the next unstarted job as soon
+    as it finishes its current one) but the {e result order is
+    deterministic}: output position [i] always holds the outcome of
+    input item [i], regardless of worker count or completion order.
+
+    Failure isolation: an exception escaping the job function is caught
+    inside the worker and reported as [Crashed] for that job only; a
+    worker process that dies outright (signal, [exit], allocation
+    failure) marks only its in-flight job [Crashed], and a replacement
+    worker is spawned for the remaining queue. *)
+
+type 'b outcome =
+  | Done of 'b
+  | Crashed of string  (** the exception message, or how the worker died *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** [map ~jobs f items] applies [f] to every item on [jobs] parallel
+    worker processes and returns the outcomes in input order.  With
+    [jobs <= 1] (the default) everything runs in the calling process —
+    no fork, identical outcomes.  Results are transported with
+    [Marshal] and must not contain closures. *)

@@ -1,0 +1,211 @@
+open Ilv_expr
+open Ilv_core
+
+type backend = Sat_backend | Bdd_backend
+type choice = Auto | Force of backend | Race
+
+let backend_name = function Sat_backend -> "sat" | Bdd_backend -> "bdd"
+
+let choice_of_string = function
+  | "auto" -> Ok Auto
+  | "sat" -> Ok (Force Sat_backend)
+  | "bdd" -> Ok (Force Bdd_backend)
+  | "race" -> Ok Race
+  | s -> Error (Printf.sprintf "unknown portfolio %S (auto|sat|bdd|race)" s)
+
+let choice_to_string = function
+  | Auto -> "auto"
+  | Force Sat_backend -> "sat"
+  | Force Bdd_backend -> "bdd"
+  | Race -> "race"
+
+let bdd_bit_budget = 32
+
+(* Width-heavy arithmetic (multiplication, division) has exponential
+   BDDs regardless of variable count — never send it to the BDD leg. *)
+let has_hard_arith e =
+  Expr.fold
+    (fun acc sub ->
+      acc
+      ||
+      match Expr.node sub with
+      | Expr.Binop ((Expr.Bv_mul | Expr.Bv_udiv | Expr.Bv_urem), _, _) -> true
+      | _ -> false)
+    false e
+
+let formulas_of (p : Property.t) =
+  p.Property.assumptions
+  @ List.concat_map
+      (fun (ob : Property.obligation) ->
+        [ ob.Property.guard; ob.Property.goal ])
+      p.Property.obligations
+
+let bdd_eligible (p : Property.t) =
+  let formulas = formulas_of p in
+  let vars =
+    List.sort_uniq compare (List.concat_map Expr.vars formulas)
+  in
+  let bits =
+    List.fold_left
+      (fun acc (_, sort) ->
+        match (acc, sort) with
+        | None, _ | _, Sort.Mem _ -> None
+        | Some n, Sort.Bool -> Some (n + 1)
+        | Some n, Sort.Bitvec w -> Some (n + w))
+      (Some 0) vars
+  in
+  match bits with
+  | None -> false
+  | Some n -> n <= bdd_bit_budget && not (List.exists has_hard_arith formulas)
+
+let select choice pr =
+  match choice with
+  | Force b -> b
+  | Race -> Sat_backend
+  | Auto ->
+    if bdd_eligible (Checker.property pr) then Bdd_backend else Sat_backend
+
+(* ---- the BDD leg ---- *)
+
+let stats_of_bdd pr ~obligation_times_s ~attempts =
+  let cnf_vars, cnf_clauses = Checker.cnf_size pr in
+  {
+    Checker.time_s = List.fold_left ( +. ) 0.0 obligation_times_s;
+    obligation_times_s;
+    n_obligations =
+      List.length (Checker.property pr).Property.obligations;
+    cnf_vars;
+    cnf_clauses;
+    conflicts = 0;
+    restarts = 0;
+    attempts;
+  }
+
+let decide_bdd pr =
+  let p = Checker.property pr in
+  let man = Ilv_sat.Bdd_check.create () in
+  let prep = Simp.simplify_fix in
+  let assumptions = List.map prep p.Property.assumptions in
+  let times = ref [] in
+  let attempts = ref 0 in
+  let rec go = function
+    | [] ->
+      (Checker.Proved, stats_of_bdd pr ~obligation_times_s:(List.rev !times)
+                         ~attempts:!attempts)
+    | (ob : Property.obligation) :: rest -> (
+      let t0 = Unix.gettimeofday () in
+      incr attempts;
+      let answer =
+        Ilv_sat.Bdd_check.check man
+          (assumptions
+          @ [ prep ob.Property.guard; Build.not_ (prep ob.Property.goal) ])
+      in
+      times := (Unix.gettimeofday () -. t0) :: !times;
+      match answer with
+      | Ilv_sat.Bdd_check.Unsat -> go rest
+      | Ilv_sat.Bdd_check.Sat model ->
+        ( Checker.failed_of_model p ob model,
+          stats_of_bdd pr ~obligation_times_s:(List.rev !times)
+            ~attempts:!attempts ))
+  in
+  go p.Property.obligations
+
+(* ---- the race ---- *)
+
+type leg_result = (Checker.verdict * Checker.stats, string) result
+
+let spawn_leg (run : unit -> Checker.verdict * Checker.stats) =
+  let rr, rw = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rr;
+    let oc = Unix.out_channel_of_descr rw in
+    let result : leg_result =
+      try Ok (run ()) with e -> Error (Printexc.to_string e)
+    in
+    (try
+       Marshal.to_channel oc result [];
+       flush oc
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close rw;
+    (pid, rr)
+
+let empty_stats pr =
+  stats_of_bdd pr ~obligation_times_s:[] ~attempts:0
+
+let race ?budget pr =
+  let legs =
+    [
+      ("race:sat", spawn_leg (fun () -> Checker.check_prepared ?budget pr));
+      ("race:bdd", spawn_leg (fun () -> decide_bdd pr));
+    ]
+  in
+  let reap (_, (pid, fd)) =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  in
+  let kill (_, (pid, _)) =
+    try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  in
+  let read_leg (pid, fd) : leg_result =
+    let ic = Unix.in_channel_of_descr fd in
+    let r = try (Marshal.from_channel ic : leg_result)
+            with _ -> Error "race leg died without a result" in
+    (try close_in ic with _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    r
+  in
+  let fallback = ref None in
+  let rec wait pending =
+    match pending with
+    | [] -> (
+      match !fallback with
+      | Some r -> r
+      | None -> (Checker.Unknown "race: both legs failed", empty_stats pr, "race"))
+    | _ -> (
+      let fds = List.map (fun (_, (_, fd)) -> fd) pending in
+      match Unix.select fds [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait pending
+      | readable, _, _ -> (
+        match
+          List.find_opt (fun (_, (_, fd)) -> List.memq fd readable) pending
+        with
+        | None -> wait pending
+        | Some ((name, leg) as winner) -> (
+          let rest = List.filter (fun l -> l != winner) pending in
+          match read_leg leg with
+          | Ok (((Checker.Proved | Checker.Failed _) as v), st) ->
+            List.iter kill rest;
+            List.iter reap rest;
+            (v, st, name)
+          | Ok ((Checker.Unknown _ as v), st) ->
+            if !fallback = None then fallback := Some (v, st, name);
+            wait rest
+          | Error msg ->
+            if !fallback = None then
+              fallback :=
+                Some
+                  ( Checker.Unknown ("race leg failed: " ^ msg),
+                    empty_stats pr,
+                    name );
+            wait rest)))
+  in
+  wait legs
+
+let decide ?budget choice pr =
+  match choice with
+  | Race ->
+    if bdd_eligible (Checker.property pr) then race ?budget pr
+    else
+      let v, st = Checker.check_prepared ?budget pr in
+      (v, st, "sat")
+  | Auto | Force _ -> (
+    match select choice pr with
+    | Sat_backend ->
+      let v, st = Checker.check_prepared ?budget pr in
+      (v, st, "sat")
+    | Bdd_backend ->
+      let v, st = decide_bdd pr in
+      (v, st, "bdd"))

@@ -1,0 +1,48 @@
+(** Per-obligation backend selection: CDCL SAT, BDD validity, or a
+    two-backend race.
+
+    The two decision procedures have complementary profiles on the
+    refinement obligations the generator emits: the CDCL solver scales
+    to the big unrolled datapaths but pays conflict search on every
+    query, while the BDD backend decides small control-dominated
+    obligations near-instantly but blows up past a few dozen state
+    bits.  [Auto] picks by a size heuristic (total base-variable bits;
+    memories disqualify the BDD), [Race] forks both and takes the first
+    {e definitive} verdict. *)
+
+open Ilv_core
+
+type backend = Sat_backend | Bdd_backend
+
+type choice =
+  | Auto  (** size heuristic: BDD for tiny obligation sets, SAT otherwise *)
+  | Force of backend
+  | Race  (** both backends in parallel; first definitive verdict wins *)
+
+val backend_name : backend -> string
+
+val choice_of_string : string -> (choice, string) result
+(** ["auto" | "sat" | "bdd" | "race"]. *)
+
+val choice_to_string : choice -> string
+
+val bdd_eligible : Property.t -> bool
+(** No memory-sorted base variables and at most {!bdd_bit_budget} total
+    state/input bits — the precondition for even trying the BDD leg. *)
+
+val bdd_bit_budget : int
+
+val select : choice -> Checker.prepared -> backend
+(** The backend [decide] will run first (for [Race], the SAT leg; the
+    BDD leg runs alongside). *)
+
+val decide :
+  ?budget:Checker.budget ->
+  choice ->
+  Checker.prepared ->
+  Checker.verdict * Checker.stats * string
+(** Decides the prepared property with the chosen backend(s).  The
+    returned string names what produced the verdict: ["sat"], ["bdd"],
+    ["race:sat"] or ["race:bdd"].  [budget] applies to the SAT leg
+    exactly as in {!Checker.check_prepared}; the BDD leg is unbudgeted
+    but only ever raced or selected under the size heuristic. *)

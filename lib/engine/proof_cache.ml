@@ -1,0 +1,237 @@
+open Ilv_core
+
+let version = "ilaverif-engine/1"
+let magic = "ilaverif-proof-cache/1\n"
+
+type t = { cache_dir : string }
+
+let default_dir () =
+  match Sys.getenv_opt "ILAVERIF_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "ilaverif"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some d when d <> "" ->
+        Filename.concat (Filename.concat d ".cache") "ilaverif"
+      | _ -> "_ilaverif_cache"))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?dir () =
+  let cache_dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p cache_dir;
+  { cache_dir }
+
+let dir t = t.cache_dir
+
+type entry = {
+  key : string;
+  engine_version : string;
+  design : string;
+  instr : string;
+  verdict : Checker.verdict;
+  stats : Checker.stats;
+  cnf : int * int list list;
+  hyps : int list list;
+  created_s : float;
+}
+
+(* ---- keys ---- *)
+
+let canonical_cnf (n_vars, clauses) =
+  let clauses = List.map (List.sort_uniq compare) clauses in
+  (n_vars, List.sort compare clauses)
+
+let key_of_cnf ~n_vars ~clauses ~hyps =
+  let _, clauses = canonical_cnf (n_vars, clauses) in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "v";
+  Buffer.add_string b (string_of_int n_vars);
+  List.iter
+    (fun clause ->
+      Buffer.add_char b ';';
+      List.iter
+        (fun lit ->
+          Buffer.add_string b (string_of_int lit);
+          Buffer.add_char b ',')
+        clause)
+    clauses;
+  Buffer.add_string b "#H";
+  List.iter
+    (fun lits ->
+      Buffer.add_char b ';';
+      List.iter
+        (fun lit ->
+          Buffer.add_string b (string_of_int lit);
+          Buffer.add_char b ',')
+        lits)
+    hyps;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let key_of_prepared pr =
+  let n_vars, clauses = Checker.cnf pr in
+  key_of_cnf ~n_vars ~clauses ~hyps:(Checker.hypothesis_literals pr)
+
+(* ---- entry files ---- *)
+
+let entry_suffix = ".proof"
+let file_of t key = Filename.concat t.cache_dir (key ^ entry_suffix)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Any failure to read or decode — truncation, garbage, a foreign
+   engine version, a digest filed under the wrong name — is a miss. *)
+let load_entry path key =
+  match read_file path with
+  | exception _ -> None
+  | raw ->
+    let mlen = String.length magic in
+    if String.length raw <= mlen || String.sub raw 0 mlen <> magic then None
+    else begin
+      match (Marshal.from_string raw mlen : entry) with
+      | exception _ -> None
+      | e ->
+        if e.engine_version <> version then None
+        else if key <> "" && e.key <> key then None
+        else (
+          match e.verdict with
+          | Checker.Proved | Checker.Failed _ -> Some e
+          | Checker.Unknown _ -> None)
+    end
+
+let lookup t key = load_entry (file_of t key) key
+
+let store t entry =
+  match entry.verdict with
+  | Checker.Unknown _ -> ()
+  | Checker.Proved | Checker.Failed _ -> (
+    let payload = magic ^ Marshal.to_string entry [] in
+    let tmp =
+      Filename.concat t.cache_dir
+        (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) entry.key)
+    in
+    try
+      let oc = open_out_bin tmp in
+      output_string oc payload;
+      close_out oc;
+      Sys.rename tmp (file_of t entry.key)
+    with _ -> ( try Sys.remove tmp with _ -> ()))
+
+(* ---- maintenance ---- *)
+
+let entry_files t =
+  match Sys.readdir t.cache_dir with
+  | exception _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+    |> List.sort compare
+    |> List.map (Filename.concat t.cache_dir)
+
+type cache_stats = {
+  entries : int;
+  bytes : int;
+  proved : int;
+  failed : int;
+  corrupt : int;
+}
+
+let stats t =
+  List.fold_left
+    (fun acc path ->
+      let bytes =
+        acc.bytes + (try (Unix.stat path).Unix.st_size with _ -> 0)
+      in
+      match load_entry path "" with
+      | None -> { acc with bytes; corrupt = acc.corrupt + 1 }
+      | Some e ->
+        {
+          acc with
+          bytes;
+          entries = acc.entries + 1;
+          proved =
+            (acc.proved
+            + match e.verdict with Checker.Proved -> 1 | _ -> 0);
+          failed =
+            (acc.failed
+            + match e.verdict with Checker.Failed _ -> 1 | _ -> 0);
+        })
+    { entries = 0; bytes = 0; proved = 0; failed = 0; corrupt = 0 }
+    (entry_files t)
+
+let clear t =
+  List.fold_left
+    (fun n path -> try Sys.remove path; n + 1 with _ -> n)
+    0 (entry_files t)
+
+type validation = {
+  checked : int;
+  agreed : int;
+  mismatched : string list;
+  corrupt_entries : string list;
+}
+
+(* Re-solve one stored entry from its canonicalized CNF with a fresh
+   solver: Proved iff every obligation's query is UNSAT. *)
+let resolve_entry (e : entry) =
+  let n_vars, clauses = e.cnf in
+  let s = Ilv_sat.Sat.create () in
+  for _ = 1 to n_vars do
+    ignore (Ilv_sat.Sat.new_var s)
+  done;
+  List.iter (Ilv_sat.Sat.add_clause s) clauses;
+  let all_unsat =
+    List.for_all
+      (fun assumptions ->
+        match Ilv_sat.Sat.solve ~assumptions s with
+        | Ilv_sat.Sat.Unsat -> true
+        | Ilv_sat.Sat.Sat -> false)
+      e.hyps
+  in
+  match e.verdict with
+  | Checker.Proved -> all_unsat
+  | Checker.Failed _ -> not all_unsat
+  | Checker.Unknown _ -> false
+
+let validate ?(sample = 5) t =
+  let files = entry_files t in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  List.fold_left
+    (fun acc path ->
+      match load_entry path "" with
+      | None ->
+        {
+          acc with
+          corrupt_entries = Filename.basename path :: acc.corrupt_entries;
+        }
+      | Some e ->
+        let ok = try resolve_entry e with _ -> false in
+        {
+          acc with
+          checked = acc.checked + 1;
+          agreed = (acc.agreed + if ok then 1 else 0);
+          mismatched = (if ok then acc.mismatched else e.key :: acc.mismatched);
+        })
+    { checked = 0; agreed = 0; mismatched = []; corrupt_entries = [] }
+    (take sample files)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d entries (%d proved, %d failed), %d corrupt, %.1f KiB" s.entries
+    s.proved s.failed s.corrupt
+    (float_of_int s.bytes /. 1024.0)

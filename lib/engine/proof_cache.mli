@@ -1,0 +1,110 @@
+(** The persistent proof cache: a content-addressed on-disk store of
+    discharged refinement obligations.
+
+    {2 Cache key}
+
+    An entry is keyed by a stable structural hash of the {e
+    bit-blasted} obligation set: the complete problem CNF of the
+    prepared property ({!Ilv_core.Checker.prepare} — assumptions plus
+    the Tseitin encoding of every obligation's guard and negated goal)
+    together with the per-obligation selector literals.  Clause
+    literals are sorted within each clause and clauses sorted
+    lexicographically before hashing, so the key is insensitive to
+    clause emission order; CNF variable numbering is preserved by
+    construction (bit-blasting allocates variables in deterministic
+    structural order), so re-preparing the same property — in the same
+    run or a later one — reproduces the key bit-for-bit.  Anything
+    that changes the proof problem (RTL edit, refinement-map edit,
+    simplifier change, encoding change) changes the CNF and therefore
+    the key: stale entries are unreachable rather than wrong.
+
+    {2 What is stored}
+
+    Only definitive verdicts ([Proved] / [Failed]) are cached —
+    [Unknown] depends on the resource budget of the particular run and
+    is never stored.  Each entry also records the solver statistics of
+    the original run, the engine version (a version bump invalidates
+    the whole cache), and the canonicalized CNF itself, which is what
+    lets {!validate} re-solve entries from the store alone. *)
+
+type t
+
+val version : string
+(** Stored in every entry; entries written by a different engine
+    version are treated as misses. *)
+
+val default_dir : unit -> string
+(** [$ILAVERIF_CACHE_DIR], else [$XDG_CACHE_HOME/ilaverif], else
+    [$HOME/.cache/ilaverif], else [_ilaverif_cache] in the working
+    directory. *)
+
+val open_ : ?dir:string -> unit -> t
+(** Opens (creating directories as needed) the store at [dir]
+    (default {!default_dir}). *)
+
+val dir : t -> string
+
+type entry = {
+  key : string;
+  engine_version : string;
+  design : string;
+  instr : string;
+  verdict : Ilv_core.Checker.verdict;
+  stats : Ilv_core.Checker.stats;
+  cnf : int * int list list;  (** canonicalized problem CNF *)
+  hyps : int list list;  (** per-obligation selector literals *)
+  created_s : float;  (** [Unix.gettimeofday] at store time *)
+}
+
+val key_of_cnf : n_vars:int -> clauses:int list list -> hyps:int list list -> string
+(** The hex digest of the canonicalized CNF + obligation selectors.
+    Exposed (rather than only {!key_of_prepared}) so tests can verify
+    the canonicalization directly — e.g. that permuting clauses or the
+    literals within a clause does not change the key. *)
+
+val key_of_prepared : Ilv_core.Checker.prepared -> string
+(** Must be taken {e before} solving on the prepared context: the
+    solver appends learned clauses to the context's CNF, so a key
+    computed after {!Ilv_core.Checker.check_prepared} does not match
+    the one a fresh preparation of the same property produces. *)
+
+val canonical_cnf : int * int list list -> int * int list list
+(** Sorted-clause form, as hashed and as stored in entries. *)
+
+val lookup : t -> string -> entry option
+(** [None] on a genuine miss {e and} on any unreadable entry — a
+    truncated, corrupted or version-mismatched file is a miss, never an
+    error. *)
+
+val store : t -> entry -> unit
+(** Atomic (write-then-rename).  Entries with an [Unknown] verdict are
+    silently dropped.  I/O failures are swallowed: the cache is an
+    accelerator, never a correctness dependency. *)
+
+type cache_stats = {
+  entries : int;
+  bytes : int;
+  proved : int;
+  failed : int;
+  corrupt : int;  (** unreadable entry files found on disk *)
+}
+
+val stats : t -> cache_stats
+
+val clear : t -> int
+(** Removes every entry file; returns how many were removed. *)
+
+type validation = {
+  checked : int;
+  agreed : int;
+  mismatched : string list;  (** keys whose re-solved verdict differs *)
+  corrupt_entries : string list;  (** unreadable entry files *)
+}
+
+val validate : ?sample:int -> t -> validation
+(** Re-solves up to [sample] (default 5) stored entries from their
+    canonicalized CNF with a fresh SAT solver and compares the verdict
+    shape (every obligation UNSAT ⇔ [Proved]) against the stored one —
+    the guard against stale or corrupted entries that still parse. *)
+
+val pp_stats : Format.formatter -> cache_stats -> unit

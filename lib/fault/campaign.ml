@@ -119,15 +119,30 @@ let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
   }
 
 let run ?(seed = 1) ?(max_mutants = 100) ?(budget = default_budget)
-    ?(fallback_sim = true) ?(sim_seeds = 3) ?(sim_cycles = 300)
+    ?(fallback_sim = true) ?(sim_seeds = 3) ?(sim_cycles = 300) ?(jobs = 1)
     (d : Design.t) =
   let t0 = Unix.gettimeofday () in
   let n_sites = List.length (Mutate.enumerate d.Design.rtl) in
   let mutants = Mutate.sample ~seed ~max_mutants d.Design.rtl in
+  (* each mutant's whole classification (verify + replay + simulation
+     fallback) is one job on the engine's worker pool; a crashed worker
+     degrades to that one mutant being inconclusive *)
   let reports =
-    List.map
-      (classify_mutant d ~budget ~fallback_sim ~sim_seeds ~sim_cycles)
+    List.map2
+      (fun (m : Mutate.mutant) outcome ->
+        match outcome with
+        | Ilv_engine.Pool.Done r -> r
+        | Ilv_engine.Pool.Crashed reason ->
+          {
+            mutation = m.Mutate.mutation;
+            classification = Inconclusive ("worker crashed: " ^ reason);
+            time_s = 0.0;
+            replay_confirmed = None;
+          })
       mutants
+      (Ilv_engine.Pool.map ~jobs
+         (classify_mutant d ~budget ~fallback_sim ~sim_seeds ~sim_cycles)
+         mutants)
   in
   let count p = List.length (List.filter p reports) in
   let killed =

@@ -68,6 +68,7 @@ val run :
   ?fallback_sim:bool ->
   ?sim_seeds:int ->
   ?sim_cycles:int ->
+  ?jobs:int ->
   Design.t ->
   t
 (** Runs a campaign: sample up to [max_mutants] (default 100) mutants
@@ -75,7 +76,11 @@ val run :
     [fallback_sim] (default true) enables the bounded co-simulation
     hunt ([sim_seeds] runs of [sim_cycles] cycles) for mutants the
     bounded checker could not decide — and for mutants every property
-    proved, where it is the only check that can catch reset faults. *)
+    proved, where it is the only check that can catch reset faults.
+    [jobs] (default 1) classifies mutants on that many parallel worker
+    processes ({!Ilv_engine.Pool}); classifications and their order are
+    identical for any worker count, and a crashed worker degrades to a
+    single inconclusive mutant. *)
 
 val kill_times : t -> float list
 (** Per-mutant wall-clock of every killed mutant, campaign order. *)

@@ -1,0 +1,296 @@
+(* Tests for the parallel verification engine: proof-cache key
+   stability and corruption handling, worker-pool determinism and
+   failure isolation, and end-to-end engine runs with a warm cache. *)
+
+open Ilv_core
+open Ilv_designs
+open Ilv_engine
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ilv-test-cache-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let design name =
+  List.find (fun d -> d.Design.name = name) Catalog.all
+
+(* A freshly generated + prepared property (never solved on). *)
+let prepared_of (d : Design.t) =
+  let port = List.hd d.Design.module_ila.Module_ila.ports in
+  let instr = List.hd (Ila.leaf_instructions port) in
+  let refmap = d.Design.refmap_for d.Design.rtl port.Ila.name in
+  Checker.prepare (Propgen.generate_for ~ila:port ~rtl:d.Design.rtl ~refmap instr)
+
+let jobs_of (d : Design.t) =
+  Engine.jobs_of ~name:d.Design.name d.Design.module_ila d.Design.rtl
+    ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let key_tests =
+  [
+    t "key insensitive to clause and literal order" (fun () ->
+        let clauses = [ [ 1; -2; 3 ]; [ -1; 4 ]; [ 2; -3; -4 ]; [ 5 ] ] in
+        let hyps = [ [ 6 ]; [ 7; 8 ] ] in
+        let k = Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps in
+        let permuted =
+          [ [ 5 ]; [ 2; -4; -3 ]; [ 3; 1; -2 ]; [ 4; -1 ] ]
+        in
+        Alcotest.(check string)
+          "permuted CNF keys equal" k
+          (Proof_cache.key_of_cnf ~n_vars:8 ~clauses:permuted ~hyps);
+        (* ...but not to the actual content *)
+        let changed = [ [ 1; -2; 3 ]; [ -1; 4 ]; [ 2; -3; 4 ]; [ 5 ] ] in
+        Alcotest.(check bool)
+          "flipped literal changes the key" true
+          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses:changed ~hyps);
+        Alcotest.(check bool)
+          "different selectors change the key" true
+          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6 ] ]));
+    t "key stable across independent property regenerations" (fun () ->
+        let d = design "AXI Slave" in
+        let k1 = Proof_cache.key_of_prepared (prepared_of d) in
+        let k2 = Proof_cache.key_of_prepared (prepared_of d) in
+        Alcotest.(check string) "same property, same key" k1 k2);
+    t "solving mutates the context CNF (why the engine snapshots keys)"
+      (fun () ->
+        (* Regression guard for a real bug: learned clauses appended by
+           the solver leak into [Checker.cnf], so a key taken after
+           solving never matches a fresh run's lookup.  If this ever
+           stops holding the snapshot in [Engine.run_one] is merely
+           redundant; if it holds, it is load-bearing. *)
+        let d = design "AXI Slave" in
+        let pr = prepared_of d in
+        let k_before = Proof_cache.key_of_prepared pr in
+        let _ = Checker.check_prepared pr in
+        let k_fresh = Proof_cache.key_of_prepared (prepared_of d) in
+        Alcotest.(check string)
+          "pre-solve key matches a fresh preparation" k_before k_fresh);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache store / lookup robustness                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stored_entry (d : Design.t) cache =
+  let pr = prepared_of d in
+  let n_vars, clauses = Checker.cnf pr in
+  let hyps = Checker.hypothesis_literals pr in
+  let key = Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps in
+  let verdict, stats = Checker.check_prepared pr in
+  let entry =
+    {
+      Proof_cache.key;
+      engine_version = Proof_cache.version;
+      design = d.Design.name;
+      instr = "test";
+      verdict;
+      stats;
+      cnf = Proof_cache.canonical_cnf (n_vars, clauses);
+      hyps;
+      created_s = 0.0;
+    }
+  in
+  Proof_cache.store cache entry;
+  entry
+
+let cache_tests =
+  [
+    t "store then lookup round-trips the verdict" (fun () ->
+        let cache = Proof_cache.open_ ~dir:(fresh_dir ()) () in
+        let e = stored_entry (design "AXI Slave") cache in
+        (match Proof_cache.lookup cache e.Proof_cache.key with
+        | Some got ->
+          Alcotest.(check bool)
+            "verdict is Proved" true
+            (got.Proof_cache.verdict = Checker.Proved)
+        | None -> Alcotest.fail "expected a hit");
+        Alcotest.(check int) "one entry" 1 (Proof_cache.stats cache).entries;
+        Alcotest.(check int) "clear removes it" 1 (Proof_cache.clear cache));
+    t "truncated entry is a miss, not a crash" (fun () ->
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let e = stored_entry (design "AXI Slave") cache in
+        let path = Filename.concat dir (e.Proof_cache.key ^ ".proof") in
+        let size = (Unix.stat path).Unix.st_size in
+        Unix.truncate path (size / 2);
+        Alcotest.(check bool)
+          "truncated file misses" true
+          (Proof_cache.lookup cache e.Proof_cache.key = None);
+        Alcotest.(check int)
+          "stats counts it as corrupt" 1
+          (Proof_cache.stats cache).corrupt);
+    t "garbage and version-mismatched entries are misses" (fun () ->
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let key = String.make 32 'a' in
+        let oc = open_out_bin (Filename.concat dir (key ^ ".proof")) in
+        output_string oc "not a proof cache entry at all";
+        close_out oc;
+        Alcotest.(check bool)
+          "garbage misses" true
+          (Proof_cache.lookup cache key = None);
+        let e = stored_entry (design "AXI Slave") cache in
+        Proof_cache.store cache
+          { e with Proof_cache.engine_version = "some-other-engine/9" };
+        Alcotest.(check bool)
+          "foreign engine version misses" true
+          (Proof_cache.lookup cache e.Proof_cache.key = None));
+    t "unknown verdicts are never stored" (fun () ->
+        let cache = Proof_cache.open_ ~dir:(fresh_dir ()) () in
+        let e = stored_entry (design "AXI Slave") cache in
+        ignore (Proof_cache.clear cache);
+        Proof_cache.store cache
+          { e with Proof_cache.verdict = Checker.Unknown "budget" };
+        Alcotest.(check int)
+          "store dropped it" 0
+          (Proof_cache.stats cache).entries);
+    t "validate agrees with freshly stored entries" (fun () ->
+        let cache = Proof_cache.open_ ~dir:(fresh_dir ()) () in
+        ignore (stored_entry (design "AXI Slave") cache);
+        let v = Proof_cache.validate ~sample:5 cache in
+        Alcotest.(check int) "checked" 1 v.Proof_cache.checked;
+        Alcotest.(check int) "agreed" 1 v.Proof_cache.agreed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    t "-j1 and -j4 produce identical results in identical order" (fun () ->
+        let items = List.init 23 Fun.id in
+        let f x = (x * x) + 1 in
+        let seq = Pool.map ~jobs:1 f items in
+        let par = Pool.map ~jobs:4 f items in
+        Alcotest.(check bool) "same outcomes" true (seq = par);
+        Alcotest.(check bool)
+          "ordered as the input" true
+          (par = List.map (fun x -> Pool.Done (f x)) items));
+    t "an exception isolates to its own job" (fun () ->
+        let items = [ 0; 1; 2; 3; 4; 5 ] in
+        let f x = if x = 3 then failwith "boom" else x * 10 in
+        List.iter
+          (fun jobs ->
+            let out = Pool.map ~jobs f items in
+            List.iteri
+              (fun i o ->
+                match o with
+                | Pool.Done y ->
+                  Alcotest.(check bool)
+                    "non-faulting jobs succeed" true
+                    (i <> 3 && y = i * 10)
+                | Pool.Crashed reason ->
+                  let mentions_boom =
+                    let n = String.length reason in
+                    let rec scan i =
+                      i + 4 <= n
+                      && (String.sub reason i 4 = "boom" || scan (i + 1))
+                    in
+                    scan 0
+                  in
+                  Alcotest.(check bool)
+                    "only job 3 crashed, with the exception text" true
+                    (i = 3 && mentions_boom))
+              out)
+          [ 1; 4 ]);
+    t "a dying worker process degrades to one Crashed job" (fun () ->
+        let items = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        (* [Unix._exit] skips every at_exit handler: the worker vanishes
+           mid-job exactly like a segfault would *)
+        let f x = if x = 2 then Unix._exit 9 else x + 100 in
+        let out = Pool.map ~jobs:3 f items in
+        List.iteri
+          (fun i o ->
+            match o with
+            | Pool.Done y ->
+              Alcotest.(check bool) "survivors" true (i <> 2 && y = i + 100)
+            | Pool.Crashed _ ->
+              Alcotest.(check int) "only the dying job" 2 i)
+          out);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end engine runs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let summary_verdicts results =
+  List.map
+    (fun (r : Engine.result) ->
+      ( r.Engine.job_id,
+        r.Engine.r_port,
+        r.Engine.r_instr,
+        match r.Engine.verdict with
+        | Checker.Proved -> "proved"
+        | Checker.Failed _ -> "failed"
+        | Checker.Unknown _ -> "unknown" ))
+    results
+
+let engine_tests =
+  [
+    t "engine -j1 and -j4 agree verdict-for-verdict, in order" (fun () ->
+        let d = design "AXI Slave" in
+        let r1, s1 = Engine.run ~jobs:1 (jobs_of d) in
+        let r4, s4 = Engine.run ~jobs:4 (jobs_of d) in
+        Alcotest.(check bool)
+          "same verdict sequence" true
+          (summary_verdicts r1 = summary_verdicts r4);
+        Alcotest.(check int) "all proved (seq)" s1.Engine.n_jobs s1.Engine.n_proved;
+        Alcotest.(check int) "all proved (par)" s4.Engine.n_jobs s4.Engine.n_proved;
+        Alcotest.(check int) "no errors" 0 s4.Engine.n_errors);
+    t "warm cache run hits every obligation with zero SAT attempts"
+      (fun () ->
+        let d = design "AXI Slave" in
+        let cache = Proof_cache.open_ ~dir:(fresh_dir ()) () in
+        let cold_r, cold = Engine.run ~jobs:2 ~cache (jobs_of d) in
+        Alcotest.(check int) "cold run misses" cold.Engine.n_jobs
+          cold.Engine.cache_misses;
+        let warm_r, warm = Engine.run ~jobs:2 ~cache (jobs_of d) in
+        Alcotest.(check int) "warm run all hits" warm.Engine.n_jobs
+          warm.Engine.cache_hits;
+        Alcotest.(check int) "zero fresh SAT attempts" 0
+          warm.Engine.fresh_sat_attempts;
+        Alcotest.(check bool)
+          "verdicts unchanged" true
+          (summary_verdicts cold_r = summary_verdicts warm_r);
+        ignore (Proof_cache.clear cache));
+    t "report_of reproduces the sequential verifier's verdicts" (fun () ->
+        let d = design "AXI Slave" in
+        let results, _ = Engine.run ~jobs:2 (jobs_of d) in
+        let report = Engine.report_of ~name:d.Design.name ~results in
+        let reference = Design.verify d in
+        Alcotest.(check bool) "proved" true (Verify.proved report);
+        let shape (r : Verify.report) =
+          List.map
+            (fun (p : Verify.port_report) ->
+              ( p.Verify.port_name,
+                List.map
+                  (fun (ir : Verify.instr_result) -> ir.Verify.instr)
+                  p.Verify.instr_results ))
+            r.Verify.ports
+        in
+        Alcotest.(check bool)
+          "same port/instruction structure" true
+          (shape report = shape reference));
+  ]
+
+let suite =
+  [
+    ("engine.cache-key", key_tests);
+    ("engine.proof-cache", cache_tests);
+    ("engine.pool", pool_tests);
+    ("engine.run", engine_tests);
+  ]
