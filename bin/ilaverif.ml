@@ -8,6 +8,7 @@
      check DESIGN                decode coverage / determinism checks
      verify DESIGN [--bug L]     refinement-check a design (or a buggy variant)
      cache stats|clear|verify    manage the persistent proof cache
+     profile TRACE               aggregate a --trace-out JSONL trace
      bugs                        reproduce the paper's three bug hunts *)
 
 open Cmdliner
@@ -80,6 +81,30 @@ let portfolio_arg =
           "Backend selection per obligation: $(b,auto) (size heuristic \
            between SAT and BDD), $(b,sat), $(b,bdd), or $(b,race) (both in \
            parallel, first definitive verdict wins).")
+
+(* ---- shared observability options ---- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Append a structured JSONL trace of the run (spans, events, \
+           counters) to $(docv).  Worker processes write to the same file; \
+           aggregate it afterwards with the $(b,profile) subcommand.")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print an aggregate counter summary (solver calls, cache traffic, \
+           worker lifecycle) to stderr when the command exits.")
+
+let setup_obs trace_out metrics =
+  if trace_out <> None || metrics then
+    Ilv_obs.Obs.configure ?trace_out ~metrics ()
 
 let open_cache ~use_cache ~cache_dir =
   if use_cache || cache_dir <> None then Some (Proof_cache.open_ ?dir:cache_dir ())
@@ -278,7 +303,9 @@ let verify_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
-  let run name bug port keep_going vcd jobs use_cache cache_dir portfolio =
+  let run name bug port keep_going vcd jobs use_cache cache_dir portfolio
+      trace_out metrics =
+    setup_obs trace_out metrics;
     let d = or_die (find_design name) in
     let only_ports = Option.map (fun p -> [ p ]) port in
     let cache = open_cache ~use_cache ~cache_dir in
@@ -337,7 +364,8 @@ let verify_cmd =
        ~doc:"Refinement-check a design's RTL against its module-ILA")
     Term.(
       const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
-      $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg)
+      $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg $ trace_out_arg
+      $ metrics_flag)
 
 (* ---- dimacs ---- *)
 
@@ -434,7 +462,8 @@ let table_cmd =
             "Use the memory-abstracted datapath and store buffer (the \
              paper's parenthesized configuration).")
   in
-  let run quick jobs use_cache cache_dir portfolio =
+  let run quick jobs use_cache cache_dir portfolio trace_out metrics =
+    setup_obs trace_out metrics;
     let suite = if quick then Catalog.quick else Catalog.all in
     let cache = open_cache ~use_cache ~cache_dir in
     let use_engine =
@@ -456,7 +485,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
     Term.(
       const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
-      $ portfolio_arg)
+      $ portfolio_arg $ trace_out_arg $ metrics_flag)
 
 (* ---- reach ---- *)
 
@@ -630,7 +659,9 @@ let mutate_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Print the per-mutant listing.")
   in
-  let run names seed max_mutants conflicts wall no_sim json verbose jobs =
+  let run names seed max_mutants conflicts wall no_sim json verbose jobs
+      trace_out metrics =
+    setup_obs trace_out metrics;
     let designs =
       match names with
       | [] ->
@@ -682,7 +713,8 @@ let mutate_cmd =
           mutation scores")
     Term.(
       const run $ designs_arg $ seed_arg $ max_arg $ conflicts_arg $ wall_arg
-      $ no_sim_arg $ json_arg $ verbose_arg $ jobs_arg)
+      $ no_sim_arg $ json_arg $ verbose_arg $ jobs_arg $ trace_out_arg
+      $ metrics_flag)
 
 (* ---- cache ---- *)
 
@@ -720,13 +752,17 @@ let cache_cmd =
       let v = Proof_cache.validate ~sample c in
       Format.printf
         "re-solved %d of the entries at %s: %d agreed, %d mismatched, %d \
-         corrupt@."
+         stale, %d corrupt@."
         v.Proof_cache.checked (Proof_cache.dir c) v.Proof_cache.agreed
         (List.length v.Proof_cache.mismatched)
+        (List.length v.Proof_cache.stale_entries)
         (List.length v.Proof_cache.corrupt_entries);
       List.iter
         (fun key -> Format.printf "  MISMATCH %s@." key)
         v.Proof_cache.mismatched;
+      List.iter
+        (fun file -> Format.printf "  stale %s (other engine version)@." file)
+        v.Proof_cache.stale_entries;
       List.iter
         (fun file -> Format.printf "  corrupt %s@." file)
         v.Proof_cache.corrupt_entries;
@@ -742,6 +778,30 @@ let cache_cmd =
   Cmd.group
     (Cmd.info "cache" ~doc:"Inspect, clear or validate the persistent proof cache")
     [ stats_cmd; clear_cmd; verify_cache_cmd ]
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trace file recorded with $(b,--trace-out).")
+  in
+  let run file =
+    match Ilv_obs.Profile.of_file file with
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok p -> Format.printf "%a@." Ilv_obs.Profile.pp p
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Aggregate a --trace-out JSONL trace into a per-instruction / \
+          per-backend effort table")
+    Term.(const run $ file_arg)
 
 (* ---- bugs ---- *)
 
@@ -793,5 +853,6 @@ let () =
             reach_cmd;
             mutate_cmd;
             cache_cmd;
+            profile_cmd;
             bugs_cmd;
           ]))

@@ -143,9 +143,42 @@ let check_prepared ?(budget = unlimited) pr =
       | (label, reason) :: _ ->
         Unknown (Printf.sprintf "obligation %s: %s" label reason))
     | (ob, hypotheses, _lits) :: rest -> (
+      let span =
+        if Ilv_obs.Obs.enabled () then
+          Some
+            (Ilv_obs.Obs.span_begin "checker.obligation"
+               [
+                 ("prop", Ilv_obs.Obs.S p.Property.prop_name);
+                 ("port", Ilv_obs.Obs.S p.Property.port);
+                 ("instr", Ilv_obs.Obs.S p.Property.instr.Ila.instr_name);
+                 ("label", Ilv_obs.Obs.S ob.Property.label);
+               ])
+        else None
+      in
+      let attempts0 = !attempts in
       let result =
         timed (fun () -> decide pr.ctx ~budget ~hypotheses attempts)
       in
+      (match span with
+      | None -> ()
+      | Some id ->
+        let open Ilv_obs.Obs in
+        let tries = !attempts - attempts0 in
+        count "checker.obligations" 1;
+        count "checker.escalations" (max 0 (tries - 1));
+        span_end
+          ~fields:
+            [
+              ( "outcome",
+                S
+                  (match result with
+                  | Bitblast.Unsat -> "unsat"
+                  | Bitblast.Sat _ -> "sat"
+                  | Bitblast.Unknown _ -> "unknown") );
+              ("attempts", I tries);
+              ("escalation_level", I (max 0 (tries - 1)));
+            ]
+          id);
       match result with
       | Bitblast.Unsat -> go unknowns rest
       | Bitblast.Unknown reason ->

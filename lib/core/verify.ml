@@ -114,6 +114,18 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
             else begin
               (* wall time per instruction (property generation included),
                  captured as one gettimeofday delta around the check *)
+              let span =
+                if Ilv_obs.Obs.enabled () then
+                  Some
+                    (Ilv_obs.Obs.span_begin "verify.instr"
+                       [
+                         ("design", Ilv_obs.Obs.S name);
+                         ("port", Ilv_obs.Obs.S port.Ila.name);
+                         ("instr", Ilv_obs.Obs.S i.Ila.instr_name);
+                         ("backend", Ilv_obs.Obs.S "sat");
+                       ])
+                else None
+              in
               let it0 = Unix.gettimeofday () in
               let verdict, stats =
                 match refmap with
@@ -121,6 +133,23 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
                 | Error msg ->
                   (Checker.Unknown ("exception: " ^ msg), empty_stats)
               in
+              (match span with
+              | None -> ()
+              | Some id ->
+                let open Ilv_obs.Obs in
+                count "verify.instructions" 1;
+                span_end
+                  ~fields:
+                    [
+                      ( "verdict",
+                        S
+                          (match verdict with
+                          | Checker.Proved -> "proved"
+                          | Checker.Failed _ -> "failed"
+                          | Checker.Unknown _ -> "unknown") );
+                      ("attempts", I stats.Checker.attempts);
+                    ]
+                  id);
               let result =
                 {
                   instr = i.Ila.instr_name;

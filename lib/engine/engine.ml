@@ -81,10 +81,15 @@ let result_of_job (j : job) ~verdict ~stats ~time_s ~backend ~cache_hit =
     cache_hit;
   }
 
+let verdict_string = function
+  | Checker.Proved -> "proved"
+  | Checker.Failed _ -> "failed"
+  | Checker.Unknown _ -> "unknown"
+
 (* Discharge one job: generate + prepare the property, try the cache,
    then the portfolio; store definitive fresh verdicts.  Any exception
    becomes this job's [Unknown] — never the sweep's. *)
-let run_one ~cache ~portfolio ~budget (j : job) =
+let discharge ~cache ~portfolio ~budget (j : job) =
   let t0 = Unix.gettimeofday () in
   try
     let p = Lazy.force j.property in
@@ -144,8 +149,50 @@ let run_one ~cache ~portfolio ~budget (j : job) =
       ~time_s:(Unix.gettimeofday () -. t0)
       ~backend:"error" ~cache_hit:false
 
+(* The instrumented job: one span per obligation job, tagged at the
+   end with what actually happened (backend, verdict, cache hit). *)
+let run_one ~cache ~portfolio ~budget (j : job) =
+  if not (Ilv_obs.Obs.enabled ()) then discharge ~cache ~portfolio ~budget j
+  else begin
+    let open Ilv_obs.Obs in
+    let span =
+      span_begin "engine.job"
+        ([
+           ("job_id", I j.id);
+           ("design", S j.design);
+           ("port", S j.port);
+           ("instr", S j.instr);
+         ]
+        @ match j.variant with None -> [] | Some v -> [ ("variant", S v) ])
+    in
+    count "engine.jobs" 1;
+    let r = discharge ~cache ~portfolio ~budget j in
+    span_end
+      ~fields:
+        [
+          ("backend", S r.backend);
+          ("verdict", S (verdict_string r.verdict));
+          ("cache_hit", B r.cache_hit);
+        ]
+      span;
+    r
+  end
+
 let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
   let t0 = Unix.gettimeofday () in
+  let run_span =
+    if Ilv_obs.Obs.enabled () then
+      Some
+        (Ilv_obs.Obs.span_begin "engine.run"
+           [
+             ("n_jobs", Ilv_obs.Obs.I (List.length job_list));
+             ("workers", Ilv_obs.Obs.I (max 1 jobs));
+             ("cache", Ilv_obs.Obs.B (cache <> None));
+             ( "portfolio",
+               Ilv_obs.Obs.S (Portfolio.choice_to_string portfolio) );
+           ])
+    else None
+  in
   let outcomes =
     Pool.map ~jobs (run_one ~cache ~portfolio ~budget) job_list
   in
@@ -189,6 +236,20 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
       jobs_used = max 1 jobs;
     }
   in
+  (match run_span with
+  | None -> ()
+  | Some id ->
+    Ilv_obs.Obs.span_end
+      ~fields:
+        [
+          ("proved", Ilv_obs.Obs.I summary.n_proved);
+          ("failed", Ilv_obs.Obs.I summary.n_failed);
+          ("unknown", Ilv_obs.Obs.I summary.n_unknown);
+          ("errors", Ilv_obs.Obs.I summary.n_errors);
+          ("cache_hits", Ilv_obs.Obs.I summary.cache_hits);
+          ("cache_misses", Ilv_obs.Obs.I summary.cache_misses);
+        ]
+      id);
   (results, summary)
 
 let report_of ~name ~results =

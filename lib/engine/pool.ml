@@ -45,12 +45,19 @@ let serve_jobs arr f jr rw =
   (try serve () with _ -> ());
   (try flush oc with _ -> ())
 
+let obs_event name fields =
+  if Ilv_obs.Obs.enabled () then Ilv_obs.Obs.event name fields
+
+let obs_count name n = Ilv_obs.Obs.count name n
+
 let map ?(jobs = 1) f items =
   let n = List.length items in
   if jobs <= 1 || n <= 1 then List.map (protected f) items
   else begin
     let arr = Array.of_list items in
     let results = Array.make n None in
+    (* a job whose worker died gets exactly one more chance *)
+    let retried = Array.make n false in
     let queue = Queue.create () in
     for i = 0 to n - 1 do
       Queue.add i queue
@@ -63,7 +70,7 @@ let map ?(jobs = 1) f items =
       with Invalid_argument _ -> None
     in
     let respawns = ref (2 * jobs) in
-    let spawn () =
+    let spawn ?(respawn = false) () =
       let jr, jw = Unix.pipe () in
       let rr, rw = Unix.pipe () in
       match Unix.fork () with
@@ -94,6 +101,10 @@ let map ?(jobs = 1) f items =
           }
         in
         alive := w :: !alive;
+        obs_count (if respawn then "pool.respawns" else "pool.spawns") 1;
+        obs_event
+          (if respawn then "pool.respawn" else "pool.spawn")
+          [ ("worker_pid", Ilv_obs.Obs.I pid) ];
         w
     in
     let reap w =
@@ -107,6 +118,7 @@ let map ?(jobs = 1) f items =
          Marshal.to_channel w.job_oc (-1) [];
          flush w.job_oc
        with _ -> ());
+      obs_event "pool.retire" [ ("worker_pid", Ilv_obs.Obs.I w.pid) ];
       reap w
     in
     (* true when the job was delivered; false when the worker is dead
@@ -121,6 +133,9 @@ let map ?(jobs = 1) f items =
         try
           Marshal.to_channel w.job_oc i [];
           flush w.job_oc;
+          obs_count "pool.dispatches" 1;
+          obs_event "pool.dispatch"
+            [ ("worker_pid", Ilv_obs.Obs.I w.pid); ("job", Ilv_obs.Obs.I i) ];
           true
         with _ ->
           w.current <- None;
@@ -128,12 +143,35 @@ let map ?(jobs = 1) f items =
           reap w;
           false)
     in
+    (* A worker died mid-job.  If the job has never been retried and
+       the respawn budget has slack, requeue it once — the death may be
+       the worker's fault (resource spike, stray signal), not the
+       job's — charging the retry against [respawns] so a job that
+       kills every host still converges to [Crashed].  Determinism is
+       unaffected: only this job's outcome changes, never the order. *)
     let crash w reason =
       (match w.current with
       | Some i ->
-        results.(i) <- Some (Crashed reason);
-        w.current <- None
-      | None -> ());
+        w.current <- None;
+        let retry = (not retried.(i)) && !respawns > 0 in
+        obs_count "pool.crashes" 1;
+        obs_event "pool.crash"
+          [
+            ("worker_pid", Ilv_obs.Obs.I w.pid);
+            ("job", Ilv_obs.Obs.I i);
+            ("retrying", Ilv_obs.Obs.B retry);
+          ];
+        if retry then begin
+          retried.(i) <- true;
+          decr respawns;
+          obs_count "pool.retries" 1;
+          Queue.add i queue
+        end
+        else results.(i) <- Some (Crashed reason)
+      | None ->
+        obs_count "pool.crashes" 1;
+        obs_event "pool.crash"
+          [ ("worker_pid", Ilv_obs.Obs.I w.pid); ("idle", Ilv_obs.Obs.B true) ]);
       reap w
     in
     let unfilled () = Array.exists (fun r -> r = None) results in
@@ -148,7 +186,7 @@ let map ?(jobs = 1) f items =
         && !respawns > 0
       do
         decr respawns;
-        ignore (assign (spawn ()))
+        ignore (assign (spawn ~respawn:true ()))
       done;
       let busy = List.filter (fun w -> w.current <> None) !alive in
       if busy = [] then begin

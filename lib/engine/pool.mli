@@ -14,10 +14,19 @@
     input item [i], regardless of worker count or completion order.
 
     Failure isolation: an exception escaping the job function is caught
-    inside the worker and reported as [Crashed] for that job only; a
+    inside the worker and reported as [Crashed] for that job only.  A
     worker process that dies outright (signal, [exit], allocation
-    failure) marks only its in-flight job [Crashed], and a replacement
-    worker is spawned for the remaining queue. *)
+    failure) does not immediately doom its in-flight job: the job is
+    requeued {e once} (the retry is charged against the bounded respawn
+    budget, so a job that kills every worker still converges), and only
+    a second death — or an exhausted budget — degrades it to [Crashed].
+    A replacement worker is spawned for the remaining queue.  None of
+    this perturbs determinism: output position [i] still holds job
+    [i]'s outcome for any worker count.
+
+    Worker lifecycle (spawn / dispatch / retire / crash / respawn /
+    retry) is reported through {!Ilv_obs.Obs} when a trace sink is
+    configured. *)
 
 type 'b outcome =
   | Done of 'b

@@ -194,18 +194,42 @@ let race ?budget pr =
   in
   wait legs
 
+let obs_select ~choice ~eligible backend =
+  if Ilv_obs.Obs.enabled () then begin
+    let open Ilv_obs.Obs in
+    count ("portfolio." ^ backend) 1;
+    event "portfolio.select"
+      [
+        ("choice", S (choice_to_string choice));
+        ("backend", S backend);
+        ("bdd_eligible", B eligible);
+      ]
+  end
+
 let decide ?budget choice pr =
+  let eligible = bdd_eligible (Checker.property pr) in
   match choice with
   | Race ->
-    if bdd_eligible (Checker.property pr) then race ?budget pr
-    else
+    if eligible then begin
+      obs_select ~choice ~eligible "race";
+      let ((_, _, winner) as r) = race ?budget pr in
+      if Ilv_obs.Obs.enabled () then
+        Ilv_obs.Obs.event "portfolio.race_winner"
+          [ ("backend", Ilv_obs.Obs.S winner) ];
+      r
+    end
+    else begin
+      obs_select ~choice ~eligible "sat";
       let v, st = Checker.check_prepared ?budget pr in
       (v, st, "sat")
+    end
   | Auto | Force _ -> (
     match select choice pr with
     | Sat_backend ->
+      obs_select ~choice ~eligible "sat";
       let v, st = Checker.check_prepared ?budget pr in
       (v, st, "sat")
     | Bdd_backend ->
+      obs_select ~choice ~eligible "bdd";
       let v, st = decide_bdd pr in
       (v, st, "bdd"))

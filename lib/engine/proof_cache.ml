@@ -1,6 +1,10 @@
 open Ilv_core
 
-let version = "ilaverif-engine/1"
+(* /2: the cache key now canonicalizes the hypothesis (selector)
+   literal lists exactly like clauses, so keys written by /1 name
+   different content — a version bump makes them stale rather than
+   silently unreachable. *)
+let version = "ilaverif-engine/2"
 let magic = "ilaverif-proof-cache/1\n"
 
 type t = { cache_dir : string }
@@ -49,8 +53,16 @@ let canonical_cnf (n_vars, clauses) =
   let clauses = List.map (List.sort_uniq compare) clauses in
   (n_vars, List.sort compare clauses)
 
+(* Selector literal lists get the same treatment as clauses: literals
+   sort_uniq'd within each list, lists sorted overall.  An obligation
+   set that merely arrives reordered (or with a duplicated selector)
+   therefore hashes to the same key instead of missing the cache. *)
+let canonical_hyps hyps =
+  List.sort compare (List.map (List.sort_uniq compare) hyps)
+
 let key_of_cnf ~n_vars ~clauses ~hyps =
   let _, clauses = canonical_cnf (n_vars, clauses) in
+  let hyps = canonical_hyps hyps in
   let b = Buffer.create 65536 in
   Buffer.add_string b "v";
   Buffer.add_string b (string_of_int n_vars);
@@ -90,32 +102,66 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Any failure to read or decode — truncation, garbage, a foreign
-   engine version, a digest filed under the wrong name — is a miss. *)
+(* A non-entry splits two ways: [Stale] is a well-formed entry written
+   by a foreign engine version (expected after an upgrade, harmless),
+   [Corrupt] is anything unreadable — truncation, garbage, a digest
+   filed under the wrong name, or an [Unknown] verdict that should
+   never have been stored.  Both are misses on lookup, but [stats] and
+   [validate] report them separately. *)
+type loaded = Entry of entry | Stale of string | Corrupt
+
 let load_entry path key =
   match read_file path with
-  | exception _ -> None
+  | exception _ -> Corrupt
   | raw ->
     let mlen = String.length magic in
-    if String.length raw <= mlen || String.sub raw 0 mlen <> magic then None
+    if String.length raw <= mlen || String.sub raw 0 mlen <> magic then
+      Corrupt
     else begin
       match (Marshal.from_string raw mlen : entry) with
-      | exception _ -> None
+      | exception _ -> Corrupt
       | e ->
-        if e.engine_version <> version then None
-        else if key <> "" && e.key <> key then None
+        if e.engine_version <> version then Stale e.engine_version
+        else if key <> "" && e.key <> key then Corrupt
         else (
           match e.verdict with
-          | Checker.Proved | Checker.Failed _ -> Some e
-          | Checker.Unknown _ -> None)
+          | Checker.Proved | Checker.Failed _ -> Entry e
+          | Checker.Unknown _ -> Corrupt)
     end
 
-let lookup t key = load_entry (file_of t key) key
+let lookup t key =
+  let found =
+    match load_entry (file_of t key) key with
+    | Entry e -> Some e
+    | Stale _ | Corrupt -> None
+  in
+  if Ilv_obs.Obs.enabled () then begin
+    let open Ilv_obs.Obs in
+    match found with
+    | Some e ->
+      count "cache.hits" 1;
+      event "cache.hit"
+        [ ("key", S key); ("design", S e.design); ("instr", S e.instr) ]
+    | None ->
+      count "cache.misses" 1;
+      event "cache.miss" [ ("key", S key) ]
+  end;
+  found
 
 let store t entry =
   match entry.verdict with
   | Checker.Unknown _ -> ()
   | Checker.Proved | Checker.Failed _ -> (
+    if Ilv_obs.Obs.enabled () then begin
+      let open Ilv_obs.Obs in
+      count "cache.stores" 1;
+      event "cache.store"
+        [
+          ("key", S entry.key);
+          ("design", S entry.design);
+          ("instr", S entry.instr);
+        ]
+    end;
     let payload = magic ^ Marshal.to_string entry [] in
     let tmp =
       Filename.concat t.cache_dir
@@ -144,6 +190,7 @@ type cache_stats = {
   bytes : int;
   proved : int;
   failed : int;
+  stale : int;
   corrupt : int;
 }
 
@@ -154,8 +201,9 @@ let stats t =
         acc.bytes + (try (Unix.stat path).Unix.st_size with _ -> 0)
       in
       match load_entry path "" with
-      | None -> { acc with bytes; corrupt = acc.corrupt + 1 }
-      | Some e ->
+      | Corrupt -> { acc with bytes; corrupt = acc.corrupt + 1 }
+      | Stale _ -> { acc with bytes; stale = acc.stale + 1 }
+      | Entry e ->
         {
           acc with
           bytes;
@@ -167,7 +215,7 @@ let stats t =
             (acc.failed
             + match e.verdict with Checker.Failed _ -> 1 | _ -> 0);
         })
-    { entries = 0; bytes = 0; proved = 0; failed = 0; corrupt = 0 }
+    { entries = 0; bytes = 0; proved = 0; failed = 0; stale = 0; corrupt = 0 }
     (entry_files t)
 
 let clear t =
@@ -179,6 +227,7 @@ type validation = {
   checked : int;
   agreed : int;
   mismatched : string list;
+  stale_entries : string list;
   corrupt_entries : string list;
 }
 
@@ -204,22 +253,35 @@ let resolve_entry (e : entry) =
   | Checker.Failed _ -> not all_unsat
   | Checker.Unknown _ -> false
 
+(* Sample evenly across the whole (sorted) entry listing instead of
+   taking the lexicographically-first [sample]: a rotted entry whose
+   digest happens to sort late must still have a chance of being
+   re-solved.  The stride always includes the first and last file. *)
+let stride_sample sample files =
+  let files = Array.of_list files in
+  let len = Array.length files in
+  if sample >= len then Array.to_list files
+  else if sample <= 1 then (if len = 0 then [] else [ files.(0) ])
+  else
+    List.sort_uniq compare
+      (List.init sample (fun i -> i * (len - 1) / (sample - 1)))
+    |> List.map (fun i -> files.(i))
+
 let validate ?(sample = 5) t =
-  let files = entry_files t in
-  let rec take n = function
-    | [] -> []
-    | _ when n <= 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
   List.fold_left
     (fun acc path ->
       match load_entry path "" with
-      | None ->
+      | Corrupt ->
         {
           acc with
           corrupt_entries = Filename.basename path :: acc.corrupt_entries;
         }
-      | Some e ->
+      | Stale _ ->
+        {
+          acc with
+          stale_entries = Filename.basename path :: acc.stale_entries;
+        }
+      | Entry e ->
         let ok = try resolve_entry e with _ -> false in
         {
           acc with
@@ -227,11 +289,18 @@ let validate ?(sample = 5) t =
           agreed = (acc.agreed + if ok then 1 else 0);
           mismatched = (if ok then acc.mismatched else e.key :: acc.mismatched);
         })
-    { checked = 0; agreed = 0; mismatched = []; corrupt_entries = [] }
-    (take sample files)
+    {
+      checked = 0;
+      agreed = 0;
+      mismatched = [];
+      stale_entries = [];
+      corrupt_entries = [];
+    }
+    (stride_sample sample (entry_files t))
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "%d entries (%d proved, %d failed), %d corrupt, %.1f KiB" s.entries
-    s.proved s.failed s.corrupt
+    "%d entries (%d proved, %d failed), %d stale (other engine version), %d \
+     corrupt, %.1f KiB"
+    s.entries s.proved s.failed s.stale s.corrupt
     (float_of_int s.bytes /. 1024.0)

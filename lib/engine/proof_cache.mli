@@ -58,9 +58,15 @@ type entry = {
 
 val key_of_cnf : n_vars:int -> clauses:int list list -> hyps:int list list -> string
 (** The hex digest of the canonicalized CNF + obligation selectors.
-    Exposed (rather than only {!key_of_prepared}) so tests can verify
-    the canonicalization directly — e.g. that permuting clauses or the
-    literals within a clause does not change the key. *)
+    Clauses {e and} selector lists are canonicalized the same way —
+    literals deduplicated and sorted within each list, lists sorted
+    overall — so neither clause order nor obligation order perturbs the
+    key.  Exposed (rather than only {!key_of_prepared}) so tests can
+    verify the canonicalization directly — e.g. that permuting clauses,
+    literals, or whole selector lists does not change the key. *)
+
+val canonical_hyps : int list list -> int list list
+(** The selector-list canonicalization used by {!key_of_cnf}. *)
 
 val key_of_prepared : Ilv_core.Checker.prepared -> string
 (** Must be taken {e before} solving on the prepared context: the
@@ -86,7 +92,10 @@ type cache_stats = {
   bytes : int;
   proved : int;
   failed : int;
-  corrupt : int;  (** unreadable entry files found on disk *)
+  stale : int;
+      (** well-formed entries written by a different engine version —
+          unusable but expected after an upgrade, not damage *)
+  corrupt : int;  (** genuinely unreadable entry files found on disk *)
 }
 
 val stats : t -> cache_stats
@@ -98,6 +107,7 @@ type validation = {
   checked : int;
   agreed : int;
   mismatched : string list;  (** keys whose re-solved verdict differs *)
+  stale_entries : string list;  (** entry files from another engine version *)
   corrupt_entries : string list;  (** unreadable entry files *)
 }
 
@@ -105,6 +115,9 @@ val validate : ?sample:int -> t -> validation
 (** Re-solves up to [sample] (default 5) stored entries from their
     canonicalized CNF with a fresh SAT solver and compares the verdict
     shape (every obligation UNSAT ⇔ [Proved]) against the stored one —
-    the guard against stale or corrupted entries that still parse. *)
+    the guard against rotted entries that still parse.  The sample
+    strides evenly across the sorted entry listing (first and last
+    file always included), so no region of the key space is
+    systematically unchecked. *)
 
 val pp_stats : Format.formatter -> cache_stats -> unit

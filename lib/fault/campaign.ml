@@ -71,10 +71,42 @@ let simulate_for_kill (d : Design.t) mutant_rtl ~sim_seeds ~sim_cycles =
   in
   go 1
 
+let classification_fields = function
+  | Killed (By_property { instr; port }) ->
+    [
+      ("outcome", Ilv_obs.Obs.S "killed");
+      ("kill", Ilv_obs.Obs.S "property");
+      ("port", Ilv_obs.Obs.S port);
+      ("instr", Ilv_obs.Obs.S instr);
+    ]
+  | Killed (By_simulation { sim_seed; cycle; _ }) ->
+    [
+      ("outcome", Ilv_obs.Obs.S "killed");
+      ("kill", Ilv_obs.Obs.S "simulation");
+      ("sim_seed", Ilv_obs.Obs.I sim_seed);
+      ("cycle", Ilv_obs.Obs.I cycle);
+    ]
+  | Survived -> [ ("outcome", Ilv_obs.Obs.S "survived") ]
+  | Inconclusive reason ->
+    [
+      ("outcome", Ilv_obs.Obs.S "inconclusive");
+      ("reason", Ilv_obs.Obs.S reason);
+    ]
+
 let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
     ~sim_cycles (m : Mutate.mutant) =
   let t0 = Unix.gettimeofday () in
   let rtl = m.Mutate.rtl in
+  let span =
+    if Ilv_obs.Obs.enabled () then
+      Some
+        (Ilv_obs.Obs.span_begin "campaign.mutant"
+           [
+             ("design", Ilv_obs.Obs.S d.Design.name);
+             ("mutation", Ilv_obs.Obs.S (Mutate.describe m.Mutate.mutation));
+           ])
+    else None
+  in
   let report =
     Verify.run ~stop_at_first_failure:true ~budget
       ~name:(d.Design.name ^ " [" ^ Mutate.describe m.Mutate.mutation ^ "]")
@@ -111,6 +143,11 @@ let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
           | Some kill -> (Killed kill, None)
           | None -> (Inconclusive reason, None)))
   in
+  (match span with
+  | None -> ()
+  | Some id ->
+    Ilv_obs.Obs.count "campaign.mutants" 1;
+    Ilv_obs.Obs.span_end ~fields:(classification_fields classification) id);
   {
     mutation = m.Mutate.mutation;
     classification;

@@ -1,0 +1,31 @@
+(** A minimal JSON reader for trace files.
+
+    Self-contained on purpose: the container carries no JSON library,
+    and the trace consumer ({!Profile}, tests) only needs to read back
+    what {!Obs} wrote — objects of scalars — plus enough generality
+    (arrays, nesting, escapes) to be a correct JSON subset reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parses one JSON value; trailing garbage (other than whitespace) is
+    an error.  Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val parse_lines : string -> (t list, string) result
+(** Parses a JSONL buffer: one value per non-empty line; the error
+    names the offending line number. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on absent fields or non-objects. *)
+
+val to_string : t -> string option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)

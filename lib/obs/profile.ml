@@ -1,0 +1,160 @@
+type row = {
+  design : string;
+  port : string;
+  instr : string;
+  backend : string;
+  verdict : string;
+  n : int;
+  time_s : float;
+}
+
+type t = {
+  lines : int;
+  rows : row list;
+  backends : (string * (int * float)) list;
+  counters : (string * int) list;
+  run_wall_s : float option;
+  span_total_s : float;
+}
+
+let str ?(default = "?") key json =
+  Option.value ~default (Option.bind (Json.member key json) Json.to_string)
+
+let fl key json = Option.bind (Json.member key json) Json.to_float
+let int_of key json = Option.bind (Json.member key json) Json.to_int
+
+let interesting name = name = "engine.job" || name = "verify.instr"
+
+let of_trace lines =
+  let rows : (string * string * string * string * string, int * float)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* identity fields (design, port, instr) travel on the span_begin
+     line; the outcome (backend, verdict, dur_s) on the span_end.  Join
+     them on (pid, span id) — begins always precede their end in the
+     file for any one process. *)
+  let begins : (int * int, Json.t) Hashtbl.t = Hashtbl.create 64 in
+  let span_key line =
+    match (int_of "pid" line, int_of "span" line) with
+    | Some pid, Some span -> Some (pid, span)
+    | _ -> None
+  in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let run_wall = ref None in
+  List.iter
+    (fun line ->
+      let ev = str "ev" line and name = str "name" line in
+      match ev with
+      | "span_begin" when interesting name -> (
+        match span_key line with
+        | Some k -> Hashtbl.replace begins k line
+        | None -> ())
+      | "span_end" when interesting name ->
+        let opened =
+          Option.bind (span_key line) (Hashtbl.find_opt begins)
+        in
+        let field key =
+          match Option.bind (Json.member key line) Json.to_string with
+          | Some s -> s
+          | None -> (
+            match opened with Some b -> str key b | None -> "?")
+        in
+        let key =
+          ( field "design",
+            field "port",
+            field "instr",
+            field "backend",
+            field "verdict" )
+        in
+        let dur = Option.value ~default:0.0 (fl "dur_s" line) in
+        let n, time =
+          try Hashtbl.find rows key with Not_found -> (0, 0.0)
+        in
+        Hashtbl.replace rows key (n + 1, time +. dur)
+      | "span_end" when name = "engine.run" ->
+        (* the last run span wins; traces usually hold one *)
+        run_wall := fl "dur_s" line
+      | "counter" ->
+        let add =
+          Option.value ~default:0 (Option.bind (Json.member "add" line) Json.to_int)
+        in
+        let total = (try Hashtbl.find counters name with Not_found -> 0) + add in
+        Hashtbl.replace counters name total
+      | _ -> ())
+    lines;
+  let rows =
+    Hashtbl.fold
+      (fun (design, port, instr, backend, verdict) (n, time_s) acc ->
+        { design; port; instr; backend; verdict; n; time_s } :: acc)
+      rows []
+    |> List.sort (fun a b ->
+           match compare b.time_s a.time_s with
+           | 0 -> compare (a.design, a.port, a.instr) (b.design, b.port, b.instr)
+           | c -> c)
+  in
+  let backends : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let n, time =
+        try Hashtbl.find backends r.backend with Not_found -> (0, 0.0)
+      in
+      Hashtbl.replace backends r.backend (n + r.n, time +. r.time_s))
+    rows;
+  {
+    lines = List.length lines;
+    rows;
+    backends =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) backends []);
+    counters =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []);
+    run_wall_s = !run_wall;
+    span_total_s = List.fold_left (fun acc r -> acc +. r.time_s) 0.0 rows;
+  }
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | raw -> Result.map of_trace (Json.parse_lines raw)
+
+let pp fmt p =
+  let open Format in
+  fprintf fmt "@[<v>trace: %d lines, %d instruction rows" p.lines
+    (List.length p.rows);
+  (match p.run_wall_s with
+  | Some w ->
+    fprintf fmt ", engine wall %.3fs (instruction spans cover %.3fs)" w
+      p.span_total_s
+  | None -> fprintf fmt ", instruction spans total %.3fs" p.span_total_s);
+  fprintf fmt "@,@,%-22s %-12s %-26s %-8s %-8s %4s %10s %6s" "design" "port"
+    "instruction" "backend" "verdict" "n" "time_s" "%";
+  let total = Float.max 1e-12 p.span_total_s in
+  List.iter
+    (fun r ->
+      fprintf fmt "@,%-22s %-12s %-26s %-8s %-8s %4d %10.4f %6.1f" r.design
+        r.port r.instr r.backend r.verdict r.n r.time_s
+        (100.0 *. r.time_s /. total))
+    p.rows;
+  (match p.backends with
+  | [] -> ()
+  | backends ->
+    fprintf fmt "@,@,per backend:";
+    List.iter
+      (fun (backend, (n, time_s)) ->
+        fprintf fmt "@,  %-10s %4d jobs %10.4fs" backend n time_s)
+      backends);
+  (match p.counters with
+  | [] -> ()
+  | counters ->
+    fprintf fmt "@,@,counters (all processes):";
+    List.iter
+      (fun (name, n) -> fprintf fmt "@,  %-32s %12d" name n)
+      counters);
+  fprintf fmt "@]"

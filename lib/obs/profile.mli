@@ -1,0 +1,37 @@
+(** Aggregation of a JSONL trace into the per-instruction /
+    per-backend effort table behind [ilaverif profile].
+
+    Works on the span and counter lines {!Obs} emits: every
+    ["engine.job"] or ["verify.instr"] span becomes one observation of
+    (design, port, instruction, backend, verdict, duration), summed
+    into rows; ["counter"] lines are summed per name across all
+    processes; an ["engine.run"] span, when present, supplies the
+    sweep's wall clock so the report can show how much of it the
+    instruction spans account for. *)
+
+type row = {
+  design : string;
+  port : string;
+  instr : string;
+  backend : string;
+  verdict : string;
+  n : int;  (** observations folded into this row *)
+  time_s : float;
+}
+
+type t = {
+  lines : int;  (** trace lines consumed *)
+  rows : row list;  (** sorted by descending time *)
+  backends : (string * (int * float)) list;  (** per-backend jobs/time *)
+  counters : (string * int) list;  (** summed across processes *)
+  run_wall_s : float option;  (** ["engine.run"] span duration, if any *)
+  span_total_s : float;  (** summed row time *)
+}
+
+val of_trace : Json.t list -> t
+
+val of_file : string -> (t, string) result
+(** Reads and parses the JSONL file; [Error] carries a message naming
+    the offending line on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -512,6 +512,8 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
     Array.of_list (List.map (internal_of_ext s) assumptions)
   in
   let conflicts0 = s.conflicts and propagations0 = s.propagations in
+  let decisions0 = s.decisions and restarts0 = s.restarts in
+  let t_start = Unix.gettimeofday () in
   let deadline =
     Option.map (fun w -> Unix.gettimeofday () +. w) limit.max_wall_s
   in
@@ -616,6 +618,35 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
     (* give up cleanly: no model, and the next solve starts fresh *)
     cancel_until s 0;
     s.solved <- None);
+  if Ilv_obs.Obs.enabled () then begin
+    let open Ilv_obs.Obs in
+    let decisions = s.decisions - decisions0
+    and conflicts = s.conflicts - conflicts0
+    and propagations = s.propagations - propagations0
+    and restarts = s.restarts - restarts0 in
+    event "sat.solve"
+      [
+        ( "outcome",
+          S
+            (match result with
+            | Result Sat -> "sat"
+            | Result Unsat -> "unsat"
+            | Unknown reason -> "unknown: " ^ reason) );
+        ("decisions", I decisions);
+        ("conflicts", I conflicts);
+        ("propagations", I propagations);
+        ("restarts", I restarts);
+        ("n_vars", I s.n_vars);
+        ("n_clauses", I s.n_clauses);
+        ("limited", B (limit != no_limit));
+        ("dur_s", F (Unix.gettimeofday () -. t_start));
+      ];
+    count "sat.solves" 1;
+    count "sat.decisions" decisions;
+    count "sat.conflicts" conflicts;
+    count "sat.propagations" propagations;
+    count "sat.restarts" restarts
+  end;
   result
 
 let solve ?assumptions s =

@@ -1,0 +1,55 @@
+(* Source hygiene lint, wired into the default test alias.
+
+   The container carries no ocamlformat, so this enforces the cheap
+   invariants a formatter would: no tab characters, no trailing
+   whitespace, and a final newline, in every .ml/.mli under the
+   directories given on the command line.  Violations are listed
+   file:line and fail the build. *)
+
+let violations = ref 0
+
+let complain path line what =
+  incr violations;
+  Printf.eprintf "%s:%d: %s\n" path line what
+
+let check_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      if len > 0 && raw.[len - 1] <> '\n' then
+        complain path 1 "no newline at end of file";
+      let line = ref 1 in
+      let line_start = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = '\t' then complain path !line "tab character";
+          if c = '\n' then begin
+            if i > !line_start then (
+              match raw.[i - 1] with
+              | ' ' | '\t' | '\r' -> complain path !line "trailing whitespace"
+              | _ -> ());
+            incr line;
+            line_start := i + 1
+          end)
+        raw)
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        if entry <> "" && entry.[0] <> '.' && entry <> "_build" then
+          walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then check_file path
+
+let () =
+  Array.iteri (fun i arg -> if i > 0 then walk arg) Sys.argv;
+  if !violations > 0 then begin
+    Printf.eprintf "lint: %d violation(s)\n" !violations;
+    exit 1
+  end

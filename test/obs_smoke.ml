@@ -1,0 +1,78 @@
+(* Smoke test for the observability layer, wired into the default test
+   alias: a forked (-j2) engine sweep recording a JSONL trace, then the
+   trace is read back and must be valid line-delimited JSON containing
+   one engine.job span per job — including the spans written by worker
+   processes over the inherited sink fd — and must aggregate into a
+   non-empty profile whose row count matches the sweep. *)
+
+open Ilv_designs
+open Ilv_engine
+open Ilv_obs
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let trace =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ilv-obs-smoke-%d.jsonl" (Unix.getpid ()))
+  in
+  (try Sys.remove trace with Sys_error _ -> ());
+  Obs.configure ~trace_out:trace ();
+  let d = List.find (fun d -> d.Design.name = "AXI Slave") Catalog.all in
+  let job_list =
+    Engine.jobs_of ~name:d.Design.name d.Design.module_ila d.Design.rtl
+      ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
+      ()
+  in
+  let _, summary = Engine.run ~jobs:2 job_list in
+  Obs.shutdown ();
+  if summary.Engine.n_proved <> summary.Engine.n_jobs then
+    fail "obs smoke: proved %d of %d jobs" summary.Engine.n_proved
+      summary.Engine.n_jobs;
+  let raw = read_file trace in
+  (try Sys.remove trace with Sys_error _ -> ());
+  let lines =
+    match Json.parse_lines raw with
+    | Ok lines -> lines
+    | Error msg -> fail "obs smoke: trace is not valid JSONL: %s" msg
+  in
+  let str key j = Option.bind (Json.member key j) Json.to_string in
+  let job_ends =
+    List.filter
+      (fun l ->
+        str "ev" l = Some "span_end" && str "name" l = Some "engine.job")
+      lines
+  in
+  if List.length job_ends <> summary.Engine.n_jobs then
+    fail "obs smoke: %d engine.job spans for %d jobs" (List.length job_ends)
+      summary.Engine.n_jobs;
+  let pids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun l -> Option.bind (Json.member "pid" l) Json.to_int)
+         job_ends)
+  in
+  if List.length pids < 2 then
+    fail "obs smoke: -j2 spans came from %d process(es), workers missing"
+      (List.length pids);
+  let p = Profile.of_trace lines in
+  if List.length p.Profile.rows <> summary.Engine.n_jobs then
+    fail "obs smoke: profile built %d rows for %d jobs"
+      (List.length p.Profile.rows)
+      summary.Engine.n_jobs;
+  if
+    List.exists
+      (fun (r : Profile.row) -> r.Profile.verdict <> "proved")
+      p.Profile.rows
+  then fail "obs smoke: a profile row is not proved";
+  Format.printf
+    "obs smoke: %d lines from %d processes, %d instruction rows profiled@."
+    (List.length lines) (List.length pids)
+    (List.length p.Profile.rows)

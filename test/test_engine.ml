@@ -59,6 +59,29 @@ let key_tests =
         Alcotest.(check bool)
           "different selectors change the key" true
           (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6 ] ]));
+    t "key insensitive to selector-list order and duplicates (regression)"
+      (fun () ->
+        (* Pre-fix, [key_of_cnf] hashed the selector lists exactly as
+           given while canonicalizing the clauses: the same proof
+           problem with its obligations enumerated in a different order
+           silently missed the cache. *)
+        let clauses = [ [ 1; -2 ]; [ 2; 3 ] ] in
+        let k =
+          Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6; 7 ]; [ 8 ] ]
+        in
+        Alcotest.(check string)
+          "permuted selector lists keys equal" k
+          (Proof_cache.key_of_cnf ~n_vars:8 ~clauses
+             ~hyps:[ [ 8 ]; [ 7; 6 ] ]);
+        Alcotest.(check string)
+          "duplicated selector literal keys equal" k
+          (Proof_cache.key_of_cnf ~n_vars:8 ~clauses
+             ~hyps:[ [ 6; 7; 6 ]; [ 8 ] ]);
+        Alcotest.(check bool)
+          "different selector content still changes the key" true
+          (k
+          <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses
+               ~hyps:[ [ 6; 7 ]; [ 7 ] ]));
     t "key stable across independent property regenerations" (fun () ->
         let d = design "AXI Slave" in
         let k1 = Proof_cache.key_of_prepared (prepared_of d) in
@@ -163,6 +186,86 @@ let cache_tests =
         let v = Proof_cache.validate ~sample:5 cache in
         Alcotest.(check int) "checked" 1 v.Proof_cache.checked;
         Alcotest.(check int) "agreed" 1 v.Proof_cache.agreed);
+    t "stale (foreign version) and corrupt entries classify separately"
+      (fun () ->
+        (* Pre-fix, both landed in the same [corrupt] bucket, so a
+           routine engine upgrade was indistinguishable from disk
+           damage in [stats] and [validate]. *)
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let e = stored_entry (design "AXI Slave") cache in
+        Proof_cache.store cache
+          {
+            e with
+            Proof_cache.key = String.make 32 'b';
+            engine_version = "some-other-engine/9";
+          };
+        let oc =
+          open_out_bin (Filename.concat dir (String.make 32 'c' ^ ".proof"))
+        in
+        output_string oc "definitely not a proof cache entry";
+        close_out oc;
+        let s = Proof_cache.stats cache in
+        Alcotest.(check int) "usable entries" 1 s.Proof_cache.entries;
+        Alcotest.(check int) "stale" 1 s.Proof_cache.stale;
+        Alcotest.(check int) "corrupt" 1 s.Proof_cache.corrupt;
+        let v = Proof_cache.validate ~sample:10 cache in
+        Alcotest.(check int) "checked only the usable one" 1
+          v.Proof_cache.checked;
+        Alcotest.(check int) "it agreed" 1 v.Proof_cache.agreed;
+        Alcotest.(check int) "one stale file" 1
+          (List.length v.Proof_cache.stale_entries);
+        Alcotest.(check int) "one corrupt file" 1
+          (List.length v.Proof_cache.corrupt_entries));
+    t "validate strides across the whole listing (regression)" (fun () ->
+        (* Pre-fix, [validate ~sample:n] re-solved the lexicographically
+           first [n] entry files: an entry whose digest sorted late was
+           never re-checked no matter how often validation ran.  Ten
+           synthetic entries, the single rotted one keyed to sort last;
+           a stride of 5 must include the last file and catch it. *)
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let no_stats =
+          {
+            Checker.time_s = 0.0;
+            obligation_times_s = [];
+            n_obligations = 1;
+            cnf_vars = 1;
+            cnf_clauses = 2;
+            conflicts = 0;
+            restarts = 0;
+            attempts = 1;
+          }
+        in
+        let synthetic ~key ~cnf =
+          {
+            Proof_cache.key;
+            engine_version = Proof_cache.version;
+            design = "synthetic";
+            instr = "t";
+            verdict = Checker.Proved;
+            stats = no_stats;
+            cnf;
+            hyps = [ [ 1 ] ];
+            created_s = 0.0;
+          }
+        in
+        (* nine honest entries: x /\ not x is UNSAT, so Proved agrees *)
+        for i = 0 to 8 do
+          Proof_cache.store cache
+            (synthetic
+               ~key:(Printf.sprintf "%02d-good" i)
+               ~cnf:(1, [ [ 1 ]; [ -1 ] ]))
+        done;
+        (* one rotted entry, keyed to sort after every honest one: its
+           stored CNF is satisfiable, so Proved is a lie *)
+        Proof_cache.store cache
+          (synthetic ~key:"zz-rotted" ~cnf:(1, [ [ 1 ] ]));
+        let v = Proof_cache.validate ~sample:5 cache in
+        Alcotest.(check int) "checked the sample" 5 v.Proof_cache.checked;
+        Alcotest.(check (list string))
+          "the late-sorting rotted entry is caught" [ "zz-rotted" ]
+          v.Proof_cache.mismatched);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -220,6 +323,66 @@ let pool_tests =
               Alcotest.(check bool) "survivors" true (i <> 2 && y = i + 100)
             | Pool.Crashed _ ->
               Alcotest.(check int) "only the dying job" 2 i)
+          out);
+    t "a worker death retries the job once, then succeeds (regression)"
+      (fun () ->
+        (* Pre-fix, the first worker death doomed its in-flight job to
+           [Crashed] even though the death was the worker's fault, not
+           the job's.  The marker file makes job 2 kill its first host
+           and succeed on the retry. *)
+        let marker =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ilv-pool-retry-%d" (Unix.getpid ()))
+        in
+        (try Sys.remove marker with Sys_error _ -> ());
+        let f x =
+          if x = 2 && not (Sys.file_exists marker) then begin
+            close_out (open_out marker);
+            Unix._exit 9
+          end
+          else x + 100
+        in
+        let out = Pool.map ~jobs:3 f (List.init 8 Fun.id) in
+        (try Sys.remove marker with Sys_error _ -> ());
+        List.iteri
+          (fun i o ->
+            Alcotest.(check bool)
+              (Printf.sprintf "job %d done after at most one retry" i)
+              true
+              (o = Pool.Done (i + 100)))
+          out);
+    t "a job that kills every host is retried exactly once" (fun () ->
+        let attempts =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ilv-pool-attempts-%d" (Unix.getpid ()))
+        in
+        (try Sys.remove attempts with Sys_error _ -> ());
+        let f x =
+          if x = 2 then begin
+            let oc =
+              open_out_gen [ Open_append; Open_creat ] 0o644 attempts
+            in
+            output_string oc "x";
+            close_out oc;
+            Unix._exit 9
+          end
+          else x + 100
+        in
+        let out = Pool.map ~jobs:3 f (List.init 8 Fun.id) in
+        let executions =
+          try (Unix.stat attempts).Unix.st_size with Unix.Unix_error _ -> 0
+        in
+        (try Sys.remove attempts with Sys_error _ -> ());
+        Alcotest.(check int) "ran twice: original + one retry" 2 executions;
+        List.iteri
+          (fun i o ->
+            match o with
+            | Pool.Done y ->
+              Alcotest.(check bool) "survivors" true (i <> 2 && y = i + 100)
+            | Pool.Crashed _ ->
+              Alcotest.(check int) "only the unkillable job" 2 i)
           out);
   ]
 
