@@ -325,31 +325,58 @@ let extensions () =
 (* Parallel verification engine                                        *)
 (* ------------------------------------------------------------------ *)
 
+let engine_jobs_of (d : Design.t) =
+  let open Ilv_engine in
+  Engine.jobs_of ~name:d.Design.name d.Design.module_ila d.Design.rtl
+    ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
+    ()
+
+(* Jobs memoize their property thunk, so each timed run gets a fresh
+   enumeration to keep the generate+prepare cost inside the timing. *)
+let engine_run ?cache ~jobs ~incremental d =
+  let open Ilv_engine in
+  let _, summary = Engine.run ~jobs ?cache ~incremental (engine_jobs_of d) in
+  summary
+
+(* Fraction of the design's shared-frame clauses the CNF-level pass
+   (unit propagation, dedup, subsumption) removes. *)
+let simplify_reduction (d : Design.t) =
+  let props =
+    List.concat_map
+      (fun (port : Ila.t) ->
+        let refmap = d.Design.refmap_for d.Design.rtl port.Ila.name in
+        Propgen.generate ~ila:port ~rtl:d.Design.rtl ~refmap)
+      d.Design.module_ila.Module_ila.ports
+  in
+  let sh = Checker.prepare_shared ~label:d.Design.name props in
+  (* the frozen snapshot is the post-pass frame (the live context stays
+     lazy and may hold nothing yet) *)
+  let clauses = List.length (snd (Checker.shared_cnf sh)) in
+  let removed = Checker.shared_simplify_removed sh in
+  float_of_int removed /. float_of_int (max 1 (clauses + removed))
+
 let engine_benchmarks () =
   section
-    "Verification engine: sequential vs parallel, cold vs warm proof cache";
+    "Verification engine: fresh vs incremental solving, sequential vs \
+     parallel, cold vs warm proof cache";
   let open Ilv_engine in
   let suite = Catalog.quick in
-  let jobs_of (d : Design.t) =
-    Engine.jobs_of ~name:d.Design.name d.Design.module_ila d.Design.rtl
-      ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
-      ()
-  in
-  (* Jobs memoize their property thunk, so each timed run gets a fresh
-     enumeration to keep the generate+prepare cost inside the timing. *)
-  let run ?cache ~jobs d =
-    let _, summary = Engine.run ~jobs ?cache (jobs_of d) in
-    summary
-  in
   let n_par = 4 in
-  Format.printf "%-26s %6s %10s %10s %10s %10s %10s@." "Design" "insts"
-    "seq s" (Printf.sprintf "-j%d s" n_par) "speedup" "cold s" "warm s";
+  Format.printf "%-26s %6s %8s %8s %7s %8s %8s %8s %8s@." "Design" "insts"
+    "fresh s" "incr s" "reduc"
+    (Printf.sprintf "-j%d s" n_par)
+    "speedup" "cold s" "warm s";
   let json_rows =
     List.map
       (fun (d : Design.t) ->
-        let seq = run ~jobs:1 d in
-        let par = run ~jobs:n_par d in
+        (* sequential_s stays the fresh-solver-per-obligation baseline;
+           incremental_s is the same single worker on the shared frame *)
+        let seq = engine_run ~jobs:1 ~incremental:false d in
+        let incr = engine_run ~jobs:1 ~incremental:true d in
+        let par = engine_run ~jobs:n_par ~incremental:true d in
+        assert (seq.Engine.n_proved = incr.Engine.n_proved);
         assert (seq.Engine.n_proved = par.Engine.n_proved);
+        let reduction = simplify_reduction d in
         let cache_dir =
           Filename.concat
             (Filename.get_temp_dir_name ())
@@ -357,23 +384,25 @@ let engine_benchmarks () =
         in
         let cache = Proof_cache.open_ ~dir:cache_dir () in
         ignore (Proof_cache.clear cache);
-        let cold = run ~cache ~jobs:n_par d in
-        let warm = run ~cache ~jobs:n_par d in
+        let cold = engine_run ~cache ~jobs:n_par ~incremental:true d in
+        let warm = engine_run ~cache ~jobs:n_par ~incremental:true d in
         assert (warm.Engine.fresh_sat_attempts = 0);
         assert (warm.Engine.cache_hits = warm.Engine.n_jobs);
         ignore (Proof_cache.clear cache);
-        Format.printf "%-26s %6d %10.3f %10.3f %9.1fx %10.3f %10.3f@."
-          d.Design.name seq.Engine.n_jobs seq.Engine.wall_s par.Engine.wall_s
-          (seq.Engine.wall_s /. Float.max 1e-9 par.Engine.wall_s)
-          cold.Engine.wall_s warm.Engine.wall_s;
+        let speedup = seq.Engine.wall_s /. Float.max 1e-9 par.Engine.wall_s in
+        Format.printf
+          "%-26s %6d %8.3f %8.3f %6.1f%% %8.3f %7.1fx %8.3f %8.3f@."
+          d.Design.name seq.Engine.n_jobs seq.Engine.wall_s incr.Engine.wall_s
+          (100.0 *. reduction) par.Engine.wall_s speedup cold.Engine.wall_s
+          warm.Engine.wall_s;
         Printf.sprintf
           "{\"design\": %S, \"instructions\": %d, \"workers\": %d, \
-           \"sequential_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": %.2f, \
-           \"cold_cache_s\": %.4f, \"warm_cache_s\": %.4f, \
-           \"warm_cache_hits\": %d, \"warm_fresh_sat_attempts\": %d}"
+           \"sequential_s\": %.4f, \"incremental_s\": %.4f, \
+           \"simplify_reduction\": %.4f, \"parallel_s\": %.4f, \
+           \"speedup\": %.2f, \"cold_cache_s\": %.4f, \"warm_cache_s\": \
+           %.4f, \"warm_cache_hits\": %d, \"warm_fresh_sat_attempts\": %d}"
           d.Design.name seq.Engine.n_jobs n_par seq.Engine.wall_s
-          par.Engine.wall_s
-          (seq.Engine.wall_s /. Float.max 1e-9 par.Engine.wall_s)
+          incr.Engine.wall_s reduction par.Engine.wall_s speedup
           cold.Engine.wall_s warm.Engine.wall_s warm.Engine.cache_hits
           warm.Engine.fresh_sat_attempts)
       suite
@@ -384,8 +413,78 @@ let engine_benchmarks () =
   Format.printf
     "@.warm rows re-ran with every obligation already cached: 100%% hits, \
      zero fresh SAT attempts (asserted).@.\
-     sequential-vs-parallel and cold-vs-warm timings written to \
-     BENCH_engine.json@."
+     fresh-vs-incremental, sequential-vs-parallel and cold-vs-warm timings \
+     written to BENCH_engine.json@."
+
+(* ------------------------------------------------------------------ *)
+(* --check: regression gate against the committed BENCH_engine.json    *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-measures each design's fresh sequential time and fails (exit 1)
+   if any regresses more than 25% against the committed baseline.  A
+   small absolute grace keeps sub-100ms rows from tripping on scheduler
+   noise.  Wired as the @bench-check dune alias — deliberately not part
+   of the default test tree, since wall-clock gates belong in a
+   dedicated CI lane. *)
+let bench_check baseline_path =
+  section
+    (Printf.sprintf "Benchmark regression check against %s" baseline_path);
+  let raw =
+    let ic = open_in_bin baseline_path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline =
+    match Ilv_obs.Json.parse raw with
+    | Error msg ->
+      prerr_endline ("cannot parse " ^ baseline_path ^ ": " ^ msg);
+      exit 2
+    | Ok (Ilv_obs.Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind
+                (Ilv_obs.Json.member "design" row)
+                Ilv_obs.Json.to_string,
+              Option.bind
+                (Ilv_obs.Json.member "sequential_s" row)
+                Ilv_obs.Json.to_float )
+          with
+          | Some d, Some s -> Some (d, s)
+          | _ -> None)
+        rows
+    | Ok _ ->
+      prerr_endline (baseline_path ^ ": expected a JSON array of rows");
+      exit 2
+  in
+  let tolerance = 1.25 in
+  let grace_s = 0.05 in
+  let failures = ref 0 in
+  Format.printf "%-26s %12s %12s %8s  %s@." "Design" "baseline s"
+    "measured s" "ratio" "verdict";
+  List.iter
+    (fun (d : Design.t) ->
+      match List.assoc_opt d.Design.name baseline with
+      | None ->
+        incr failures;
+        Format.printf "%-26s %12s %12s %8s  MISSING from baseline@."
+          d.Design.name "-" "-" "-"
+      | Some committed ->
+        let seq = engine_run ~jobs:1 ~incremental:false d in
+        let measured = seq.Ilv_engine.Engine.wall_s in
+        let ok = measured <= (committed *. tolerance) +. grace_s in
+        if not ok then incr failures;
+        Format.printf "%-26s %12.3f %12.3f %7.2fx  %s@." d.Design.name
+          committed measured
+          (measured /. Float.max 1e-9 committed)
+          (if ok then "ok" else "REGRESSED (>25%)"))
+    Catalog.quick;
+  if !failures > 0 then begin
+    Format.printf "@.%d design(s) regressed or missing.@." !failures;
+    exit 1
+  end
+  else Format.printf "@.all designs within 25%% of the baseline.@."
 
 (* ------------------------------------------------------------------ *)
 (* Mutation campaigns (fault injection)                                *)
@@ -458,9 +557,26 @@ let bechamel_benchmarks () =
 
 (* ------------------------------------------------------------------ *)
 
+let check_arg () =
+  let argv = Array.to_list Sys.argv in
+  let rec find = function
+    | [] -> None
+    | "--check" :: path :: _ when String.length path > 0 && path.[0] <> '-' ->
+      Some path
+    | "--check" :: _ -> Some "BENCH_engine.json"
+    | _ :: rest -> find rest
+  in
+  find argv
+
 let () =
   Format.printf "ILAverif benchmark harness%s@."
     (if quick_mode then " (--quick)" else "");
+  (match check_arg () with
+  | Some path ->
+    bench_check path;
+    Format.printf "@.done.@.";
+    exit 0
+  | None -> ());
   if only_engine then begin
     engine_benchmarks ();
     Format.printf "@.done.@.";

@@ -64,6 +64,16 @@ let cache_dir_arg =
            \\$XDG_CACHE_HOME/ilaverif, else ~/.cache/ilaverif).  Implies \
            $(b,--cache).")
 
+let no_incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Escape hatch: bit-blast and solve every obligation in its own \
+           fresh solver instead of sharing one incremental solver (and one \
+           bit-blasted frame) per design.  Incremental mode is the default; \
+           verdicts are identical either way.")
+
 let portfolio_arg =
   let modes =
     [
@@ -113,15 +123,17 @@ let open_cache ~use_cache ~cache_dir =
 (* Engine-path verification of one design (golden or buggy variant):
    enumerate the obligations as jobs, discharge on the pool, reassemble
    the standard report. *)
-let engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio (d : Design.t)
-    rtl =
+let engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio ~incremental
+    (d : Design.t) rtl =
   let job_list =
     Engine.jobs_of ?variant ?only_ports ~name:d.Design.name
       d.Design.module_ila rtl
       ~refmap_for:(fun port -> d.Design.refmap_for rtl port)
       ()
   in
-  let results, summary = Engine.run ~jobs ?cache ~portfolio job_list in
+  let results, summary =
+    Engine.run ~jobs ?cache ~portfolio ~incremental job_list
+  in
   (Engine.report_of ~name:d.Design.name ~results, summary)
 
 (* ---- list ---- *)
@@ -304,8 +316,9 @@ let verify_cmd =
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
   let run name bug port keep_going vcd jobs use_cache cache_dir portfolio
-      trace_out metrics =
+      no_incremental trace_out metrics =
     setup_obs trace_out metrics;
+    let incremental = not no_incremental in
     let d = or_die (find_design name) in
     let only_ports = Option.map (fun p -> [ p ]) port in
     let cache = open_cache ~use_cache ~cache_dir in
@@ -335,7 +348,8 @@ let verify_cmd =
           | Some label -> (Some label, (find_bug label).Design.buggy_rtl)
         in
         let report, summary =
-          engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio d rtl
+          engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio
+            ~incremental d rtl
         in
         Format.printf "%a@." Engine.pp_summary summary;
         report
@@ -343,10 +357,11 @@ let verify_cmd =
       else
         match bug with
         | None ->
-          Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports d
+          Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports
+            ~incremental d
         | Some label ->
-          Design.verify_buggy ~stop_at_first_failure:(not keep_going) d
-            (find_bug label)
+          Design.verify_buggy ~stop_at_first_failure:(not keep_going)
+            ~incremental d (find_bug label)
     in
     Format.printf "%a@." Verify.pp_report report;
     (match (vcd, report.Verify.first_failure) with
@@ -364,8 +379,8 @@ let verify_cmd =
        ~doc:"Refinement-check a design's RTL against its module-ILA")
     Term.(
       const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
-      $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg $ trace_out_arg
-      $ metrics_flag)
+      $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg
+      $ no_incremental_flag $ trace_out_arg $ metrics_flag)
 
 (* ---- dimacs ---- *)
 
@@ -462,8 +477,10 @@ let table_cmd =
             "Use the memory-abstracted datapath and store buffer (the \
              paper's parenthesized configuration).")
   in
-  let run quick jobs use_cache cache_dir portfolio trace_out metrics =
+  let run quick jobs use_cache cache_dir portfolio no_incremental trace_out
+      metrics =
     setup_obs trace_out metrics;
+    let incremental = not no_incremental in
     let suite = if quick then Catalog.quick else Catalog.all in
     let cache = open_cache ~use_cache ~cache_dir in
     let use_engine =
@@ -472,9 +489,9 @@ let table_cmd =
     let verify d =
       if use_engine then
         fst
-          (engine_verify ?cache ~jobs ~portfolio d
+          (engine_verify ?cache ~jobs ~portfolio ~incremental d
              d.Design.rtl)
-      else Design.verify d
+      else Design.verify ~incremental d
     in
     let rows = List.map (Table_one.measure ~verify) suite in
     Table_one.print_rows Format.std_formatter rows;
@@ -485,7 +502,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
     Term.(
       const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
-      $ portfolio_arg $ trace_out_arg $ metrics_flag)
+      $ portfolio_arg $ no_incremental_flag $ trace_out_arg $ metrics_flag)
 
 (* ---- reach ---- *)
 

@@ -210,3 +210,366 @@ let check_prepared ?(budget = unlimited) pr =
 
 let check ?simplify ?budget (p : Property.t) =
   check_prepared ?budget (prepare ?simplify p)
+
+(* --- shared-frame incremental checking --- *)
+
+(* All properties of one design share a single bit-blasting context:
+   the unrolled transition relation uses the same "rtl.<name>@<cycle>"
+   base variables for every instruction, so hash-consing makes the
+   common frame encode once and the gate cache turns re-encoding into
+   lookups.  Nothing is asserted unguarded: every constraint of
+   property [i]'s obligation [j] sits behind activation literals
+   ([p_act] for the property's assumptions, [ob_act] per obligation)
+   and the query is [Sat.solve ~assumptions:[p_act; ob_act]].  Learnt
+   clauses about the shared frame transfer between obligations; a
+   decided obligation is retired ([¬ob_act]) so its cone never burdens
+   later queries. *)
+
+type shared_ob = { so_ob : Property.obligation; so_act : int }
+
+type enc =
+  | Pending
+  | Encoded of int * shared_ob list (* property activation lit, cones *)
+  | Enc_failed of string
+
+type shared = {
+  sh_props : Property.t array;
+  sh_ctx : Bitblast.t;
+  sh_simplify : bool;
+  sh_label : string; (* what the frame belongs to, for observability *)
+  sh_enc : enc array;
+  sh_done : (verdict * stats) option array;
+      (* memo: a checked property's cones are retired, so re-solving
+         them would vacuously return Unsat *)
+  mutable sh_simplified : bool;
+  mutable sh_removed : int; (* clauses removed by the CNF pass *)
+  mutable sh_frozen : ((int * int list list) * int list list array) option;
+      (* canonical frame CNF + per-property selector lists, built on a
+         throwaway context so the live solver can stay lazy *)
+}
+
+let prepare_shared ?(simplify = true) ?(label = "") props =
+  let n = List.length props in
+  {
+    sh_props = Array.of_list props;
+    sh_ctx = Bitblast.create ();
+    sh_simplify = simplify;
+    sh_label = label;
+    sh_enc = Array.make n Pending;
+    sh_done = Array.make n None;
+    sh_simplified = false;
+    sh_removed = 0;
+    sh_frozen = None;
+  }
+
+let shared_count sh = Array.length sh.sh_props
+let shared_property sh idx = sh.sh_props.(idx)
+
+(* The guarded encoding of one property: a fresh activation literal per
+   cone, Tseitin clauses guarded so the cone only binds while its
+   selector is assumed.  Deterministic for a given context state — the
+   freeze below relies on replaying it on a pristine context producing
+   the same clauses and selector numbers on every worker. *)
+let encode_property ctx ~simplify p =
+  let prep e = if simplify then Simp.simplify_fix e else e in
+  let p_act = Bitblast.fresh_selector ctx in
+  List.iter
+    (fun a -> Bitblast.guard_bool ctx ~act:p_act (prep a))
+    p.Property.assumptions;
+  let obs =
+    List.map
+      (fun (ob : Property.obligation) ->
+        let act = Bitblast.fresh_selector ctx in
+        Bitblast.guard_bool ctx ~act (prep ob.Property.guard);
+        Bitblast.guard_not ctx ~act (prep ob.Property.goal);
+        { so_ob = ob; so_act = act })
+      p.Property.obligations
+  in
+  (p_act, obs)
+
+(* Encoding is lazy (per property, on first use): with
+   [stop_at_first_failure] most callers never query every instruction,
+   and an encoding error must only poison its own property.  A failed
+   encode asserts nothing unguarded, so the context stays sound.
+   Laziness is also the point of the incremental hot path: a query only
+   drags its own cone (plus already-shared frame structure) into the
+   solver's watch lists, instead of every sibling instruction's. *)
+let encode_shared sh idx =
+  match sh.sh_enc.(idx) with
+  | Encoded _ | Enc_failed _ -> ()
+  | Pending ->
+    let p = sh.sh_props.(idx) in
+    let span =
+      if Ilv_obs.Obs.enabled () then
+        Some
+          (Ilv_obs.Obs.span_begin "checker.encode_shared"
+             [
+               ("prop", Ilv_obs.Obs.S p.Property.prop_name);
+               ("port", Ilv_obs.Obs.S p.Property.port);
+               ("instr", Ilv_obs.Obs.S p.Property.instr.Ila.instr_name);
+             ])
+      else None
+    in
+    (match encode_property sh.sh_ctx ~simplify:sh.sh_simplify p with
+    | p_act, obs -> sh.sh_enc.(idx) <- Encoded (p_act, obs)
+    | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+    | exception e -> sh.sh_enc.(idx) <- Enc_failed (Printexc.to_string e));
+    match span with
+    | None -> ()
+    | Some id ->
+      let problem, activation = Bitblast.cnf_split sh.sh_ctx in
+      Ilv_obs.Obs.span_end
+        ~fields:
+          [
+            ("n_problem_clauses", Ilv_obs.Obs.I problem);
+            ("n_activation_clauses", Ilv_obs.Obs.I activation);
+          ]
+        id
+
+(* The CNF pass runs once per shared context, after the bulk of the
+   encoding: either at freeze time (engine path, everything encoded) or
+   before the first solve (lazy path, where the first property's cone
+   already contains the common frame). *)
+let simplify_shared_once sh =
+  if sh.sh_simplify && not sh.sh_simplified then begin
+    sh.sh_simplified <- true;
+    let t0 = Unix.gettimeofday () in
+    let removed = Bitblast.simplify sh.sh_ctx in
+    sh.sh_removed <- removed;
+    if Ilv_obs.Obs.enabled () then
+      Ilv_obs.Obs.event "checker.simplify_cnf"
+        [
+          ("removed", Ilv_obs.Obs.I removed);
+          ("dur_s", Ilv_obs.Obs.F (Unix.gettimeofday () -. t0));
+        ]
+  end
+
+(* Freezing replays the full encoding — every property, in list order —
+   on a throwaway context, runs the CNF pass on it, and snapshots the
+   result plus each property's selector lists.  The snapshot is what
+   makes the shared frame a sound content address for the proof cache:
+   built on a pristine context, it contains no solving residue (learnt
+   clauses, retire units) and its selector numbering is identical on
+   every worker regardless of which subset of jobs the worker solves.
+   Crucially it leaves the *live* solver untouched, so queries keep the
+   lazy working set: frame + own cone, never every sibling's cone. *)
+let shared_freeze sh =
+  if sh.sh_frozen = None then begin
+    let span =
+      if Ilv_obs.Obs.enabled () then
+        Some
+          (Ilv_obs.Obs.span_begin "checker.prepare_shared"
+             [
+               ("design", Ilv_obs.Obs.S sh.sh_label);
+               ("n_properties", Ilv_obs.Obs.I (Array.length sh.sh_props));
+             ])
+      else None
+    in
+    let ctx = Bitblast.create () in
+    let selectors =
+      Array.map
+        (fun p ->
+          match encode_property ctx ~simplify:sh.sh_simplify p with
+          | p_act, obs -> List.map (fun so -> [ p_act; so.so_act ]) obs
+          | exception ((Out_of_memory | Stack_overflow) as fatal) ->
+            raise fatal
+          | exception _ -> [] (* uncacheable; check_shared reports it *))
+        sh.sh_props
+    in
+    let removed = if sh.sh_simplify then Bitblast.simplify ctx else 0 in
+    sh.sh_removed <- removed;
+    sh.sh_frozen <- Some (Bitblast.cnf ctx, selectors);
+    match span with
+    | None -> ()
+    | Some id ->
+      let vars, clauses = Bitblast.cnf_size ctx in
+      let problem, activation = Bitblast.cnf_split ctx in
+      Ilv_obs.Obs.span_end
+        ~fields:
+          [
+            ("cnf_vars", Ilv_obs.Obs.I vars);
+            ("cnf_clauses", Ilv_obs.Obs.I clauses);
+            ("n_problem_clauses", Ilv_obs.Obs.I problem);
+            ("n_activation_clauses", Ilv_obs.Obs.I activation);
+            ("simplify_removed", Ilv_obs.Obs.I removed);
+          ]
+        id
+  end
+
+let shared_cnf sh =
+  shared_freeze sh;
+  fst (Option.get sh.sh_frozen)
+
+let shared_frame_selectors sh idx =
+  shared_freeze sh;
+  (snd (Option.get sh.sh_frozen)).(idx)
+
+let shared_error sh idx =
+  encode_shared sh idx;
+  match sh.sh_enc.(idx) with
+  | Enc_failed msg -> Some msg
+  | Encoded _ -> None
+  | Pending -> assert false
+
+let shared_selectors sh idx =
+  encode_shared sh idx;
+  match sh.sh_enc.(idx) with
+  | Encoded (p_act, obs) ->
+    List.map (fun so -> [ p_act; so.so_act ]) obs
+  | Enc_failed _ | Pending -> []
+
+let shared_cnf_size sh = Bitblast.cnf_size sh.sh_ctx
+let shared_cnf_split sh = Bitblast.cnf_split sh.sh_ctx
+let shared_simplify_removed sh = sh.sh_removed
+
+(* Decide one obligation under its activation literals, escalating the
+   budget on [Unknown] exactly like the fresh-solver path. *)
+let decide_assuming ctx ~budget:b ~assumptions attempts =
+  if is_unlimited b then begin
+    incr attempts;
+    Bitblast.check_assuming ctx ~assumptions
+  end
+  else begin
+    let base = limit_of b in
+    let rec go k =
+      let limit =
+        if k = 0 then base
+        else
+          Sat.scale_limit
+            (int_of_float (float_of_int b.escalation_factor ** float_of_int k))
+            base
+      in
+      incr attempts;
+      match Bitblast.check_assuming ~limit ctx ~assumptions with
+      | Bitblast.Unknown _ when k < b.escalations -> go (k + 1)
+      | answer -> answer
+    in
+    go 0
+  end
+
+let check_shared ?(budget = unlimited) sh idx =
+  match sh.sh_done.(idx) with
+  | Some r -> r
+  | None ->
+  encode_shared sh idx;
+  simplify_shared_once sh;
+  let p = sh.sh_props.(idx) in
+  let r =
+  match sh.sh_enc.(idx) with
+  | Pending -> assert false
+  | Enc_failed msg ->
+    ( Unknown ("exception: " ^ msg),
+      {
+        time_s = 0.0;
+        obligation_times_s = [];
+        n_obligations = List.length p.Property.obligations;
+        cnf_vars = 0;
+        cnf_clauses = 0;
+        conflicts = 0;
+        restarts = 0;
+        attempts = 0;
+      } )
+  | Encoded (p_act, obs) ->
+    let stats0 = Bitblast.solver_stats sh.sh_ctx in
+    let attempts = ref 0 in
+    let obligation_times = ref [] in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      obligation_times := (Unix.gettimeofday () -. t0) :: !obligation_times;
+      r
+    in
+    let retire so = Bitblast.retire sh.sh_ctx so.so_act in
+    let rec go unknowns = function
+      | [] -> (
+        match List.rev unknowns with
+        | [] -> Proved
+        | (label, reason) :: _ ->
+          Unknown (Printf.sprintf "obligation %s: %s" label reason))
+      | so :: rest -> (
+        let ob = so.so_ob in
+        let span =
+          if Ilv_obs.Obs.enabled () then
+            Some
+              (Ilv_obs.Obs.span_begin "checker.obligation"
+                 [
+                   ("prop", Ilv_obs.Obs.S p.Property.prop_name);
+                   ("port", Ilv_obs.Obs.S p.Property.port);
+                   ("instr", Ilv_obs.Obs.S p.Property.instr.Ila.instr_name);
+                   ("label", Ilv_obs.Obs.S ob.Property.label);
+                   ("mode", Ilv_obs.Obs.S "incremental");
+                 ])
+          else None
+        in
+        let attempts0 = !attempts in
+        let result =
+          timed (fun () ->
+              decide_assuming sh.sh_ctx ~budget
+                ~assumptions:[ p_act; so.so_act ] attempts)
+        in
+        (match span with
+        | None -> ()
+        | Some id ->
+          let open Ilv_obs.Obs in
+          let tries = !attempts - attempts0 in
+          count "checker.obligations" 1;
+          count "checker.escalations" (max 0 (tries - 1));
+          span_end
+            ~fields:
+              [
+                ( "outcome",
+                  S
+                    (match result with
+                    | Bitblast.Unsat -> "unsat"
+                    | Bitblast.Sat _ -> "sat"
+                    | Bitblast.Unknown _ -> "unknown") );
+                ("attempts", I tries);
+                ("escalation_level", I (max 0 (tries - 1)));
+              ]
+            id);
+        match result with
+        | Bitblast.Unsat ->
+          retire so;
+          go unknowns rest
+        | Bitblast.Unknown reason ->
+          retire so;
+          go ((ob.Property.label, reason) :: unknowns) rest
+        | Bitblast.Sat model ->
+          (* decode before retiring: retiring adds a clause, which
+             invalidates the model *)
+          let verdict = failed_of_model p ob model in
+          retire so;
+          List.iter retire rest;
+          verdict)
+    in
+    let verdict = go [] obs in
+    (* the whole property is decided: retire its assumption cone too,
+       then shed every clause the retire units satisfy — the guarded
+       cones and any learnt clause mentioning a retired activation
+       literal — so watch lists don't grow with each finished property.
+       The subsumption stage is skipped: this runs between every pair
+       of properties and must stay linear. *)
+    Bitblast.retire sh.sh_ctx p_act;
+    ignore (Bitblast.simplify ~subsume:false sh.sh_ctx);
+    Bitblast.age_activity sh.sh_ctx;
+    let cnf_vars, cnf_clauses = Bitblast.cnf_size sh.sh_ctx in
+    let solver_stats = Bitblast.solver_stats sh.sh_ctx in
+    let obligation_times_s = List.rev !obligation_times in
+    let stats =
+      {
+        time_s = List.fold_left ( +. ) 0.0 obligation_times_s;
+        obligation_times_s;
+        n_obligations = List.length p.Property.obligations;
+        cnf_vars;
+        cnf_clauses;
+        (* deltas: the solver is shared across the design's properties,
+           so totals would double-count earlier instructions *)
+        conflicts = solver_stats.Sat.conflicts - stats0.Sat.conflicts;
+        restarts = solver_stats.Sat.restarts - stats0.Sat.restarts;
+        attempts = !attempts;
+      }
+    in
+    (verdict, stats)
+  in
+  sh.sh_done.(idx) <- Some r;
+  r

@@ -109,6 +109,85 @@ val cnf_size : prepared -> int * int
 (** [(variables, clauses)] of the prepared CNF — the cheap size probe
     behind portfolio backend selection. *)
 
+(** {1 Shared-frame incremental checking}
+
+    All properties of one design are blasted into a {e single}
+    incremental context: the per-instruction unrollings share base
+    variables ([rtl.<name>@<cycle>]), so hash-consing and the Tseitin
+    gate cache encode the common transition-relation frame once.  Each
+    obligation's constraints are guarded behind fresh activation
+    literals and decided under [Sat.solve ~assumptions] (Eén &
+    Sörensson), so learnt clauses about the shared frame transfer
+    between obligations and instructions; decided cones are retired by
+    unit clauses on their negated activation literals.
+
+    Encoding is lazy per property — with early-stopping callers most
+    properties of a failing design are never encoded — and a property
+    whose encoding raises poisons only itself (nothing is asserted
+    unguarded).  {!shared_freeze} forces everything deterministically,
+    which the engine needs for stable cache keys. *)
+
+type shared
+
+val prepare_shared :
+  ?simplify:bool -> ?label:string -> Property.t list -> shared
+(** Creates the shared context.  [simplify] (default true) applies
+    both the word-level simplifier to every formula and, once per
+    context, the solver's CNF-level pass ({!Ilv_sat.Sat.simplify}).
+    [label] names the frame in observability output (the design, or
+    design/port, it belongs to). *)
+
+val shared_count : shared -> int
+
+val shared_property : shared -> int -> Property.t
+
+val check_shared : ?budget:budget -> shared -> int -> verdict * stats
+(** Decides property [idx]'s obligations in the shared context, with
+    the same semantics as {!check} (ordering, early [Failed] stop,
+    budget escalation).  Obligations are retired as they are decided;
+    results are memoized, so calling twice is safe and returns the
+    first verdict.  [stats.conflicts]/[restarts] are per-call deltas of
+    the shared solver; [cnf_vars]/[cnf_clauses] report the whole shared
+    context. *)
+
+val shared_freeze : shared -> unit
+(** Replays the full encoding — every property, in list order — on a
+    throwaway context, runs the CNF pass on it, and snapshots the CNF
+    plus each property's selector lists.  The snapshot is the cache
+    address of the frame: built on a pristine context it carries no
+    solving residue, and its selector numbering is identical on every
+    worker.  The live solver is untouched, so queries keep their lazy
+    working set (frame + own cone, never every sibling's).  Idempotent;
+    costs one extra encoding pass. *)
+
+val shared_cnf : shared -> int * int list list
+(** The frozen CNF snapshot (freezes on first use). *)
+
+val shared_frame_selectors : shared -> int -> int list list
+(** Per obligation of property [idx] (in property order), the
+    activation literals of its query in the *frozen* snapshot's
+    numbering (freezes on first use) — the selector half of the cache
+    key.  Empty for a property whose encoding failed (uncacheable).
+    Does not touch the live context. *)
+
+val shared_selectors : shared -> int -> int list list
+(** Like {!shared_frame_selectors} but in the live solver's (lazy,
+    encode-order-dependent) numbering; encodes property [idx] on first
+    use.  Empty for a property whose encoding failed. *)
+
+val shared_error : shared -> int -> string option
+(** The encoding error of property [idx], if it failed. *)
+
+val shared_cnf_size : shared -> int * int
+(** Current [(variables, clauses)] of the shared context. *)
+
+val shared_cnf_split : shared -> int * int
+(** [(problem, activation)] clause counts of the shared context. *)
+
+val shared_simplify_removed : shared -> int
+(** Clauses removed by the CNF-level simplification pass (0 before the
+    pass has run, or with [~simplify:false]). *)
+
 (** {1 Model decoding helpers}
 
     Exposed for alternative decision procedures (the BDD leg of the

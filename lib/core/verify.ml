@@ -79,8 +79,8 @@ let enumerate ?only_ports (module_ila : Module_ila.t) =
         (Ila.leaf_instructions port))
     selected
 
-let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
-    rtl ~refmap_for =
+let run ?(stop_at_first_failure = true) ?only_ports ?budget
+    ?(incremental = true) ~name module_ila rtl ~refmap_for =
   let t0 = Unix.gettimeofday () in
   let first_failure = ref None in
   let selected =
@@ -100,12 +100,65 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ~name module_ila
           with e -> Error (message_of_exn e)
         in
         let results = ref [] in
+        (* Incremental mode: generate every property of the port up
+           front and share one solver context across them (encoding
+           inside the context stays lazy, so early stopping still skips
+           the unchecked instructions' CNF).  Fresh mode regenerates
+           and re-blasts per instruction. *)
+        let shared_check =
+          match refmap with
+          | Error _ -> None
+          | Ok refmap when incremental ->
+            let gens =
+              List.map
+                (fun (i : Ila.instruction) ->
+                  ( i.Ila.instr_name,
+                    try Ok (Propgen.generate_for ~ila:port ~rtl ~refmap i)
+                    with e -> Error (message_of_exn e) ))
+                (Ila.leaf_instructions port)
+            in
+            let sh =
+              Checker.prepare_shared
+                ~label:(name ^ "/" ^ port.Ila.name)
+                (List.filter_map
+                   (fun (_, g) -> Result.to_option g)
+                   gens)
+            in
+            let slots = Hashtbl.create 16 in
+            let next = ref 0 in
+            List.iter
+              (fun (instr_name, g) ->
+                match g with
+                | Ok _ ->
+                  Hashtbl.replace slots instr_name (Ok !next);
+                  incr next
+                | Error msg -> Hashtbl.replace slots instr_name (Error msg))
+              gens;
+            Some
+              (fun (i : Ila.instruction) ->
+                match Hashtbl.find_opt slots i.Ila.instr_name with
+                | Some (Ok idx) -> Checker.check_shared ?budget sh idx
+                | Some (Error msg) ->
+                  (Checker.Unknown ("exception: " ^ msg), empty_stats)
+                | None ->
+                  ( Checker.Unknown "exception: instruction not prepared",
+                    empty_stats ))
+          | Ok _ -> None
+        in
         let check_instr refmap (i : Ila.instruction) =
-          try
-            let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
-            Checker.check ?budget property
-          with e ->
-            (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
+          match shared_check with
+          | Some f -> (
+            try f i
+            with e ->
+              (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
+            )
+          | None -> (
+            try
+              let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
+              Checker.check ?budget property
+            with e ->
+              (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
+            )
         in
         let rec check_all = function
           | [] -> ()

@@ -53,6 +53,7 @@ val run :
   ?stop_at_first_failure:bool ->
   ?only_ports:string list ->
   ?budget:Checker.budget ->
+  ?incremental:bool ->
   name:string ->
   Module_ila.t ->
   Ilv_rtl.Rtl.t ->
@@ -67,6 +68,14 @@ val run :
     {!Checker.Unknown} verdicts rather than hangs.  Exceptions raised
     while checking one instruction (including from [refmap_for] or the
     property generator) are converted into an [Unknown] verdict with
-    the exception message instead of aborting the whole report. *)
+    the exception message instead of aborting the whole report.
+
+    [incremental] (default true) shares one solver context per port
+    across all of its instructions' properties
+    ({!Checker.prepare_shared}): the common unrolled frame is blasted
+    once and learnt clauses transfer between queries.
+    [incremental:false] restores the fresh-solver-per-instruction
+    behavior; the verdicts are the same either way (only [Unknown]
+    cutoff points can differ under a {!Checker.budget}). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -34,10 +34,17 @@ type t = {
 
 val class_to_string : module_class -> string
 
-val verify : ?stop_at_first_failure:bool -> ?only_ports:string list -> t -> Verify.report
-(** Verifies the golden RTL against the module-ILA. *)
+val verify :
+  ?stop_at_first_failure:bool ->
+  ?only_ports:string list ->
+  ?incremental:bool ->
+  t ->
+  Verify.report
+(** Verifies the golden RTL against the module-ILA.  [incremental]
+    (default true) is {!Verify.run}'s shared-solver mode. *)
 
-val verify_buggy : ?stop_at_first_failure:bool -> t -> bug -> Verify.report
+val verify_buggy :
+  ?stop_at_first_failure:bool -> ?incremental:bool -> t -> bug -> Verify.report
 (** Verifies a buggy variant (expected to fail, yielding the paper's
     "Time (bug)" measurement and a counterexample trace). *)
 

@@ -149,10 +149,164 @@ let discharge ~cache ~portfolio ~budget (j : job) =
       ~time_s:(Unix.gettimeofday () -. t0)
       ~backend:"error" ~cache_hit:false
 
+(* ---- shared-frame (incremental) dispatch ----
+
+   Jobs of one (design, variant) share a single bit-blasted frame and
+   one incremental solver.  The group state is built by [Pool]'s
+   per-worker [init] — in the worker process, after the fork, once per
+   worker — so a worker pays one [prepare_shared] for all the jobs it
+   serves instead of one [prepare] per job. *)
+
+type shared_state = {
+  st_sh : Checker.shared;
+  st_slots : (int, (int, string) Stdlib.result) Hashtbl.t;
+      (** job id -> index into the shared context, or the
+          property-generation error *)
+  st_frame : string Lazy.t;  (** frame digest (forces the freeze) *)
+  st_canonical : (int * int list list) Lazy.t;
+}
+
+(* Group jobs by (design, variant, port), preserving first-appearance
+   group order and within-group (instruction) order.  The port — not
+   the whole design — is the sharing unit: a module's ports are
+   pairwise independent by construction (no shared states), so
+   instructions of different ports overlap on almost nothing, while
+   instructions of one port share the port's decode and next-state
+   frame almost entirely.  One solver per port keeps the clause
+   database dense with reusable structure instead of dragging every
+   sibling port's dead Tseitin definitions through each query's watch
+   lists (this mirrors [Verify]'s lazy path, which also scopes its
+   shared context per port). *)
+let group_jobs job_list =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      let k = (j.design, j.variant, j.port) in
+      match Hashtbl.find_opt tbl k with
+      | Some r -> r := j :: !r
+      | None ->
+        let r = ref [ j ] in
+        Hashtbl.add tbl k r;
+        order := k :: !order)
+    job_list;
+  List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
+
+let init_group group =
+  let gens =
+    List.map
+      (fun j ->
+        ( j.id,
+          match Lazy.force j.property with
+          | p -> Ok p
+          | exception ((Out_of_memory | Stack_overflow) as fatal) ->
+            raise fatal
+          | exception e -> Error (Printexc.to_string e) ))
+      group
+  in
+  let label =
+    match group with
+    | [] -> ""
+    | j :: _ ->
+      (j.design ^ match j.variant with None -> "" | Some v -> "+" ^ v)
+      ^ "/" ^ j.port
+  in
+  let sh =
+    Checker.prepare_shared ~label
+      (List.filter_map (fun (_, g) -> Result.to_option g) gens)
+  in
+  (* Freeze before any solving: the canonical snapshot (built on a
+     throwaway context, so the live solver keeps its lazy working set)
+     provides the cache keys, makes selector numbering identical
+     across workers, and emits the per-design frame span the profiler
+     aggregates. *)
+  Checker.shared_freeze sh;
+  let slots = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (id, g) ->
+      match g with
+      | Ok _ ->
+        Hashtbl.replace slots id (Ok !next);
+        incr next
+      | Error msg -> Hashtbl.replace slots id (Error msg))
+    gens;
+  {
+    st_sh = sh;
+    st_slots = slots;
+    st_frame = lazy (Proof_cache.frame_digest (Checker.shared_cnf sh));
+    st_canonical = lazy (Proof_cache.canonical_cnf (Checker.shared_cnf sh));
+  }
+
+let discharge_shared ~cache ~portfolio ~budget st (j : job) =
+  let t0 = Unix.gettimeofday () in
+  let errored msg =
+    result_of_job j
+      ~verdict:(Checker.Unknown ("engine: " ^ msg))
+      ~stats:empty_stats
+      ~time_s:(Unix.gettimeofday () -. t0)
+      ~backend:"error" ~cache_hit:false
+  in
+  try
+    match Hashtbl.find_opt st.st_slots j.id with
+    | None -> errored "job missing from its group"
+    | Some (Error msg) -> errored msg
+    | Some (Ok idx) -> (
+      let snapshot =
+        match cache with
+        | None -> None
+        | Some _ -> (
+          (* keys come from the frozen snapshot's numbering, so a hit
+             never encodes the property into the live solver at all *)
+          match Checker.shared_frame_selectors st.st_sh idx with
+          | [] -> None (* encode failed or no obligations: no key *)
+          | selectors ->
+            Some
+              ( Proof_cache.key_of_shared ~frame:(Lazy.force st.st_frame)
+                  ~selectors,
+                selectors ))
+      in
+      let cached =
+        match (cache, snapshot) with
+        | Some c, Some (key, _) -> Proof_cache.lookup c key
+        | _ -> None
+      in
+      match cached with
+      | Some (e : Proof_cache.entry) ->
+        result_of_job j ~verdict:e.Proof_cache.verdict
+          ~stats:e.Proof_cache.stats
+          ~time_s:(Unix.gettimeofday () -. t0)
+          ~backend:"cache" ~cache_hit:true
+      | None ->
+        let verdict, stats, backend =
+          Portfolio.decide_shared ?budget portfolio st.st_sh idx
+        in
+        (match (cache, snapshot) with
+        | Some c, Some (key, selectors) ->
+          Proof_cache.store c
+            {
+              Proof_cache.key;
+              engine_version = Proof_cache.version;
+              design = j.design;
+              instr = j.port ^ "." ^ j.instr;
+              verdict;
+              stats;
+              cnf = Lazy.force st.st_canonical;
+              hyps = selectors;
+              created_s = Unix.gettimeofday ();
+            }
+        | _ -> ());
+        result_of_job j ~verdict ~stats
+          ~time_s:(Unix.gettimeofday () -. t0)
+          ~backend ~cache_hit:false)
+  with
+  | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+  | e -> errored (Printexc.to_string e)
+
 (* The instrumented job: one span per obligation job, tagged at the
    end with what actually happened (backend, verdict, cache hit). *)
-let run_one ~cache ~portfolio ~budget (j : job) =
-  if not (Ilv_obs.Obs.enabled ()) then discharge ~cache ~portfolio ~budget j
+let instrumented ~mode discharge_fn (j : job) =
+  if not (Ilv_obs.Obs.enabled ()) then discharge_fn j
   else begin
     let open Ilv_obs.Obs in
     let span =
@@ -162,11 +316,12 @@ let run_one ~cache ~portfolio ~budget (j : job) =
            ("design", S j.design);
            ("port", S j.port);
            ("instr", S j.instr);
+           ("mode", S mode);
          ]
         @ match j.variant with None -> [] | Some v -> [ ("variant", S v) ])
     in
     count "engine.jobs" 1;
-    let r = discharge ~cache ~portfolio ~budget j in
+    let r = discharge_fn j in
     span_end
       ~fields:
         [
@@ -178,7 +333,8 @@ let run_one ~cache ~portfolio ~budget (j : job) =
     r
   end
 
-let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
+let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
+    ?(incremental = true) job_list =
   let t0 = Unix.gettimeofday () in
   let run_span =
     if Ilv_obs.Obs.enabled () then
@@ -188,13 +344,53 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
              ("n_jobs", Ilv_obs.Obs.I (List.length job_list));
              ("workers", Ilv_obs.Obs.I (max 1 jobs));
              ("cache", Ilv_obs.Obs.B (cache <> None));
+             ("incremental", Ilv_obs.Obs.B incremental);
              ( "portfolio",
                Ilv_obs.Obs.S (Portfolio.choice_to_string portfolio) );
            ])
     else None
   in
-  let outcomes =
-    Pool.map ~jobs (run_one ~cache ~portfolio ~budget) job_list
+  let ordered_jobs, outcomes =
+    if incremental then begin
+      (* The group — one port's jobs — is the scheduling atom: a worker
+         takes a whole group, prepares its shared frame once, and
+         solves the group's queries back to back so every query after
+         the first inherits the earlier ones' learnt clauses.  Workers
+         persist across groups (one fork per worker for the whole
+         sweep, not per group).  Splitting a group across workers would
+         re-prepare the frame in each and forfeit the learnt-clause
+         transfer that makes incremental solving pay. *)
+      let groups = group_jobs job_list in
+      let discharge_group group =
+        let st = init_group group in
+        List.map
+          (fun j ->
+            instrumented ~mode:"incremental"
+              (discharge_shared ~cache ~portfolio ~budget st)
+              j)
+          group
+      in
+      let group_outcomes = Pool.map ~jobs discharge_group groups in
+      ( List.concat groups,
+        List.concat
+          (List.map2
+             (fun g outcome ->
+               match outcome with
+               | Pool.Done rs when List.length rs = List.length g ->
+                 List.map (fun r -> Pool.Done r) rs
+               | Pool.Done _ ->
+                 List.map
+                   (fun _ -> Pool.Crashed "engine: group result arity mismatch")
+                   g
+               | Pool.Crashed reason ->
+                 List.map (fun _ -> Pool.Crashed reason) g)
+             groups group_outcomes) )
+    end
+    else
+      ( job_list,
+        Pool.map ~jobs
+          (instrumented ~mode:"fresh" (discharge ~cache ~portfolio ~budget))
+          job_list )
   in
   let results =
     List.map2
@@ -205,7 +401,7 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget job_list =
           result_of_job j
             ~verdict:(Checker.Unknown ("engine: " ^ reason))
             ~stats:empty_stats ~time_s:0.0 ~backend:"error" ~cache_hit:false)
-      job_list outcomes
+      ordered_jobs outcomes
   in
   let results = List.sort (fun a b -> compare a.job_id b.job_id) results in
   let count p = List.length (List.filter p results) in

@@ -76,14 +76,26 @@ val run :
   ?cache:Proof_cache.t ->
   ?portfolio:Portfolio.choice ->
   ?budget:Checker.budget ->
+  ?incremental:bool ->
   job list ->
   result list * summary
 (** Discharges every job.  [jobs] (default 1) is the worker count —
     [1] runs in-process with no fork.  With [cache], every job first
-    computes its proof-cache key from the prepared CNF; a hit skips
-    solving entirely, a miss solves and stores any definitive verdict.
-    [portfolio] (default [Auto]) selects the backend per obligation;
-    [budget] bounds the SAT leg as in {!Checker.check_prepared}. *)
+    computes its proof-cache key; a hit skips solving entirely, a miss
+    solves and stores any definitive verdict.  [portfolio] (default
+    [Auto]) selects the backend per obligation; [budget] bounds the SAT
+    leg as in {!Checker.check_prepared}.
+
+    [incremental] (default [true]) groups jobs by (design, variant)
+    and discharges each group against one shared bit-blasted frame in
+    one incremental solver ({!Checker.prepare_shared}): workers are
+    persistent per group — each worker forks once, prepares the shared
+    context once, and streams job after job against it, so learnt
+    clauses transfer between a design's obligations.  Cache keys in
+    this mode hash the shared frame plus the property's activation
+    selectors ({!Proof_cache.key_of_shared}) and can never alias
+    non-incremental entries.  Verdicts and their order are identical
+    in both modes. *)
 
 val report_of : name:string -> results:result list -> Verify.report
 (** Reassembles engine results (of one design sweep) into the

@@ -67,13 +67,15 @@ let select choice pr =
 
 (* ---- the BDD leg ---- *)
 
-let stats_of_bdd pr ~obligation_times_s ~attempts =
-  let cnf_vars, cnf_clauses = Checker.cnf_size pr in
+(* The BDD leg works from the word-level property alone; [cnf_size] is
+   threaded in only so its stats report the same problem size as the
+   SAT leg would — in shared mode that is the whole design frame. *)
+let stats_of_bdd ~cnf_size:(cnf_vars, cnf_clauses) ~n_obligations
+    ~obligation_times_s ~attempts =
   {
     Checker.time_s = List.fold_left ( +. ) 0.0 obligation_times_s;
     obligation_times_s;
-    n_obligations =
-      List.length (Checker.property pr).Property.obligations;
+    n_obligations;
     cnf_vars;
     cnf_clauses;
     conflicts = 0;
@@ -81,8 +83,8 @@ let stats_of_bdd pr ~obligation_times_s ~attempts =
     attempts;
   }
 
-let decide_bdd pr =
-  let p = Checker.property pr in
+let decide_bdd_on ~cnf_size (p : Property.t) =
+  let n_obligations = List.length p.Property.obligations in
   let man = Ilv_sat.Bdd_check.create () in
   let prep = Simp.simplify_fix in
   let assumptions = List.map prep p.Property.assumptions in
@@ -90,8 +92,9 @@ let decide_bdd pr =
   let attempts = ref 0 in
   let rec go = function
     | [] ->
-      (Checker.Proved, stats_of_bdd pr ~obligation_times_s:(List.rev !times)
-                         ~attempts:!attempts)
+      ( Checker.Proved,
+        stats_of_bdd ~cnf_size ~n_obligations
+          ~obligation_times_s:(List.rev !times) ~attempts:!attempts )
     | (ob : Property.obligation) :: rest -> (
       let t0 = Unix.gettimeofday () in
       incr attempts;
@@ -105,10 +108,13 @@ let decide_bdd pr =
       | Ilv_sat.Bdd_check.Unsat -> go rest
       | Ilv_sat.Bdd_check.Sat model ->
         ( Checker.failed_of_model p ob model,
-          stats_of_bdd pr ~obligation_times_s:(List.rev !times)
-            ~attempts:!attempts ))
+          stats_of_bdd ~cnf_size ~n_obligations
+            ~obligation_times_s:(List.rev !times) ~attempts:!attempts ))
   in
   go p.Property.obligations
+
+let decide_bdd pr =
+  decide_bdd_on ~cnf_size:(Checker.cnf_size pr) (Checker.property pr)
 
 (* ---- the race ---- *)
 
@@ -132,14 +138,20 @@ let spawn_leg (run : unit -> Checker.verdict * Checker.stats) =
     Unix.close rw;
     (pid, rr)
 
-let empty_stats pr =
-  stats_of_bdd pr ~obligation_times_s:[] ~attempts:0
+let empty_stats_of ~cnf_size (p : Property.t) =
+  stats_of_bdd ~cnf_size
+    ~n_obligations:(List.length p.Property.obligations)
+    ~obligation_times_s:[] ~attempts:0
 
-let race ?budget pr =
+(* Race a SAT leg (any closure) against the BDD leg over property [p].
+   Both legs run in forked children, so in shared mode the SAT leg's
+   learnt clauses stay in its child — racing deliberately trades the
+   parent-side incremental state for latency. *)
+let race_on ~sat ~cnf_size (p : Property.t) =
   let legs =
     [
-      ("race:sat", spawn_leg (fun () -> Checker.check_prepared ?budget pr));
-      ("race:bdd", spawn_leg (fun () -> decide_bdd pr));
+      ("race:sat", spawn_leg sat);
+      ("race:bdd", spawn_leg (fun () -> decide_bdd_on ~cnf_size p));
     ]
   in
   let reap (_, (pid, fd)) =
@@ -163,7 +175,10 @@ let race ?budget pr =
     | [] -> (
       match !fallback with
       | Some r -> r
-      | None -> (Checker.Unknown "race: both legs failed", empty_stats pr, "race"))
+      | None ->
+        ( Checker.Unknown "race: both legs failed",
+          empty_stats_of ~cnf_size p,
+          "race" ))
     | _ -> (
       let fds = List.map (fun (_, (_, fd)) -> fd) pending in
       match Unix.select fds [] [] (-1.0) with
@@ -188,11 +203,16 @@ let race ?budget pr =
               fallback :=
                 Some
                   ( Checker.Unknown ("race leg failed: " ^ msg),
-                    empty_stats pr,
+                    empty_stats_of ~cnf_size p,
                     name );
             wait rest)))
   in
   wait legs
+
+let race ?budget pr =
+  race_on
+    ~sat:(fun () -> Checker.check_prepared ?budget pr)
+    ~cnf_size:(Checker.cnf_size pr) (Checker.property pr)
 
 let obs_select ~choice ~eligible backend =
   if Ilv_obs.Obs.enabled () then begin
@@ -233,3 +253,36 @@ let decide ?budget choice pr =
       obs_select ~choice ~eligible "bdd";
       let v, st = decide_bdd pr in
       (v, st, "bdd"))
+
+(* Shared-frame dispatch.  The design's frame is already bit-blasted
+   into one incremental solver, so [Auto] always takes the SAT leg —
+   that is where the amortization lives.  The BDD leg only runs when
+   forced or racing; a race's SAT child keeps its learnt clauses to
+   itself (see [race_on]). *)
+let decide_shared ?budget choice sh idx =
+  match Checker.shared_error sh idx with
+  | Some _ ->
+    (* encoding failed; [check_shared] reports the stored error *)
+    let v, st = Checker.check_shared ?budget sh idx in
+    (v, st, "error")
+  | None -> (
+    let p = Checker.shared_property sh idx in
+    let eligible = bdd_eligible p in
+    let cnf_size = Checker.shared_cnf_size sh in
+    let sat () = Checker.check_shared ?budget sh idx in
+    match choice with
+    | Race when eligible ->
+      obs_select ~choice ~eligible "race";
+      let ((_, _, winner) as r) = race_on ~sat ~cnf_size p in
+      if Ilv_obs.Obs.enabled () then
+        Ilv_obs.Obs.event "portfolio.race_winner"
+          [ ("backend", Ilv_obs.Obs.S winner) ];
+      r
+    | Force Bdd_backend ->
+      obs_select ~choice ~eligible "bdd";
+      let v, st = decide_bdd_on ~cnf_size p in
+      (v, st, "bdd")
+    | Auto | Race | Force Sat_backend ->
+      obs_select ~choice ~eligible "sat";
+      let v, st = sat () in
+      (v, st, "sat"))

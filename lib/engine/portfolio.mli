@@ -46,3 +46,18 @@ val decide :
     ["race:sat"] or ["race:bdd"].  [budget] applies to the SAT leg
     exactly as in {!Checker.check_prepared}; the BDD leg is unbudgeted
     but only ever raced or selected under the size heuristic. *)
+
+val decide_shared :
+  ?budget:Checker.budget ->
+  choice ->
+  Checker.shared ->
+  int ->
+  Checker.verdict * Checker.stats * string
+(** {!decide} for property [idx] of a shared-frame context
+    ({!Checker.prepare_shared}).  The SAT leg is
+    {!Checker.check_shared} — incremental, with learnt-clause reuse
+    across the design's properties — so [Auto] always selects it; the
+    BDD leg runs only under [Force Bdd_backend] or an eligible [Race].
+    A raced SAT leg runs in a forked child, so its learnt clauses do
+    not enrich the parent's shared solver.  A property whose encoding
+    failed reports backend ["error"]. *)

@@ -1,10 +1,11 @@
 open Ilv_core
 
-(* /2: the cache key now canonicalizes the hypothesis (selector)
-   literal lists exactly like clauses, so keys written by /1 name
-   different content — a version bump makes them stale rather than
-   silently unreachable. *)
-let version = "ilaverif-engine/2"
+(* /3: keys are mode-tagged ("F;" for fresh per-property CNFs, "I;"
+   for shared-frame incremental queries), so an incremental run and a
+   non-incremental run can never alias each other's entries even when
+   their clause sets coincide.  /2 keys carried no tag — the version
+   bump makes them stale rather than silently unreachable. *)
+let version = "ilaverif-engine/3"
 let magic = "ilaverif-proof-cache/1\n"
 
 type t = { cache_dir : string }
@@ -60,22 +61,7 @@ let canonical_cnf (n_vars, clauses) =
 let canonical_hyps hyps =
   List.sort compare (List.map (List.sort_uniq compare) hyps)
 
-let key_of_cnf ~n_vars ~clauses ~hyps =
-  let _, clauses = canonical_cnf (n_vars, clauses) in
-  let hyps = canonical_hyps hyps in
-  let b = Buffer.create 65536 in
-  Buffer.add_string b "v";
-  Buffer.add_string b (string_of_int n_vars);
-  List.iter
-    (fun clause ->
-      Buffer.add_char b ';';
-      List.iter
-        (fun lit ->
-          Buffer.add_string b (string_of_int lit);
-          Buffer.add_char b ',')
-        clause)
-    clauses;
-  Buffer.add_string b "#H";
+let add_lit_lists b lists =
   List.iter
     (fun lits ->
       Buffer.add_char b ';';
@@ -84,12 +70,42 @@ let key_of_cnf ~n_vars ~clauses ~hyps =
           Buffer.add_string b (string_of_int lit);
           Buffer.add_char b ',')
         lits)
-    hyps;
+    lists
+
+let key_of_cnf ~n_vars ~clauses ~hyps =
+  let _, clauses = canonical_cnf (n_vars, clauses) in
+  let hyps = canonical_hyps hyps in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "F;v";
+  Buffer.add_string b (string_of_int n_vars);
+  add_lit_lists b clauses;
+  Buffer.add_string b "#H";
+  add_lit_lists b hyps;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let key_of_prepared pr =
   let n_vars, clauses = Checker.cnf pr in
   key_of_cnf ~n_vars ~clauses ~hyps:(Checker.hypothesis_literals pr)
+
+(* Shared-frame (incremental) keys: the frame — one CNF for all of a
+   design's obligations — is digested once per design, and each
+   property's key combines that digest with its canonical activation
+   selectors.  The "I;" tag keeps these disjoint from "F;" keys. *)
+let frame_digest (n_vars, clauses) =
+  let n_vars, clauses = canonical_cnf (n_vars, clauses) in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "v";
+  Buffer.add_string b (string_of_int n_vars);
+  add_lit_lists b clauses;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let key_of_shared ~frame ~selectors =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "I;";
+  Buffer.add_string b frame;
+  Buffer.add_string b "#S";
+  add_lit_lists b (canonical_hyps selectors);
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* ---- entry files ---- *)
 

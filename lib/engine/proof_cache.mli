@@ -7,7 +7,12 @@
     bit-blasted} obligation set: the complete problem CNF of the
     prepared property ({!Ilv_core.Checker.prepare} — assumptions plus
     the Tseitin encoding of every obligation's guard and negated goal)
-    together with the per-obligation selector literals.  Clause
+    together with the per-obligation selector literals.  Keys are
+    {e mode-tagged}: a fresh per-property preparation and a
+    shared-frame incremental query hash disjoint key spaces
+    ({!key_of_cnf} vs {!key_of_shared}), so the two modes can never
+    serve each other's entries even when their clause sets happen to
+    coincide.  Clause
     literals are sorted within each clause and clauses sorted
     lexicographically before hashing, so the key is insensitive to
     clause emission order; CNF variable numbering is preserved by
@@ -76,6 +81,21 @@ val key_of_prepared : Ilv_core.Checker.prepared -> string
 
 val canonical_cnf : int * int list list -> int * int list list
 (** Sorted-clause form, as hashed and as stored in entries. *)
+
+val frame_digest : int * int list list -> string
+(** Digest of a canonicalized shared-frame CNF
+    ({!Ilv_core.Checker.shared_cnf}).  Computed once per design and
+    reused for every property's {!key_of_shared}.  Must be taken from
+    the {e frozen} snapshot (before any solving), like
+    {!key_of_prepared}. *)
+
+val key_of_shared : frame:string -> selectors:int list list -> string
+(** Key of one property's obligations inside a shared frame:
+    [frame] is the {!frame_digest} of the design's shared CNF and
+    [selectors] the property's activation-selector lists
+    ({!Ilv_core.Checker.shared_selectors}), canonicalized like
+    {!canonical_hyps}.  Tagged distinctly from {!key_of_cnf} keys, so
+    incremental and non-incremental runs never alias. *)
 
 val lookup : t -> string -> entry option
 (** [None] on a genuine miss {e and} on any unreadable entry — a

@@ -73,6 +73,27 @@ let rule_or a b =
   | Expr.And (x, y), _ when Expr.equal b x || Expr.equal b y -> b
   | _ -> Build.( ||: ) a b
 
+(* Width-directed equality split: comparing concatenations piecewise
+   lets the per-slice rules (and constant folding) fire on each part.
+   Both operands are already known to have equal widths when the rule
+   applies; otherwise fall through and let [Build.eq] raise. *)
+let rule_eq_concat a b =
+  match (Expr.node a, Expr.node b) with
+  | Expr.Concat (x, y), Expr.Concat (u, v)
+    when Expr.width a = Expr.width b && Expr.width x = Expr.width u ->
+    Build.( &&: ) (Build.eq x u) (Build.eq y v)
+  | Expr.Concat (x, y), Expr.Bv_const _ when Expr.width a = Expr.width b ->
+    let wy = Expr.width y in
+    Build.( &&: )
+      (Build.eq x (Build.extract ~hi:(Expr.width b - 1) ~lo:wy b))
+      (Build.eq y (Build.extract ~hi:(wy - 1) ~lo:0 b))
+  | Expr.Bv_const _, Expr.Concat (u, v) when Expr.width a = Expr.width b ->
+    let wv = Expr.width v in
+    Build.( &&: )
+      (Build.eq (Build.extract ~hi:(Expr.width a - 1) ~lo:wv a) u)
+      (Build.eq (Build.extract ~hi:(wv - 1) ~lo:0 a) v)
+  | _ -> Build.eq a b
+
 let rule_eq a b =
   (* ite c x y == x with x,y distinct constants decides c *)
   match (Expr.node a, Expr.node b) with
@@ -88,7 +109,46 @@ let rule_eq a b =
   | _, Expr.Ite (c, x, y)
     when Expr.equal y a && is_const x && is_const y && not (Expr.equal x y)
     -> Build.not_ c
-  | _ -> Build.eq a b
+  | _ -> rule_eq_concat a b
+
+(* Extract distributing over structure the constructor-local rules in
+   [Build] cannot see: an [ite] with a constant arm (the constant side
+   folds away), and extends (the slice lands entirely in the base or
+   entirely in the zero padding). *)
+let rule_extract ~hi ~lo arg =
+  match Expr.node arg with
+  | Expr.Ite (c, a, b) when is_const a || is_const b ->
+    Build.ite c (Build.extract ~hi ~lo a) (Build.extract ~hi ~lo b)
+  | Expr.Extend { signed = _; width = _; arg = x } when hi < Expr.width x ->
+    Build.extract ~hi ~lo x
+  | Expr.Extend { signed = false; width = _; arg = x } when lo >= Expr.width x
+    ->
+    Build.bv ~width:(hi - lo + 1) 0
+  | _ -> Build.extract ~hi ~lo arg
+
+(* Adjacent slices of the same word reassemble into one slice. *)
+let rule_concat a b =
+  match (Expr.node a, Expr.node b) with
+  | ( Expr.Extract { hi = h1; lo = l1; arg = x },
+      Expr.Extract { hi = h2; lo = l2; arg = y } )
+    when Expr.equal x y && l1 = h2 + 1 ->
+    Build.extract ~hi:h1 ~lo:l2 x
+  | _ -> Build.concat a b
+
+(* Shifting a w-bit vector by a constant >= w leaves nothing. *)
+let shifts_everything_out a b =
+  match Expr.node b with
+  | Expr.Bv_const k ->
+    Bitvec.width k <= 62 && Bitvec.to_int k >= Expr.width a
+  | _ -> false
+
+let rule_shl a b =
+  if shifts_everything_out a b then Build.bv ~width:(Expr.width a) 0
+  else Build.shl a b
+
+let rule_lshr a b =
+  if shifts_everything_out a b then Build.bv ~width:(Expr.width a) 0
+  else Build.lshr a b
 
 let simplify e =
   let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 256 in
@@ -119,15 +179,15 @@ let simplify e =
     | Expr.Binop (Expr.Bv_urem, a, b) -> Build.urem (go a) (go b)
     | Expr.Binop (Expr.Bv_and, a, b) -> Build.( &: ) (go a) (go b)
     | Expr.Binop (Expr.Bv_or, a, b) -> Build.( |: ) (go a) (go b)
-    | Expr.Binop (Expr.Bv_shl, a, b) -> Build.shl (go a) (go b)
-    | Expr.Binop (Expr.Bv_lshr, a, b) -> Build.lshr (go a) (go b)
+    | Expr.Binop (Expr.Bv_shl, a, b) -> rule_shl (go a) (go b)
+    | Expr.Binop (Expr.Bv_lshr, a, b) -> rule_lshr (go a) (go b)
     | Expr.Binop (Expr.Bv_ashr, a, b) -> Build.ashr (go a) (go b)
     | Expr.Cmp (Expr.Bv_ult, a, b) -> Build.( <: ) (go a) (go b)
     | Expr.Cmp (Expr.Bv_ule, a, b) -> Build.( <=: ) (go a) (go b)
     | Expr.Cmp (Expr.Bv_slt, a, b) -> Build.slt (go a) (go b)
     | Expr.Cmp (Expr.Bv_sle, a, b) -> Build.sle (go a) (go b)
-    | Expr.Concat (a, b) -> Build.concat (go a) (go b)
-    | Expr.Extract { hi; lo; arg } -> Build.extract ~hi ~lo (go arg)
+    | Expr.Concat (a, b) -> rule_concat (go a) (go b)
+    | Expr.Extract { hi; lo; arg } -> rule_extract ~hi ~lo (go arg)
     | Expr.Extend { signed; width; arg } ->
       if signed then Build.sext (go arg) width else Build.zext (go arg) width
     | Expr.Read { mem; addr } -> Build.read (go mem) (go addr)

@@ -8,10 +8,23 @@ type row = {
   time_s : float;
 }
 
+type frame = {
+  frame_design : string;
+  n_properties : int;
+  frame_vars : int;
+  frame_clauses : int;
+  problem_clauses : int;
+  activation_clauses : int;
+  simplify_removed : int;
+  preparations : int;  (** how many workers built this frame *)
+  prepare_s : float;
+}
+
 type t = {
   lines : int;
   rows : row list;
   backends : (string * (int * float)) list;
+  frames : frame list;
   counters : (string * int) list;
   run_wall_s : float option;
   span_total_s : float;
@@ -24,6 +37,7 @@ let fl key json = Option.bind (Json.member key json) Json.to_float
 let int_of key json = Option.bind (Json.member key json) Json.to_int
 
 let interesting name = name = "engine.job" || name = "verify.instr"
+let frame_span = "checker.prepare_shared"
 
 let of_trace lines =
   let rows : (string * string * string * string * string, int * float)
@@ -41,15 +55,47 @@ let of_trace lines =
     | _ -> None
   in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let frames : (string, frame) Hashtbl.t = Hashtbl.create 8 in
   let run_wall = ref None in
   List.iter
     (fun line ->
       let ev = str "ev" line and name = str "name" line in
       match ev with
-      | "span_begin" when interesting name -> (
+      | "span_begin" when interesting name || name = frame_span -> (
         match span_key line with
         | Some k -> Hashtbl.replace begins k line
         | None -> ())
+      | "span_end" when name = frame_span ->
+        (* shared-frame sizes: one record per design label; several
+           workers may each build the frame, counted in [preparations] *)
+        let opened =
+          Option.bind (span_key line) (Hashtbl.find_opt begins)
+        in
+        let ifield key =
+          match int_of key line with
+          | Some n -> n
+          | None ->
+            Option.value ~default:0 (Option.bind opened (int_of key))
+        in
+        let design =
+          match opened with Some b -> str ~default:"?" "design" b | None -> "?"
+        in
+        let dur = Option.value ~default:0.0 (fl "dur_s" line) in
+        let prev = Hashtbl.find_opt frames design in
+        Hashtbl.replace frames design
+          {
+            frame_design = design;
+            n_properties = ifield "n_properties";
+            frame_vars = ifield "cnf_vars";
+            frame_clauses = ifield "cnf_clauses";
+            problem_clauses = ifield "n_problem_clauses";
+            activation_clauses = ifield "n_activation_clauses";
+            simplify_removed = ifield "simplify_removed";
+            preparations =
+              1 + (match prev with Some f -> f.preparations | None -> 0);
+            prepare_s =
+              dur +. (match prev with Some f -> f.prepare_s | None -> 0.0);
+          }
       | "span_end" when interesting name ->
         let opened =
           Option.bind (span_key line) (Hashtbl.find_opt begins)
@@ -107,6 +153,10 @@ let of_trace lines =
     backends =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) backends []);
+    frames =
+      List.sort
+        (fun a b -> compare a.frame_design b.frame_design)
+        (Hashtbl.fold (fun _ f acc -> f :: acc) frames []);
     counters =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []);
@@ -150,6 +200,19 @@ let pp fmt p =
       (fun (backend, (n, time_s)) ->
         fprintf fmt "@,  %-10s %4d jobs %10.4fs" backend n time_s)
       backends);
+  (match p.frames with
+  | [] -> ()
+  | frames ->
+    fprintf fmt "@,@,shared frames (incremental mode):";
+    fprintf fmt "@,  %-28s %5s %8s %8s %8s %8s %8s %5s %9s" "design" "props"
+      "vars" "clauses" "problem" "activ" "removed" "preps" "prep_s";
+    List.iter
+      (fun f ->
+        fprintf fmt "@,  %-28s %5d %8d %8d %8d %8d %8d %5d %9.4f"
+          f.frame_design f.n_properties f.frame_vars f.frame_clauses
+          f.problem_clauses f.activation_clauses f.simplify_removed
+          f.preparations f.prepare_s)
+      frames);
   (match p.counters with
   | [] -> ()
   | counters ->

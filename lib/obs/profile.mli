@@ -7,7 +7,11 @@
     into rows; ["counter"] lines are summed per name across all
     processes; an ["engine.run"] span, when present, supplies the
     sweep's wall clock so the report can show how much of it the
-    instruction spans account for. *)
+    instruction spans account for.  ["checker.prepare_shared"] spans
+    (incremental mode) are folded into one {!frame} record per design,
+    showing the shared frame's size — variables, problem vs activation
+    clauses, clauses removed by CNF simplification — and how many
+    workers built it. *)
 
 type row = {
   design : string;
@@ -19,10 +23,23 @@ type row = {
   time_s : float;
 }
 
+type frame = {
+  frame_design : string;
+  n_properties : int;
+  frame_vars : int;
+  frame_clauses : int;
+  problem_clauses : int;  (** clauses encoding the design frame *)
+  activation_clauses : int;  (** clauses guarding obligation cones *)
+  simplify_removed : int;  (** removed by the CNF-level pass *)
+  preparations : int;  (** how many workers built this frame *)
+  prepare_s : float;  (** total preparation time across workers *)
+}
+
 type t = {
   lines : int;  (** trace lines consumed *)
   rows : row list;  (** sorted by descending time *)
   backends : (string * (int * float)) list;  (** per-backend jobs/time *)
+  frames : frame list;  (** per-design shared-frame sizes, sorted by name *)
   counters : (string * int) list;  (** summed across processes *)
   run_wall_s : float option;  (** ["engine.run"] span duration, if any *)
   span_total_s : float;  (** summed row time *)

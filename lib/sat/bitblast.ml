@@ -153,6 +153,18 @@ let lit_of t e =
 let assert_bool t e = Sat.add_clause t.ctx.solver [ lit_of t e ]
 let assert_not t e = Sat.add_clause t.ctx.solver [ -lit_of t e ]
 
+(* --- activation literals (assumption-based incremental checking) --- *)
+
+let fresh_selector t = Sat.new_var t.ctx.solver
+
+let guard_bool t ~act e =
+  Sat.add_clause ~activation:true t.ctx.solver [ -act; lit_of t e ]
+
+let guard_not t ~act e =
+  Sat.add_clause ~activation:true t.ctx.solver [ -act; -lit_of t e ]
+
+let retire t act = Sat.add_clause ~activation:true t.ctx.solver [ -act ]
+
 type answer =
   | Unsat
   | Sat of (string -> Sort.t -> Value.t)
@@ -200,6 +212,19 @@ let check_under ?limit t ~hypotheses =
   | Sat.Result Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
   | Sat.Unknown reason -> Unknown reason
 
+let check_assuming ?limit t ~assumptions =
+  match Sat.solve_bounded ~assumptions ?limit t.ctx.solver with
+  | Sat.Result Sat.Unsat -> Unsat
+  | Sat.Result Sat.Sat -> Sat (fun name sort -> decode_bits t name sort)
+  | Sat.Unknown reason -> Unknown reason
+
+let age_activity t = Sat.age_activity t.ctx.solver
+let simplify ?subsume t = Sat.simplify ?subsume t.ctx.solver
 let cnf t = Sat.export t.ctx.solver
 let cnf_size t = (Sat.num_vars t.ctx.solver, Sat.num_clauses t.ctx.solver)
+
+let cnf_split t =
+  ( Sat.num_problem_clauses t.ctx.solver,
+    Sat.num_activation_clauses t.ctx.solver )
+
 let solver_stats t = Sat.stats t.ctx.solver

@@ -33,6 +33,32 @@ val lit_of : t -> Expr.t -> int
 (** The solver literal holding a boolean expression's value (defining
     clauses are added as needed). *)
 
+(** {1 Activation literals}
+
+    The incremental checking scheme (Eén & Sörensson): instead of
+    asserting an obligation's constraints permanently, guard them
+    behind a fresh {e activation literal} [act] — every constraint [c]
+    becomes the clause [¬act ∨ c] — and decide the obligation by
+    solving under the assumption [act].  With [act] unassigned or
+    false the guarded cone is vacuously satisfiable, so many
+    obligations can coexist in one context and learnt clauses about
+    the shared problem structure transfer between their queries.
+    Asserting [¬act] ({!retire}) permanently deactivates a cone. *)
+
+val fresh_selector : t -> int
+(** A fresh activation literal (positive). *)
+
+val guard_bool : t -> act:int -> Expr.t -> unit
+(** [guard_bool t ~act e] asserts [act → e] (as an activation clause).
+    @raise Expr.Sort_error if the expression is not boolean. *)
+
+val guard_not : t -> act:int -> Expr.t -> unit
+(** [guard_not t ~act e] asserts [act → ¬e]. *)
+
+val retire : t -> int -> unit
+(** [retire t act] asserts [¬act]: permanently deactivates the cone
+    guarded by [act].  Invalidates the current model. *)
+
 type answer =
   | Unsat
   | Sat of (string -> Sort.t -> Value.t)
@@ -55,11 +81,29 @@ val check_under : ?limit:Sat.limit -> t -> hypotheses:Expr.t list -> answer
 (** Like {!check}, additionally assuming the hypotheses for this query
     only (via solver assumptions — nothing is permanently asserted). *)
 
+val check_assuming : ?limit:Sat.limit -> t -> assumptions:int list -> answer
+(** Like {!check_under} but with raw solver literals (e.g. activation
+    literals from {!fresh_selector}) instead of expressions. *)
+
+val age_activity : t -> unit
+(** {!Sat.age_activity} on the underlying solver: demote branching
+    activity earned by earlier queries to a tie-break. *)
+
+val simplify : ?subsume:bool -> t -> int
+(** Runs the solver's level-0 simplification ({!Sat.simplify}) on the
+    accumulated CNF; returns the number of clauses removed.  Sound at
+    any point; changes what {!cnf} reports.  [~subsume:false] restricts
+    it to the linear passes (see {!Sat.simplify}). *)
+
 val cnf : t -> int * int list list
 (** The accumulated CNF ([n_vars], clauses as external literals), for
     DIMACS export. *)
 
 val cnf_size : t -> int * int
 (** [(variables, clauses)] created so far. *)
+
+val cnf_split : t -> int * int
+(** [(problem, activation)] clause counts — how much of the CNF is
+    shared frame vs. per-obligation activation guards. *)
 
 val solver_stats : t -> Sat.stats

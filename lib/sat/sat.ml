@@ -5,6 +5,7 @@
 type clause = {
   lits : int array; (* internal encoding; lits.(0), lits.(1) are watched *)
   learnt : bool;
+  activation : bool; (* activation-literal guard, not problem structure *)
   mutable activity : float;
   mutable deleted : bool;
 }
@@ -34,6 +35,7 @@ type t = {
   mutable seen : bool array; (* scratch for analyze *)
   (* statistics *)
   mutable n_clauses : int;
+  mutable n_activation : int; (* activation clauses among n_clauses *)
   mutable n_learnts : int;
   mutable decisions : int;
   mutable propagations : int;
@@ -72,6 +74,7 @@ let create () =
     solved = None;
     seen = Array.make 8 false;
     n_clauses = 0;
+    n_activation = 0;
     n_learnts = 0;
     decisions = 0;
     propagations = 0;
@@ -125,6 +128,8 @@ let new_var s =
 
 let num_vars s = s.n_vars
 let num_clauses s = s.n_clauses
+let num_activation_clauses s = s.n_activation
+let num_problem_clauses s = s.n_clauses - s.n_activation
 
 (* value of an internal literal: 0 undef / 1 true / 2 false *)
 let lit_value s l =
@@ -194,6 +199,16 @@ let bump_var s v =
   if s.heap_pos.(v) >= 0 then sift_up s s.heap_pos.(v)
 
 let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
+
+(* Between incremental queries: raise the increment so the next query's
+   conflict bumps dwarf activity accumulated by earlier (retired)
+   queries.  Stale order survives only as a tie-break, which is the
+   fresh-solver behaviour heterogeneous sibling queries want, while a
+   hot frame variable re-earns its rank in a few conflicts.  The
+   rescale guard keeps repeated aging from overflowing. *)
+let age_activity s =
+  s.var_inc <- s.var_inc *. 1e20;
+  if s.var_inc > 1e100 then rescale_var_activity s
 
 let bump_clause s (c : clause) =
   c.activity <- c.activity +. s.cla_inc;
@@ -299,7 +314,7 @@ let propagate s =
 
 (* --- clause addition (level 0 only) --- *)
 
-let add_clause s ext_lits =
+let add_clause ?(activation = false) s ext_lits =
   (* incremental use: drop any previous search state and model *)
   cancel_until s 0;
   s.solved <- None;
@@ -324,15 +339,159 @@ let add_clause s ext_lits =
           {
             lits = Array.of_list lits;
             learnt = false;
+            activation;
             activity = 0.0;
             deleted = false;
           }
         in
         s.clauses <- c :: s.clauses;
         s.n_clauses <- s.n_clauses + 1;
+        if activation then s.n_activation <- s.n_activation + 1;
         attach s c
     end
   end
+
+(* --- level-0 simplification --- *)
+
+(* SatELite-lite: runs only at decision level 0.  Unit propagation to
+   fixpoint, removal of satisfied clauses, stripping of false literals
+   (rebuilding the clause so the watch invariant holds), then duplicate
+   elimination and light backward subsumption over the problem clauses.
+   Deleting a clause that is the reason of a level-0 assignment is safe:
+   conflict analysis never dereferences level-0 reasons, and level 0 is
+   never backtracked; reasons are cleared anyway for hygiene.
+   [~subsume:false] skips the quadratic-ish dedup/subsumption stage and
+   keeps only the linear propagation passes — cheap enough to run
+   between incremental queries, where its job is shedding clauses
+   satisfied by retire units rather than deep preprocessing. *)
+let simplify ?(subsume = true) s =
+  cancel_until s 0;
+  s.solved <- None;
+  let before = s.n_clauses + s.n_learnts in
+  let delete c =
+    c.deleted <- true;
+    if c.learnt then s.n_learnts <- s.n_learnts - 1
+    else begin
+      s.n_clauses <- s.n_clauses - 1;
+      if c.activation then s.n_activation <- s.n_activation - 1
+    end
+  in
+  let count_in c =
+    if c.learnt then s.n_learnts <- s.n_learnts + 1
+    else begin
+      s.n_clauses <- s.n_clauses + 1;
+      if c.activation then s.n_activation <- s.n_activation + 1
+    end
+  in
+  if not s.unsat then begin
+    (try propagate s with Conflict _ -> s.unsat <- true);
+    (* satisfied-clause removal + false-literal stripping, repeated
+       until strengthening stops producing new level-0 units *)
+    let changed = ref (not s.unsat) in
+    while !changed do
+      changed := false;
+      let strengthen kept c =
+        if s.unsat || c.deleted then kept
+        else if Array.exists (fun l -> lit_value s l = 1) c.lits then begin
+          delete c;
+          kept
+        end
+        else begin
+          let live =
+            List.filter
+              (fun l -> lit_value s l <> 2)
+              (Array.to_list c.lits)
+          in
+          if List.length live = Array.length c.lits then c :: kept
+          else begin
+            delete c;
+            changed := true;
+            match live with
+            | [] ->
+              s.unsat <- true;
+              kept
+            | [ l ] ->
+              enqueue s l None;
+              (try propagate s with Conflict _ -> s.unsat <- true);
+              kept
+            | _ ->
+              let c' = { c with lits = Array.of_list live; deleted = false } in
+              count_in c';
+              attach s c';
+              c' :: kept
+          end
+        end
+      in
+      s.clauses <- List.rev (List.fold_left strengthen [] s.clauses);
+      s.learnts <- List.rev (List.fold_left strengthen [] s.learnts)
+    done;
+    (* level-0 reasons are never inspected again; drop the pointers so
+       deleted clauses can be collected *)
+    let level0_bound =
+      if s.trail_lim_size > 0 then s.trail_lim.(0) else s.trail_size
+    in
+    for i = 0 to level0_bound - 1 do
+      s.reason.(var_of s.trail.(i)) <- None
+    done;
+    if subsume && not s.unsat then begin
+      (* duplicate elimination + backward subsumption (problem clauses
+         only; subsumers capped at 8 literals to bound the scan) *)
+      let canon c =
+        let a = Array.copy c.lits in
+        Array.sort compare a;
+        a
+      in
+      let keyed =
+        List.filter_map
+          (fun c -> if c.deleted then None else Some (c, canon c))
+          s.clauses
+      in
+      let tbl = Hashtbl.create (max 16 (List.length keyed)) in
+      List.iter
+        (fun (c, k) ->
+          let key = Array.to_list k in
+          if Hashtbl.mem tbl key then delete c else Hashtbl.add tbl key ())
+        keyed;
+      let keyed = List.filter (fun (c, _) -> not c.deleted) keyed in
+      let occ = Array.make ((2 * s.n_vars) + 2) [] in
+      List.iter
+        (fun ck -> Array.iter (fun l -> occ.(l) <- ck :: occ.(l)) (snd ck))
+        keyed;
+      (* [subset a b]: sorted literal arrays, is a ⊆ b? *)
+      let subset a b =
+        let na = Array.length a and nb = Array.length b in
+        let rec go i j =
+          if i >= na then true
+          else if j >= nb then false
+          else if a.(i) = b.(j) then go (i + 1) (j + 1)
+          else if a.(i) > b.(j) then go i (j + 1)
+          else false
+        in
+        go 0 0
+      in
+      List.iter
+        (fun (c, k) ->
+          if (not c.deleted) && Array.length k <= 8 then begin
+            let rarest = ref k.(0) in
+            Array.iter
+              (fun l ->
+                if List.length occ.(l) < List.length occ.(!rarest) then
+                  rarest := l)
+              k;
+            List.iter
+              (fun (d, kd) ->
+                if
+                  d != c
+                  && (not d.deleted)
+                  && Array.length kd > Array.length k
+                  && subset k kd
+                then delete d)
+              occ.(!rarest)
+          end)
+        keyed
+    end
+  end;
+  max 0 (before - (s.n_clauses + s.n_learnts))
 
 (* --- conflict analysis (first UIP) --- *)
 
@@ -412,7 +571,9 @@ let record_learnt s lits =
     let tmp = lits.(1) in
     lits.(1) <- lits.(!maxi);
     lits.(!maxi) <- tmp;
-    let c = { lits; learnt = true; activity = 0.0; deleted = false } in
+    let c =
+      { lits; learnt = true; activation = false; activity = 0.0; deleted = false }
+    in
     s.learnts <- c :: s.learnts;
     s.n_learnts <- s.n_learnts + 1;
     bump_clause s c;
@@ -564,7 +725,15 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
                | Some confl ->
                  s.conflicts <- s.conflicts + 1;
                  incr conflicts_here;
-                 if decision_level s = 0 then answer := Some (Result Unsat)
+                 if decision_level s = 0 then begin
+                   (* conflict below every decision: unconditionally
+                      unsatisfiable.  Latch it — the propagation queue
+                      is already past the falsified clause, so without
+                      the flag a later solve on this solver would never
+                      revisit it and could answer a bogus [Sat]. *)
+                   s.unsat <- true;
+                   answer := Some (Result Unsat)
+                 end
                  else if decision_level s <= Array.length assumption_lits
                  then
                    (* the conflict depends only on assumptions *)
@@ -609,7 +778,11 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
           end
         done;
         (match !answer with Some r -> r | None -> assert false)
-      with Conflict _ -> Result Unsat
+      with Conflict _ ->
+        (* escapes only from level-0 propagation (initial, or a learnt
+           unit's fallout): latch like the in-loop level-0 case *)
+        if decision_level s = 0 then s.unsat <- true;
+        Result Unsat
     end
   in
   (match result with
@@ -638,6 +811,8 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
         ("restarts", I restarts);
         ("n_vars", I s.n_vars);
         ("n_clauses", I s.n_clauses);
+        ("n_problem_clauses", I (s.n_clauses - s.n_activation));
+        ("n_activation_clauses", I s.n_activation);
         ("limited", B (limit != no_limit));
         ("dur_s", F (Unix.gettimeofday () -. t_start));
       ];

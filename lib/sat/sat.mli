@@ -21,16 +21,49 @@ val new_var : t -> int
 (** Allocates a fresh variable and returns its (positive) index. *)
 
 val num_vars : t -> int
-val num_clauses : t -> int
-(** Problem clauses added so far (excluding learnt clauses). *)
 
-val add_clause : t -> int list -> unit
+val num_clauses : t -> int
+(** Clauses added so far (excluding learnt clauses): problem clauses
+    plus activation clauses. *)
+
+val num_problem_clauses : t -> int
+(** Clauses added without [~activation] — the shared problem frame. *)
+
+val num_activation_clauses : t -> int
+(** Clauses added with [~activation:true] — per-obligation guards.
+    Reported separately so profiles can show how much of a CNF is the
+    shared frame vs. activation plumbing. *)
+
+val add_clause : ?activation:bool -> t -> int list -> unit
 (** Adds a clause.  Tautologies are dropped and duplicate literals
     merged.  Adding the empty clause makes the instance trivially
     unsatisfiable.  May be called between {!solve} calls (incremental
-    use); doing so invalidates the previous model.
+    use); doing so invalidates the previous model.  [activation]
+    (default false) tags the clause as activation-literal plumbing
+    rather than problem structure — it only affects the
+    {!num_problem_clauses}/{!num_activation_clauses} split and the
+    corresponding observability counters.
     @raise Invalid_argument on a literal whose variable was never
     allocated. *)
+
+val age_activity : t -> unit
+(** Decays all accumulated branching activity relative to future
+    conflict bumps (by raising the bump increment), so the next query
+    of an incremental session branches on what *it* learns rather than
+    on what earlier, already-retired queries cared about.  Stale
+    ranking survives only as a tie-break.  Cheap (O(1) amortised). *)
+
+val simplify : ?subsume:bool -> t -> int
+(** Level-0 simplification: propagates pending units to fixpoint,
+    removes satisfied clauses, strips false literals, then eliminates
+    duplicate and (lightly) subsumed problem clauses.  Returns the
+    number of clauses removed (net).  Preserves satisfiability and all
+    models; invalidates the previous model like {!add_clause} does.
+    Cheap enough to run once after loading a large problem.
+    [~subsume:false] skips the dedup/subsumption stage, leaving only
+    the linear propagation passes — the right setting for the
+    between-query cleanups of an incremental session, where the goal is
+    shedding clauses (problem and learnt) satisfied by retire units. *)
 
 val solve : ?assumptions:int list -> t -> result
 (** Decides the conjunction of all added clauses, under the optional

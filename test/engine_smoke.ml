@@ -2,7 +2,10 @@
    default test alias: a tiny two-design parallel sweep against a
    throwaway proof cache, then a warm rerun that must be served from
    the cache (hit count positive, zero fresh SAT attempts) and must
-   not be slower than the cold run beyond a generous slack. *)
+   not be slower than the cold run beyond a generous slack.  Finally,
+   the incremental/fresh equivalence sweep: on every catalog design
+   (quick configuration), the default incremental mode must produce
+   verdicts identical to fresh per-obligation solving. *)
 
 open Ilv_designs
 open Ilv_engine
@@ -58,4 +61,32 @@ let () =
       warm.Engine.wall_s slack;
   Format.printf
     "engine smoke: %d jobs, warm rerun served entirely from cache@."
-    warm.Engine.n_jobs
+    warm.Engine.n_jobs;
+  (* incremental vs fresh: verdict-for-verdict agreement on every
+     catalog design *)
+  let verdicts results =
+    List.map
+      (fun (r : Engine.result) ->
+        ( r.Engine.job_id,
+          r.Engine.r_port,
+          r.Engine.r_instr,
+          match r.Engine.verdict with
+          | Ilv_core.Checker.Proved -> "proved"
+          | Ilv_core.Checker.Failed _ -> "failed"
+          | Ilv_core.Checker.Unknown _ -> "unknown" ))
+      results
+  in
+  List.iter
+    (fun (d : Design.t) ->
+      let js = jobs_of d 0 in
+      let ri, si = Engine.run ~jobs:1 js in
+      let rf, _ = Engine.run ~jobs:1 ~incremental:false js in
+      if verdicts ri <> verdicts rf then
+        fail "engine smoke: %s: incremental and fresh verdicts differ"
+          d.Design.name;
+      if si.Engine.n_proved <> si.Engine.n_jobs then
+        fail "engine smoke: %s: %d of %d proved" d.Design.name
+          si.Engine.n_proved si.Engine.n_jobs;
+      Format.printf "engine smoke: %-26s %d obligations agree in both modes@."
+        d.Design.name si.Engine.n_jobs)
+    Catalog.quick

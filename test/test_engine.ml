@@ -450,10 +450,109 @@ let engine_tests =
           (shape report = shape reference));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Incremental mode                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let incremental_tests =
+  [
+    t "fresh and incremental modes agree verdict-for-verdict" (fun () ->
+        let d = design "AXI Slave" in
+        let ri, si = Engine.run ~jobs:1 (jobs_of d) in
+        let rf, sf = Engine.run ~jobs:1 ~incremental:false (jobs_of d) in
+        Alcotest.(check bool)
+          "same verdicts, same order" true
+          (summary_verdicts ri = summary_verdicts rf);
+        Alcotest.(check int) "all proved (incr)" si.Engine.n_jobs
+          si.Engine.n_proved;
+        Alcotest.(check int) "all proved (fresh)" sf.Engine.n_jobs
+          sf.Engine.n_proved);
+    t "persistent workers: a 2-worker sweep forks at most 2 processes"
+      (fun () ->
+        (* The whole point of per-design shared solving is that workers
+           persist: one fork per worker, jobs streamed against the
+           shared context — not one fork per job.  Count the pool's
+           spawn events through the trace sink. *)
+        let d1 = design "AXI Slave" and d2 = design "Mem. Interface" in
+        let j1 = jobs_of d1 in
+        let sweep =
+          j1
+          @ Engine.jobs_of ~first_id:(List.length j1)
+              ~name:d2.Design.name d2.Design.module_ila d2.Design.rtl
+              ~refmap_for:(fun port ->
+                d2.Design.refmap_for d2.Design.rtl port)
+              ()
+        in
+        let trace =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ilv-test-spawns-%d.jsonl" (Unix.getpid ()))
+        in
+        (try Sys.remove trace with Sys_error _ -> ());
+        Ilv_obs.Obs.configure ~trace_out:trace ();
+        let _, s = Engine.run ~jobs:2 sweep in
+        Ilv_obs.Obs.shutdown ();
+        let ic = open_in trace in
+        let n = in_channel_length ic in
+        let body = really_input_string ic n in
+        close_in ic;
+        (try Sys.remove trace with Sys_error _ -> ());
+        let spawns = count_substring body "\"name\":\"pool.spawn\"" in
+        Alcotest.(check int) "all proved" s.Engine.n_jobs s.Engine.n_proved;
+        Alcotest.(check bool)
+          "enough jobs for the bound to bite" true
+          (s.Engine.n_jobs > 2);
+        Alcotest.(check bool)
+          (Printf.sprintf "%d spawns for %d jobs" spawns s.Engine.n_jobs)
+          true
+          (spawns >= 1 && spawns <= 2));
+    t "incremental and fresh cache entries never alias (regression)"
+      (fun () ->
+        (* Incremental keys hash the shared frame + activation
+           selectors, fresh keys hash the per-property CNF; a key
+           scheme that let them collide would serve a verdict computed
+           against a different formula.  Both directions must miss. *)
+        let d = design "AXI Slave" in
+        let cache = Proof_cache.open_ ~dir:(fresh_dir ()) () in
+        let rf, sf =
+          Engine.run ~jobs:1 ~incremental:false ~cache (jobs_of d)
+        in
+        Alcotest.(check int) "fresh cold run misses all" sf.Engine.n_jobs
+          sf.Engine.cache_misses;
+        let ri, si = Engine.run ~jobs:1 ~cache (jobs_of d) in
+        Alcotest.(check int) "incremental run sees no fresh-mode entry" 0
+          si.Engine.cache_hits;
+        Alcotest.(check int) "it solves everything itself" si.Engine.n_jobs
+          si.Engine.cache_misses;
+        (* each mode warm-hits its own entries *)
+        let _, sf2 =
+          Engine.run ~jobs:1 ~incremental:false ~cache (jobs_of d)
+        in
+        let _, si2 = Engine.run ~jobs:1 ~cache (jobs_of d) in
+        Alcotest.(check int) "fresh warm run all hits" sf2.Engine.n_jobs
+          sf2.Engine.cache_hits;
+        Alcotest.(check int) "incremental warm run all hits" si2.Engine.n_jobs
+          si2.Engine.cache_hits;
+        Alcotest.(check bool)
+          "modes agree on verdicts" true
+          (summary_verdicts rf = summary_verdicts ri);
+        ignore (Proof_cache.clear cache));
+  ]
+
 let suite =
   [
     ("engine.cache-key", key_tests);
     ("engine.proof-cache", cache_tests);
     ("engine.pool", pool_tests);
     ("engine.run", engine_tests);
+    ("engine.incremental", incremental_tests);
   ]

@@ -123,6 +123,126 @@ let pigeonhole_tests =
         Alcotest.(check bool) "model satisfies" true ok);
   ]
 
+(* --- activation literals and between-query maintenance: the solver
+   side of the incremental assumption-based checking scheme --- *)
+
+let activation_tests =
+  [
+    t "activation literal deactivates its cone" (fun () ->
+        (* act guards a contradiction: unsat only while act is assumed *)
+        let s = mk 2 [] in
+        Sat.add_clause ~activation:true s [ -1; 2 ];
+        Sat.add_clause ~activation:true s [ -1; -2 ];
+        Alcotest.check result "unsat under act" Sat.Unsat
+          (Sat.solve ~assumptions:[ 1 ] s);
+        Alcotest.check result "sat without act" Sat.Sat (Sat.solve s);
+        (* retiring the cone (unit -act) leaves the instance sat *)
+        Sat.add_clause ~activation:true s [ -1 ];
+        Alcotest.check result "sat after retire" Sat.Sat (Sat.solve s));
+    t "independent cones coexist in one solver" (fun () ->
+        (* cone 1 forces x, cone 2 forces -x: each is consistent alone,
+           both together clash *)
+        let s = mk 3 [] in
+        Sat.add_clause ~activation:true s [ -1; 3 ];
+        Sat.add_clause ~activation:true s [ -2; -3 ];
+        Alcotest.check result "cone 1 alone" Sat.Sat
+          (Sat.solve ~assumptions:[ 1 ] s);
+        Alcotest.(check bool) "forces x" true (Sat.value s 3);
+        Alcotest.check result "cone 2 alone" Sat.Sat
+          (Sat.solve ~assumptions:[ 2 ] s);
+        Alcotest.(check bool) "forces -x" false (Sat.value s 3);
+        Alcotest.check result "both cones clash" Sat.Unsat
+          (Sat.solve ~assumptions:[ 1; 2 ] s));
+    t "learnt clauses persist across assumption solves" (fun () ->
+        (* The same hard query twice: with clause learning carrying
+           over, the second solve must need strictly fewer conflicts
+           (in practice near zero).  This is the property the shared
+           per-design solver of the engine relies on. *)
+        let n, cs = php 5 4 in
+        let s = mk (n + 1) [] in
+        let act = n + 1 in
+        List.iter (fun c -> Sat.add_clause ~activation:true s (-act :: c)) cs;
+        let c0 = (Sat.stats s).Sat.conflicts in
+        Alcotest.check result "first solve unsat" Sat.Unsat
+          (Sat.solve ~assumptions:[ act ] s);
+        let c1 = (Sat.stats s).Sat.conflicts in
+        Alcotest.check result "second solve unsat" Sat.Unsat
+          (Sat.solve ~assumptions:[ act ] s);
+        let c2 = (Sat.stats s).Sat.conflicts in
+        Alcotest.(check bool)
+          "first solve had to work" true
+          (c1 - c0 > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "second solve cheaper (%d < %d)" (c2 - c1) (c1 - c0))
+          true
+          (c2 - c1 < c1 - c0));
+    t "problem and activation clauses are counted separately" (fun () ->
+        let s = mk 5 [ [ 4; 5 ]; [ -4; 5 ] ] in
+        Sat.add_clause ~activation:true s [ -1; 3 ];
+        Sat.add_clause ~activation:true s [ -1; 2 ];
+        Alcotest.(check int) "problem" 2 (Sat.num_problem_clauses s);
+        Alcotest.(check int) "activation" 2 (Sat.num_activation_clauses s);
+        Alcotest.(check int) "total" 4 (Sat.num_clauses s);
+        (* a retire unit becomes a level-0 fact, not a stored clause,
+           and level-0 simplification then sheds the satisfied guards *)
+        Sat.add_clause ~activation:true s [ -1 ];
+        Alcotest.(check int) "unit not stored" 4 (Sat.num_clauses s);
+        ignore (Sat.simplify ~subsume:false s);
+        Alcotest.(check int) "guards shed" 0 (Sat.num_activation_clauses s);
+        Alcotest.(check int) "problem intact" 2 (Sat.num_problem_clauses s));
+    t "age_activity leaves verdicts intact" (fun () ->
+        let n, cs = php 4 3 in
+        let s = mk n cs in
+        Alcotest.check result "unsat" Sat.Unsat (Sat.solve s);
+        Sat.age_activity s;
+        Alcotest.check result "still unsat" Sat.Unsat (Sat.solve s);
+        (* repeated aging must not overflow the activity scale *)
+        for _ = 1 to 50 do
+          Sat.age_activity s
+        done;
+        Alcotest.check result "after 50 agings" Sat.Unsat (Sat.solve s));
+  ]
+
+let simplify_tests =
+  [
+    t "simplify propagates units and sheds satisfied clauses" (fun () ->
+        (* the unit arrives after the clauses are attached, as a retire
+           unit would: both survive in the DB until simplify runs *)
+        let s = mk 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+        Sat.add_clause s [ 1 ];
+        let removed = Sat.simplify s in
+        (* [1;2] is satisfied by the unit; [-1;3] reduces to the fact 3 *)
+        Alcotest.(check int) "both clauses shed" 2 removed;
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+        Alcotest.(check bool) "v1" true (Sat.value s 1);
+        Alcotest.(check bool) "v3" true (Sat.value s 3));
+    t "subsumption stage is optional" (fun () ->
+        let dup = [ [ 1; 2 ]; [ 1; 2 ]; [ 1; 2; 3 ] ] in
+        let s = mk 3 dup in
+        Alcotest.(check int)
+          "linear passes alone remove nothing here" 0
+          (Sat.simplify ~subsume:false s);
+        let s' = mk 3 dup in
+        Alcotest.(check bool)
+          "full pass removes the duplicate and the subsumed clause" true
+          (Sat.simplify s' >= 2);
+        Alcotest.check result "still sat" Sat.Sat (Sat.solve s'));
+    t "simplify after retire sheds the retired cone's guards" (fun () ->
+        let s = mk 2 [] in
+        Sat.add_clause ~activation:true s [ -1; 2 ];
+        Sat.add_clause ~activation:true s [ -1; -2 ];
+        Sat.add_clause ~activation:true s [ -1 ];
+        (* the unit -act satisfies both guarded clauses *)
+        Alcotest.(check bool)
+          "both guards shed" true
+          (Sat.simplify ~subsume:false s >= 2);
+        Alcotest.check result "sat" Sat.Sat (Sat.solve s));
+    t "simplify on an unsat instance is sound" (fun () ->
+        let s = mk 1 [ [ 1 ]; [ -1 ] ] in
+        ignore (Sat.simplify s);
+        Alcotest.check result "unsat" Sat.Unsat (Sat.solve s));
+  ]
+
 (* Random CNF cross-check against brute force. *)
 
 let brute_force n_vars clauses =
@@ -220,12 +340,34 @@ let incremental_props =
            let first = Sat.solve s in
            ignore (Sat.solve ~assumptions s);
            first = Sat.solve s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"simplify (either variant) preserves the verdict" ~count:300
+         arb_cnf_with_assumptions
+         (fun ((n_vars, clauses), assumptions) ->
+           let reference = Sat.solve ~assumptions (mk n_vars clauses) in
+           let s_full = mk n_vars clauses in
+           ignore (Sat.simplify s_full);
+           let s_linear = mk n_vars clauses in
+           ignore (Sat.simplify ~subsume:false s_linear);
+           Sat.solve ~assumptions s_full = reference
+           && Sat.solve ~assumptions s_linear = reference));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"age_activity preserves the verdict" ~count:200
+         arb_cnf_with_assumptions
+         (fun ((n_vars, clauses), assumptions) ->
+           let s = mk n_vars clauses in
+           let first = Sat.solve ~assumptions s in
+           Sat.age_activity s;
+           first = Sat.solve ~assumptions s));
   ]
 
 let suite =
   [
     ("sat:unit", unit_tests);
     ("sat:pigeonhole", pigeonhole_tests);
+    ("sat:activation", activation_tests);
+    ("sat:simplify", simplify_tests);
     ("sat:props", prop_tests);
     ("sat:incremental", incremental_props);
   ]

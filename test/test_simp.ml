@@ -57,6 +57,65 @@ let unit_tests =
         Alcotest.check expr_eq "idempotent" s (Simp.simplify_fix s));
   ]
 
+(* Width-directed rules added for the pre-blast simplification pass:
+   they target the concat/extract/shift plumbing that refinement-map
+   substitution produces (packed status words, field selects). *)
+let width_tests =
+  [
+    t "equality of concats splits piecewise" (fun () ->
+        (* eq (x @ y) (x @ y) decomposes into slice equalities, each of
+           which is trivially true *)
+        let e = Expr.eq (Expr.concat x y) (Expr.concat x y) in
+        Alcotest.check expr_eq "tt" Build.tt (Simp.simplify_fix e));
+    t "equality of concat with constant splits into slice equalities"
+      (fun () ->
+        let c = Build.bv ~width:16 0 in
+        let s = Simp.simplify_fix (Expr.eq (Expr.concat x y) c) in
+        Alcotest.check expr_eq "conjunction of per-slice tests"
+          (Simp.simplify_fix
+             (Expr.and_
+                (Expr.eq x (Build.bv ~width:8 0))
+                (Expr.eq y (Build.bv ~width:8 0))))
+          s);
+    t "extract distributes over ite with a constant arm" (fun () ->
+        let c = Build.bv ~width:8 0xA5 in
+        let e = Expr.extract ~hi:3 ~lo:0 (Expr.ite p x c) in
+        Alcotest.check expr_eq "constant arm folded"
+          (Build.ite p
+             (Expr.extract ~hi:3 ~lo:0 x)
+             (Build.bv ~width:4 0x5))
+          (Simp.simplify e));
+    t "extract of zero-extend: slice in the base" (fun () ->
+        let e =
+          Expr.extract ~hi:5 ~lo:2 (Expr.extend ~signed:false ~width:16 x)
+        in
+        Alcotest.check expr_eq "slices the base"
+          (Expr.extract ~hi:5 ~lo:2 x) (Simp.simplify e));
+    t "extract of zero-extend: slice in the padding is zero" (fun () ->
+        let e =
+          Expr.extract ~hi:15 ~lo:8 (Expr.extend ~signed:false ~width:16 x)
+        in
+        Alcotest.check expr_eq "zero" (Build.bv ~width:8 0) (Simp.simplify e));
+    t "adjacent extracts of one word reassemble" (fun () ->
+        let e =
+          Expr.concat
+            (Expr.extract ~hi:7 ~lo:4 x)
+            (Expr.extract ~hi:3 ~lo:0 x)
+        in
+        Alcotest.check expr_eq "whole word" x (Simp.simplify_fix e));
+    t "shift by at least the width is zero" (fun () ->
+        let k = Build.bv ~width:8 9 in
+        Alcotest.check expr_eq "shl" (Build.bv ~width:8 0)
+          (Simp.simplify (Expr.binop Expr.Bv_shl x k));
+        Alcotest.check expr_eq "lshr" (Build.bv ~width:8 0)
+          (Simp.simplify (Expr.binop Expr.Bv_lshr x k));
+        (* one below the width must survive *)
+        let k7 = Build.bv ~width:8 7 in
+        Alcotest.check expr_eq "shl 7 kept"
+          (Build.shl x k7)
+          (Simp.simplify (Expr.binop Expr.Bv_shl x k7)));
+  ]
+
 (* Random expressions over a small vocabulary; semantics preservation. *)
 let arb_expr_env =
   let gen =
@@ -136,4 +195,9 @@ let prop_tests =
            Expr.dag_size (Simp.simplify_fix e) <= Expr.dag_size e + 4));
   ]
 
-let suite = [ ("simp:unit", unit_tests); ("simp:props", prop_tests) ]
+let suite =
+  [
+    ("simp:unit", unit_tests);
+    ("simp:width", width_tests);
+    ("simp:props", prop_tests);
+  ]
