@@ -22,6 +22,10 @@ let quick_mode = Array.exists (fun a -> a = "--quick") Sys.argv
 (* regenerate BENCH_engine.json without the rest of the harness *)
 let only_engine = Array.exists (fun a -> a = "--only-engine") Sys.argv
 
+(* chaos campaign only: inject faults into a quick-catalog sweep and
+   gate on verdict equality with the undisturbed baseline *)
+let chaos_mode = Array.exists (fun a -> a = "--chaos") Sys.argv
+
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
@@ -487,6 +491,87 @@ let bench_check baseline_path =
   else Format.printf "@.all designs within 25%% of the baseline.@."
 
 (* ------------------------------------------------------------------ *)
+(* --chaos: resilience campaign over the quick catalog                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* Seeded chaos campaign, with its summary appended as one row to
+   BENCH_engine.json.  The row carries no "sequential_s", so the
+   --check regression gate skips it; a previous chaos row (recognised
+   by its "chaos_seed" key) is replaced, not duplicated. *)
+let chaos_campaign () =
+  section
+    "Chaos campaign: injected worker kills, solver stalls and cache damage \
+     against a verdict-equality oracle";
+  let open Ilv_engine in
+  let scratch =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ilv-bench-chaos-%d" (Unix.getpid ()))
+  in
+  let suites =
+    List.map
+      (fun (d : Design.t) -> (d.Design.name, fun () -> engine_jobs_of d))
+      Catalog.quick
+  in
+  let r = Chaos.run ~jobs:4 ~seed:1 ~scratch suites in
+  Format.printf "%a@." Chaos.pp_report r;
+  if Chaos.passed r then rm_rf scratch
+  else Format.printf "scratch kept for replay: %s@." scratch;
+  let row =
+    Printf.sprintf
+      "{\"chaos_seed\": 1, \"jobs\": %d, \"kills\": %d, \"stalls\": %d, \
+       \"corrupted\": %d, \"quarantined\": %d, \"mismatches\": %d, \
+       \"baseline_wall_s\": %.4f, \"chaos_wall_s\": %.4f, \"warm_wall_s\": \
+       %.4f, \"passed\": %b}"
+      r.Chaos.n_jobs r.Chaos.kills r.Chaos.stalls r.Chaos.corrupted
+      r.Chaos.quarantined
+      (List.length r.Chaos.mismatches)
+      r.Chaos.baseline_wall_s r.Chaos.chaos_wall_s r.Chaos.warm_wall_s
+      (Chaos.passed r)
+  in
+  let existing =
+    if not (Sys.file_exists "BENCH_engine.json") then []
+    else begin
+      let ic = open_in_bin "BENCH_engine.json" in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      String.split_on_char '\n' raw
+      |> List.filter_map (fun line ->
+             let l = String.trim line in
+             if String.length l > 0 && l.[0] = '{'
+                && not (contains l "chaos_seed")
+             then
+               Some
+                 (if l.[String.length l - 1] = ',' then
+                    String.sub l 0 (String.length l - 1)
+                  else l)
+             else None)
+    end
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc
+    ("[\n  " ^ String.concat ",\n  " (existing @ [ row ]) ^ "\n]\n");
+  close_out oc;
+  Format.printf "@.campaign summary appended to BENCH_engine.json@.";
+  if not (Chaos.passed r) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Mutation campaigns (fault injection)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -579,6 +664,11 @@ let () =
   | None -> ());
   if only_engine then begin
     engine_benchmarks ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if chaos_mode then begin
+    chaos_campaign ();
     Format.printf "@.done.@.";
     exit 0
   end;

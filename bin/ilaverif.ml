@@ -8,6 +8,7 @@
      check DESIGN                decode coverage / determinism checks
      verify DESIGN [--bug L]     refinement-check a design (or a buggy variant)
      cache stats|clear|verify    manage the persistent proof cache
+     chaos [DESIGN..]            seeded fault-injection campaign on the engine
      profile TRACE               aggregate a --trace-out JSONL trace
      bugs                        reproduce the paper's three bug hunts *)
 
@@ -63,6 +64,17 @@ let cache_dir_arg =
           "Proof-cache directory (default: \\$ILAVERIF_CACHE_DIR, else \
            \\$XDG_CACHE_HOME/ilaverif, else ~/.cache/ilaverif).  Implies \
            $(b,--cache).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline per obligation group (per port in \
+           incremental mode, per obligation otherwise).  Obligations past \
+           the deadline report a timestamped $(b,timeout:) unknown verdict \
+           instead of running forever.  Default: unlimited.")
 
 let no_incremental_flag =
   Arg.(
@@ -123,8 +135,8 @@ let open_cache ~use_cache ~cache_dir =
 (* Engine-path verification of one design (golden or buggy variant):
    enumerate the obligations as jobs, discharge on the pool, reassemble
    the standard report. *)
-let engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio ~incremental
-    (d : Design.t) rtl =
+let engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs ~portfolio
+    ~incremental (d : Design.t) rtl =
   let job_list =
     Engine.jobs_of ?variant ?only_ports ~name:d.Design.name
       d.Design.module_ila rtl
@@ -132,7 +144,7 @@ let engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio ~incremental
       ()
   in
   let results, summary =
-    Engine.run ~jobs ?cache ~portfolio ~incremental job_list
+    Engine.run ~jobs ?cache ?timeout_s ~portfolio ~incremental job_list
   in
   (Engine.report_of ~name:d.Design.name ~results, summary)
 
@@ -316,7 +328,7 @@ let verify_cmd =
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
   let run name bug port keep_going vcd jobs use_cache cache_dir portfolio
-      no_incremental trace_out metrics =
+      no_incremental timeout_s trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
     let d = or_die (find_design name) in
@@ -348,8 +360,8 @@ let verify_cmd =
           | Some label -> (Some label, (find_bug label).Design.buggy_rtl)
         in
         let report, summary =
-          engine_verify ?variant ?only_ports ?cache ~jobs ~portfolio
-            ~incremental d rtl
+          engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs
+            ~portfolio ~incremental d rtl
         in
         Format.printf "%a@." Engine.pp_summary summary;
         report
@@ -358,10 +370,10 @@ let verify_cmd =
         match bug with
         | None ->
           Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports
-            ~incremental d
+            ~incremental ?timeout_s d
         | Some label ->
           Design.verify_buggy ~stop_at_first_failure:(not keep_going)
-            ~incremental d (find_bug label)
+            ~incremental ?timeout_s d (find_bug label)
     in
     Format.printf "%a@." Verify.pp_report report;
     (match (vcd, report.Verify.first_failure) with
@@ -380,7 +392,7 @@ let verify_cmd =
     Term.(
       const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
       $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg
-      $ no_incremental_flag $ trace_out_arg $ metrics_flag)
+      $ no_incremental_flag $ timeout_arg $ trace_out_arg $ metrics_flag)
 
 (* ---- dimacs ---- *)
 
@@ -477,8 +489,8 @@ let table_cmd =
             "Use the memory-abstracted datapath and store buffer (the \
              paper's parenthesized configuration).")
   in
-  let run quick jobs use_cache cache_dir portfolio no_incremental trace_out
-      metrics =
+  let run quick jobs use_cache cache_dir portfolio no_incremental timeout_s
+      trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
     let suite = if quick then Catalog.quick else Catalog.all in
@@ -489,9 +501,9 @@ let table_cmd =
     let verify d =
       if use_engine then
         fst
-          (engine_verify ?cache ~jobs ~portfolio ~incremental d
+          (engine_verify ?cache ?timeout_s ~jobs ~portfolio ~incremental d
              d.Design.rtl)
-      else Design.verify ~incremental d
+      else Design.verify ~incremental ?timeout_s d
     in
     let rows = List.map (Table_one.measure ~verify) suite in
     Table_one.print_rows Format.std_formatter rows;
@@ -502,7 +514,8 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
     Term.(
       const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
-      $ portfolio_arg $ no_incremental_flag $ trace_out_arg $ metrics_flag)
+      $ portfolio_arg $ no_incremental_flag $ timeout_arg $ trace_out_arg
+      $ metrics_flag)
 
 (* ---- reach ---- *)
 
@@ -677,7 +690,7 @@ let mutate_cmd =
       & info [ "verbose"; "v" ] ~doc:"Print the per-mutant listing.")
   in
   let run names seed max_mutants conflicts wall no_sim json verbose jobs
-      trace_out metrics =
+      timeout_s trace_out metrics =
     setup_obs trace_out metrics;
     let designs =
       match names with
@@ -694,7 +707,7 @@ let mutate_cmd =
       List.map
         (fun d ->
           let c =
-            Ilv_fault.Campaign.run ~seed ~max_mutants ~budget
+            Ilv_fault.Campaign.run ~seed ~max_mutants ~budget ?timeout_s
               ~fallback_sim:(not no_sim) ~jobs d
           in
           if verbose then Format.printf "%a@.@." Ilv_fault.Campaign.pp c;
@@ -730,8 +743,8 @@ let mutate_cmd =
           mutation scores")
     Term.(
       const run $ designs_arg $ seed_arg $ max_arg $ conflicts_arg $ wall_arg
-      $ no_sim_arg $ json_arg $ verbose_arg $ jobs_arg $ trace_out_arg
-      $ metrics_flag)
+      $ no_sim_arg $ json_arg $ verbose_arg $ jobs_arg $ timeout_arg
+      $ trace_out_arg $ metrics_flag)
 
 (* ---- cache ---- *)
 
@@ -764,9 +777,18 @@ let cache_cmd =
         & info [ "sample" ] ~docv:"N"
             ~doc:"How many entries to re-solve (default 5).")
     in
-    let run cache_dir sample =
+    let full_arg =
+      Arg.(
+        value & flag
+        & info [ "full" ]
+            ~doc:
+              "Re-solve every entry instead of a sample — the recovery \
+               audit after a crash or suspected disk damage.  Corrupt and \
+               mismatched entries are quarantined, not just reported.")
+    in
+    let run cache_dir sample full =
       let c = open_from_dir cache_dir in
-      let v = Proof_cache.validate ~sample c in
+      let v = Proof_cache.validate ~sample ~full c in
       Format.printf
         "re-solved %d of the entries at %s: %d agreed, %d mismatched, %d \
          stale, %d corrupt@."
@@ -781,20 +803,136 @@ let cache_cmd =
         (fun file -> Format.printf "  stale %s (other engine version)@." file)
         v.Proof_cache.stale_entries;
       List.iter
-        (fun file -> Format.printf "  corrupt %s@." file)
+        (fun file -> Format.printf "  corrupt %s (quarantined)@." file)
         v.Proof_cache.corrupt_entries;
+      (let q = Proof_cache.quarantined_count c in
+       if q > 0 then
+         Format.printf "%d damaged files held in %s@." q
+           (Proof_cache.quarantine_dir c));
       if v.Proof_cache.mismatched <> [] then exit 1
     in
     Cmd.v
       (Cmd.info "verify"
          ~doc:
            "Guard against stale or corrupted entries: re-solve a sample of \
-            cached obligations from their stored CNF and compare verdicts")
-      Term.(const run $ cache_dir_arg $ sample_arg)
+            cached obligations (every one with $(b,--full)) from their \
+            stored CNF, compare verdicts, and quarantine damage")
+      Term.(const run $ cache_dir_arg $ sample_arg $ full_arg)
   in
   Cmd.group
     (Cmd.info "cache" ~doc:"Inspect, clear or validate the persistent proof cache")
     [ stats_cmd; clear_cmd; verify_cache_cmd ]
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let designs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DESIGN"
+          ~doc:
+            "Designs to sweep (default: the whole quick catalog; see the \
+             list subcommand).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-schedule seed (default 1).  The whole campaign is a \
+             pure function of it: rerunning with the same seed replays the \
+             same kills, stalls and corruptions.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "kill-p" ] ~docv:"P"
+          ~doc:"Per-group probability of SIGKILLing the worker (default 0.3).")
+  in
+  let stall_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "stall-p" ] ~docv:"P"
+          ~doc:
+            "Per-obligation probability of an injected solver stall \
+             (default 0.2).")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "corrupt-p" ] ~docv:"P"
+          ~doc:
+            "Per-entry probability of damaging a proof-cache file between \
+             sweeps (default 0.3; at least one is always damaged).")
+  in
+  let scratch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scratch" ] ~docv:"DIR"
+          ~doc:
+            "Campaign scratch directory (cache + fault ledger).  Default: a \
+             fresh directory under the system temp dir, removed when the \
+             campaign passes; a failing campaign's scratch is kept for \
+             replay.")
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error _ -> ()
+  in
+  let run names seed jobs kill_p stall_p corrupt_p scratch trace_out metrics =
+    setup_obs trace_out metrics;
+    let designs =
+      match names with
+      | [] -> Catalog.quick
+      | names -> List.map (fun n -> or_die (find_design n)) names
+    in
+    let suites =
+      List.map
+        (fun (d : Design.t) ->
+          ( d.Design.name,
+            fun () ->
+              Engine.jobs_of ~name:d.Design.name d.Design.module_ila
+                d.Design.rtl
+                ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
+                () ))
+        designs
+    in
+    let scratch, ephemeral =
+      match scratch with
+      | Some dir -> (dir, false)
+      | None ->
+        ( Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ilaverif-chaos-%d" (Unix.getpid ())),
+          true )
+    in
+    let r =
+      Chaos.run ~jobs:(max 2 jobs) ~seed ~kill_p ~stall_p ~corrupt_p ~scratch
+        suites
+    in
+    Format.printf "%a@." Chaos.pp_report r;
+    if Chaos.passed r then begin
+      if ephemeral then rm_rf scratch
+    end
+    else begin
+      Format.printf "scratch kept for replay: %s@." scratch;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos campaign: inject worker kills, solver stalls \
+          and cache corruption into a real sweep and fail unless every \
+          verdict matches an undisturbed baseline")
+    Term.(
+      const run $ designs_arg $ seed_arg $ jobs_arg $ kill_arg $ stall_arg
+      $ corrupt_arg $ scratch_arg $ trace_out_arg $ metrics_flag)
 
 (* ---- profile ---- *)
 
@@ -870,6 +1008,7 @@ let () =
             reach_cmd;
             mutate_cmd;
             cache_cmd;
+            chaos_cmd;
             profile_cmd;
             bugs_cmd;
           ]))

@@ -7,6 +7,7 @@ type budget = {
   conflicts : int option;
   propagations : int option;
   wall_s : float option;
+  deadline_s : float option;
   escalations : int;
   escalation_factor : int;
 }
@@ -16,20 +17,47 @@ let unlimited =
     conflicts = None;
     propagations = None;
     wall_s = None;
+    deadline_s = None;
     escalations = 0;
     escalation_factor = 4;
   }
 
-let budget ?conflicts ?propagations ?wall_s ?(escalations = 2)
+let budget ?conflicts ?propagations ?wall_s ?deadline_s ?(escalations = 2)
     ?(escalation_factor = 4) () =
-  { conflicts; propagations; wall_s; escalations; escalation_factor }
+  { conflicts; propagations; wall_s; deadline_s; escalations;
+    escalation_factor }
 
 let is_unlimited b =
   b.conflicts = None && b.propagations = None && b.wall_s = None
+  && b.deadline_s = None
+
+let with_deadline d b = { b with deadline_s = Some d }
 
 let limit_of b =
   Sat.limit ?conflicts:b.conflicts ?propagations:b.propagations
-    ?wall_s:b.wall_s ()
+    ?wall_s:b.wall_s ?deadline_s:b.deadline_s ()
+
+let past_deadline b =
+  match b.deadline_s with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let deadline_reason b =
+  Printf.sprintf "timeout: group deadline %.3f exceeded at %.3f (epoch s)"
+    (Option.value b.deadline_s ~default:nan)
+    (Unix.gettimeofday ())
+
+(* "timeout: ..." reasons mark the absolute group deadline: escalation
+   must not retry them (the clock that ran out is not per-call), and
+   the degradation ladder stops at them rather than burning more rungs
+   against a wall that will not move. *)
+let is_timeout_reason r =
+  (* substring, not prefix: encoders wrap solver reasons in context
+     ("obligation equivalence after N cycle(s): timeout: ...") and the
+     marker must survive the wrapping *)
+  let n = String.length r in
+  let rec at i = i + 8 <= n && (String.sub r i 8 = "timeout:" || at (i + 1)) in
+  at 0
 
 type stats = {
   time_s : float;
@@ -89,7 +117,9 @@ let decide ctx ~budget:b ~hypotheses attempts =
       in
       incr attempts;
       match Bitblast.check_under ~limit ctx ~hypotheses with
-      | Bitblast.Unknown _ when k < b.escalations -> go (k + 1)
+      | Bitblast.Unknown reason
+        when k < b.escalations && not (is_timeout_reason reason) ->
+        go (k + 1)
       | answer -> answer
     in
     go 0
@@ -142,6 +172,10 @@ let check_prepared ?(budget = unlimited) pr =
       | [] -> Proved
       | (label, reason) :: _ ->
         Unknown (Printf.sprintf "obligation %s: %s" label reason))
+    | (ob, _, _) :: rest when past_deadline budget ->
+      (* the group clock ran out: no more solver calls, every remaining
+         obligation degrades to a timestamped Unknown *)
+      go ((ob.Property.label, deadline_reason budget) :: unknowns) rest
     | (ob, hypotheses, _lits) :: rest -> (
       let span =
         if Ilv_obs.Obs.enabled () then
@@ -157,7 +191,13 @@ let check_prepared ?(budget = unlimited) pr =
       in
       let attempts0 = !attempts in
       let result =
-        timed (fun () -> decide pr.ctx ~budget ~hypotheses attempts)
+        timed (fun () ->
+            if
+              Ilv_obs.Inject.fire_once ~point:"solver.stall"
+                ~key:(p.Property.prop_name ^ "/" ^ ob.Property.label)
+              = Ilv_obs.Inject.Fault
+            then Bitblast.Unknown "chaos: injected solver stall"
+            else decide pr.ctx ~budget ~hypotheses attempts)
       in
       (match span with
       | None -> ()
@@ -441,7 +481,9 @@ let decide_assuming ctx ~budget:b ~assumptions attempts =
       in
       incr attempts;
       match Bitblast.check_assuming ~limit ctx ~assumptions with
-      | Bitblast.Unknown _ when k < b.escalations -> go (k + 1)
+      | Bitblast.Unknown reason
+        when k < b.escalations && not (is_timeout_reason reason) ->
+        go (k + 1)
       | answer -> answer
     in
     go 0
@@ -486,6 +528,12 @@ let check_shared ?(budget = unlimited) sh idx =
         | [] -> Proved
         | (label, reason) :: _ ->
           Unknown (Printf.sprintf "obligation %s: %s" label reason))
+      | so :: rest when past_deadline budget ->
+        (* decided by the clock, not the solver; retire the cone so the
+           shared frame stays lean for whoever queries next *)
+        retire so;
+        go ((so.so_ob.Property.label, deadline_reason budget) :: unknowns)
+          rest
       | so :: rest -> (
         let ob = so.so_ob in
         let span =
@@ -504,8 +552,14 @@ let check_shared ?(budget = unlimited) sh idx =
         let attempts0 = !attempts in
         let result =
           timed (fun () ->
-              decide_assuming sh.sh_ctx ~budget
-                ~assumptions:[ p_act; so.so_act ] attempts)
+              if
+                Ilv_obs.Inject.fire_once ~point:"solver.stall"
+                  ~key:(p.Property.prop_name ^ "/" ^ ob.Property.label)
+                = Ilv_obs.Inject.Fault
+              then Bitblast.Unknown "chaos: injected solver stall"
+              else
+                decide_assuming sh.sh_ctx ~budget
+                  ~assumptions:[ p_act; so.so_act ] attempts)
         in
         (match span with
         | None -> ()
@@ -573,3 +627,104 @@ let check_shared ?(budget = unlimited) sh idx =
   in
   sh.sh_done.(idx) <- Some r;
   r
+
+(* --- degradation ladder --- *)
+
+let zero_stats (p : Property.t) =
+  {
+    time_s = 0.0;
+    obligation_times_s = [];
+    n_obligations = List.length p.Property.obligations;
+    cnf_vars = 0;
+    cnf_clauses = 0;
+    conflicts = 0;
+    restarts = 0;
+    attempts = 0;
+  }
+
+(* Ladder stats accumulate across rungs: wall clock, conflicts and
+   attempts are real work and sum; CNF sizes describe the biggest
+   context consulted. *)
+let merge_stats a b =
+  {
+    time_s = a.time_s +. b.time_s;
+    obligation_times_s = a.obligation_times_s @ b.obligation_times_s;
+    n_obligations = max a.n_obligations b.n_obligations;
+    cnf_vars = max a.cnf_vars b.cnf_vars;
+    cnf_clauses = max a.cnf_clauses b.cnf_clauses;
+    conflicts = a.conflicts + b.conflicts;
+    restarts = a.restarts + b.restarts;
+    attempts = a.attempts + b.attempts;
+  }
+
+let degrade_event (p : Property.t) ~from_rung ~to_rung ~reason =
+  if Ilv_obs.Obs.enabled () then begin
+    Ilv_obs.Obs.count "checker.degradations" 1;
+    Ilv_obs.Obs.event "checker.degrade"
+      [
+        ("prop", Ilv_obs.Obs.S p.Property.prop_name);
+        ("port", Ilv_obs.Obs.S p.Property.port);
+        ("from", Ilv_obs.Obs.S from_rung);
+        ("to", Ilv_obs.Obs.S to_rung);
+        ("reason", Ilv_obs.Obs.S reason);
+      ]
+  end
+
+(* The last rung before giving up must be guaranteed to terminate
+   quickly: a quarter of whatever budget already failed, or a small
+   definite bound when the budget was unlimited (the only way an
+   unlimited run reaches this rung is an exception or injected fault,
+   where any bound at all is enough), and no escalation. *)
+let tightened (b : budget) : budget =
+  {
+    conflicts =
+      (match b.conflicts with
+      | Some c -> Some (max 1 (c / 4))
+      | None -> Some 50_000);
+    propagations = Option.map (fun n -> max 1 (n / 4)) b.propagations;
+    wall_s =
+      (match b.wall_s with Some w -> Some (w /. 4.0) | None -> Some 5.0);
+    deadline_s = b.deadline_s;
+    escalations = 0;
+    escalation_factor = b.escalation_factor;
+  }
+
+(* A fresh-context retry of one property.  [check] re-prepares from
+   scratch, so an exception that poisoned the shared encoding resurfaces
+   here; it must map to [Unknown], not propagate — the ladder's whole
+   point is that one property's trouble never aborts the sweep. *)
+let check_fresh ~budget ~simplify p =
+  match check ~simplify ~budget p with
+  | r -> r
+  | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+  | exception e -> (Unknown ("exception: " ^ Printexc.to_string e), zero_stats p)
+
+let check_shared_degrading ?(budget = unlimited) sh idx =
+  let p = sh.sh_props.(idx) in
+  let v1, s1 = check_shared ~budget sh idx in
+  match v1 with
+  | Proved | Failed _ -> (v1, s1, "incremental")
+  | Unknown r1 when is_timeout_reason r1 ->
+    (* the group deadline passed; lower rungs face the same wall *)
+    (v1, s1, "incremental")
+  | Unknown r1 -> (
+    degrade_event p ~from_rung:"incremental" ~to_rung:"fresh" ~reason:r1;
+    let v2, s2 = check_fresh ~budget ~simplify:sh.sh_simplify p in
+    let s12 = merge_stats s1 s2 in
+    match v2 with
+    | Proved | Failed _ -> (v2, s12, "fresh")
+    | Unknown r2 when is_timeout_reason r2 -> (v2, s12, "fresh")
+    | Unknown r2 -> (
+      degrade_event p ~from_rung:"fresh" ~to_rung:"tightened" ~reason:r2;
+      let v3, s3 =
+        check_fresh ~budget:(tightened budget) ~simplify:sh.sh_simplify p
+      in
+      let s123 = merge_stats s12 s3 in
+      match v3 with
+      | Proved | Failed _ -> (v3, s123, "tightened")
+      | Unknown r3 ->
+        degrade_event p ~from_rung:"tightened" ~to_rung:"unknown" ~reason:r3;
+        ( Unknown
+            (Printf.sprintf "degraded(incremental->fresh->tightened): %s" r3),
+          s123,
+          "degraded" )))

@@ -23,6 +23,13 @@ type budget = {
   conflicts : int option;  (** initial per-obligation conflict budget *)
   propagations : int option;
   wall_s : float option;  (** initial per-obligation wall clock, seconds *)
+  deadline_s : float option;
+      (** absolute deadline (Unix epoch seconds) shared by a whole
+          obligation group.  Once it passes, remaining obligations are
+          reported [Unknown] with a timestamped ["timeout: ..."] reason
+          without issuing further solver calls; a query in flight is cut
+          off at its next propagation-round check.  Never scaled by
+          escalation. *)
   escalations : int;
       (** extra attempts after the first, each with the limits scaled
           up by [escalation_factor] *)
@@ -36,6 +43,7 @@ val budget :
   ?conflicts:int ->
   ?propagations:int ->
   ?wall_s:float ->
+  ?deadline_s:float ->
   ?escalations:int ->
   ?escalation_factor:int ->
   unit ->
@@ -43,9 +51,23 @@ val budget :
 (** Defaults: 2 escalations, factor 4 — so an obligation gets up to
     three attempts at 1x, 4x and 16x the initial limits before giving
     up.  Learnt clauses persist across attempts, so escalation resumes
-    the search rather than restarting it. *)
+    the search rather than restarting it.  A ["timeout: ..."] unknown
+    (absolute deadline) is never escalated: the clock that ran out is
+    not per-call. *)
 
 val is_unlimited : budget -> bool
+
+val with_deadline : float -> budget -> budget
+(** [with_deadline d b] is [b] with the absolute deadline set to [d]
+    (Unix epoch seconds) — how callers stamp a per-group wall clock
+    onto a shared base budget. *)
+
+val is_timeout_reason : string -> bool
+(** True when the machine-readable ["timeout: ..."] marker — produced
+    when an absolute deadline cuts a query or group off — appears
+    anywhere in [r] (encoders may wrap it in context).  It tells retry
+    loops (escalation, the degradation ladder, pool supervision) not
+    to burn more work against a fixed wall clock. *)
 
 type stats = {
   time_s : float;
@@ -177,6 +199,21 @@ val shared_selectors : shared -> int -> int list list
 
 val shared_error : shared -> int -> string option
 (** The encoding error of property [idx], if it failed. *)
+
+val check_shared_degrading :
+  ?budget:budget -> shared -> int -> verdict * stats * string
+(** {!check_shared} wrapped in the degradation ladder: when the
+    incremental shared-frame query returns [Unknown], retry on a fresh
+    per-property context ({!check}); when that is also [Unknown], retry
+    once more under a tightened, escalation-free budget; only then give
+    up with [Unknown "degraded(incremental->fresh->tightened): ..."].
+    The returned string names the rung that produced the verdict
+    (["incremental"], ["fresh"], ["tightened"], or ["degraded"]).
+    Each demotion emits a ["checker.degrade"] {!Ilv_obs.Obs} event and
+    bumps the ["checker.degradations"] counter.  A ["timeout: ..."]
+    unknown short-circuits the ladder — lower rungs face the same
+    absolute deadline.  Stats accumulate across the rungs actually
+    run. *)
 
 val shared_cnf_size : shared -> int * int
 (** Current [(variables, clauses)] of the shared context. *)

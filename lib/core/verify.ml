@@ -79,7 +79,7 @@ let enumerate ?only_ports (module_ila : Module_ila.t) =
         (Ila.leaf_instructions port))
     selected
 
-let run ?(stop_at_first_failure = true) ?only_ports ?budget
+let run ?(stop_at_first_failure = true) ?only_ports ?budget ?timeout_s
     ?(incremental = true) ~name module_ila rtl ~refmap_for =
   let t0 = Unix.gettimeofday () in
   let first_failure = ref None in
@@ -95,6 +95,17 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget
     List.map
       (fun (port : Ila.t) ->
         let pt0 = Unix.gettimeofday () in
+        (* the timeout is per obligation group — here, per port: each
+           port's clock starts when its first instruction is picked up,
+           so a slow early port cannot starve the rest of the report *)
+        let budget =
+          match timeout_s with
+          | None -> budget
+          | Some t ->
+            Some
+              (Checker.with_deadline (pt0 +. t)
+                 (Option.value budget ~default:Checker.unlimited))
+        in
         let refmap =
           try Ok (refmap_for port.Ila.name)
           with e -> Error (message_of_exn e)
@@ -137,12 +148,18 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget
             Some
               (fun (i : Ila.instruction) ->
                 match Hashtbl.find_opt slots i.Ila.instr_name with
-                | Some (Ok idx) -> Checker.check_shared ?budget sh idx
+                | Some (Ok idx) ->
+                  (* the ladder: incremental -> fresh -> tightened ->
+                     Unknown, each demotion observable *)
+                  Checker.check_shared_degrading ?budget sh idx
                 | Some (Error msg) ->
-                  (Checker.Unknown ("exception: " ^ msg), empty_stats)
+                  ( Checker.Unknown ("exception: " ^ msg),
+                    empty_stats,
+                    "error" )
                 | None ->
                   ( Checker.Unknown "exception: instruction not prepared",
-                    empty_stats ))
+                    empty_stats,
+                    "error" ))
           | Ok _ -> None
         in
         let check_instr refmap (i : Ila.instruction) =
@@ -150,15 +167,18 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget
           | Some f -> (
             try f i
             with e ->
-              (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
-            )
+              ( Checker.Unknown ("exception: " ^ message_of_exn e),
+                empty_stats,
+                "error" ))
           | None -> (
             try
               let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
-              Checker.check ?budget property
+              let v, s = Checker.check ?budget property in
+              (v, s, "fresh")
             with e ->
-              (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats)
-            )
+              ( Checker.Unknown ("exception: " ^ message_of_exn e),
+                empty_stats,
+                "error" ))
         in
         let rec check_all = function
           | [] -> ()
@@ -180,11 +200,11 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget
                 else None
               in
               let it0 = Unix.gettimeofday () in
-              let verdict, stats =
+              let verdict, stats, rung =
                 match refmap with
                 | Ok refmap -> check_instr refmap i
                 | Error msg ->
-                  (Checker.Unknown ("exception: " ^ msg), empty_stats)
+                  (Checker.Unknown ("exception: " ^ msg), empty_stats, "error")
               in
               (match span with
               | None -> ()
@@ -201,6 +221,7 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget
                           | Checker.Failed _ -> "failed"
                           | Checker.Unknown _ -> "unknown") );
                       ("attempts", I stats.Checker.attempts);
+                      ("rung", S rung);
                     ]
                   id);
               let result =

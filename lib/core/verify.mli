@@ -53,6 +53,7 @@ val run :
   ?stop_at_first_failure:bool ->
   ?only_ports:string list ->
   ?budget:Checker.budget ->
+  ?timeout_s:float ->
   ?incremental:bool ->
   name:string ->
   Module_ila.t ->
@@ -70,12 +71,21 @@ val run :
     property generator) are converted into an [Unknown] verdict with
     the exception message instead of aborting the whole report.
 
+    [timeout_s] sets a per-port wall-clock deadline (each port's clock
+    starts when its first instruction is picked up): once it passes,
+    the port's remaining obligations are reported [Unknown] with a
+    timestamped ["timeout: ..."] reason instead of hanging.  Default:
+    unlimited.
+
     [incremental] (default true) shares one solver context per port
     across all of its instructions' properties
     ({!Checker.prepare_shared}): the common unrolled frame is blasted
-    once and learnt clauses transfer between queries.
-    [incremental:false] restores the fresh-solver-per-instruction
-    behavior; the verdicts are the same either way (only [Unknown]
-    cutoff points can differ under a {!Checker.budget}). *)
+    once and learnt clauses transfer between queries.  An incremental
+    query that returns [Unknown] is retried down the degradation
+    ladder ({!Checker.check_shared_degrading}) before the verdict is
+    accepted.  [incremental:false] restores the
+    fresh-solver-per-instruction behavior; the verdicts are the same
+    either way (only [Unknown] cutoff points can differ under a
+    {!Checker.budget}). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -28,9 +28,9 @@ let class_to_string = function
   | Multi_port_independent -> "multi-port, no shared states"
   | Multi_port_shared -> "multi-port, shared states"
 
-let verify ?stop_at_first_failure ?only_ports ?incremental d =
-  Verify.run ?stop_at_first_failure ?only_ports ?incremental ~name:d.name
-    d.module_ila d.rtl
+let verify ?stop_at_first_failure ?only_ports ?incremental ?timeout_s d =
+  Verify.run ?stop_at_first_failure ?only_ports ?incremental ?timeout_s
+    ~name:d.name d.module_ila d.rtl
     ~refmap_for:(d.refmap_for d.rtl)
 
 let check_invariants d =
@@ -45,8 +45,8 @@ let check_invariants d =
             Invariant.check_inductive ~rtl:d.rtl invs ))
     d.module_ila.Module_ila.ports
 
-let verify_buggy ?stop_at_first_failure ?incremental d bug =
-  Verify.run ?stop_at_first_failure ?incremental
+let verify_buggy ?stop_at_first_failure ?incremental ?timeout_s d bug =
+  Verify.run ?stop_at_first_failure ?incremental ?timeout_s
     ~name:(d.name ^ " [" ^ bug.bug_label ^ "]")
     d.module_ila bug.buggy_rtl
     ~refmap_for:(d.refmap_for bug.buggy_rtl)

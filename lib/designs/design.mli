@@ -38,13 +38,20 @@ val verify :
   ?stop_at_first_failure:bool ->
   ?only_ports:string list ->
   ?incremental:bool ->
+  ?timeout_s:float ->
   t ->
   Verify.report
 (** Verifies the golden RTL against the module-ILA.  [incremental]
-    (default true) is {!Verify.run}'s shared-solver mode. *)
+    (default true) is {!Verify.run}'s shared-solver mode; [timeout_s]
+    its per-port wall-clock deadline (default unlimited). *)
 
 val verify_buggy :
-  ?stop_at_first_failure:bool -> ?incremental:bool -> t -> bug -> Verify.report
+  ?stop_at_first_failure:bool ->
+  ?incremental:bool ->
+  ?timeout_s:float ->
+  t ->
+  bug ->
+  Verify.report
 (** Verifies a buggy variant (expected to fail, yielding the paper's
     "Time (bug)" measurement and a counterexample trace). *)
 

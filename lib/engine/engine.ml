@@ -48,6 +48,8 @@ type summary = {
   n_failed : int;
   n_unknown : int;
   n_errors : int;
+  n_poisoned : int;
+  n_degraded : int;
   cache_hits : int;
   cache_misses : int;
   fresh_sat_attempts : int;
@@ -86,10 +88,43 @@ let verdict_string = function
   | Checker.Failed _ -> "failed"
   | Checker.Unknown _ -> "unknown"
 
+(* Chaos injection: the ["pool.kill"] fault takes down the current
+   worker with SIGKILL — indistinguishable from an OOM kill as far as
+   the pool's supervision is concerned, which is the point.  Guarded by
+   [Pool.in_worker] so an in-process run ([jobs <= 1]) can never shoot
+   the main process; keyed on the job's {e group} identity (design +
+   variant + port — the pool's scheduling atom in incremental mode), so
+   the one-shot ledger both survives the retry running in a different
+   worker and guarantees at most one kill per group: a second kill on
+   any job of the same group would poison the whole group. *)
+let job_chaos_key (j : job) =
+  j.design
+  ^ (match j.variant with None -> "" | Some v -> "+" ^ v)
+  ^ "/" ^ j.port
+
+let chaos_kill_point (j : job) =
+  if
+    Pool.in_worker ()
+    && Ilv_obs.Inject.fire_once ~point:"pool.kill" ~key:(job_chaos_key j)
+       = Ilv_obs.Inject.Fault
+  then Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* Per-group (or per-job, in fresh mode) absolute deadline: the clock
+   starts when the group is picked up, preparation included. *)
+let deadlined ~timeout_s budget =
+  match timeout_s with
+  | None -> budget
+  | Some t ->
+    Some
+      (Checker.with_deadline
+         (Unix.gettimeofday () +. t)
+         (Option.value budget ~default:Checker.unlimited))
+
 (* Discharge one job: generate + prepare the property, try the cache,
    then the portfolio; store definitive fresh verdicts.  Any exception
    becomes this job's [Unknown] — never the sweep's. *)
 let discharge ~cache ~portfolio ~budget (j : job) =
+  chaos_kill_point j;
   let t0 = Unix.gettimeofday () in
   try
     let p = Lazy.force j.property in
@@ -239,6 +274,7 @@ let init_group group =
   }
 
 let discharge_shared ~cache ~portfolio ~budget st (j : job) =
+  chaos_kill_point j;
   let t0 = Unix.gettimeofday () in
   let errored msg =
     result_of_job j
@@ -333,7 +369,7 @@ let instrumented ~mode discharge_fn (j : job) =
     r
   end
 
-let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
+let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget ?timeout_s
     ?(incremental = true) job_list =
   let t0 = Unix.gettimeofday () in
   let run_span =
@@ -362,6 +398,8 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
          transfer that makes incremental solving pay. *)
       let groups = group_jobs job_list in
       let discharge_group group =
+        (* the group's deadline starts here, preparation included *)
+        let budget = deadlined ~timeout_s budget in
         let st = init_group group in
         List.map
           (fun j ->
@@ -383,13 +421,18 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
                    (fun _ -> Pool.Crashed "engine: group result arity mismatch")
                    g
                | Pool.Crashed reason ->
-                 List.map (fun _ -> Pool.Crashed reason) g)
+                 List.map (fun _ -> Pool.Crashed reason) g
+               | Pool.Poisoned reason ->
+                 List.map (fun _ -> Pool.Poisoned reason) g)
              groups group_outcomes) )
     end
     else
       ( job_list,
         Pool.map ~jobs
-          (instrumented ~mode:"fresh" (discharge ~cache ~portfolio ~budget))
+          (instrumented ~mode:"fresh" (fun j ->
+               discharge ~cache ~portfolio
+                 ~budget:(deadlined ~timeout_s budget)
+                 j))
           job_list )
   in
   let results =
@@ -400,7 +443,14 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
         | Pool.Crashed reason ->
           result_of_job j
             ~verdict:(Checker.Unknown ("engine: " ^ reason))
-            ~stats:empty_stats ~time_s:0.0 ~backend:"error" ~cache_hit:false)
+            ~stats:empty_stats ~time_s:0.0 ~backend:"error" ~cache_hit:false
+        | Pool.Poisoned reason ->
+          (* quarantined by pool supervision: an explicit, machine-
+             readable verdict with the kill history, not a hang *)
+          result_of_job j
+            ~verdict:(Checker.Unknown ("engine: poisoned: " ^ reason))
+            ~stats:empty_stats ~time_s:0.0 ~backend:"poisoned"
+            ~cache_hit:false)
       ordered_jobs outcomes
   in
   let results = List.sort (fun a b -> compare a.job_id b.job_id) results in
@@ -418,11 +468,19 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
         count (fun r ->
             match r.verdict with Checker.Unknown _ -> true | _ -> false);
       n_errors = count (fun r -> r.backend = "error");
+      n_poisoned = count (fun r -> r.backend = "poisoned");
+      n_degraded =
+        count (fun r ->
+            String.length r.backend > 4 && String.sub r.backend 0 4 = "sat>");
       cache_hits = count (fun r -> r.cache_hit);
       cache_misses =
         (match cache with
         | None -> 0
-        | Some _ -> count (fun r -> (not r.cache_hit) && r.backend <> "error"));
+        | Some _ ->
+          count (fun r ->
+              (not r.cache_hit)
+              && r.backend <> "error"
+              && r.backend <> "poisoned"));
       fresh_sat_attempts =
         List.fold_left
           (fun acc r ->
@@ -442,6 +500,8 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget
           ("failed", Ilv_obs.Obs.I summary.n_failed);
           ("unknown", Ilv_obs.Obs.I summary.n_unknown);
           ("errors", Ilv_obs.Obs.I summary.n_errors);
+          ("poisoned", Ilv_obs.Obs.I summary.n_poisoned);
+          ("degraded", Ilv_obs.Obs.I summary.n_degraded);
           ("cache_hits", Ilv_obs.Obs.I summary.cache_hits);
           ("cache_misses", Ilv_obs.Obs.I summary.cache_misses);
         ]
@@ -497,9 +557,10 @@ let pp_summary fmt s =
   Format.fprintf fmt
     "@[<v>engine: %d jobs on %d worker%s in %.3fs@,\
     \  verdicts: %d proved, %d failed, %d unknown (%d engine errors)@,\
+    \  resilience: %d poisoned, %d degraded@,\
     \  cache: %d hits, %d misses@,\
     \  fresh SAT attempts: %d (cache hits solve zero)@]"
     s.n_jobs s.jobs_used
     (if s.jobs_used = 1 then "" else "s")
-    s.wall_s s.n_proved s.n_failed s.n_unknown s.n_errors s.cache_hits
-    s.cache_misses s.fresh_sat_attempts
+    s.wall_s s.n_proved s.n_failed s.n_unknown s.n_errors s.n_poisoned
+    s.n_degraded s.cache_hits s.cache_misses s.fresh_sat_attempts

@@ -53,7 +53,10 @@ type result = {
   time_s : float;  (** wall clock of the whole job, captured once *)
   backend : string;
       (** what produced the verdict: ["sat"], ["bdd"], ["race:sat"],
-          ["race:bdd"], ["cache"], or ["error"] *)
+          ["race:bdd"], ["cache"], ["error"], ["poisoned"] (quarantined
+          by pool supervision), or ["sat>"]-prefixed when the
+          degradation ladder demoted the query (["sat>fresh"],
+          ["sat>tightened"], ["sat>degraded"]) *)
   cache_hit : bool;
 }
 
@@ -63,6 +66,11 @@ type summary = {
   n_failed : int;
   n_unknown : int;
   n_errors : int;  (** jobs that errored or whose worker crashed *)
+  n_poisoned : int;
+      (** jobs quarantined after killing two distinct workers *)
+  n_degraded : int;
+      (** jobs whose verdict came from a lower rung of the degradation
+          ladder (fresh retry, tightened budget, or final give-up) *)
   cache_hits : int;
   cache_misses : int;  (** jobs that went to a solver (cache enabled) *)
   fresh_sat_attempts : int;
@@ -76,6 +84,7 @@ val run :
   ?cache:Proof_cache.t ->
   ?portfolio:Portfolio.choice ->
   ?budget:Checker.budget ->
+  ?timeout_s:float ->
   ?incremental:bool ->
   job list ->
   result list * summary
@@ -85,6 +94,13 @@ val run :
     solves and stores any definitive verdict.  [portfolio] (default
     [Auto]) selects the backend per obligation; [budget] bounds the SAT
     leg as in {!Checker.check_prepared}.
+
+    [timeout_s] sets a wall-clock deadline per obligation group — per
+    (design, variant, port) group in incremental mode (the clock starts
+    when a worker picks the group up, preparation included), per job in
+    fresh mode.  When it passes, remaining obligations yield timestamped
+    ["timeout: ..."] [Unknown] verdicts instead of hanging the pool.
+    Default: unlimited.
 
     [incremental] (default [true]) groups jobs by (design, variant)
     and discharges each group against one shared bit-blasted frame in

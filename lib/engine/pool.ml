@@ -1,4 +1,24 @@
-type 'b outcome = Done of 'b | Crashed of string
+type 'b outcome = Done of 'b | Crashed of string | Poisoned of string
+
+(* True inside a forked worker process.  Chaos injection sites use this
+   to make sure a "kill the worker" fault can only ever take down a
+   child — with [jobs <= 1] everything runs in the calling process,
+   where exiting would kill the whole sweep. *)
+let in_worker_flag = ref false
+let in_worker () = !in_worker_flag
+
+(* The retry cool-down: capped exponential backoff with deterministic
+   jitter.  Attempt 1 (the first retry) waits ~50ms, doubling up to a
+   500ms cap; jitter adds up to 25% of the capped delay, derived from a
+   digest of (job, attempt) so two jobs whose workers die together do
+   not thunder back in lockstep — and so the schedule is reproducible.
+   Pure, and exported for the test suite to pin the bounds down. *)
+let backoff_delay ~job ~attempt =
+  let base = 0.05 *. (2.0 ** float_of_int (max 0 (attempt - 1))) in
+  let capped = Float.min base 0.5 in
+  let d = Digest.string (Printf.sprintf "pool-backoff:%d:%d" job attempt) in
+  let jitter = float_of_int (Char.code d.[0]) /. 255.0 in
+  capped *. (1.0 +. (0.25 *. jitter))
 
 let protected f x =
   match f x with
@@ -66,9 +86,13 @@ let map_init ?(jobs = 1) ~init ~f items =
   else begin
     let arr = Array.of_list items in
     let results = Array.make n None in
-    (* a job whose worker died gets exactly one more chance *)
-    let retried = Array.make n false in
+    (* per-job kill history: (worker pid, how it died), newest first.
+       One kill earns one supervised retry; a second kill marks the job
+       [Poisoned] — it is never handed to a third worker. *)
+    let kills = Array.make n [] in
     let queue = Queue.create () in
+    (* retries cooling down under backoff: (ready-at, job index) *)
+    let delayed = ref [] in
     for i = 0 to n - 1 do
       Queue.add i queue
     done;
@@ -79,7 +103,14 @@ let map_init ?(jobs = 1) ~init ~f items =
       try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
       with Invalid_argument _ -> None
     in
-    let respawns = ref (2 * jobs) in
+    (* Respawn budget: the guard against an environment that kills
+       workers faster than they can be replaced (fork bombs, a hostile
+       OOM killer).  Poisoning already caps job-attributable deaths at
+       two per job, so a budget linear in the job count lets every job
+       spend its full retry allowance — a retry costs two credits, one
+       at the crash and one at the respawn — while still bounding
+       pathological idle-worker churn. *)
+    let respawns = ref ((2 * jobs) + (4 * n)) in
     let spawn ?(respawn = false) () =
       let jr, jw = Unix.pipe () in
       let rr, rw = Unix.pipe () in
@@ -96,6 +127,7 @@ let map_init ?(jobs = 1) ~init ~f items =
             (try Unix.close w.res_fd with Unix.Unix_error _ -> ()))
           !alive;
         (* per-worker state, built in the child on first job *)
+        in_worker_flag := true;
         let st = lazy (init ()) in
         serve_jobs arr (fun x -> f (Lazy.force st) x) jr rw;
         Unix._exit 0
@@ -119,11 +151,32 @@ let map_init ?(jobs = 1) ~init ~f items =
           [ ("worker_pid", Ilv_obs.Obs.I pid) ];
         w
     in
+    (* Reaping also classifies the death: a signal is a genuine crash
+       (OOM killer, chaos injection, stray SIGKILL), a nonzero exit is
+       a worker that gave up deliberately, a clean exit mid-job means
+       the result pipe broke.  The classification feeds the retry
+       policy and every disposition string the sweep reports. *)
+    let signal_name sg =
+      (* OCaml's portable signal numbers are negative — name the usual
+         suspects rather than leak the encoding into dispositions *)
+      if sg = Sys.sigkill then "SIGKILL"
+      else if sg = Sys.sigterm then "SIGTERM"
+      else if sg = Sys.sigsegv then "SIGSEGV"
+      else if sg = Sys.sigbus then "SIGBUS"
+      else if sg = Sys.sigabrt then "SIGABRT"
+      else if sg = Sys.sigint then "SIGINT"
+      else Printf.sprintf "signal %d" sg
+    in
     let reap w =
       alive := List.filter (fun x -> x.pid <> w.pid) !alive;
       (try close_out w.job_oc with _ -> ());
       (try close_in w.res_ic with _ -> ());
-      (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      match Unix.waitpid [] w.pid with
+      | _, Unix.WSIGNALED sg -> "killed by " ^ signal_name sg
+      | _, Unix.WEXITED 0 -> "exited cleanly (result pipe broken)"
+      | _, Unix.WEXITED code -> Printf.sprintf "exited with code %d" code
+      | _, Unix.WSTOPPED sg -> "stopped by " ^ signal_name sg
+      | exception Unix.Unix_error _ -> "already reaped"
     in
     let retire w =
       (try
@@ -131,7 +184,7 @@ let map_init ?(jobs = 1) ~init ~f items =
          flush w.job_oc
        with _ -> ());
       obs_event "pool.retire" [ ("worker_pid", Ilv_obs.Obs.I w.pid) ];
-      reap w
+      ignore (reap w)
     in
     (* true when the job was delivered; false when the worker is dead
        (the job goes back on the queue — it never started there) *)
@@ -152,45 +205,98 @@ let map_init ?(jobs = 1) ~init ~f items =
         with _ ->
           w.current <- None;
           Queue.add i queue;
-          reap w;
+          ignore (reap w);
           false)
     in
-    (* A worker died mid-job.  If the job has never been retried and
-       the respawn budget has slack, requeue it once — the death may be
-       the worker's fault (resource spike, stray signal), not the
-       job's — charging the retry against [respawns] so a job that
-       kills every host still converges to [Crashed].  Determinism is
-       unaffected: only this job's outcome changes, never the order. *)
-    let crash w reason =
-      (match w.current with
+    let history_of i =
+      String.concat "; "
+        (List.rev_map
+           (fun (pid, how) -> Printf.sprintf "%s (worker %d)" how pid)
+           kills.(i))
+    in
+    (* A worker died mid-job.  The supervision policy: the first kill
+       earns the job one retry — after a backoff cool-down, charged
+       against [respawns] — because the death may be the worker's fault
+       (resource spike, stray signal), not the job's.  A second kill is
+       the job's fault by induction: two distinct processes died running
+       it, so it is quarantined as [Poisoned] with its full kill history
+       and never dispatched again.  Determinism is unaffected: only this
+       job's outcome changes, never the result order. *)
+    let crash w =
+      let job = w.current in
+      w.current <- None;
+      let how = reap w in
+      obs_count "pool.crashes" 1;
+      match job with
+      | None ->
+        obs_event "pool.crash"
+          [
+            ("worker_pid", Ilv_obs.Obs.I w.pid);
+            ("how", Ilv_obs.Obs.S how);
+            ("idle", Ilv_obs.Obs.B true);
+          ]
       | Some i ->
-        w.current <- None;
-        let retry = (not retried.(i)) && !respawns > 0 in
-        obs_count "pool.crashes" 1;
+        kills.(i) <- (w.pid, how) :: kills.(i);
+        let n_kills = List.length kills.(i) in
+        let retry = n_kills < 2 && !respawns > 0 in
         obs_event "pool.crash"
           [
             ("worker_pid", Ilv_obs.Obs.I w.pid);
             ("job", Ilv_obs.Obs.I i);
+            ("how", Ilv_obs.Obs.S how);
+            ("kills", Ilv_obs.Obs.I n_kills);
             ("retrying", Ilv_obs.Obs.B retry);
           ];
         if retry then begin
-          retried.(i) <- true;
           decr respawns;
           obs_count "pool.retries" 1;
-          Queue.add i queue
+          let delay = backoff_delay ~job:i ~attempt:n_kills in
+          obs_event "pool.retry"
+            [
+              ("job", Ilv_obs.Obs.I i);
+              ("attempt", Ilv_obs.Obs.I n_kills);
+              ("backoff_s", Ilv_obs.Obs.F delay);
+              ("reason", Ilv_obs.Obs.S how);
+            ];
+          delayed := (Unix.gettimeofday () +. delay, i) :: !delayed
         end
-        else results.(i) <- Some (Crashed reason)
-      | None ->
-        obs_count "pool.crashes" 1;
-        obs_event "pool.crash"
-          [ ("worker_pid", Ilv_obs.Obs.I w.pid); ("idle", Ilv_obs.Obs.B true) ]);
-      reap w
+        else if n_kills >= 2 then begin
+          obs_count "pool.poisoned" 1;
+          obs_event "pool.poisoned"
+            [
+              ("job", Ilv_obs.Obs.I i);
+              ("kills", Ilv_obs.Obs.I n_kills);
+              ("history", Ilv_obs.Obs.S (history_of i));
+            ];
+          results.(i) <-
+            Some
+              (Poisoned
+                 (Printf.sprintf "job killed %d workers: %s" n_kills
+                    (history_of i)))
+        end
+        else
+          results.(i) <-
+            Some
+              (Crashed
+                 (Printf.sprintf "%s; retry budget exhausted (history: %s)"
+                    how (history_of i)))
     in
     let unfilled () = Array.exists (fun r -> r = None) results in
+    (* move retries whose backoff has elapsed onto the live queue *)
+    let release_ready () =
+      let now = Unix.gettimeofday () in
+      let ready, waiting = List.partition (fun (t, _) -> t <= now) !delayed in
+      delayed := waiting;
+      List.iter (fun (_, i) -> Queue.add i queue) ready
+    in
+    let earliest_ready () =
+      List.fold_left (fun acc (t, _) -> Float.min acc t) infinity !delayed
+    in
     for _ = 1 to min jobs n do
       ignore (assign (spawn ()))
     done;
     while unfilled () do
+      release_ready ();
       (* keep enough workers alive for the queued jobs *)
       while
         (not (Queue.is_empty queue))
@@ -201,7 +307,13 @@ let map_init ?(jobs = 1) ~init ~f items =
         ignore (assign (spawn ~respawn:true ()))
       done;
       let busy = List.filter (fun w -> w.current <> None) !alive in
-      if busy = [] then begin
+      if busy = [] && !delayed <> [] then begin
+        (* nothing in flight, but retries are cooling down: sleep until
+           the earliest becomes dispatchable *)
+        let dt = earliest_ready () -. Unix.gettimeofday () in
+        if dt > 0.0 then Unix.sleepf dt
+      end
+      else if busy = [] then begin
         (* no worker is running and nothing can be (re)spawned: fail the
            leftovers rather than spin *)
         Queue.iter
@@ -218,7 +330,13 @@ let map_init ?(jobs = 1) ~init ~f items =
       end
       else begin
         let fds = List.map (fun w -> w.res_fd) busy in
-        match Unix.select fds [] [] (-1.0) with
+        (* with retries cooling down, wake up in time to dispatch them
+           even if no result arrives *)
+        let timeout =
+          if !delayed = [] then -1.0
+          else Float.max 0.0 (earliest_ready () -. Unix.gettimeofday ())
+        in
+        match Unix.select fds [] [] timeout with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | readable, _, _ ->
           List.iter
@@ -231,8 +349,7 @@ let map_init ?(jobs = 1) ~init ~f items =
                   results.(i) <- Some r;
                   w.current <- None;
                   ignore (assign w)
-                | exception _ ->
-                  crash w "worker process died unexpectedly"))
+                | exception _ -> crash w))
             readable
       end
     done;

@@ -284,5 +284,9 @@ let decide_shared ?budget choice sh idx =
       (v, st, "bdd")
     | Auto | Race | Force Sat_backend ->
       obs_select ~choice ~eligible "sat";
-      let v, st = sat () in
-      (v, st, "sat"))
+      (* the degradation ladder guards the incremental leg: an Unknown
+         from the shared frame is retried on a fresh context, then under
+         a tightened budget, before it is accepted — and the backend tag
+         records which rung decided *)
+      let v, st, rung = Checker.check_shared_degrading ?budget sh idx in
+      (v, st, (if rung = "incremental" then "sat" else "sat>" ^ rung)))

@@ -1,12 +1,18 @@
 open Ilv_core
 
-(* /3: keys are mode-tagged ("F;" for fresh per-property CNFs, "I;"
-   for shared-frame incremental queries), so an incremental run and a
-   non-incremental run can never alias each other's entries even when
-   their clause sets coincide.  /2 keys carried no tag — the version
-   bump makes them stale rather than silently unreachable. *)
-let version = "ilaverif-engine/3"
-let magic = "ilaverif-proof-cache/1\n"
+(* /4: the entry file format grew a per-entry checksum (file format
+   /2), so a torn or bit-rotted entry is detected on read instead of
+   trusted.  /3 keys were mode-tagged ("F;" for fresh per-property
+   CNFs, "I;" for shared-frame incremental queries), so an incremental
+   run and a non-incremental run can never alias each other's entries
+   even when their clause sets coincide.  Version bumps make older
+   entries stale rather than silently unreachable. *)
+let version = "ilaverif-engine/4"
+let magic = "ilaverif-proof-cache/2\n"
+
+(* the pre-checksum file format: well-formed entries in it are an
+   expected leftover of an upgrade, not damage *)
+let old_magic = "ilaverif-proof-cache/1\n"
 
 type t = { cache_dir : string }
 
@@ -29,12 +35,90 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Startup recovery, part 1: a [.tmp-<pid>-<key>] file whose writer is
+   no longer alive is a torn write from a crashed process — it never
+   made it through the rename, so it holds no information worth
+   keeping.  Live writers' temp files are left strictly alone. *)
+let sweep_dead_tmp cache_dir =
+  match Sys.readdir cache_dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        if String.length f > 5 && String.sub f 0 5 = ".tmp-" then begin
+          let rest = String.sub f 5 (String.length f - 5) in
+          let pid =
+            match String.index_opt rest '-' with
+            | Some i -> int_of_string_opt (String.sub rest 0 i)
+            | None -> None
+          in
+          let writer_dead =
+            match pid with
+            | None -> true (* malformed name: nobody owns it *)
+            | Some p -> (
+              match Unix.kill p 0 with
+              | () -> false
+              | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+              | exception Unix.Unix_error _ -> false)
+          in
+          if writer_dead then
+            try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ()
+        end)
+      files
+
 let open_ ?dir () =
   let cache_dir = match dir with Some d -> d | None -> default_dir () in
   mkdir_p cache_dir;
+  sweep_dead_tmp cache_dir;
   { cache_dir }
 
 let dir t = t.cache_dir
+let quarantine_dir t = Filename.concat t.cache_dir "quarantine"
+
+(* Quarantine, never delete: a corrupt entry is evidence (of a torn
+   write, disk fault, or injected chaos) that an operator may want to
+   inspect; moving it out of the key space is enough to stop it biasing
+   lookups.  A rename within the same directory tree stays atomic. *)
+let quarantine t path =
+  mkdir_p (quarantine_dir t);
+  let dest = Filename.concat (quarantine_dir t) (Filename.basename path) in
+  match Sys.rename path dest with
+  | () ->
+    if Ilv_obs.Obs.enabled () then begin
+      Ilv_obs.Obs.count "cache.quarantined" 1;
+      Ilv_obs.Obs.event "cache.quarantine"
+        [ ("file", Ilv_obs.Obs.S (Filename.basename path)) ]
+    end;
+    true
+  | exception Sys_error _ -> false
+
+let quarantined_count t =
+  match Sys.readdir (quarantine_dir t) with
+  | exception Sys_error _ -> 0
+  | files -> Array.length files
+
+(* Concurrent writers serialize on one advisory lock file.  The lock is
+   best-effort — a filesystem without [lockf] support must not turn the
+   cache into a crash source — and the rename inside stays atomic
+   either way; the lock only closes the window where two writers race
+   the same key with different temp files. *)
+let with_lock t f =
+  let lock_path = Filename.concat t.cache_dir ".lock" in
+  match Unix.openfile lock_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    let locked =
+      try
+        Unix.lockf fd Unix.F_LOCK 0;
+        true
+      with Unix.Unix_error _ -> false
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (try if locked then Unix.lockf fd Unix.F_ULOCK 0
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      f
 
 type entry = {
   key : string;
@@ -126,30 +210,62 @@ let read_file path =
    [validate] report them separately. *)
 type loaded = Entry of entry | Stale of string | Corrupt
 
+(* Entry file layout (format /2):
+     magic ^ md5hex(payload) ^ "\n" ^ payload
+   where payload is the marshalled entry.  The checksum is verified on
+   every read, so truncation and bit-rot — not just unparseable bytes —
+   are caught before [Marshal] ever sees the payload. *)
+let checksum_hex_len = 32
+
 let load_entry path key =
   match read_file path with
   | exception _ -> Corrupt
   | raw ->
     let mlen = String.length magic in
-    if String.length raw <= mlen || String.sub raw 0 mlen <> magic then
-      Corrupt
+    let omlen = String.length old_magic in
+    if String.length raw >= omlen && String.sub raw 0 omlen = old_magic then
+      Stale "pre-checksum file format (ilaverif-proof-cache/1)"
+    else if
+      String.length raw <= mlen + checksum_hex_len + 1
+      || String.sub raw 0 mlen <> magic
+    then Corrupt
     else begin
-      match (Marshal.from_string raw mlen : entry) with
-      | exception _ -> Corrupt
-      | e ->
-        if e.engine_version <> version then Stale e.engine_version
-        else if key <> "" && e.key <> key then Corrupt
-        else (
-          match e.verdict with
-          | Checker.Proved | Checker.Failed _ -> Entry e
-          | Checker.Unknown _ -> Corrupt)
+      let sum = String.sub raw mlen checksum_hex_len in
+      let body_ofs = mlen + checksum_hex_len + 1 in
+      let payload =
+        String.sub raw body_ofs (String.length raw - body_ofs)
+      in
+      if
+        raw.[mlen + checksum_hex_len] <> '\n'
+        || Digest.to_hex (Digest.string payload) <> sum
+      then Corrupt
+      else begin
+        match (Marshal.from_string payload 0 : entry) with
+        | exception _ -> Corrupt
+        | e ->
+          if e.engine_version <> version then Stale e.engine_version
+          else if key <> "" && e.key <> key then Corrupt
+          else (
+            match e.verdict with
+            | Checker.Proved | Checker.Failed _ -> Entry e
+            | Checker.Unknown _ -> Corrupt)
+      end
     end
 
 let lookup t key =
+  let path = file_of t key in
   let found =
-    match load_entry (file_of t key) key with
-    | Entry e -> Some e
-    | Stale _ | Corrupt -> None
+    if not (Sys.file_exists path) then None
+    else
+      match load_entry path key with
+      | Entry e -> Some e
+      | Stale _ -> None
+      | Corrupt ->
+        (* quarantine on first contact: the miss re-solves and re-stores
+           the entry, and the damaged file keeps no seat in the key
+           space *)
+        ignore (quarantine t path);
+        None
   in
   if Ilv_obs.Obs.enabled () then begin
     let open Ilv_obs.Obs in
@@ -178,16 +294,20 @@ let store t entry =
           ("instr", S entry.instr);
         ]
     end;
-    let payload = magic ^ Marshal.to_string entry [] in
+    let payload = Marshal.to_string entry [] in
+    let content =
+      magic ^ Digest.to_hex (Digest.string payload) ^ "\n" ^ payload
+    in
     let tmp =
       Filename.concat t.cache_dir
         (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) entry.key)
     in
     try
-      let oc = open_out_bin tmp in
-      output_string oc payload;
-      close_out oc;
-      Sys.rename tmp (file_of t entry.key)
+      with_lock t (fun () ->
+          let oc = open_out_bin tmp in
+          output_string oc content;
+          close_out oc;
+          Sys.rename tmp (file_of t entry.key))
     with _ -> ( try Sys.remove tmp with _ -> ()))
 
 (* ---- maintenance ---- *)
@@ -208,6 +328,7 @@ type cache_stats = {
   failed : int;
   stale : int;
   corrupt : int;
+  quarantined : int;
 }
 
 let stats t =
@@ -231,8 +352,30 @@ let stats t =
             (acc.failed
             + match e.verdict with Checker.Failed _ -> 1 | _ -> 0);
         })
-    { entries = 0; bytes = 0; proved = 0; failed = 0; stale = 0; corrupt = 0 }
+    {
+      entries = 0;
+      bytes = 0;
+      proved = 0;
+      failed = 0;
+      stale = 0;
+      corrupt = 0;
+      quarantined = quarantined_count t;
+    }
     (entry_files t)
+
+(* Startup recovery, part 2: sweep every entry file and quarantine the
+   unreadable ones.  Returns how many were quarantined.  [open_] keeps
+   its O(directory) cost by not calling this — a corrupt entry is also
+   quarantined lazily the first time a lookup touches it; this full
+   sweep is for the CLI and the chaos harness, which must assert that
+   zero corrupt entries remain in the key space. *)
+let recover t =
+  List.fold_left
+    (fun n path ->
+      match load_entry path "" with
+      | Entry _ | Stale _ -> n
+      | Corrupt -> if quarantine t path then n + 1 else n)
+    0 (entry_files t)
 
 let clear t =
   List.fold_left
@@ -283,11 +426,18 @@ let stride_sample sample files =
       (List.init sample (fun i -> i * (len - 1) / (sample - 1)))
     |> List.map (fun i -> files.(i))
 
-let validate ?(sample = 5) t =
+let validate ?(sample = 5) ?(full = false) t =
+  let files =
+    let all = entry_files t in
+    if full then all else stride_sample sample all
+  in
   List.fold_left
     (fun acc path ->
       match load_entry path "" with
       | Corrupt ->
+        (* out of the key space, kept as evidence — validation reports,
+           it never errors mid-sweep *)
+        ignore (quarantine t path);
         {
           acc with
           corrupt_entries = Filename.basename path :: acc.corrupt_entries;
@@ -299,6 +449,10 @@ let validate ?(sample = 5) t =
         }
       | Entry e ->
         let ok = try resolve_entry e with _ -> false in
+        if not ok then
+          (* a rotted entry that still parses is the worst kind: its
+             verdict is a lie.  Quarantine it like any other damage. *)
+          ignore (quarantine t path);
         {
           acc with
           checked = acc.checked + 1;
@@ -312,11 +466,11 @@ let validate ?(sample = 5) t =
       stale_entries = [];
       corrupt_entries = [];
     }
-    (stride_sample sample (entry_files t))
+    files
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "%d entries (%d proved, %d failed), %d stale (other engine version), %d \
-     corrupt, %.1f KiB"
-    s.entries s.proved s.failed s.stale s.corrupt
+     corrupt, %d quarantined, %.1f KiB"
+    s.entries s.proved s.failed s.stale s.corrupt s.quarantined
     (float_of_int s.bytes /. 1024.0)

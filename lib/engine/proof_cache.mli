@@ -30,7 +30,20 @@
     is never stored.  Each entry also records the solver statistics of
     the original run, the engine version (a version bump invalidates
     the whole cache), and the canonicalized CNF itself, which is what
-    lets {!validate} re-solve entries from the store alone. *)
+    lets {!validate} re-solve entries from the store alone.
+
+    {2 Crash safety}
+
+    Writes are atomic (temp file + rename, serialized across processes
+    by an advisory lock file) and every entry carries a checksum of its
+    payload that is verified on read — truncation and bit-rot are
+    detected before [Marshal] ever parses a byte.  Damaged entries are
+    {e quarantined} into [<dir>/quarantine/], never deleted: lazily on
+    the first lookup that touches one, eagerly by {!recover} and
+    {!validate}.  {!open_} additionally sweeps temp files left by
+    crashed writers (the owning pid is dead).  All of it is
+    best-effort: the cache is an accelerator, and no I/O failure in
+    this module is allowed to become a sweep failure. *)
 
 type t
 
@@ -45,9 +58,24 @@ val default_dir : unit -> string
 
 val open_ : ?dir:string -> unit -> t
 (** Opens (creating directories as needed) the store at [dir]
-    (default {!default_dir}). *)
+    (default {!default_dir}), and removes torn temp files whose writer
+    process is no longer alive. *)
 
 val dir : t -> string
+
+val quarantine_dir : t -> string
+(** [<dir>/quarantine] — where damaged entry files are moved. *)
+
+val quarantined_count : t -> int
+(** How many files sit in the quarantine directory. *)
+
+val recover : t -> int
+(** Scans every entry file and quarantines the unreadable ones
+    (bad magic, checksum mismatch, unparseable payload, wrong key,
+    stored [Unknown]); returns how many were quarantined.  Well-formed
+    entries of other engine versions are left in place (stale, not
+    damaged).  This is the eager complement of the lazy
+    quarantine-on-lookup path. *)
 
 type entry = {
   key : string;
@@ -100,11 +128,13 @@ val key_of_shared : frame:string -> selectors:int list list -> string
 val lookup : t -> string -> entry option
 (** [None] on a genuine miss {e and} on any unreadable entry — a
     truncated, corrupted or version-mismatched file is a miss, never an
-    error. *)
+    error.  An entry whose checksum fails is quarantined on the spot
+    (the subsequent miss re-solves and re-stores it). *)
 
 val store : t -> entry -> unit
-(** Atomic (write-then-rename).  Entries with an [Unknown] verdict are
-    silently dropped.  I/O failures are swallowed: the cache is an
+(** Atomic (write-then-rename, serialized by an advisory lock), with a
+    payload checksum in the file.  Entries with an [Unknown] verdict
+    are silently dropped.  I/O failures are swallowed: the cache is an
     accelerator, never a correctness dependency. *)
 
 type cache_stats = {
@@ -113,9 +143,11 @@ type cache_stats = {
   proved : int;
   failed : int;
   stale : int;
-      (** well-formed entries written by a different engine version —
-          unusable but expected after an upgrade, not damage *)
+      (** well-formed entries written by a different engine version (or
+          the pre-checksum file format) — unusable but expected after
+          an upgrade, not damage *)
   corrupt : int;  (** genuinely unreadable entry files found on disk *)
+  quarantined : int;  (** files already moved to [quarantine/] *)
 }
 
 val stats : t -> cache_stats
@@ -131,13 +163,16 @@ type validation = {
   corrupt_entries : string list;  (** unreadable entry files *)
 }
 
-val validate : ?sample:int -> t -> validation
-(** Re-solves up to [sample] (default 5) stored entries from their
-    canonicalized CNF with a fresh SAT solver and compares the verdict
-    shape (every obligation UNSAT ⇔ [Proved]) against the stored one —
-    the guard against rotted entries that still parse.  The sample
-    strides evenly across the sorted entry listing (first and last
-    file always included), so no region of the key space is
-    systematically unchecked. *)
+val validate : ?sample:int -> ?full:bool -> t -> validation
+(** Re-solves stored entries from their canonicalized CNF with a fresh
+    SAT solver and compares the verdict shape (every obligation UNSAT ⇔
+    [Proved]) against the stored one — the guard against rotted entries
+    that still parse.  By default up to [sample] (default 5) entries
+    are checked, striding evenly across the sorted entry listing (first
+    and last file always included) so no region of the key space is
+    systematically unchecked; [full:true] checks {e every} entry,
+    closing the stride's blind spot.  Damage is handled, not just
+    reported: corrupt files and mismatched entries are quarantined into
+    [quarantine/]. *)
 
 val pp_stats : Format.formatter -> cache_stats -> unit

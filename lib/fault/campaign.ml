@@ -93,7 +93,7 @@ let classification_fields = function
       ("reason", Ilv_obs.Obs.S reason);
     ]
 
-let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
+let classify_mutant (d : Design.t) ~budget ~timeout_s ~fallback_sim ~sim_seeds
     ~sim_cycles (m : Mutate.mutant) =
   let t0 = Unix.gettimeofday () in
   let rtl = m.Mutate.rtl in
@@ -108,7 +108,7 @@ let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
     else None
   in
   let report =
-    Verify.run ~stop_at_first_failure:true ~budget
+    Verify.run ~stop_at_first_failure:true ~budget ?timeout_s
       ~name:(d.Design.name ^ " [" ^ Mutate.describe m.Mutate.mutation ^ "]")
       d.Design.module_ila rtl
       ~refmap_for:(fun port -> d.Design.refmap_for rtl port)
@@ -156,8 +156,8 @@ let classify_mutant (d : Design.t) ~budget ~fallback_sim ~sim_seeds
   }
 
 let run ?(seed = 1) ?(max_mutants = 100) ?(budget = default_budget)
-    ?(fallback_sim = true) ?(sim_seeds = 3) ?(sim_cycles = 300) ?(jobs = 1)
-    (d : Design.t) =
+    ?timeout_s ?(fallback_sim = true) ?(sim_seeds = 3) ?(sim_cycles = 300)
+    ?(jobs = 1) (d : Design.t) =
   let t0 = Unix.gettimeofday () in
   let n_sites = List.length (Mutate.enumerate d.Design.rtl) in
   let mutants = Mutate.sample ~seed ~max_mutants d.Design.rtl in
@@ -175,10 +175,18 @@ let run ?(seed = 1) ?(max_mutants = 100) ?(budget = default_budget)
             classification = Inconclusive ("worker crashed: " ^ reason);
             time_s = 0.0;
             replay_confirmed = None;
+          }
+        | Ilv_engine.Pool.Poisoned reason ->
+          {
+            mutation = m.Mutate.mutation;
+            classification = Inconclusive ("job poisoned: " ^ reason);
+            time_s = 0.0;
+            replay_confirmed = None;
           })
       mutants
       (Ilv_engine.Pool.map ~jobs
-         (classify_mutant d ~budget ~fallback_sim ~sim_seeds ~sim_cycles)
+         (classify_mutant d ~budget ~timeout_s ~fallback_sim ~sim_seeds
+            ~sim_cycles)
          mutants)
   in
   let count p = List.length (List.filter p reports) in

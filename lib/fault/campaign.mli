@@ -65,6 +65,7 @@ val run :
   ?seed:int ->
   ?max_mutants:int ->
   ?budget:Ilv_core.Checker.budget ->
+  ?timeout_s:float ->
   ?fallback_sim:bool ->
   ?sim_seeds:int ->
   ?sim_cycles:int ->
@@ -77,10 +78,14 @@ val run :
     hunt ([sim_seeds] runs of [sim_cycles] cycles) for mutants the
     bounded checker could not decide — and for mutants every property
     proved, where it is the only check that can catch reset faults.
+    [timeout_s] puts a wall-clock deadline on each mutant's per-port
+    verification ({!Ilv_core.Verify.run}'s [timeout_s]); obligations
+    past it classify as inconclusive (or fall to the simulation hunt)
+    instead of hanging the campaign.
     [jobs] (default 1) classifies mutants on that many parallel worker
     processes ({!Ilv_engine.Pool}); classifications and their order are
     identical for any worker count, and a crashed worker degrades to a
-    single inconclusive mutant. *)
+    single inconclusive mutant ([Poisoned] jobs likewise). *)
 
 val kill_times : t -> float list
 (** Per-mutant wall-clock of every killed mutant, campaign order. *)

@@ -1,0 +1,86 @@
+type decision = No_fault | Fault
+
+type config = {
+  seed : int;
+  dir : string;
+  points : (string * float) list;
+}
+
+let state : config option ref = ref None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let configure ~seed ~dir ~points () =
+  mkdir_p dir;
+  state := Some { seed; dir; points }
+
+let disable () = state := None
+let active () = !state <> None
+
+(* The decision hash: a stable digest of (seed, point, key) mapped to
+   [0, 1).  Digest (MD5) rather than Hashtbl.hash so the schedule is
+   identical across OCaml versions and word sizes — chaos seeds are
+   meant to be quotable in bug reports. *)
+let unit_float ~seed ~point ~key =
+  let d = Digest.string (Printf.sprintf "%d\x00%s\x00%s" seed point key) in
+  let v =
+    Char.code d.[0] lor (Char.code d.[1] lsl 8) lor (Char.code d.[2] lsl 16)
+    lor (Char.code d.[3] lsl 24)
+  in
+  float_of_int (v land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+let would_fire ~point ~key =
+  match !state with
+  | None -> false
+  | Some c -> (
+    match List.assoc_opt point c.points with
+    | None -> false
+    | Some p -> p > 0.0 && unit_float ~seed:c.seed ~point ~key < p)
+
+(* Marker files are named point.digest(key): readable enough to debug a
+   campaign, collision-free enough to trust, and countable by prefix. *)
+let marker_path c ~point ~key =
+  Filename.concat c.dir
+    (Printf.sprintf "%s.%s" point (Digest.to_hex (Digest.string key)))
+
+let fire_once ~point ~key =
+  match !state with
+  | None -> No_fault
+  | Some c ->
+    if not (would_fire ~point ~key) then No_fault
+    else begin
+      (* O_EXCL decides the race: exactly one process sees the fault *)
+      match
+        Unix.openfile (marker_path c ~point ~key)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ]
+          0o644
+      with
+      | fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Fault
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> No_fault
+      | exception Unix.Unix_error _ ->
+        (* an unwritable scratch dir must never wedge the engine *)
+        No_fault
+    end
+
+let fired ~point =
+  match !state with
+  | None -> 0
+  | Some c -> (
+    let prefix = point ^ "." in
+    match Sys.readdir c.dir with
+    | exception Sys_error _ -> 0
+    | files ->
+      Array.fold_left
+        (fun n f ->
+          if String.length f > String.length prefix
+             && String.sub f 0 (String.length prefix) = prefix
+          then n + 1
+          else n)
+        0 files)

@@ -1,0 +1,69 @@
+(** Deterministic, seeded fault injection for the chaos harness.
+
+    The engine's resilience machinery (pool supervision, cache
+    recovery, the degradation ladder) is only trustworthy if it is
+    exercised continuously — so the chaos harness injects faults {e
+    into the engine itself} and asserts that verdicts survive.  This
+    module is the registry those injection sites consult.  It lives in
+    [Ilv_obs] for the same reason the tracing facility does: every
+    layer (SAT core, checker, engine, pool) can reach it without new
+    dependency edges, and when nothing is configured every probe is a
+    single branch.
+
+    {2 Determinism}
+
+    A decision is a pure function of [(seed, point, key)]: the same
+    seed and the same job identity produce the same fault schedule
+    regardless of worker count, scheduling order, or which process
+    asks.  That is what lets the chaos campaign compare a disturbed
+    sweep against an undisturbed one verdict-for-verdict.
+
+    {2 One-shot faults and forked workers}
+
+    Most chaos faults must fire {e exactly once} per site: a worker
+    kill that re-fires on the retry would poison the job and change
+    the verdict, turning the harness into a tautology.  Process-local
+    state cannot provide that (the retry runs in a {e different}
+    worker), so once-semantics are kept on disk: firing a fault
+    atomically creates a marker file ([O_CREAT | O_EXCL]) in the
+    scratch directory, and any process that loses the race — or asks
+    later — sees [No_fault].  The scratch directory doubles as the
+    fired-fault ledger the campaign reports from.
+
+    Configuration is inherited over [Unix.fork] (workers, race legs)
+    like the trace sink is. *)
+
+type decision = No_fault | Fault
+
+val configure :
+  seed:int ->
+  dir:string ->
+  points:(string * float) list ->
+  unit ->
+  unit
+(** Arms injection: [points] maps a point name (e.g. ["pool.kill"],
+    ["solver.stall"]) to a firing probability in [0, 1].  [dir] is
+    created if missing and holds the one-shot markers.  Calling again
+    re-arms with the new configuration. *)
+
+val disable : unit -> unit
+(** Disarms every point.  Markers in the scratch directory are kept
+    (they are the campaign's ledger); remove the directory to reset. *)
+
+val active : unit -> bool
+(** True when {!configure} has armed at least one point — the guard to
+    place before building keys on hot paths. *)
+
+val would_fire : point:string -> key:string -> bool
+(** The pure decision: true iff the armed probability of [point],
+    hashed with the seed and [key], selects this site.  Ignores and
+    does not touch the one-shot ledger.  False when disarmed. *)
+
+val fire_once : point:string -> key:string -> decision
+(** [Fault] iff {!would_fire} selects the site {e and} no process has
+    fired it before (atomic marker creation decides races).  A fired
+    site is recorded in the scratch directory. *)
+
+val fired : point:string -> int
+(** How many distinct sites of [point] have fired so far, counted from
+    the scratch directory (all processes).  0 when disarmed. *)

@@ -20,11 +20,20 @@ type frame = {
   prepare_s : float;
 }
 
+type disposition = {
+  disp_job : int;
+  crashes : string list;  (** how each worker running the job died *)
+  retries : int;
+  backoff_s : float;  (** total cool-down the job spent delayed *)
+  poisoned : bool;
+}
+
 type t = {
   lines : int;
   rows : row list;
   backends : (string * (int * float)) list;
   frames : frame list;
+  dispositions : disposition list;
   counters : (string * int) list;
   run_wall_s : float option;
   span_total_s : float;
@@ -56,6 +65,19 @@ let of_trace lines =
   in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 32 in
   let frames : (string, frame) Hashtbl.t = Hashtbl.create 8 in
+  let disps : (int, disposition) Hashtbl.t = Hashtbl.create 8 in
+  let disp_of job =
+    match Hashtbl.find_opt disps job with
+    | Some d -> d
+    | None ->
+      {
+        disp_job = job;
+        crashes = [];
+        retries = 0;
+        backoff_s = 0.0;
+        poisoned = false;
+      }
+  in
   let run_wall = ref None in
   List.iter
     (fun line ->
@@ -121,6 +143,32 @@ let of_trace lines =
       | "span_end" when name = "engine.run" ->
         (* the last run span wins; traces usually hold one *)
         run_wall := fl "dur_s" line
+      | "event" when name = "pool.crash" -> (
+        (* idle-worker deaths carry no job and join no disposition *)
+        match int_of "job" line with
+        | None -> ()
+        | Some job ->
+          let d = disp_of job in
+          Hashtbl.replace disps job
+            { d with crashes = d.crashes @ [ str ~default:"?" "how" line ] })
+      | "event" when name = "pool.retry" -> (
+        match int_of "job" line with
+        | None -> ()
+        | Some job ->
+          let d = disp_of job in
+          Hashtbl.replace disps job
+            {
+              d with
+              retries = d.retries + 1;
+              backoff_s =
+                d.backoff_s +. Option.value ~default:0.0 (fl "backoff_s" line);
+            })
+      | "event" when name = "pool.poisoned" -> (
+        match int_of "job" line with
+        | None -> ()
+        | Some job ->
+          let d = disp_of job in
+          Hashtbl.replace disps job { d with poisoned = true })
       | "counter" ->
         let add =
           Option.value ~default:0 (Option.bind (Json.member "add" line) Json.to_int)
@@ -157,6 +205,10 @@ let of_trace lines =
       List.sort
         (fun a b -> compare a.frame_design b.frame_design)
         (Hashtbl.fold (fun _ f acc -> f :: acc) frames []);
+    dispositions =
+      List.sort
+        (fun a b -> compare a.disp_job b.disp_job)
+        (Hashtbl.fold (fun _ d acc -> d :: acc) disps []);
     counters =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []);
@@ -213,6 +265,18 @@ let pp fmt p =
           f.problem_clauses f.activation_clauses f.simplify_removed
           f.preparations f.prepare_s)
       frames);
+  (match p.dispositions with
+  | [] -> ()
+  | disps ->
+    fprintf fmt "@,@,supervised jobs (pool retries and quarantines):";
+    List.iter
+      (fun d ->
+        fprintf fmt "@,  job %-5d %-10s %d retries, %.3fs backoff — %s"
+          d.disp_job
+          (if d.poisoned then "POISONED" else "recovered")
+          d.retries d.backoff_s
+          (String.concat "; " d.crashes))
+      disps);
   (match p.counters with
   | [] -> ()
   | counters ->

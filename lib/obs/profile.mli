@@ -11,7 +11,11 @@
     (incremental mode) are folded into one {!frame} record per design,
     showing the shared frame's size — variables, problem vs activation
     clauses, clauses removed by CNF simplification — and how many
-    workers built it. *)
+    workers built it.  Pool supervision events (["pool.crash"],
+    ["pool.retry"], ["pool.poisoned"]) are joined per job index into
+    {!disposition} records, so a sweep that lost workers shows exactly
+    which jobs were retried or quarantined, why, and at what backoff
+    cost. *)
 
 type row = {
   design : string;
@@ -35,11 +39,22 @@ type frame = {
   prepare_s : float;  (** total preparation time across workers *)
 }
 
+type disposition = {
+  disp_job : int;  (** pool job index *)
+  crashes : string list;
+      (** how each worker running the job died, oldest first *)
+  retries : int;  (** supervised retries granted *)
+  backoff_s : float;  (** total cool-down spent delayed *)
+  poisoned : bool;  (** quarantined after killing two workers *)
+}
+
 type t = {
   lines : int;  (** trace lines consumed *)
   rows : row list;  (** sorted by descending time *)
   backends : (string * (int * float)) list;  (** per-backend jobs/time *)
   frames : frame list;  (** per-design shared-frame sizes, sorted by name *)
+  dispositions : disposition list;
+      (** jobs the pool supervisor touched, sorted by job index *)
   counters : (string * int) list;  (** summed across processes *)
   run_wall_s : float option;  (** ["engine.run"] span duration, if any *)
   span_total_s : float;  (** summed row time *)

@@ -640,12 +640,24 @@ type limit = {
   max_conflicts : int option;
   max_propagations : int option;
   max_wall_s : float option;
+  deadline_s : float option;
 }
 
-let no_limit = { max_conflicts = None; max_propagations = None; max_wall_s = None }
+let no_limit =
+  {
+    max_conflicts = None;
+    max_propagations = None;
+    max_wall_s = None;
+    deadline_s = None;
+  }
 
-let limit ?conflicts ?propagations ?wall_s () =
-  { max_conflicts = conflicts; max_propagations = propagations; max_wall_s = wall_s }
+let limit ?conflicts ?propagations ?wall_s ?deadline_s () =
+  {
+    max_conflicts = conflicts;
+    max_propagations = propagations;
+    max_wall_s = wall_s;
+    deadline_s;
+  }
 
 let scale_limit factor l =
   let scale = Option.map (fun n -> n * factor) in
@@ -653,6 +665,9 @@ let scale_limit factor l =
     max_conflicts = scale l.max_conflicts;
     max_propagations = scale l.max_propagations;
     max_wall_s = Option.map (fun w -> w *. float_of_int factor) l.max_wall_s;
+    (* an absolute deadline never scales: escalation retries may grow
+       their per-call budgets, but the group's wall clock is fixed *)
+    deadline_s = l.deadline_s;
   }
 
 type outcome = Result of result | Unknown of string
@@ -692,7 +707,16 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
           Some
             (Printf.sprintf "deadline exceeded (%.3fs)"
                (Option.get limit.max_wall_s))
-        | _ -> None))
+        | _ -> (
+          (* the absolute group deadline, timestamped so a sweep log
+             shows when the query was cut off, not just that it was *)
+          match limit.deadline_s with
+          | Some d when Unix.gettimeofday () > d ->
+            Some
+              (Printf.sprintf
+                 "timeout: group deadline %.3f exceeded at %.3f (epoch s)" d
+                 (Unix.gettimeofday ()))
+          | _ -> None)))
   in
   let result =
     if s.unsat then Result Unsat

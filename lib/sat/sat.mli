@@ -82,17 +82,28 @@ type limit = {
   max_conflicts : int option;  (** per-call conflict budget *)
   max_propagations : int option;  (** per-call propagation budget *)
   max_wall_s : float option;  (** per-call wall-clock deadline, seconds *)
+  deadline_s : float option;
+      (** absolute wall-clock deadline (Unix epoch seconds) shared by a
+          whole obligation group; unlike [max_wall_s] it does not reset
+          per call and is never scaled by {!scale_limit} *)
 }
 
 val no_limit : limit
 (** All fields [None]: {!solve_bounded} behaves exactly like {!solve}. *)
 
 val limit :
-  ?conflicts:int -> ?propagations:int -> ?wall_s:float -> unit -> limit
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?wall_s:float ->
+  ?deadline_s:float ->
+  unit ->
+  limit
 
 val scale_limit : int -> limit -> limit
-(** [scale_limit k l] multiplies every bound by [k] (used by callers
-    implementing retry-with-larger-budget escalation). *)
+(** [scale_limit k l] multiplies every per-call bound by [k] (used by
+    callers implementing retry-with-larger-budget escalation).
+    [deadline_s] is left untouched: escalation may grow a retry's
+    budgets, but the group's wall clock is fixed. *)
 
 type outcome =
   | Result of result

@@ -152,9 +152,19 @@ let cache_tests =
         Alcotest.(check bool)
           "truncated file misses" true
           (Proof_cache.lookup cache e.Proof_cache.key = None);
+        (* the lookup quarantined the torn file on contact: it no
+           longer occupies the key space, but is kept as evidence *)
         Alcotest.(check int)
-          "stats counts it as corrupt" 1
-          (Proof_cache.stats cache).corrupt);
+          "no corrupt entry remains in the key space" 0
+          (Proof_cache.stats cache).corrupt;
+        Alcotest.(check int)
+          "it was quarantined, not deleted" 1
+          (Proof_cache.quarantined_count cache);
+        (* and a re-store re-occupies the key slot *)
+        let e2 = stored_entry (design "AXI Slave") cache in
+        Alcotest.(check bool)
+          "re-stored entry hits again" true
+          (Proof_cache.lookup cache e2.Proof_cache.key <> None));
     t "garbage and version-mismatched entries are misses" (fun () ->
         let dir = fresh_dir () in
         let cache = Proof_cache.open_ ~dir () in
@@ -307,13 +317,19 @@ let pool_tests =
                   in
                   Alcotest.(check bool)
                     "only job 3 crashed, with the exception text" true
-                    (i = 3 && mentions_boom))
+                    (i = 3 && mentions_boom)
+                | Pool.Poisoned _ ->
+                  Alcotest.fail
+                    "a deterministic error must not poison the job")
               out)
           [ 1; 4 ]);
-    t "a dying worker process degrades to one Crashed job" (fun () ->
+    t "a persistently dying worker process poisons its job" (fun () ->
         let items = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
         (* [Unix._exit] skips every at_exit handler: the worker vanishes
-           mid-job exactly like a segfault would *)
+           mid-job exactly like a segfault would.  Job 2 kills its first
+           host, earns a supervised retry, kills the second host too —
+           and is quarantined as [Poisoned] instead of meeting a third
+           worker. *)
         let f x = if x = 2 then Unix._exit 9 else x + 100 in
         let out = Pool.map ~jobs:3 f items in
         List.iteri
@@ -321,8 +337,10 @@ let pool_tests =
             match o with
             | Pool.Done y ->
               Alcotest.(check bool) "survivors" true (i <> 2 && y = i + 100)
+            | Pool.Poisoned _ ->
+              Alcotest.(check int) "only the dying job" 2 i
             | Pool.Crashed _ ->
-              Alcotest.(check int) "only the dying job" 2 i)
+              Alcotest.fail "two kills must poison, not crash")
           out);
     t "a worker death retries the job once, then succeeds (regression)"
       (fun () ->
@@ -352,7 +370,8 @@ let pool_tests =
               true
               (o = Pool.Done (i + 100)))
           out);
-    t "a job that kills every host is retried exactly once" (fun () ->
+    t "a job that kills every host runs exactly twice, then is poisoned"
+      (fun () ->
         let attempts =
           Filename.concat
             (Filename.get_temp_dir_name ())
@@ -381,8 +400,19 @@ let pool_tests =
             match o with
             | Pool.Done y ->
               Alcotest.(check bool) "survivors" true (i <> 2 && y = i + 100)
+            | Pool.Poisoned reason ->
+              Alcotest.(check int) "only the unkillable job" 2 i;
+              Alcotest.(check bool)
+                "the poisoned disposition carries the kill history" true
+                (let n = String.length reason in
+                 let needle = "killed 2 workers" in
+                 let m = String.length needle in
+                 let rec scan i =
+                   i + m <= n && (String.sub reason i m = needle || scan (i + 1))
+                 in
+                 scan 0)
             | Pool.Crashed _ ->
-              Alcotest.(check int) "only the unkillable job" 2 i)
+              Alcotest.fail "two kills must poison, not crash")
           out);
   ]
 
