@@ -420,6 +420,251 @@ let engine_benchmarks () =
      fresh-vs-incremental, sequential-vs-parallel and cold-vs-warm timings \
      written to BENCH_engine.json@."
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: resident-session latency sweep and load generation          *)
+(* ------------------------------------------------------------------ *)
+
+module Dclient = Ilv_server.Client
+module Wire = Ilv_server.Protocol
+
+(* Fork a real [Daemon.serve] for the duration of [f]; always stopped,
+   reaped and unlinked, even when [f] raises. *)
+let with_bench_daemon f =
+  let socket = Filename.temp_file "ilv-bench-d" ".sock" in
+  Sys.remove socket;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      (try Ilv_server.Daemon.serve ~socket () with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Dclient.with_connection socket (fun c ->
+             Dclient.request c
+               (Ilv_obs.Json.Obj [ ("op", Ilv_obs.Json.String "stop") ])));
+      let rec reap n =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ when n > 0 ->
+          Unix.sleepf 0.02;
+          reap (n - 1)
+        | 0, _ ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        | _ -> ()
+      in
+      reap 250;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let rec wait_up n =
+        if n = 0 then failwith "bench daemon did not come up"
+        else if not (Dclient.ping socket) then begin
+          Unix.sleepf 0.02;
+          wait_up (n - 1)
+        end
+      in
+      wait_up 250;
+      f socket)
+
+let daemon_request socket req =
+  match Dclient.with_connection socket (fun c -> Dclient.request c req) with
+  | Ok reply when Dclient.ok reply -> reply
+  | Ok reply -> failwith ("daemon error: " ^ Dclient.error_of reply)
+  | Error msg -> failwith ("daemon request failed: " ^ msg)
+
+let daemon_verify_req (d : Design.t) =
+  Ilv_obs.Json.Obj
+    [
+      ("op", Ilv_obs.Json.String "verify");
+      ("design", Ilv_obs.Json.String d.Design.name);
+    ]
+
+let daemon_summary_int name reply =
+  match
+    Option.bind
+      (Option.bind (Ilv_obs.Json.member "summary" reply)
+         (Ilv_obs.Json.member name))
+      Ilv_obs.Json.to_int
+  with
+  | Some n -> n
+  | None -> failwith ("daemon summary missing " ^ name)
+
+(* (port, instr, verdict) triples, sorted — the equality oracle between
+   a daemon reply and the in-process driver *)
+let daemon_verdicts reply =
+  match Ilv_obs.Json.member "results" reply with
+  | Some (Ilv_obs.Json.List rows) ->
+    List.map
+      (fun row ->
+        let get k =
+          match Wire.str_member k row with
+          | Some v -> v
+          | None -> failwith ("daemon result row missing " ^ k)
+        in
+        (get "port", get "instr", get "verdict"))
+      rows
+    |> List.sort compare
+  | _ -> failwith "daemon verify reply has no results"
+
+let in_process_verdicts (d : Design.t) =
+  let report = Design.verify ~stop_at_first_failure:false d in
+  List.concat_map
+    (fun (p : Verify.port_report) ->
+      List.map
+        (fun (r : Verify.instr_result) ->
+          ( r.Verify.port,
+            r.Verify.instr,
+            match r.Verify.verdict with
+            | Checker.Proved -> "proved"
+            | Checker.Failed _ -> "failed"
+            | Checker.Unknown _ -> "unknown" ))
+        p.Verify.instr_results)
+    report.Verify.ports
+  |> List.sort compare
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Replace this row kind in BENCH_engine.json without disturbing the
+   engine rows (or the chaos row) — same line-splicing contract as
+   [chaos_campaign]. *)
+let splice_bench_row ~marker row =
+  let existing =
+    if not (Sys.file_exists "BENCH_engine.json") then []
+    else begin
+      let ic = open_in_bin "BENCH_engine.json" in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      String.split_on_char '\n' raw
+      |> List.filter_map (fun line ->
+             let l = String.trim line in
+             if String.length l > 0 && l.[0] = '{' && not (contains l marker)
+             then
+               Some
+                 (if l.[String.length l - 1] = ',' then
+                    String.sub l 0 (String.length l - 1)
+                  else l)
+             else None)
+    end
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc
+    ("[\n  " ^ String.concat ",\n  " (existing @ [ row ]) ^ "\n]\n");
+  close_out oc
+
+(* The daemon's case: a resident session pays preparation once, so on
+   designs where fork-per-worker parallelism loses to the sequential
+   baseline (speedup < 1 in the engine table), the daemon's cold
+   request is already cheaper — and every repeat request is a memo
+   round-trip.  Measured here: a cold/warm sweep over the quick
+   catalog through one daemon, then a pipelined mixed load with
+   per-request latency percentiles. *)
+let daemon_load () =
+  section "Verification daemon: resident-session latency and load";
+  let module Json = Ilv_obs.Json in
+  let suite = Catalog.quick in
+  with_bench_daemon (fun socket ->
+      Format.printf "%-26s %6s %9s %9s@." "Design" "jobs" "cold s" "warm s";
+      let cold_total = ref 0.0 and warm_total = ref 0.0 in
+      List.iter
+        (fun (d : Design.t) ->
+          let time f =
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            (r, Unix.gettimeofday () -. t0)
+          in
+          let cold_r, cold =
+            time (fun () -> daemon_request socket (daemon_verify_req d))
+          in
+          let warm_r, warm =
+            time (fun () -> daemon_request socket (daemon_verify_req d))
+          in
+          let n_jobs = daemon_summary_int "n_jobs" cold_r in
+          (* the warm request must ride the memo in full *)
+          assert (daemon_summary_int "n_dedup" warm_r = n_jobs);
+          cold_total := !cold_total +. cold;
+          warm_total := !warm_total +. warm;
+          Format.printf "%-26s %6d %9.3f %9.3f@." d.Design.name n_jobs cold
+            warm)
+        suite;
+      (* pipelined mixed load: requests are written to every client
+         connection before any reply is read, so the daemon's batch
+         intake sees concurrent arrivals *)
+      let n_clients = 8 and n_requests = 2000 in
+      let conns =
+        Array.init n_clients (fun _ ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            fd)
+      in
+      let designs = Array.of_list suite in
+      let mix i =
+        match i mod 4 with
+        | 1 -> Json.Obj [ ("op", Json.String "ping") ]
+        | 3 -> Json.Obj [ ("op", Json.String "stats") ]
+        | _ -> daemon_verify_req designs.(i mod Array.length designs)
+      in
+      let lats = Array.make n_requests 0.0 in
+      let t_start = Unix.gettimeofday () in
+      let sent = ref 0 in
+      while !sent < n_requests do
+        let round = min n_clients (n_requests - !sent) in
+        let starts = Array.make round 0.0 in
+        for j = 0 to round - 1 do
+          starts.(j) <- Unix.gettimeofday ();
+          Wire.write_frame conns.(j) (Json.encode (mix (!sent + j)))
+        done;
+        for j = 0 to round - 1 do
+          (match Wire.read_frame conns.(j) with
+          | Wire.Frame _ -> ()
+          | _ -> failwith "daemon load: lost a reply");
+          lats.(!sent + j) <- Unix.gettimeofday () -. starts.(j)
+        done;
+        sent := !sent + round
+      done;
+      let total_s = Unix.gettimeofday () -. t_start in
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        conns;
+      Array.sort compare lats;
+      let p50 = 1000.0 *. percentile lats 0.50
+      and p95 = 1000.0 *. percentile lats 0.95 in
+      let rps = float_of_int n_requests /. Float.max 1e-9 total_s in
+      let stats = daemon_request socket (Json.Obj [ ("op", Json.String "stats") ]) in
+      let stat name =
+        Option.value ~default:0
+          (Option.bind (Json.member name stats) Json.to_int)
+      in
+      Format.printf
+        "@.load: %d mixed requests over %d pipelined clients in %.3fs@."
+        n_requests n_clients total_s;
+      Format.printf
+        "      p50 %.3f ms   p95 %.3f ms   %.0f req/s   (max batch %d, %d \
+         dedup hits, %d errors)@."
+        p50 p95 rps (stat "max_batch") (stat "dedup_hits") (stat "errors");
+      if stat "errors" > 0 then failwith "daemon load produced error replies";
+      splice_bench_row ~marker:"daemon_load"
+        (Printf.sprintf
+           "{\"daemon_load\": true, \"requests\": %d, \"clients\": %d, \
+            \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"throughput_rps\": %.1f, \
+            \"cold_total_s\": %.4f, \"warm_total_s\": %.4f, \"max_batch\": \
+            %d}"
+           n_requests n_clients p50 p95 rps !cold_total !warm_total
+           (stat "max_batch"));
+      Format.printf "@.daemon load row written to BENCH_engine.json@.")
+
 (* ------------------------------------------------------------------ *)
 (* --check: regression gate against the committed BENCH_engine.json    *)
 (* ------------------------------------------------------------------ *)
@@ -439,28 +684,30 @@ let bench_check baseline_path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let baseline =
+  let rows =
     match Ilv_obs.Json.parse raw with
     | Error msg ->
       prerr_endline ("cannot parse " ^ baseline_path ^ ": " ^ msg);
       exit 2
-    | Ok (Ilv_obs.Json.List rows) ->
-      List.filter_map
-        (fun row ->
-          match
-            ( Option.bind
-                (Ilv_obs.Json.member "design" row)
-                Ilv_obs.Json.to_string,
-              Option.bind
-                (Ilv_obs.Json.member "sequential_s" row)
-                Ilv_obs.Json.to_float )
-          with
-          | Some d, Some s -> Some (d, s)
-          | _ -> None)
-        rows
+    | Ok (Ilv_obs.Json.List rows) -> rows
     | Ok _ ->
       prerr_endline (baseline_path ^ ": expected a JSON array of rows");
       exit 2
+  in
+  let baseline =
+    List.filter_map
+      (fun row ->
+        match
+          ( Option.bind
+              (Ilv_obs.Json.member "design" row)
+              Ilv_obs.Json.to_string,
+            Option.bind
+              (Ilv_obs.Json.member "sequential_s" row)
+              Ilv_obs.Json.to_float )
+        with
+        | Some d, Some s -> Some (d, s)
+        | _ -> None)
+      rows
   in
   let tolerance = 1.25 in
   let grace_s = 0.05 in
@@ -484,6 +731,60 @@ let bench_check baseline_path =
           (measured /. Float.max 1e-9 committed)
           (if ok then "ok" else "REGRESSED (>25%)"))
     Catalog.quick;
+  (* the daemon load row: present and shaped right.  No latency gate —
+     wall-clock thresholds on a shared CI box would flake; the shape
+     check catches a harness that silently stopped producing it. *)
+  (match
+     List.find_opt
+       (fun row -> Ilv_obs.Json.member "daemon_load" row <> None)
+       rows
+   with
+  | None ->
+    incr failures;
+    Format.printf "%-26s %12s %12s %8s  MISSING from baseline@."
+      "daemon load row" "-" "-" "-"
+  | Some row ->
+    let f name =
+      Option.bind (Ilv_obs.Json.member name row) Ilv_obs.Json.to_float
+    in
+    (match (f "p50_ms", f "p95_ms", f "throughput_rps") with
+    | Some p50, Some p95, Some rps when p50 > 0.0 && p95 >= p50 && rps > 0.0
+      ->
+      Format.printf "%-26s %12s %12s %8s  ok (p50 %.3fms, %.0f req/s)@."
+        "daemon load row" "-" "-" "-" p50 rps
+    | _ ->
+      incr failures;
+      Format.printf "%-26s %12s %12s %8s  MALFORMED@." "daemon load row" "-"
+        "-" "-"));
+  (* mini-load: a live daemon must answer with exactly the in-process
+     verdicts, and a repeat request must ride the memo *)
+  (match Catalog.find "Decoder" with
+  | None ->
+    incr failures;
+    Format.printf "mini-load: Decoder missing from the catalog@."
+  | Some d ->
+    let want = in_process_verdicts d in
+    with_bench_daemon (fun socket ->
+        let first = daemon_request socket (daemon_verify_req d) in
+        let again = daemon_request socket (daemon_verify_req d) in
+        let ok_verdicts =
+          daemon_verdicts first = want && daemon_verdicts again = want
+        in
+        let ok_dedup =
+          daemon_summary_int "n_dedup" again
+          = daemon_summary_int "n_jobs" again
+        in
+        if not (ok_verdicts && ok_dedup) then begin
+          incr failures;
+          Format.printf "%-26s %12s %12s %8s  %s@." "daemon mini-load" "-"
+            "-" "-"
+            (if ok_verdicts then "REPEAT NOT DEDUPED"
+             else "VERDICT MISMATCH vs in-process")
+        end
+        else
+          Format.printf "%-26s %12s %12s %8s  ok (verdicts match, repeat \
+                         deduped)@."
+            "daemon mini-load" "-" "-" "-"));
   if !failures > 0 then begin
     Format.printf "@.%d design(s) regressed or missing.@." !failures;
     exit 1
@@ -501,11 +802,6 @@ let rec rm_rf path =
     Unix.rmdir path
   | _ -> Sys.remove path
   | exception Unix.Unix_error _ -> ()
-
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-  at 0
 
 (* Seeded chaos campaign, with its summary appended as one row to
    BENCH_engine.json.  The row carries no "sequential_s", so the
@@ -542,32 +838,7 @@ let chaos_campaign () =
       r.Chaos.baseline_wall_s r.Chaos.chaos_wall_s r.Chaos.warm_wall_s
       (Chaos.passed r)
   in
-  let existing =
-    if not (Sys.file_exists "BENCH_engine.json") then []
-    else begin
-      let ic = open_in_bin "BENCH_engine.json" in
-      let raw =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      String.split_on_char '\n' raw
-      |> List.filter_map (fun line ->
-             let l = String.trim line in
-             if String.length l > 0 && l.[0] = '{'
-                && not (contains l "chaos_seed")
-             then
-               Some
-                 (if l.[String.length l - 1] = ',' then
-                    String.sub l 0 (String.length l - 1)
-                  else l)
-             else None)
-    end
-  in
-  let oc = open_out "BENCH_engine.json" in
-  output_string oc
-    ("[\n  " ^ String.concat ",\n  " (existing @ [ row ]) ^ "\n]\n");
-  close_out oc;
+  splice_bench_row ~marker:"chaos_seed" row;
   Format.printf "@.campaign summary appended to BENCH_engine.json@.";
   if not (Chaos.passed r) then exit 1
 
@@ -664,6 +935,7 @@ let () =
   | None -> ());
   if only_engine then begin
     engine_benchmarks ();
+    daemon_load ();
     Format.printf "@.done.@.";
     exit 0
   end;
@@ -682,6 +954,7 @@ let () =
   ablation_solver ();
   extensions ();
   engine_benchmarks ();
+  daemon_load ();
   mutation_campaigns ();
   bechamel_benchmarks ();
   Format.printf "@.done.@."

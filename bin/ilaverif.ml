@@ -73,7 +73,7 @@ let timeout_arg =
         ~doc:
           "Wall-clock deadline per obligation group (per port in \
            incremental mode, per obligation otherwise).  Obligations past \
-           the deadline report a timestamped $(b,timeout:) unknown verdict \
+           the deadline report a timestamped $(b,deadline:) unknown verdict \
            instead of running forever.  Default: unlimited.")
 
 let no_incremental_flag =
@@ -103,6 +103,19 @@ let portfolio_arg =
           "Backend selection per obligation: $(b,auto) (size heuristic \
            between SAT and BDD), $(b,sat), $(b,bdd), or $(b,race) (both in \
            parallel, first definitive verdict wins).")
+
+let daemon_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "daemon" ] ~docv:"SOCK"
+        ~doc:
+          "Submit the work to the $(b,ilaverifd) daemon listening on the \
+           Unix socket $(docv) — resident shared frames and a warm memo \
+           make repeat sweeps much cheaper than forking per run.  Falls \
+           back to in-process solving when no daemon answers.  \
+           Counterexample traces are not transported; re-run without \
+           $(b,--daemon) to inspect one.")
 
 (* ---- shared observability options ---- *)
 
@@ -147,6 +160,146 @@ let engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs ~portfolio
     Engine.run ~jobs ?cache ?timeout_s ~portfolio ~incremental job_list
   in
   (Engine.report_of ~name:d.Design.name ~results, summary)
+
+(* ---- daemon client mode ----
+
+   [--daemon SOCK] routes verify/table to a resident ilaverifd.  The
+   contract: if a daemon answers, its reply is authoritative (including
+   its errors); only a failed *connection* falls back to in-process
+   solving, so a typo'd design name cannot silently degrade into a
+   slow local run. *)
+
+module Json = Ilv_obs.Json
+module Client = Ilv_server.Client
+module Protocol = Ilv_server.Protocol
+
+let daemon_request sock req =
+  Client.with_connection sock (fun c -> Client.request c req)
+
+let print_daemon_results reply =
+  let results =
+    match Json.member "results" reply with
+    | Some (Json.List rs) -> rs
+    | _ -> []
+  in
+  let failed = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun r ->
+      let s key = Option.value (Protocol.str_member key r) ~default:"" in
+      let verdict = s "verdict" in
+      (match verdict with
+      | "failed" -> incr failed
+      | "unknown" -> incr unknown
+      | _ -> ());
+      Format.printf "  %-12s %-34s %-7s %.3fs%s%s@." (s "port") (s "instr")
+        (match verdict with
+        | "proved" -> "proved"
+        | "failed" -> "FAILED"
+        | _ -> "UNKNOWN")
+        (Option.value (Protocol.float_member "time_s" r) ~default:0.0)
+        (if Json.member "dedup" r = Some (Json.Bool true) then " [dedup]"
+         else "")
+        (if Json.member "cache_hit" r = Some (Json.Bool true) then " [cache]"
+         else "");
+      match Protocol.str_member "reason" r with
+      | Some why -> Format.printf "    reason: %s@." why
+      | None -> ())
+    results;
+  (!failed, !unknown)
+
+(* Returns true when the daemon handled the command (this process
+   should not solve anything); exits non-zero itself on verification
+   failure, mirroring the in-process paths. *)
+let daemon_verify ~sock ~design ~bug ~port ~timeout_s =
+  let req =
+    Json.Obj
+      ([ ("op", Json.String "verify"); ("design", Json.String design) ]
+      @ (match bug with
+        | Some label -> [ ("bug", Json.String label) ]
+        | None -> [])
+      @ (match port with
+        | Some p -> [ ("ports", Json.List [ Json.String p ]) ]
+        | None -> [])
+      @
+      match timeout_s with
+      | Some s -> [ ("timeout_s", Json.Float s) ]
+      | None -> [])
+  in
+  match daemon_request sock req with
+  | Error msg ->
+    Format.eprintf "%s; solving in-process@." msg;
+    false
+  | Ok reply when not (Client.ok reply) ->
+    prerr_endline ("daemon: " ^ Client.error_of reply);
+    exit 2
+  | Ok reply ->
+    Format.printf "daemon verification: %s@." design;
+    let failed, unknown = print_daemon_results reply in
+    (match Json.member "summary" reply with
+    | Some s ->
+      let i key = Option.value (Protocol.int_member key s) ~default:0 in
+      Format.printf
+        "summary: %d jobs, %d proved, %d failed, %d unknown (%d dedup, %d \
+         cache hits) in %.3fs@."
+        (i "n_jobs") (i "n_proved") (i "n_failed") (i "n_unknown")
+        (i "n_dedup") (i "n_cache_hits")
+        (Option.value (Protocol.float_member "time_s" s) ~default:0.0)
+    | None -> ());
+    (* a bug variant is *expected* to fail: exit 0 iff the verdict set
+       matches expectation, like the in-process path's proved check *)
+    let ok_outcome =
+      match bug with
+      | None -> failed = 0 && unknown = 0
+      | Some _ -> failed > 0
+    in
+    if not ok_outcome then exit 1;
+    true
+
+let daemon_table ~sock ~designs ~timeout_s =
+  let req =
+    Json.Obj
+      ([
+         ("op", Json.String "table");
+         ( "designs",
+           Json.List (List.map (fun n -> Json.String n) designs) );
+       ]
+      @
+      match timeout_s with
+      | Some s -> [ ("timeout_s", Json.Float s) ]
+      | None -> [])
+  in
+  match daemon_request sock req with
+  | Error msg ->
+    Format.eprintf "%s; solving in-process@." msg;
+    false
+  | Ok reply when not (Client.ok reply) ->
+    prerr_endline ("daemon: " ^ Client.error_of reply);
+    exit 2
+  | Ok reply ->
+    (match Json.member "rows" reply with
+    | Some (Json.List rows) ->
+      Format.printf "daemon table (%d designs):@." (List.length rows);
+      List.iter
+        (fun row ->
+          let name =
+            Option.value (Protocol.str_member "design" row) ~default:"?"
+          in
+          match Json.member "summary" row with
+          | Some s ->
+            let i key =
+              Option.value (Protocol.int_member key s) ~default:0
+            in
+            Format.printf
+              "  %-28s %3d jobs  %3d proved  %3d failed  %3d unknown  %.3fs@."
+              name (i "n_jobs") (i "n_proved") (i "n_failed") (i "n_unknown")
+              (Option.value (Protocol.float_member "time_s" s) ~default:0.0)
+          | None ->
+            Format.printf "  %-28s error: %s@." name
+              (Option.value (Protocol.str_member "error" row)
+                 ~default:"unknown"))
+        rows
+    | _ -> ());
+    true
 
 (* ---- list ---- *)
 
@@ -328,10 +481,18 @@ let verify_cmd =
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
   let run name bug port keep_going vcd jobs use_cache cache_dir portfolio
-      no_incremental timeout_s trace_out metrics =
+      no_incremental timeout_s daemon trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
     let d = or_die (find_design name) in
+    let handled_by_daemon =
+      match daemon with
+      | Some sock ->
+        daemon_verify ~sock ~design:d.Design.name ~bug ~port ~timeout_s
+      | None -> false
+    in
+    if handled_by_daemon then ()
+    else begin
     let only_ports = Option.map (fun p -> [ p ]) port in
     let cache = open_cache ~use_cache ~cache_dir in
     let use_engine =
@@ -385,6 +546,7 @@ let verify_cmd =
     | Some _, _ -> Format.printf "no counterexample to dump@."
     | None, _ -> ());
     if not (Verify.proved report) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "verify"
@@ -392,7 +554,8 @@ let verify_cmd =
     Term.(
       const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
       $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg
-      $ no_incremental_flag $ timeout_arg $ trace_out_arg $ metrics_flag)
+      $ no_incremental_flag $ timeout_arg $ daemon_arg $ trace_out_arg
+      $ metrics_flag)
 
 (* ---- dimacs ---- *)
 
@@ -490,10 +653,20 @@ let table_cmd =
              paper's parenthesized configuration).")
   in
   let run quick jobs use_cache cache_dir portfolio no_incremental timeout_s
-      trace_out metrics =
+      daemon trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
     let suite = if quick then Catalog.quick else Catalog.all in
+    let handled_by_daemon =
+      match daemon with
+      | Some sock ->
+        daemon_table ~sock
+          ~designs:(List.map (fun d -> d.Design.name) suite)
+          ~timeout_s
+      | None -> false
+    in
+    if handled_by_daemon then ()
+    else begin
     let cache = open_cache ~use_cache ~cache_dir in
     let use_engine =
       jobs > 1 || cache <> None || portfolio <> Portfolio.Auto
@@ -509,13 +682,14 @@ let table_cmd =
     Table_one.print_rows Format.std_formatter rows;
     Format.printf "@.Paper's Table I, for shape comparison:@.";
     Table_one.print_paper Format.std_formatter
+    end
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce the paper's Table I")
     Term.(
       const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
-      $ portfolio_arg $ no_incremental_flag $ timeout_arg $ trace_out_arg
-      $ metrics_flag)
+      $ portfolio_arg $ no_incremental_flag $ timeout_arg $ daemon_arg
+      $ trace_out_arg $ metrics_flag)
 
 (* ---- reach ---- *)
 

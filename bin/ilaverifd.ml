@@ -1,0 +1,150 @@
+(* ilaverifd: the persistent verification daemon.
+
+   Serves verify/table/mutate jobs over a Unix-domain socket with
+   shared frames, incremental solver contexts, and the proof cache held
+   resident — see docs/DAEMON.md and Ilv_server.Daemon.
+
+     ilaverifd --socket /tmp/ilv.sock                 # serve (foreground)
+     ilaverifd --socket /tmp/ilv.sock --ping          # is a daemon up?
+     ilaverifd --socket /tmp/ilv.sock --stats         # resident-state counters
+     ilaverifd --socket /tmp/ilv.sock --drain         # stop accepting, finish
+     ilaverifd --socket /tmp/ilv.sock --stop          # shut down *)
+
+open Cmdliner
+module Json = Ilv_obs.Json
+module Client = Ilv_server.Client
+module Daemon = Ilv_server.Daemon
+module Protocol = Ilv_server.Protocol
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"SOCK"
+        ~doc:"Unix-domain socket path to listen on (or talk to).")
+
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:"Open the persistent proof cache (default directory).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Open the persistent proof cache at $(docv) (implies --cache).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Default wall-clock deadline per obligation group for requests \
+           that do not set their own; expired groups answer with \
+           $(b,deadline:) unknown verdicts.")
+
+let max_frame_arg =
+  Arg.(
+    value
+    & opt int Protocol.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:"Largest accepted protocol frame (default 4 MiB).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Append a structured JSONL trace (per-request spans, \
+           queue-depth and dedup counters) to $(docv).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the aggregate counter summary to stderr on shutdown.")
+
+type client_action = Ping | Stats | Drain | Stop
+
+let action_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some Ping,
+            info [ "ping" ] ~doc:"Check whether a daemon answers; exit 0/1."
+          );
+          ( Some Stats,
+            info [ "stats" ]
+              ~doc:"Print the resident daemon's counters and exit." );
+          ( Some Drain,
+            info [ "drain" ]
+              ~doc:
+                "Ask the daemon to stop accepting connections and exit \
+                 after its last client disconnects." );
+          (Some Stop, info [ "stop" ] ~doc:"Shut the daemon down now.");
+        ])
+
+let client_request socket op =
+  match
+    Client.with_connection socket (fun c ->
+        Client.request c (Json.Obj [ ("op", Json.String op) ]))
+  with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok reply when not (Client.ok reply) ->
+    prerr_endline ("daemon: " ^ Client.error_of reply);
+    exit 1
+  | Ok reply -> reply
+
+let run socket use_cache cache_dir timeout_s max_frame trace_out metrics
+    action =
+  match action with
+  | Some Ping ->
+    if Client.ping socket then print_endline "ok"
+    else begin
+      prerr_endline ("no daemon at " ^ socket);
+      exit 1
+    end
+  | Some Stats ->
+    let reply = client_request socket "stats" in
+    print_endline (Json.encode reply)
+  | Some Drain -> ignore (client_request socket "drain")
+  | Some Stop -> ignore (client_request socket "stop")
+  | None ->
+    if trace_out <> None || metrics then
+      Ilv_obs.Obs.configure ?trace_out ~metrics ();
+    let cache =
+      if use_cache || cache_dir <> None then
+        Some (Ilv_engine.Proof_cache.open_ ?dir:cache_dir ())
+      else None
+    in
+    Format.eprintf "ilaverifd: listening on %s (pid %d)@." socket
+      (Unix.getpid ());
+    Daemon.serve ?cache ?timeout_s ~max_frame ~socket ();
+    if metrics then Ilv_obs.Obs.shutdown ()
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ilaverifd"
+       ~doc:"Persistent verification daemon with batched job intake"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Keeps shared bit-blasted frames, incremental solver \
+              contexts, and the proof cache resident in one process, \
+              serving verify/table/mutate requests over a Unix-domain \
+              socket.  Identical obligations across requests are deduped \
+              and solved once.  See docs/DAEMON.md for the wire protocol.";
+         ])
+    Term.(
+      const run $ socket_arg $ cache_flag $ cache_dir_arg $ timeout_arg
+      $ max_frame_arg $ trace_out_arg $ metrics_flag $ action_arg)
+
+let () = exit (Cmd.eval cmd)

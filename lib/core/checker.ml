@@ -42,22 +42,35 @@ let past_deadline b =
   | None -> false
   | Some d -> Unix.gettimeofday () > d
 
+(* The structured sentinel marking an absolute group-deadline expiry.
+   It is deliberately NOT the word "timeout": solver and encoder
+   reasons are free-form prose (a per-call wall budget may well say
+   "timeout: ..." someday), and anything that happens to contain the
+   sentinel would wrongly suppress escalation and the degradation
+   ladder.  Only {!deadline_reason} (and the identical producer in
+   {!Ilv_sat.Sat.solve_bounded}) ever emits it. *)
+let deadline_sentinel = "deadline:"
+
 let deadline_reason b =
-  Printf.sprintf "timeout: group deadline %.3f exceeded at %.3f (epoch s)"
+  Printf.sprintf "%s group deadline %.3f exceeded at %.3f (epoch s)"
+    deadline_sentinel
     (Option.value b.deadline_s ~default:nan)
     (Unix.gettimeofday ())
 
-(* "timeout: ..." reasons mark the absolute group deadline: escalation
+(* "deadline: ..." reasons mark the absolute group deadline: escalation
    must not retry them (the clock that ran out is not per-call), and
    the degradation ladder stops at them rather than burning more rungs
    against a wall that will not move. *)
-let is_timeout_reason r =
+let is_deadline_reason r =
   (* substring, not prefix: encoders wrap solver reasons in context
-     ("obligation equivalence after N cycle(s): timeout: ...") and the
+     ("obligation equivalence after N cycle(s): deadline: ...") and the
      marker must survive the wrapping *)
+  let m = String.length deadline_sentinel in
   let n = String.length r in
-  let rec at i = i + 8 <= n && (String.sub r i 8 = "timeout:" || at (i + 1)) in
+  let rec at i = i + m <= n && (String.sub r i m = deadline_sentinel || at (i + 1)) in
   at 0
+
+let is_timeout_reason = is_deadline_reason
 
 type stats = {
   time_s : float;
@@ -118,7 +131,7 @@ let decide ctx ~budget:b ~hypotheses attempts =
       incr attempts;
       match Bitblast.check_under ~limit ctx ~hypotheses with
       | Bitblast.Unknown reason
-        when k < b.escalations && not (is_timeout_reason reason) ->
+        when k < b.escalations && not (is_deadline_reason reason) ->
         go (k + 1)
       | answer -> answer
     in
@@ -482,7 +495,7 @@ let decide_assuming ctx ~budget:b ~assumptions attempts =
       incr attempts;
       match Bitblast.check_assuming ~limit ctx ~assumptions with
       | Bitblast.Unknown reason
-        when k < b.escalations && not (is_timeout_reason reason) ->
+        when k < b.escalations && not (is_deadline_reason reason) ->
         go (k + 1)
       | answer -> answer
     in
@@ -704,7 +717,7 @@ let check_shared_degrading ?(budget = unlimited) sh idx =
   let v1, s1 = check_shared ~budget sh idx in
   match v1 with
   | Proved | Failed _ -> (v1, s1, "incremental")
-  | Unknown r1 when is_timeout_reason r1 ->
+  | Unknown r1 when is_deadline_reason r1 ->
     (* the group deadline passed; lower rungs face the same wall *)
     (v1, s1, "incremental")
   | Unknown r1 -> (
@@ -713,7 +726,7 @@ let check_shared_degrading ?(budget = unlimited) sh idx =
     let s12 = merge_stats s1 s2 in
     match v2 with
     | Proved | Failed _ -> (v2, s12, "fresh")
-    | Unknown r2 when is_timeout_reason r2 -> (v2, s12, "fresh")
+    | Unknown r2 when is_deadline_reason r2 -> (v2, s12, "fresh")
     | Unknown r2 -> (
       degrade_event p ~from_rung:"fresh" ~to_rung:"tightened" ~reason:r2;
       let v3, s3 =

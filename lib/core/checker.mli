@@ -26,7 +26,7 @@ type budget = {
   deadline_s : float option;
       (** absolute deadline (Unix epoch seconds) shared by a whole
           obligation group.  Once it passes, remaining obligations are
-          reported [Unknown] with a timestamped ["timeout: ..."] reason
+          reported [Unknown] with a timestamped ["deadline: ..."] reason
           without issuing further solver calls; a query in flight is cut
           off at its next propagation-round check.  Never scaled by
           escalation. *)
@@ -51,7 +51,7 @@ val budget :
 (** Defaults: 2 escalations, factor 4 — so an obligation gets up to
     three attempts at 1x, 4x and 16x the initial limits before giving
     up.  Learnt clauses persist across attempts, so escalation resumes
-    the search rather than restarting it.  A ["timeout: ..."] unknown
+    the search rather than restarting it.  A ["deadline: ..."] unknown
     (absolute deadline) is never escalated: the clock that ran out is
     not per-call. *)
 
@@ -62,12 +62,25 @@ val with_deadline : float -> budget -> budget
     (Unix epoch seconds) — how callers stamp a per-group wall clock
     onto a shared base budget. *)
 
+val deadline_sentinel : string
+(** The structured marker (["deadline:"]) stamped onto every unknown an
+    absolute group deadline produces — and onto nothing else.  It is
+    deliberately distinct from free-form budget prose: a solver- or
+    encoder-produced reason that happens to contain ["timeout:"] (e.g.
+    a per-call wall-budget message) must never be mistaken for a group
+    deadline, which would wrongly suppress escalation and the
+    degradation ladder. *)
+
+val is_deadline_reason : string -> bool
+(** True when {!deadline_sentinel} — produced when an absolute deadline
+    cuts a query or group off — appears anywhere in [r] (encoders may
+    wrap it in context).  It tells retry loops (escalation, the
+    degradation ladder, pool supervision) not to burn more work against
+    a fixed wall clock. *)
+
 val is_timeout_reason : string -> bool
-(** True when the machine-readable ["timeout: ..."] marker — produced
-    when an absolute deadline cuts a query or group off — appears
-    anywhere in [r] (encoders may wrap it in context).  It tells retry
-    loops (escalation, the degradation ladder, pool supervision) not
-    to burn more work against a fixed wall clock. *)
+(** Deprecated alias of {!is_deadline_reason}, kept for callers written
+    against the old (substring-["timeout:"]) marker. *)
 
 type stats = {
   time_s : float;
@@ -210,7 +223,7 @@ val check_shared_degrading :
     The returned string names the rung that produced the verdict
     (["incremental"], ["fresh"], ["tightened"], or ["degraded"]).
     Each demotion emits a ["checker.degrade"] {!Ilv_obs.Obs} event and
-    bumps the ["checker.degradations"] counter.  A ["timeout: ..."]
+    bumps the ["checker.degradations"] counter.  A ["deadline: ..."]
     unknown short-circuits the ladder — lower rungs face the same
     absolute deadline.  Stats accumulate across the rungs actually
     run. *)

@@ -61,6 +61,72 @@ let message_of_exn = function
   | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
   | e -> Printexc.to_string e
 
+(* ---- prepare-once / check-many ----
+
+   One port's instructions share a single incremental solver context
+   ([Checker.prepare_shared]); preparing is the expensive step (property
+   generation + shared-frame setup), checking an individual instruction
+   against the prepared context is the cheap, repeatable one.  [run]
+   uses this for its incremental branch, and long-lived callers (the
+   verification daemon) keep [prepared_port] values alive across many
+   requests instead of re-preparing per request. *)
+
+type prepared_port = {
+  pp_port : Ila.t;
+  pp_shared : Checker.shared;
+  pp_slots : (string, (int, string) result) Hashtbl.t;
+      (* instruction name -> property index in [pp_shared], or the
+         generation error that made it uncheckable *)
+  pp_instrs : Ila.instruction list;
+}
+
+let prepare_port ?simplify ~name ~port ~rtl ~refmap () =
+  let instrs = Ila.leaf_instructions port in
+  let gens =
+    List.map
+      (fun (i : Ila.instruction) ->
+        ( i.Ila.instr_name,
+          try Ok (Propgen.generate_for ~ila:port ~rtl ~refmap i)
+          with e -> Error (message_of_exn e) ))
+      instrs
+  in
+  let sh =
+    Checker.prepare_shared ?simplify
+      ~label:(name ^ "/" ^ port.Ila.name)
+      (List.filter_map (fun (_, g) -> Result.to_option g) gens)
+  in
+  let slots = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (instr_name, g) ->
+      match g with
+      | Ok _ ->
+        Hashtbl.replace slots instr_name (Ok !next);
+        incr next
+      | Error msg -> Hashtbl.replace slots instr_name (Error msg))
+    gens;
+  { pp_port = port; pp_shared = sh; pp_slots = slots; pp_instrs = instrs }
+
+let prepared_port_name pr = pr.pp_port.Ila.name
+let prepared_instrs pr = List.map (fun i -> i.Ila.instr_name) pr.pp_instrs
+let prepared_shared pr = pr.pp_shared
+
+let prepared_slot pr instr_name =
+  match Hashtbl.find_opt pr.pp_slots instr_name with
+  | Some r -> r
+  | None -> Error "instruction not prepared"
+
+let check_port_instr ?budget pr instr_name =
+  match prepared_slot pr instr_name with
+  | Ok idx -> (
+    (* the ladder: incremental -> fresh -> tightened -> Unknown, each
+       demotion observable *)
+    try Checker.check_shared_degrading ?budget pr.pp_shared idx
+    with e ->
+      (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats, "error"))
+  | Error msg ->
+    (Checker.Unknown ("exception: " ^ msg), empty_stats, "error")
+
 type task = { task_port : Ila.t; task_instr : Ila.instruction }
 
 let enumerate ?only_ports (module_ila : Module_ila.t) =
@@ -120,46 +186,10 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ?timeout_s
           match refmap with
           | Error _ -> None
           | Ok refmap when incremental ->
-            let gens =
-              List.map
-                (fun (i : Ila.instruction) ->
-                  ( i.Ila.instr_name,
-                    try Ok (Propgen.generate_for ~ila:port ~rtl ~refmap i)
-                    with e -> Error (message_of_exn e) ))
-                (Ila.leaf_instructions port)
-            in
-            let sh =
-              Checker.prepare_shared
-                ~label:(name ^ "/" ^ port.Ila.name)
-                (List.filter_map
-                   (fun (_, g) -> Result.to_option g)
-                   gens)
-            in
-            let slots = Hashtbl.create 16 in
-            let next = ref 0 in
-            List.iter
-              (fun (instr_name, g) ->
-                match g with
-                | Ok _ ->
-                  Hashtbl.replace slots instr_name (Ok !next);
-                  incr next
-                | Error msg -> Hashtbl.replace slots instr_name (Error msg))
-              gens;
+            let pr = prepare_port ~name ~port ~rtl ~refmap () in
             Some
               (fun (i : Ila.instruction) ->
-                match Hashtbl.find_opt slots i.Ila.instr_name with
-                | Some (Ok idx) ->
-                  (* the ladder: incremental -> fresh -> tightened ->
-                     Unknown, each demotion observable *)
-                  Checker.check_shared_degrading ?budget sh idx
-                | Some (Error msg) ->
-                  ( Checker.Unknown ("exception: " ^ msg),
-                    empty_stats,
-                    "error" )
-                | None ->
-                  ( Checker.Unknown "exception: instruction not prepared",
-                    empty_stats,
-                    "error" ))
+                check_port_instr ?budget pr i.Ila.instr_name)
           | Ok _ -> None
         in
         let check_instr refmap (i : Ila.instruction) =

@@ -39,6 +39,62 @@ val unknowns : report -> instr_result list
 (** The instructions whose verdict is {!Checker.Unknown}, across all
     ports — the candidates for a bounded-simulation fallback. *)
 
+(** {1 Prepare once, check many}
+
+    One port's instructions share a single incremental solver context;
+    building it (property generation + shared-frame preparation,
+    {!Checker.prepare_shared}) is the expensive step, and checking one
+    instruction against it is cheap and repeatable.  {!run} uses this
+    internally; long-lived callers — notably the verification daemon
+    ({!Ilv_server.Daemon}) — keep {!prepared_port} values alive across
+    requests and pay the preparation cost once per (design, port)
+    instead of once per request. *)
+
+type prepared_port
+(** A port's complete property set, generated and bound to one shared
+    incremental solver context.  Encoding inside the context is lazy
+    per property, so preparing is cheap until instructions are actually
+    checked; results are memoized by the context, so re-checking an
+    instruction returns the first verdict without re-solving. *)
+
+val prepare_port :
+  ?simplify:bool ->
+  name:string ->
+  port:Ila.t ->
+  rtl:Ilv_rtl.Rtl.t ->
+  refmap:Refmap.t ->
+  unit ->
+  prepared_port
+(** Generates every leaf instruction's property and prepares the shared
+    context (labelled [name/port] in observability output).  A property
+    whose generation raises poisons only its own instruction — checking
+    it yields [Unknown "exception: ..."], the others are unaffected. *)
+
+val prepared_port_name : prepared_port -> string
+
+val prepared_instrs : prepared_port -> string list
+(** Leaf instruction names, in declaration (= report) order. *)
+
+val prepared_shared : prepared_port -> Checker.shared
+(** The underlying shared context — exposed for callers that need the
+    frozen frame CNF and selectors (proof-cache keying). *)
+
+val prepared_slot : prepared_port -> string -> (int, string) result
+(** The property index of an instruction in {!prepared_shared}'s
+    numbering, or the error that made it uncheckable ([Error
+    "instruction not prepared"] for a name the port does not have). *)
+
+val check_port_instr :
+  ?budget:Checker.budget ->
+  prepared_port ->
+  string ->
+  Checker.verdict * Checker.stats * string
+(** Decides one instruction in the prepared context through the
+    degradation ladder ({!Checker.check_shared_degrading}); the string
+    names the ladder rung that produced the verdict.  Exceptions and
+    unknown instruction names degrade to [Unknown "exception: ..."]
+    with rung ["error"] — never an escaping exception. *)
+
 type task = { task_port : Ila.t; task_instr : Ila.instruction }
 (** One refinement obligation, as data: a leaf (sub-)instruction of one
     port.  The paper's flow discharges these independently, which is
@@ -74,7 +130,7 @@ val run :
     [timeout_s] sets a per-port wall-clock deadline (each port's clock
     starts when its first instruction is picked up): once it passes,
     the port's remaining obligations are reported [Unknown] with a
-    timestamped ["timeout: ..."] reason instead of hanging.  Default:
+    timestamped ["deadline: ..."] reason instead of hanging.  Default:
     unlimited.
 
     [incremental] (default true) shares one solver context per port

@@ -99,7 +99,7 @@ val run :
     (design, variant, port) group in incremental mode (the clock starts
     when a worker picks the group up, preparation included), per job in
     fresh mode.  When it passes, remaining obligations yield timestamped
-    ["timeout: ..."] [Unknown] verdicts instead of hanging the pool.
+    ["deadline: ..."] [Unknown] verdicts instead of hanging the pool.
     Default: unlimited.
 
     [incremental] (default [true]) groups jobs by (design, variant)

@@ -20,6 +20,31 @@ let backoff_delay ~job ~attempt =
   let jitter = float_of_int (Char.code d.[0]) /. 255.0 in
   capped *. (1.0 +. (0.25 *. jitter))
 
+(* [Unix.select] restricted to read interest, with [EINTR] handled
+   correctly against an {e absolute} deadline: each retry recomputes
+   the remaining wait from [Unix.gettimeofday ()], so a stream of
+   signals can never extend the effective wait past the deadline (the
+   naive "retry with the same relative timeout" restarts the clock on
+   every signal).  [deadline = None] waits indefinitely; a deadline
+   already in the past polls once with a zero timeout.  Shared by the
+   pool's result loop and the daemon's accept loop
+   ({!Ilv_server.Daemon}). *)
+let select_read ?deadline fds =
+  let rec go () =
+    let timeout =
+      match deadline with
+      | None -> -1.0
+      | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+    in
+    match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> (
+      match deadline with
+      | Some d when Unix.gettimeofday () >= d -> []
+      | Some _ | None -> go ())
+    | readable, _, _ -> readable
+  in
+  go ()
+
 let protected f x =
   match f x with
   | y -> Done y
@@ -331,15 +356,13 @@ let map_init ?(jobs = 1) ~init ~f items =
       else begin
         let fds = List.map (fun w -> w.res_fd) busy in
         (* with retries cooling down, wake up in time to dispatch them
-           even if no result arrives *)
-        let timeout =
-          if !delayed = [] then -1.0
-          else Float.max 0.0 (earliest_ready () -. Unix.gettimeofday ())
+           even if no result arrives; [select_read] owns EINTR and the
+           absolute-deadline arithmetic *)
+        let deadline =
+          if !delayed = [] then None else Some (earliest_ready ())
         in
-        match Unix.select fds [] [] timeout with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | readable, _, _ ->
-          List.iter
+        let readable = select_read ?deadline fds in
+        List.iter
             (fun fd ->
               match List.find_opt (fun w -> w.res_fd == fd) busy with
               | None -> ()

@@ -50,6 +50,18 @@ val backoff_delay : job:int -> attempt:int -> float
     most 25%, derived from [(job, attempt)].  Pure — the schedule is
     reproducible and exposed so tests can pin its bounds. *)
 
+val select_read : ?deadline:float -> Unix.file_descr list -> Unix.file_descr list
+(** [select_read ?deadline fds] waits for any of [fds] to become
+    readable and returns the readable subset.  [deadline] is an {e
+    absolute} Unix-epoch instant: on [EINTR] the remaining wait is
+    recomputed from [Unix.gettimeofday ()], so a stream of signals can
+    never stretch the effective wait past the deadline (retrying with
+    the original {e relative} timeout — the classic bug — restarts the
+    clock on every signal).  Without [deadline] the wait is unbounded
+    (still [EINTR]-safe); a deadline already in the past degrades to a
+    single poll and may return [[]].  Used by the pool's result loop
+    and the verification daemon's accept loop. *)
+
 val in_worker : unit -> bool
 (** True when called inside a forked worker process.  Fault-injection
     sites use this as a guard so that a "kill this worker" fault can

@@ -35,12 +35,41 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Entries are sharded into 256 subdirectories by the first two hex
+   characters of the key ([<dir>/ab/<key>.proof]).  Sharding keeps any
+   single directory small, and — more importantly — gives each shard
+   its own advisory lock file, so concurrent writers only contend when
+   they race keys in the same 1/256th of the key space instead of
+   serializing the whole cache behind one global lock. *)
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let shard_of key =
+  if String.length key >= 2 && is_hex key.[0] && is_hex key.[1] then
+    String.sub key 0 2
+  else "xx" (* defensive: keys are hex digests, but never crash on one
+               that is not *)
+
+let is_shard_name f =
+  f = "xx" || (String.length f = 2 && is_hex f.[0] && is_hex f.[1])
+
+let shard_dirs cache_dir =
+  match Sys.readdir cache_dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f ->
+           is_shard_name f
+           && try Sys.is_directory (Filename.concat cache_dir f)
+              with Sys_error _ -> false)
+    |> List.sort compare
+    |> List.map (Filename.concat cache_dir)
+
 (* Startup recovery, part 1: a [.tmp-<pid>-<key>] file whose writer is
    no longer alive is a torn write from a crashed process — it never
    made it through the rename, so it holds no information worth
    keeping.  Live writers' temp files are left strictly alone. *)
-let sweep_dead_tmp cache_dir =
-  match Sys.readdir cache_dir with
+let sweep_dead_tmp_in dir =
+  match Sys.readdir dir with
   | exception Sys_error _ -> ()
   | files ->
     Array.iter
@@ -62,9 +91,13 @@ let sweep_dead_tmp cache_dir =
               | exception Unix.Unix_error _ -> false)
           in
           if writer_dead then
-            try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ()
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()
         end)
       files
+
+let sweep_dead_tmp cache_dir =
+  sweep_dead_tmp_in cache_dir;
+  List.iter sweep_dead_tmp_in (shard_dirs cache_dir)
 
 let open_ ?dir () =
   let cache_dir = match dir with Some d -> d | None -> default_dir () in
@@ -97,22 +130,53 @@ let quarantined_count t =
   | exception Sys_error _ -> 0
   | files -> Array.length files
 
-(* Concurrent writers serialize on one advisory lock file.  The lock is
-   best-effort — a filesystem without [lockf] support must not turn the
-   cache into a crash source — and the rename inside stays atomic
-   either way; the lock only closes the window where two writers race
-   the same key with different temp files. *)
-let with_lock t f =
-  let lock_path = Filename.concat t.cache_dir ".lock" in
+(* Concurrent writers to the same shard serialize on that shard's
+   advisory lock file.  Acquisition is *bounded*: [F_TLOCK] with a few
+   jittered retries, never [F_LOCK] — an unbounded blocking lock lets a
+   stalled or crashed-while-locked writer (or a lock file on a broken
+   network filesystem) wedge every later store, turning an accelerator
+   into a liveness hazard.  On sustained contention the writer proceeds
+   WITHOUT the lock: the write stays atomic either way (temp file +
+   rename), the lock only closes the benign window where two writers
+   race the same key with different temp files and one rename wins. *)
+let lock_attempts = 5
+
+(* Pure, like [Pool.backoff_delay]: capped exponential base with
+   deterministic jitter derived from [(key, attempt)], so the retry
+   schedule is reproducible and two writers racing the same shard are
+   still unlikely to retry in lock-step. *)
+let lock_retry_delay ~key ~attempt =
+  let base = Float.min (0.001 *. (2.0 ** float_of_int (attempt - 1))) 0.016 in
+  let d = Digest.string (Printf.sprintf "cache-lock:%s:%d" key attempt) in
+  let jitter = float_of_int (Char.code d.[0]) /. 255.0 *. 0.5 in
+  base *. (1.0 +. jitter)
+
+let with_lock t ~key f =
+  let shard = Filename.concat t.cache_dir (shard_of key) in
+  mkdir_p shard;
+  let lock_path = Filename.concat shard ".lock" in
   match Unix.openfile lock_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
   | exception Unix.Unix_error _ -> f ()
   | fd ->
-    let locked =
-      try
-        Unix.lockf fd Unix.F_LOCK 0;
-        true
-      with Unix.Unix_error _ -> false
+    let rec acquire attempt =
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+        if attempt >= lock_attempts then false
+        else begin
+          Unix.sleepf (lock_retry_delay ~key ~attempt);
+          acquire (attempt + 1)
+        end
+      | exception Unix.Unix_error _ ->
+        (* no lockf support here: fall through lock-free *)
+        false
     in
+    let locked = acquire 1 in
+    if (not locked) && Ilv_obs.Obs.enabled () then begin
+      Ilv_obs.Obs.count "cache.lock_contended" 1;
+      Ilv_obs.Obs.event "cache.lock_contended"
+        [ ("key", Ilv_obs.Obs.S key) ]
+    end;
     Fun.protect
       ~finally:(fun () ->
         (try if locked then Unix.lockf fd Unix.F_ULOCK 0
@@ -194,7 +258,15 @@ let key_of_shared ~frame ~selectors =
 (* ---- entry files ---- *)
 
 let entry_suffix = ".proof"
-let file_of t key = Filename.concat t.cache_dir (key ^ entry_suffix)
+
+let file_of t key =
+  Filename.concat
+    (Filename.concat t.cache_dir (shard_of key))
+    (key ^ entry_suffix)
+
+(* Pre-sharding layout: entries directly under the cache root.  Still
+   readable (lookup falls back to it), never written to. *)
+let legacy_file_of t key = Filename.concat t.cache_dir (key ^ entry_suffix)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -253,8 +325,7 @@ let load_entry path key =
     end
 
 let lookup t key =
-  let path = file_of t key in
-  let found =
+  let try_path path =
     if not (Sys.file_exists path) then None
     else
       match load_entry path key with
@@ -266,6 +337,11 @@ let lookup t key =
            space *)
         ignore (quarantine t path);
         None
+  in
+  let found =
+    match try_path (file_of t key) with
+    | Some _ as r -> r
+    | None -> try_path (legacy_file_of t key)
   in
   if Ilv_obs.Obs.enabled () then begin
     let open Ilv_obs.Obs in
@@ -298,12 +374,16 @@ let store t entry =
     let content =
       magic ^ Digest.to_hex (Digest.string payload) ^ "\n" ^ payload
     in
+    let shard = Filename.concat t.cache_dir (shard_of entry.key) in
     let tmp =
-      Filename.concat t.cache_dir
+      Filename.concat shard
         (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) entry.key)
     in
     try
-      with_lock t (fun () ->
+      (* with_lock creates the shard directory, so [tmp]'s parent
+         exists by the time the body runs; temp and final name share a
+         directory, keeping the rename atomic *)
+      with_lock t ~key:entry.key (fun () ->
           let oc = open_out_bin tmp in
           output_string oc content;
           close_out oc;
@@ -312,14 +392,20 @@ let store t entry =
 
 (* ---- maintenance ---- *)
 
-let entry_files t =
-  match Sys.readdir t.cache_dir with
+let entry_files_in dir =
+  match Sys.readdir dir with
   | exception _ -> []
   | files ->
     Array.to_list files
     |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
     |> List.sort compare
-    |> List.map (Filename.concat t.cache_dir)
+    |> List.map (Filename.concat dir)
+
+(* Shard directories first (the write path), then legacy flat entries;
+   the quarantine directory is not a shard and is never walked. *)
+let entry_files t =
+  List.concat_map entry_files_in (shard_dirs t.cache_dir)
+  @ entry_files_in t.cache_dir
 
 type cache_stats = {
   entries : int;

@@ -32,12 +32,20 @@
     the whole cache), and the canonicalized CNF itself, which is what
     lets {!validate} re-solve entries from the store alone.
 
-    {2 Crash safety}
+    {2 Layout and crash safety}
 
-    Writes are atomic (temp file + rename, serialized across processes
-    by an advisory lock file) and every entry carries a checksum of its
-    payload that is verified on read — truncation and bit-rot are
-    detected before [Marshal] ever parses a byte.  Damaged entries are
+    Entries are sharded into 256 subdirectories by the first two hex
+    characters of the key ([<dir>/ab/<key>.proof]); entries from the
+    older flat layout are still found by {!lookup} but never written.
+    Writes are atomic (temp file + rename within the shard).
+    Concurrent writers serialize on a {e per-shard} advisory lock —
+    acquired with a {e bounded} [F_TLOCK]-and-retry loop, never an
+    unbounded blocking [F_LOCK]: on sustained contention the writer
+    proceeds lock-free (the rename is atomic regardless) rather than
+    wedging behind a stalled lock holder.  Every entry carries a
+    checksum of its payload that is verified on read — truncation and
+    bit-rot are detected before [Marshal] ever parses a byte.  Damaged
+    entries are
     {e quarantined} into [<dir>/quarantine/], never deleted: lazily on
     the first lookup that touches one, eagerly by {!recover} and
     {!validate}.  {!open_} additionally sweeps temp files left by
@@ -132,10 +140,22 @@ val lookup : t -> string -> entry option
     (the subsequent miss re-solves and re-stores it). *)
 
 val store : t -> entry -> unit
-(** Atomic (write-then-rename, serialized by an advisory lock), with a
-    payload checksum in the file.  Entries with an [Unknown] verdict
-    are silently dropped.  I/O failures are swallowed: the cache is an
-    accelerator, never a correctness dependency. *)
+(** Atomic (write-then-rename within the key's shard, serialized by the
+    shard's advisory lock when it can be acquired within the bounded
+    retry schedule), with a payload checksum in the file.  Entries with
+    an [Unknown] verdict are silently dropped.  I/O failures are
+    swallowed: the cache is an accelerator, never a correctness
+    dependency.  Contended stores that fall back to lock-free writes
+    bump the ["cache.lock_contended"] observability counter. *)
+
+val shard_of : string -> string
+(** The two-hex-character shard a key files under. *)
+
+val lock_retry_delay : key:string -> attempt:int -> float
+(** The sleep before lock-acquisition retry [attempt] (1-based), in
+    seconds: capped exponential backoff with deterministic jitter
+    derived from [(key, attempt)].  Pure — exposed so tests can pin the
+    schedule's bounds, like {!Pool.backoff_delay}. *)
 
 type cache_stats = {
   entries : int;

@@ -29,3 +29,11 @@ val to_string : t -> string option
 val to_int : t -> int option
 val to_float : t -> float option
 (** [to_float] also accepts [Int]. *)
+
+val encode : t -> string
+(** Serializes one value to a single line (no interior newlines:
+    strings are escaped, and the writer emits no whitespace), so an
+    encoded value is always safe as a JSONL record or a
+    length-prefixed protocol frame.  [encode] and {!parse} round-trip:
+    non-finite floats encode as [null].  Named [encode] rather than
+    [to_string] because {!to_string} is the [String] accessor. *)

@@ -709,12 +709,16 @@ let solve_bounded ?(assumptions = []) ?(limit = no_limit) s =
                (Option.get limit.max_wall_s))
         | _ -> (
           (* the absolute group deadline, timestamped so a sweep log
-             shows when the query was cut off, not just that it was *)
+             shows when the query was cut off, not just that it was.
+             "deadline:" is the structured sentinel
+             {!Ilv_core.Checker.is_deadline_reason} keys on — free-form
+             budget prose (including anything containing "timeout:")
+             must never alias it *)
           match limit.deadline_s with
           | Some d when Unix.gettimeofday () > d ->
             Some
               (Printf.sprintf
-                 "timeout: group deadline %.3f exceeded at %.3f (epoch s)" d
+                 "deadline: group deadline %.3f exceeded at %.3f (epoch s)" d
                  (Unix.gettimeofday ()))
           | _ -> None)))
   in

@@ -1,0 +1,50 @@
+module Json = Ilv_obs.Json
+
+type t = { fd : Unix.file_descr; max_frame : int }
+
+let connect ?(max_frame = Protocol.default_max_frame) socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; max_frame }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "no daemon at %s (%s)" socket (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match Protocol.write_frame t.fd (Json.encode req) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("send failed: " ^ Unix.error_message err)
+  | () -> (
+    match Protocol.read_frame ~max_frame:t.max_frame t.fd with
+    | Protocol.Frame payload -> (
+      match Json.parse payload with
+      | Ok reply -> Ok reply
+      | Result.Error msg -> Error ("bad reply JSON: " ^ msg))
+    | Protocol.Eof -> Error "daemon closed the connection"
+    | Protocol.Oversized n ->
+      Error (Printf.sprintf "oversized reply (%d bytes)" n)
+    | exception Unix.Unix_error (err, _, _) ->
+      Error ("receive failed: " ^ Unix.error_message err))
+
+let with_connection ?max_frame socket f =
+  match connect ?max_frame socket with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let ping socket =
+  match
+    with_connection socket (fun t ->
+        request t (Json.Obj [ ("op", Json.String "ping") ]))
+  with
+  | Ok reply -> Json.member "ok" reply = Some (Json.Bool true)
+  | Error _ -> false
+
+let ok reply = Json.member "ok" reply = Some (Json.Bool true)
+
+let error_of reply =
+  match Option.bind (Json.member "error" reply) Json.to_string with
+  | Some msg -> msg
+  | None -> "unknown daemon error"

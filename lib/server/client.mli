@@ -1,0 +1,32 @@
+(** Blocking client for the verification daemon.
+
+    One connection carries any number of request/reply round-trips;
+    requests and replies are JSON values framed per {!Protocol}. *)
+
+module Json = Ilv_obs.Json
+
+type t
+
+val connect : ?max_frame:int -> string -> (t, string) result
+(** [Error] (connection refused, missing socket, ...) is how callers
+    implement in-process fallback: [ilaverif --daemon SOCK] tries this
+    once and solves locally when it fails. *)
+
+val close : t -> unit
+
+val request : t -> Json.t -> (Json.t, string) result
+(** One round-trip: send the request frame, block for the reply frame.
+    Any I/O or decode failure is an [Error] — never an exception. *)
+
+val with_connection :
+  ?max_frame:int -> string -> (t -> ('a, string) result) -> ('a, string) result
+(** Connect, run, always close. *)
+
+val ping : string -> bool
+(** True iff a daemon answers on the socket. *)
+
+val ok : Json.t -> bool
+(** Whether a reply object carries [("ok", true)]. *)
+
+val error_of : Json.t -> string
+(** The ["error"] field of a failed reply. *)

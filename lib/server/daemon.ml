@@ -1,0 +1,623 @@
+open Ilv_core
+open Ilv_designs
+open Ilv_engine
+module Json = Ilv_obs.Json
+module Obs = Ilv_obs.Obs
+
+(* The daemon exists to keep the expensive state of a verification
+   session resident: prepared shared frames (one bit-blasted
+   incremental solver context per (design, variant, port)), the
+   in-memory result memo keyed on the persistent proof cache's shared
+   keys, and the proof cache handle itself.  Requests then pay only for
+   queries nobody has asked before — and the resilience machinery
+   (per-request deadlines, the degradation ladder, exception
+   containment) applies per request: a request that fails, times out,
+   or is poisoned answers with an error or labelled Unknown verdicts
+   and leaves the process serving. *)
+
+(* ---- counters ---- *)
+
+type counters = {
+  mutable c_requests : int;
+  mutable c_jobs : int;
+  mutable c_solves : int;  (* queries actually sent to a solver *)
+  mutable c_dedup_hits : int;  (* answered from the in-memory memo *)
+  mutable c_cache_hits : int;  (* answered from the persistent cache *)
+  mutable c_frames : int;  (* prepared shared contexts alive *)
+  mutable c_errors : int;  (* error replies sent *)
+  mutable c_batches : int;  (* select rounds that carried >= 1 request *)
+  mutable c_max_batch : int;  (* deepest request batch seen *)
+}
+
+let new_counters () =
+  {
+    c_requests = 0;
+    c_jobs = 0;
+    c_solves = 0;
+    c_dedup_hits = 0;
+    c_cache_hits = 0;
+    c_frames = 0;
+    c_errors = 0;
+    c_batches = 0;
+    c_max_batch = 0;
+  }
+
+(* ---- resident state ---- *)
+
+type frame = {
+  fr_prepared : Verify.prepared_port;
+  mutable fr_digest : string option;
+      (* [Proof_cache.frame_digest] of the frozen shared CNF, computed
+         on first use (freezing costs one deterministic encoding pass) *)
+}
+
+type memo_entry = {
+  m_verdict : Checker.verdict;
+  m_rung : string;
+}
+
+type t = {
+  cache : Proof_cache.t option;
+  timeout_s : float option;  (* default per-request deadline *)
+  max_frame : int;
+  frames : (string, frame) Hashtbl.t;
+      (* "design\x00variant\x00port" -> resident prepared context *)
+  memo : (string, memo_entry) Hashtbl.t;
+      (* Proof_cache.key_of_shared -> first verdict; what makes two
+         clients submitting the identical obligation cost one solve *)
+  counters : counters;
+  started_s : float;
+}
+
+let frame_key ~design ~variant ~port =
+  String.concat "\x00" [ design; Option.value variant ~default:""; port ]
+
+let get_frame t ~design ~variant ~(port : Ila.t) ~rtl ~refmap =
+  let k = frame_key ~design ~variant ~port:port.Ila.name in
+  match Hashtbl.find_opt t.frames k with
+  | Some fr -> fr
+  | None ->
+    let label =
+      design ^ (match variant with Some v -> "#" ^ v | None -> "")
+    in
+    let pr = Verify.prepare_port ~name:label ~port ~rtl ~refmap () in
+    let fr = { fr_prepared = pr; fr_digest = None } in
+    Hashtbl.replace t.frames k fr;
+    t.counters.c_frames <- t.counters.c_frames + 1;
+    if Obs.enabled () then begin
+      Obs.count "daemon.frames" 1;
+      Obs.event "daemon.frame_prepared"
+        [ ("design", Obs.S label); ("port", Obs.S port.Ila.name) ]
+    end;
+    fr
+
+let obligation_key fr idx =
+  let sh = Verify.prepared_shared fr.fr_prepared in
+  match Checker.shared_frame_selectors sh idx with
+  | [] -> None (* encoding failed: uncacheable, undedupable *)
+  | selectors ->
+    let digest =
+      match fr.fr_digest with
+      | Some d -> d
+      | None ->
+        let d = Proof_cache.frame_digest (Checker.shared_cnf sh) in
+        fr.fr_digest <- Some d;
+        d
+    in
+    Some (Proof_cache.key_of_shared ~frame:digest ~selectors)
+
+(* ---- verify core (shared by the verify and table ops) ---- *)
+
+type job_result = {
+  jr_port : string;
+  jr_instr : string;
+  jr_verdict : Checker.verdict;
+  jr_rung : string;
+  jr_time_s : float;
+  jr_dedup : bool;
+  jr_cache_hit : bool;
+}
+
+let solve_one t fr ~design ~instr ~budget =
+  let pr = fr.fr_prepared in
+  let key =
+    match Verify.prepared_slot pr instr with
+    | Ok idx -> obligation_key fr idx
+    | Error _ -> None
+  in
+  let memo_hit = Option.bind key (Hashtbl.find_opt t.memo) in
+  match memo_hit with
+  | Some m ->
+    t.counters.c_dedup_hits <- t.counters.c_dedup_hits + 1;
+    if Obs.enabled () then Obs.count "daemon.dedup_hits" 1;
+    (m.m_verdict, m.m_rung, true, false)
+  | None -> (
+    let cached =
+      match (key, t.cache) with
+      | Some k, Some cache -> Proof_cache.lookup cache k
+      | _ -> None
+    in
+    match cached with
+    | Some e ->
+      t.counters.c_cache_hits <- t.counters.c_cache_hits + 1;
+      Option.iter
+        (fun k ->
+          Hashtbl.replace t.memo k
+            { m_verdict = e.Proof_cache.verdict; m_rung = "cache" })
+        key;
+      (e.Proof_cache.verdict, "cache", false, true)
+    | None ->
+      t.counters.c_solves <- t.counters.c_solves + 1;
+      if Obs.enabled () then Obs.count "daemon.solves" 1;
+      let verdict, stats, rung = Verify.check_port_instr ?budget pr instr in
+      Option.iter
+        (fun k ->
+          Hashtbl.replace t.memo k { m_verdict = verdict; m_rung = rung };
+          match (verdict, t.cache) with
+          | (Checker.Proved | Checker.Failed _), Some cache ->
+            let sh = Verify.prepared_shared pr in
+            let selectors =
+              match Verify.prepared_slot pr instr with
+              | Ok idx -> Checker.shared_frame_selectors sh idx
+              | Error _ -> []
+            in
+            Proof_cache.store cache
+              {
+                Proof_cache.key = k;
+                engine_version = Proof_cache.version;
+                design;
+                instr;
+                verdict;
+                stats;
+                cnf = Proof_cache.canonical_cnf (Checker.shared_cnf sh);
+                hyps = Proof_cache.canonical_hyps selectors;
+                created_s = Unix.gettimeofday ();
+              }
+          | _ -> ())
+        key;
+      (verdict, rung, false, false))
+
+let verify_core t ~design_name ~variant ~rtl ~refmap_for ~ports ~instrs
+    ~timeout_s (d : Design.t) =
+  let selected =
+    match ports with
+    | None -> d.Design.module_ila.Module_ila.ports
+    | Some names ->
+      List.filter
+        (fun (p : Ila.t) -> List.mem p.Ila.name names)
+        d.Design.module_ila.Module_ila.ports
+  in
+  List.concat_map
+    (fun (port : Ila.t) ->
+      (* the deadline is per obligation group, here per port — same
+         contract as [Verify.run] *)
+      let budget =
+        match timeout_s with
+        | None -> None
+        | Some s ->
+          Some
+            (Checker.with_deadline
+               (Unix.gettimeofday () +. s)
+               Checker.unlimited)
+      in
+      let fr =
+        get_frame t ~design:design_name ~variant ~port ~rtl
+          ~refmap:(refmap_for port.Ila.name)
+      in
+      let names = Verify.prepared_instrs fr.fr_prepared in
+      let names =
+        match instrs with
+        | None -> names
+        | Some only -> List.filter (fun n -> List.mem n only) names
+      in
+      List.map
+        (fun instr ->
+          t.counters.c_jobs <- t.counters.c_jobs + 1;
+          let t0 = Unix.gettimeofday () in
+          let verdict, rung, dedup, cache_hit =
+            solve_one t fr ~design:design_name ~instr ~budget
+          in
+          {
+            jr_port = port.Ila.name;
+            jr_instr = instr;
+            jr_verdict = verdict;
+            jr_rung = rung;
+            jr_time_s = Unix.gettimeofday () -. t0;
+            jr_dedup = dedup;
+            jr_cache_hit = cache_hit;
+          })
+        names)
+    selected
+
+let result_json r =
+  let verdict, reason =
+    match r.jr_verdict with
+    | Checker.Proved -> ("proved", None)
+    | Checker.Failed _ ->
+      (* counterexample traces are not wire-serializable; clients that
+         need the trace re-run the failing instruction in-process *)
+      ("failed", None)
+    | Checker.Unknown why -> ("unknown", Some why)
+  in
+  Json.Obj
+    ([
+       ("port", Json.String r.jr_port);
+       ("instr", Json.String r.jr_instr);
+       ("verdict", Json.String verdict);
+     ]
+    @ (match reason with
+      | Some why -> [ ("reason", Json.String why) ]
+      | None -> [])
+    @ [
+        ("rung", Json.String r.jr_rung);
+        ("time_s", Json.Float r.jr_time_s);
+        ("dedup", Json.Bool r.jr_dedup);
+        ("cache_hit", Json.Bool r.jr_cache_hit);
+      ])
+
+let summary_json results t0 =
+  let count p = List.length (List.filter p results) in
+  Json.Obj
+    [
+      ("n_jobs", Json.Int (List.length results));
+      ( "n_proved",
+        Json.Int (count (fun r -> r.jr_verdict = Checker.Proved)) );
+      ( "n_failed",
+        Json.Int
+          (count (fun r ->
+               match r.jr_verdict with Checker.Failed _ -> true | _ -> false))
+      );
+      ( "n_unknown",
+        Json.Int
+          (count (fun r ->
+               match r.jr_verdict with
+               | Checker.Unknown _ -> true
+               | _ -> false)) );
+      ("n_dedup", Json.Int (count (fun r -> r.jr_dedup)));
+      ("n_cache_hits", Json.Int (count (fun r -> r.jr_cache_hit)));
+      ("time_s", Json.Float (Unix.gettimeofday () -. t0));
+    ]
+
+(* ---- request handlers ---- *)
+
+let handle_verify t req =
+  let t0 = Unix.gettimeofday () in
+  match Protocol.str_member "design" req with
+  | None -> Protocol.error_reply "verify: missing \"design\""
+  | Some design_name -> (
+    match Catalog.find design_name with
+    | None ->
+      Protocol.error_reply
+        (Printf.sprintf "verify: unknown design %S" design_name)
+    | Some d -> (
+      let variant = Protocol.str_member "bug" req in
+      let rtl_of_variant =
+        match variant with
+        | None -> Ok d.Design.rtl
+        | Some label -> (
+          match
+            List.find_opt
+              (fun (b : Design.bug) -> b.Design.bug_label = label)
+              d.Design.bugs
+          with
+          | Some b -> Ok b.Design.buggy_rtl
+          | None ->
+            Error
+              (Printf.sprintf "verify: design %S has no bug %S" design_name
+                 label))
+      in
+      match rtl_of_variant with
+      | Error msg -> Protocol.error_reply msg
+      | Ok rtl ->
+        let timeout_s =
+          match Protocol.float_member "timeout_s" req with
+          | Some s -> Some s
+          | None -> t.timeout_s
+        in
+        let results =
+          verify_core t ~design_name:d.Design.name ~variant ~rtl
+            ~refmap_for:(d.Design.refmap_for rtl)
+            ~ports:(Protocol.str_list_member "ports" req)
+            ~instrs:(Protocol.str_list_member "instrs" req)
+            ~timeout_s d
+        in
+        Protocol.ok_reply
+          [
+            ("design", Json.String d.Design.name);
+            ("results", Json.List (List.map result_json results));
+            ("summary", summary_json results t0);
+          ]))
+
+let handle_table t req =
+  let designs =
+    match Protocol.str_list_member "designs" req with
+    | Some names -> names
+    | None -> List.map (fun d -> d.Design.name) Catalog.quick
+  in
+  let timeout_s =
+    match Protocol.float_member "timeout_s" req with
+    | Some s -> Some s
+    | None -> t.timeout_s
+  in
+  let rows =
+    List.map
+      (fun name ->
+        match Catalog.find name with
+        | None ->
+          Json.Obj
+            [
+              ("design", Json.String name);
+              ("error", Json.String "unknown design");
+            ]
+        | Some d ->
+          let t0 = Unix.gettimeofday () in
+          let results =
+            verify_core t ~design_name:d.Design.name ~variant:None
+              ~rtl:d.Design.rtl
+              ~refmap_for:(d.Design.refmap_for d.Design.rtl)
+              ~ports:None ~instrs:None ~timeout_s d
+          in
+          Json.Obj
+            [
+              ("design", Json.String d.Design.name);
+              ("summary", summary_json results t0);
+            ])
+      designs
+  in
+  Protocol.ok_reply [ ("rows", Json.List rows) ]
+
+let handle_mutate t req =
+  match Protocol.str_member "design" req with
+  | None -> Protocol.error_reply "mutate: missing \"design\""
+  | Some design_name -> (
+    match Catalog.find design_name with
+    | None ->
+      Protocol.error_reply
+        (Printf.sprintf "mutate: unknown design %S" design_name)
+    | Some d ->
+      let seed = Option.value (Protocol.int_member "seed" req) ~default:1 in
+      let max_mutants =
+        Option.value (Protocol.int_member "max_mutants" req) ~default:20
+      in
+      let timeout_s =
+        match Protocol.float_member "timeout_s" req with
+        | Some s -> Some s
+        | None -> t.timeout_s
+      in
+      (* campaigns run in-process (jobs=1): the daemon is the resident
+         session, and a forked pool inside it would duplicate every
+         resident frame into short-lived children *)
+      let c =
+        Ilv_fault.Campaign.run ~seed ~max_mutants ?timeout_s ~jobs:1 d
+      in
+      Protocol.ok_reply
+        [
+          ("design", Json.String c.Ilv_fault.Campaign.design);
+          ("n_mutants", Json.Int c.Ilv_fault.Campaign.n_mutants);
+          ("killed", Json.Int c.Ilv_fault.Campaign.killed);
+          ("survived", Json.Int c.Ilv_fault.Campaign.survived);
+          ("inconclusive", Json.Int c.Ilv_fault.Campaign.inconclusive);
+          ("score", Json.Float c.Ilv_fault.Campaign.score);
+          ("time_s", Json.Float c.Ilv_fault.Campaign.total_time_s);
+        ])
+
+let stats_json t =
+  let c = t.counters in
+  [
+    ("pid", Json.Int (Unix.getpid ()));
+    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_s));
+    ("requests", Json.Int c.c_requests);
+    ("jobs", Json.Int c.c_jobs);
+    ("solves", Json.Int c.c_solves);
+    ("dedup_hits", Json.Int c.c_dedup_hits);
+    ("cache_hits", Json.Int c.c_cache_hits);
+    ("frames", Json.Int c.c_frames);
+    ("errors", Json.Int c.c_errors);
+    ("batches", Json.Int c.c_batches);
+    ("max_batch", Json.Int c.c_max_batch);
+  ]
+
+type action = Continue | Stop | Drain
+
+(* Total exception containment: whatever one request does — an unknown
+   op, a generator exception, a solver blow-up — the worst outcome is
+   an error reply on that one connection.  [Out_of_memory] and
+   [Stack_overflow] still escape: a wedged process serves nobody. *)
+let handle_request t req =
+  t.counters.c_requests <- t.counters.c_requests + 1;
+  if Obs.enabled () then Obs.count "daemon.requests" 1;
+  let op = Option.value (Protocol.str_member "op" req) ~default:"" in
+  let span =
+    if Obs.enabled () then
+      Some (Obs.span_begin "daemon.request" [ ("op", Obs.S op) ])
+    else None
+  in
+  let reply, action =
+    match
+      match op with
+      | "ping" ->
+        (Protocol.ok_reply [ ("pid", Json.Int (Unix.getpid ())) ], Continue)
+      | "stats" -> (Protocol.ok_reply (stats_json t), Continue)
+      | "verify" -> (handle_verify t req, Continue)
+      | "table" -> (handle_table t req, Continue)
+      | "mutate" -> (handle_mutate t req, Continue)
+      | "drain" -> (Protocol.ok_reply [], Drain)
+      | "stop" -> (Protocol.ok_reply [], Stop)
+      | "" -> (Protocol.error_reply "missing \"op\"", Continue)
+      | other ->
+        ( Protocol.error_reply (Printf.sprintf "unknown op %S" other),
+          Continue )
+    with
+    | r -> r
+    | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+    | exception e ->
+      (Protocol.error_reply ("request failed: " ^ Printexc.to_string e),
+        Continue)
+  in
+  (match reply with
+  | Json.Obj (("ok", Json.Bool false) :: _) ->
+    t.counters.c_errors <- t.counters.c_errors + 1
+  | _ -> ());
+  (match span with
+  | Some id -> Obs.span_end ~fields:[ ("op", Obs.S op) ] id
+  | None -> ());
+  (reply, action)
+
+(* ---- event loop ---- *)
+
+type conn = { c_fd : Unix.file_descr; c_dec : Protocol.decoder }
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?cache ?timeout_s ?(max_frame = Protocol.default_max_frame)
+    ~socket () =
+  let t =
+    {
+      cache;
+      timeout_s;
+      max_frame;
+      frames = Hashtbl.create 16;
+      memo = Hashtbl.create 256;
+      counters = new_counters ();
+      started_s = Unix.gettimeofday ();
+    }
+  in
+  (* a client that disappears mid-reply must cost an EPIPE error on one
+     write, not a process-killing signal *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 64;
+  Unix.set_nonblock srv;
+  let listener = ref (Some srv) in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let running = ref true in
+  let draining = ref false in
+  let drop conn =
+    Hashtbl.remove conns conn.c_fd;
+    close_quietly conn.c_fd
+  in
+  let read_buf = Bytes.create 65536 in
+  if Obs.enabled () then
+    Obs.event "daemon.start" [ ("socket", Obs.S socket) ];
+  while !running && not (!draining && Hashtbl.length conns = 0) do
+    let fds =
+      (match !listener with Some fd -> [ fd ] | None -> [])
+      @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    if fds = [] then running := false
+    else begin
+      (* the EINTR-correct select shared with the pool (satellite fix):
+         no deadline — the daemon sleeps until work arrives *)
+      let readable = Pool.select_read fds in
+      (* intake first, across every readable connection: requests that
+         arrived in the same round form one batch, so identical
+         obligations from concurrent clients meet the memo in request
+         order and solve once *)
+      (match !listener with
+      | Some srv_fd when List.memq srv_fd readable ->
+        let rec accept_all () =
+          match Unix.accept srv_fd with
+          | fd, _ ->
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
+            Hashtbl.replace conns fd
+              { c_fd = fd; c_dec = Protocol.decoder ~max_frame () };
+            accept_all ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        accept_all ()
+      | _ -> ());
+      let batch = Queue.create () in
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some conn -> (
+            match Unix.read fd read_buf 0 (Bytes.length read_buf) with
+            | 0 -> drop conn (* peer closed, possibly mid-frame *)
+            | n ->
+              Protocol.feed conn.c_dec read_buf n;
+              let rec drain_frames () =
+                match Protocol.next conn.c_dec with
+                | Protocol.Pending -> ()
+                | Protocol.Broken len ->
+                  Queue.add (conn, Error len) batch
+                | Protocol.Ready frame ->
+                  Queue.add (conn, Ok frame) batch;
+                  drain_frames ()
+              in
+              drain_frames ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error _ -> drop conn))
+        readable;
+      let depth = Queue.length batch in
+      if depth > 0 then begin
+        t.counters.c_batches <- t.counters.c_batches + 1;
+        if depth > t.counters.c_max_batch then
+          t.counters.c_max_batch <- depth;
+        if Obs.enabled () then begin
+          Obs.count "daemon.queue_depth" depth;
+          Obs.event "daemon.batch" [ ("depth", Obs.I depth) ]
+        end
+      end;
+      (* process the batch; replies go out as each job finishes *)
+      Queue.iter
+        (fun (conn, item) ->
+          if Hashtbl.mem conns conn.c_fd then begin
+            let reply, action =
+              match item with
+              | Error len ->
+                t.counters.c_errors <- t.counters.c_errors + 1;
+                ( Protocol.error_reply
+                    (Printf.sprintf
+                       "frame of %d bytes exceeds the %d byte limit" len
+                       t.max_frame),
+                  Continue )
+              | Ok frame -> (
+                match Json.parse frame with
+                | Result.Error msg ->
+                  t.counters.c_errors <- t.counters.c_errors + 1;
+                  (Protocol.error_reply ("bad JSON: " ^ msg), Continue)
+                | Ok req -> handle_request t req)
+            in
+            (match
+               Protocol.write_frame conn.c_fd (Json.encode reply)
+             with
+            | () -> ()
+            | exception Unix.Unix_error _ | exception Sys_error _ ->
+              (* the client vanished mid-job: its reply is dropped, the
+                 resident state it warmed stays for everyone else *)
+              drop conn);
+            (* a broken stream cannot be re-synchronized *)
+            (match item with Error _ -> drop conn | Ok _ -> ());
+            match action with
+            | Continue -> ()
+            | Stop -> running := false
+            | Drain ->
+              draining := true;
+              (match !listener with
+              | Some fd ->
+                close_quietly fd;
+                listener := None
+              | None -> ())
+          end)
+        batch
+    end
+  done;
+  (match !listener with Some fd -> close_quietly fd | None -> ());
+  Hashtbl.iter (fun _ c -> close_quietly c.c_fd) conns;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (match old_sigpipe with
+  | Some behaviour -> (
+    try Sys.set_signal Sys.sigpipe behaviour with _ -> ())
+  | None -> ());
+  if Obs.enabled () then
+    Obs.event "daemon.stop" [ ("socket", Obs.S socket) ]

@@ -1,0 +1,53 @@
+(** The persistent verification daemon ([ilaverifd]).
+
+    A long-lived Unix-domain-socket server that keeps the expensive
+    state of a verification session resident in one process: prepared
+    shared frames (one incremental solver context per (design, variant,
+    port), {!Ilv_core.Verify.prepare_port}), an in-memory result memo
+    keyed on the persistent proof cache's shared keys
+    ({!Ilv_engine.Proof_cache.key_of_shared}), and the proof cache
+    handle.  Where the fork-per-sweep engine pays process setup and
+    cache I/O on every run — which BENCH_engine.json shows dominating
+    the sub-100ms warm path on most designs — the daemon pays
+    preparation once and answers repeat obligations from memory.
+
+    {2 Batching and dedup}
+
+    The event loop is single-threaded: each [select] round drains {e
+    every} readable connection first, forming one request batch, then
+    processes the batch in arrival order.  Identical obligations —
+    within one request, across a batch, or across the daemon's lifetime
+    — hit the memo after the first solve, so two clients submitting the
+    same work observe exactly one solve (the ["dedup"] flag and the
+    ["daemon.dedup_hits"] counter make this observable).
+
+    {2 Resilience}
+
+    The PR-7 resilience machinery applies {e per request}, never per
+    process: deadlines are stamped per obligation group from the
+    request's (or daemon's) [timeout_s]; stuck incremental queries
+    descend the degradation ladder; any exception a request provokes is
+    caught and answered as an error reply (or a labelled [Unknown]
+    verdict for a single instruction) on that one connection.  A
+    poisoned job can cost its client an [Unknown]; it cannot take the
+    daemon down.  Client disconnects mid-job drop the undeliverable
+    reply and keep all resident state.
+
+    See [docs/DAEMON.md] for the wire protocol and operational
+    guidance. *)
+
+val serve :
+  ?cache:Ilv_engine.Proof_cache.t ->
+  ?timeout_s:float ->
+  ?max_frame:int ->
+  socket:string ->
+  unit ->
+  unit
+(** Binds [socket] (an existing socket file is replaced), serves until
+    a [stop] request — or until a [drain] request followed by the last
+    client disconnecting — then removes the socket file and returns.
+    [timeout_s] is the default per-obligation-group deadline applied to
+    requests that do not carry their own; [max_frame] (default
+    {!Protocol.default_max_frame}) bounds accepted frames.  [SIGPIPE]
+    is ignored for the duration (vanishing clients must surface as
+    [EPIPE] on one write, not kill the process). *)

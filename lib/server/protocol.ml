@@ -1,0 +1,94 @@
+module Json = Ilv_obs.Json
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* ---- blocking frame I/O (client side, tests) ---- *)
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  (* one buffer, one (retried) write path: a frame is either fully sent
+     or the exception reaches the caller — never a torn header *)
+  write_all fd b 0 (4 + n)
+
+let rec read_exact fd b ofs len =
+  if len = 0 then true
+  else
+    match Unix.read fd b ofs len with
+    | 0 -> false
+    | n -> read_exact fd b (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b ofs len
+
+type read_result = Frame of string | Eof | Oversized of int
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 0 4) then Eof
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then Oversized len
+    else begin
+      let body = Bytes.create len in
+      if not (read_exact fd body 0 len) then Eof
+      else Frame (Bytes.to_string body)
+    end
+  end
+
+(* ---- incremental decoder (server side) ----
+
+   The daemon reads whatever the socket has and feeds it here; frames
+   are extracted as they complete, so partial reads and several frames
+   arriving in one read segment both just work. *)
+
+type decoder = { mutable data : string; max_frame : int }
+
+let decoder ?(max_frame = default_max_frame) () = { data = ""; max_frame }
+
+let feed d buf len = d.data <- d.data ^ Bytes.sub_string buf 0 len
+
+type next = Pending | Ready of string | Broken of int
+
+let next d =
+  let n = String.length d.data in
+  if n < 4 then Pending
+  else begin
+    let len = Int32.to_int (String.get_int32_be d.data 0) in
+    if len < 0 || len > d.max_frame then Broken len
+    else if n < 4 + len then Pending
+    else begin
+      let frame = String.sub d.data 4 len in
+      d.data <- String.sub d.data (4 + len) (n - 4 - len);
+      Ready frame
+    end
+  end
+
+let buffered d = String.length d.data
+
+(* ---- message helpers ---- *)
+
+let error_reply msg =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let ok_reply fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let str_member key j = Option.bind (Json.member key j) Json.to_string
+let int_member key j = Option.bind (Json.member key j) Json.to_int
+let float_member key j = Option.bind (Json.member key j) Json.to_float
+
+let str_list_member key j =
+  match Json.member key j with
+  | Some (Json.List vs) ->
+    let strs = List.filter_map Json.to_string vs in
+    if List.length strs = List.length vs then Some strs else None
+  | _ -> None

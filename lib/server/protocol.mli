@@ -1,0 +1,71 @@
+(** Wire protocol of the verification daemon.
+
+    A message is one {e frame}: a 4-byte big-endian unsigned length
+    followed by that many bytes of JSON (one value, no trailing
+    newline; {!Ilv_obs.Json.encode} emits none).  Requests are JSON
+    objects with an ["op"] field; every reply is an object carrying
+    ["ok"] — [true] with op-specific fields, or [false] with an
+    ["error"] string.  See [docs/DAEMON.md] for the full request and
+    reply schemas. *)
+
+module Json = Ilv_obs.Json
+
+val default_max_frame : int
+(** 4 MiB.  A declared frame length beyond the limit is a protocol
+    violation, answered with an error reply and connection close —
+    never allocated. *)
+
+(** {1 Blocking frame I/O}
+
+    Used by clients and tests, where a blocking read of exactly one
+    reply is the natural shape.  Both directions handle partial reads
+    and writes ([Unix.read]/[write] transferring fewer bytes than
+    asked, [EINTR] retried). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Sends one frame, retrying partial writes until complete.  I/O
+    errors ([EPIPE], ...) escape as [Unix.Unix_error]. *)
+
+type read_result =
+  | Frame of string
+  | Eof  (** peer closed (possibly mid-frame) *)
+  | Oversized of int  (** declared length; nothing was allocated *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> read_result
+(** Blocking read of exactly one frame. *)
+
+(** {1 Incremental decoding}
+
+    The daemon's event loop reads whatever the socket has and feeds it
+    to a per-connection decoder; complete frames are extracted as they
+    accumulate, so partial reads — and several frames arriving in one
+    read — both work without blocking the loop. *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+val feed : decoder -> bytes -> int -> unit
+(** Appends the first [len] bytes of the buffer. *)
+
+type next =
+  | Pending  (** need more bytes *)
+  | Ready of string  (** one complete frame (call again: more may be buffered) *)
+  | Broken of int
+      (** declared length exceeds the limit — the stream cannot be
+          re-synchronized; reply with an error and close *)
+
+val next : decoder -> next
+
+val buffered : decoder -> int
+(** Bytes currently awaiting a complete frame. *)
+
+(** {1 Message helpers} *)
+
+val error_reply : string -> Json.t
+val ok_reply : (string * Json.t) list -> Json.t
+val str_member : string -> Json.t -> string option
+val int_member : string -> Json.t -> int option
+val float_member : string -> Json.t -> float option
+
+val str_list_member : string -> Json.t -> string list option
+(** [Some] only when the field is a list of strings. *)

@@ -1,0 +1,190 @@
+(* daemon-smoke: the end-to-end daemon exercise wired into `dune
+   runtest`.  Forks [Daemon.serve] on a temp socket, drives a mixed
+   workload (ping / verify / repeat-verify / bug variant / table /
+   stats) through the client, checks every daemon verdict against the
+   in-process driver, and verifies a clean shutdown (child exits 0,
+   socket unlinked). *)
+
+open Ilv_core
+open Ilv_designs
+module Json = Ilv_obs.Json
+module Client = Ilv_server.Client
+module Daemon = Ilv_server.Daemon
+module Protocol = Ilv_server.Protocol
+
+let fail fmt =
+  Format.kasprintf
+    (fun s ->
+      prerr_endline ("daemon-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let designs = [ "Decoder"; "AXI Slave" ]
+let bug_design = "AXI Slave"
+let bug_label = "rd_burst"
+
+(* ---- in-process reference verdicts ---- *)
+
+let verdict_str = function
+  | Checker.Proved -> "proved"
+  | Checker.Failed _ -> "failed"
+  | Checker.Unknown _ -> "unknown"
+
+let in_process_verdicts ~name ~rtl (d : Design.t) =
+  let report =
+    Verify.run ~stop_at_first_failure:false ~name d.Design.module_ila rtl
+      ~refmap_for:(d.Design.refmap_for rtl)
+  in
+  List.concat_map
+    (fun (p : Verify.port_report) ->
+      List.map
+        (fun (r : Verify.instr_result) ->
+          (r.Verify.port, r.Verify.instr, verdict_str r.Verify.verdict))
+        p.Verify.instr_results)
+    report.Verify.ports
+  |> List.sort compare
+
+let daemon_verdicts reply =
+  match Json.member "results" reply with
+  | Some (Json.List rows) ->
+    List.map
+      (fun row ->
+        let get k =
+          match Protocol.str_member k row with
+          | Some v -> v
+          | None -> fail "result row missing %S" k
+        in
+        (get "port", get "instr", get "verdict"))
+      rows
+    |> List.sort compare
+  | _ -> fail "verify reply has no results list"
+
+(* ---- harness ---- *)
+
+let request socket req =
+  match Client.with_connection socket (fun c -> Client.request c req) with
+  | Ok reply when Client.ok reply -> reply
+  | Ok reply -> fail "daemon error: %s" (Client.error_of reply)
+  | Error msg -> fail "request failed: %s" msg
+
+let summary_int name reply =
+  match
+    Option.bind
+      (Option.bind (Json.member "summary" reply) (Json.member name))
+      Json.to_int
+  with
+  | Some n -> n
+  | None -> fail "summary missing %S" name
+
+let verify_req ?bug design =
+  Json.Obj
+    ([ ("op", Json.String "verify"); ("design", Json.String design) ]
+    @ match bug with Some b -> [ ("bug", Json.String b) ] | None -> [])
+
+let () =
+  let socket = Filename.temp_file "ilvd-smoke" ".sock" in
+  Sys.remove socket;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      (try Daemon.serve ~socket () with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let rec wait_up n =
+    if n = 0 then fail "daemon did not come up on %s" socket
+    else if not (Client.ping socket) then begin
+      Unix.sleepf 0.02;
+      wait_up (n - 1)
+    end
+  in
+  wait_up 250;
+
+  (* mixed workload: every design verified through the daemon must
+     produce exactly the in-process verdicts *)
+  List.iter
+    (fun name ->
+      match Catalog.find name with
+      | None -> fail "unknown design %S" name
+      | Some d ->
+        let reply = request socket (verify_req name) in
+        let got = daemon_verdicts reply in
+        let want = in_process_verdicts ~name:d.Design.name ~rtl:d.Design.rtl d in
+        if got <> want then fail "verdict mismatch for %s" name;
+        Format.printf "daemon-smoke: %-12s %d verdicts match in-process@." name
+          (List.length got))
+    designs;
+
+  (* a repeated request is served from the memo, verdicts unchanged *)
+  let again = request socket (verify_req (List.hd designs)) in
+  let n_jobs = summary_int "n_jobs" again in
+  if summary_int "n_dedup" again <> n_jobs then
+    fail "repeat verify was not fully deduped";
+
+  (* buggy variant: the daemon must report the same failure set *)
+  (match Catalog.find bug_design with
+  | None -> fail "unknown design %S" bug_design
+  | Some d -> (
+    match
+      List.find_opt
+        (fun (b : Design.bug) -> b.Design.bug_label = bug_label)
+        d.Design.bugs
+    with
+    | None -> fail "design %S has no bug %S" bug_design bug_label
+    | Some b ->
+      let reply = request socket (verify_req ~bug:bug_label bug_design) in
+      let got = daemon_verdicts reply in
+      let want =
+        in_process_verdicts ~name:d.Design.name ~rtl:b.Design.buggy_rtl d
+      in
+      if got <> want then fail "buggy-variant verdict mismatch";
+      if summary_int "n_failed" reply = 0 then
+        fail "buggy variant reported no failures";
+      Format.printf "daemon-smoke: %-12s bug %s reproduced through the daemon@."
+        bug_design bug_label));
+
+  (* table over the same designs rides the already-warm frames *)
+  let table =
+    request socket
+      (Json.Obj
+         [
+           ("op", Json.String "table");
+           ("designs", Json.List (List.map (fun n -> Json.String n) designs));
+         ])
+  in
+  (match Json.member "rows" table with
+  | Some (Json.List rows) when List.length rows = List.length designs -> ()
+  | _ -> fail "table reply malformed");
+
+  (* counters are consistent: every job was a solve exactly once *)
+  let stats = request socket (Json.Obj [ ("op", Json.String "stats") ]) in
+  let stat name =
+    match Option.bind (Json.member name stats) Json.to_int with
+    | Some n -> n
+    | None -> fail "stats missing %S" name
+  in
+  if stat "solves" + stat "dedup_hits" + stat "cache_hits" <> stat "jobs" then
+    fail "stats do not add up: %s" (Json.encode stats);
+  if stat "errors" <> 0 then fail "daemon counted unexpected errors";
+
+  (* clean shutdown: stop, child exits 0, socket unlinked *)
+  ignore (request socket (Json.Obj [ ("op", Json.String "stop") ]));
+  let rec reap n =
+    if n = 0 then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      fail "daemon did not exit after stop"
+    end
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        Unix.sleepf 0.02;
+        reap (n - 1)
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> fail "daemon exited abnormally"
+  in
+  reap 250;
+  if Sys.file_exists socket then fail "socket not unlinked on shutdown";
+  Format.printf
+    "daemon-smoke: OK (%d solves, %d dedup hits, clean shutdown)@."
+    (stat "solves") (stat "dedup_hits")

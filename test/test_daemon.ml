@@ -1,0 +1,270 @@
+(* Protocol robustness and daemon behavior (the satellite tests of the
+   daemon PR): partial reads and writes, oversized-frame rejection,
+   client disconnect mid-job, and the batch-dedup guarantee that two
+   clients submitting the identical obligation cost one solve.
+
+   The network tests fork a real [Daemon.serve] on a temp socket; the
+   decoder tests are pure. *)
+
+module Json = Ilv_obs.Json
+module Protocol = Ilv_server.Protocol
+module Daemon = Ilv_server.Daemon
+module Client = Ilv_server.Client
+
+(* ---- harness ---- *)
+
+let temp_sock () =
+  let path = Filename.temp_file "ilvd-t" ".sock" in
+  Sys.remove path;
+  path
+
+let start_daemon ?max_frame socket =
+  match Unix.fork () with
+  | 0 ->
+    (* the child must never return into the test runner *)
+    (try Daemon.serve ?max_frame ~socket () with _ -> ());
+    Unix._exit 0
+  | pid ->
+    let rec wait n =
+      if n = 0 then Alcotest.fail "daemon did not come up"
+      else if not (Client.ping socket) then begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+    in
+    wait 250;
+    pid
+
+let stop_daemon pid socket =
+  ignore
+    (Client.with_connection socket (fun c ->
+         Client.request c (Json.Obj [ ("op", Json.String "stop") ])));
+  let rec reap n =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if n = 0 then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      end
+      else begin
+        Unix.sleepf 0.02;
+        reap (n - 1)
+      end
+    | _ -> ()
+  in
+  reap 250;
+  if Sys.file_exists socket then Sys.remove socket
+
+let with_daemon ?max_frame f =
+  let socket = temp_sock () in
+  let pid = start_daemon ?max_frame socket in
+  Fun.protect ~finally:(fun () -> stop_daemon pid socket) (fun () -> f socket)
+
+let connect_raw socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+let request_exn socket req =
+  match Client.with_connection socket (fun c -> Client.request c req) with
+  | Ok reply -> reply
+  | Error msg -> Alcotest.fail ("request failed: " ^ msg)
+
+let int_field name reply =
+  match Option.bind (Json.member name reply) Json.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "reply has no int field %S" name
+
+let summary_field name reply =
+  match Json.member "summary" reply with
+  | Some s -> int_field name s
+  | None -> Alcotest.fail "reply has no summary"
+
+let stats socket = request_exn socket (Json.Obj [ ("op", Json.String "stats") ])
+
+let verify_req design =
+  Json.Obj [ ("op", Json.String "verify"); ("design", Json.String design) ]
+
+(* ---- decoder (pure) ---- *)
+
+let test_decoder_byte_at_a_time () =
+  let payload = {|{"op":"ping"}|} in
+  let b = frame_bytes payload in
+  let dec = Protocol.decoder () in
+  for i = 0 to Bytes.length b - 2 do
+    Protocol.feed dec (Bytes.make 1 (Bytes.get b i)) 1;
+    match Protocol.next dec with
+    | Protocol.Pending -> ()
+    | _ -> Alcotest.failf "frame complete after only %d bytes" (i + 1)
+  done;
+  Protocol.feed dec (Bytes.make 1 (Bytes.get b (Bytes.length b - 1))) 1;
+  (match Protocol.next dec with
+  | Protocol.Ready got ->
+    Alcotest.(check string) "payload survives the split" payload got
+  | _ -> Alcotest.fail "complete frame not recognized");
+  Alcotest.(check int) "nothing left over" 0 (Protocol.buffered dec)
+
+let test_decoder_coalesced_frames () =
+  let p1 = {|{"op":"ping"}|} and p2 = {|{"op":"stats"}|} in
+  let b = Bytes.cat (frame_bytes p1) (frame_bytes p2) in
+  let dec = Protocol.decoder () in
+  Protocol.feed dec b (Bytes.length b);
+  (match Protocol.next dec with
+  | Protocol.Ready got -> Alcotest.(check string) "first frame" p1 got
+  | _ -> Alcotest.fail "first frame not ready");
+  (match Protocol.next dec with
+  | Protocol.Ready got -> Alcotest.(check string) "second frame" p2 got
+  | _ -> Alcotest.fail "second frame not ready");
+  match Protocol.next dec with
+  | Protocol.Pending -> ()
+  | _ -> Alcotest.fail "phantom third frame"
+
+let test_decoder_oversized_header () =
+  let dec = Protocol.decoder ~max_frame:1024 () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int 4096);
+  Protocol.feed dec b 4;
+  match Protocol.next dec with
+  | Protocol.Broken len -> Alcotest.(check int) "declared length" 4096 len
+  | _ -> Alcotest.fail "oversized header not flagged"
+
+(* ---- daemon over the wire ---- *)
+
+let test_byte_by_byte_request () =
+  with_daemon (fun socket ->
+      let fd = connect_raw socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = frame_bytes {|{"op":"ping"}|} in
+          for i = 0 to Bytes.length b - 1 do
+            ignore (Unix.write fd b i 1);
+            (* give the event loop a select round between bytes so the
+               decoder really sees partial reads, not one coalesced
+               buffer *)
+            if i mod 4 = 0 then Unix.sleepf 0.002
+          done;
+          match Protocol.read_frame fd with
+          | Protocol.Frame reply_s -> (
+            match Json.parse reply_s with
+            | Ok reply ->
+              Alcotest.(check bool) "ok reply" true (Client.ok reply)
+            | Error msg -> Alcotest.fail ("bad reply JSON: " ^ msg))
+          | _ -> Alcotest.fail "no reply to the dribbled frame"))
+
+let test_oversized_frame_rejected () =
+  with_daemon ~max_frame:1024 (fun socket ->
+      let fd = connect_raw socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* the header alone declares the violation; no payload is sent
+             (and the daemon allocates none) *)
+          let b = Bytes.create 4 in
+          Bytes.set_int32_be b 0 (Int32.of_int 4096);
+          ignore (Unix.write fd b 0 4);
+          (match Protocol.read_frame fd with
+          | Protocol.Frame reply_s -> (
+            match Json.parse reply_s with
+            | Ok reply ->
+              Alcotest.(check bool) "error reply" false (Client.ok reply);
+              let msg = Client.error_of reply in
+              Alcotest.(check bool)
+                ("error names the limit: " ^ msg)
+                true
+                (String.length msg > 0)
+            | Error msg -> Alcotest.fail ("bad reply JSON: " ^ msg))
+          | _ -> Alcotest.fail "no error reply for the oversized frame");
+          (* the stream is unsyncable: the daemon must close it *)
+          (match Protocol.read_frame fd with
+          | Protocol.Eof -> ()
+          | _ -> Alcotest.fail "connection left open after a broken stream"));
+      (* ... and keep serving everyone else *)
+      Alcotest.(check bool) "daemon alive" true (Client.ping socket);
+      let errors = int_field "errors" (stats socket) in
+      Alcotest.(check bool) "violation counted" true (errors >= 1))
+
+let test_disconnect_mid_job () =
+  with_daemon (fun socket ->
+      (* client A submits a verify job and vanishes without reading the
+         reply; the daemon's write fails, the job's resident state
+         stays *)
+      let fd = connect_raw socket in
+      let b = frame_bytes (Json.encode (verify_req "Decoder")) in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      Unix.close fd;
+      (* client B must still be served, and inherits A's warm frames *)
+      let reply = request_exn socket (verify_req "Decoder") in
+      Alcotest.(check bool) "B is served" true (Client.ok reply);
+      Alcotest.(check bool)
+        "B got verdicts" true
+        (summary_field "n_jobs" reply > 0);
+      Alcotest.(check bool) "daemon alive" true (Client.ping socket))
+
+let test_identical_obligations_solve_once () =
+  with_daemon (fun socket ->
+      let before = stats socket in
+      (* two separate connections, the identical obligation set *)
+      let a = request_exn socket (verify_req "Decoder") in
+      let b = request_exn socket (verify_req "Decoder") in
+      Alcotest.(check bool) "A ok" true (Client.ok a);
+      Alcotest.(check bool) "B ok" true (Client.ok b);
+      let n_jobs = summary_field "n_jobs" a in
+      Alcotest.(check bool) "some jobs ran" true (n_jobs > 0);
+      Alcotest.(check int) "A solved everything fresh" 0
+        (summary_field "n_dedup" a);
+      Alcotest.(check int) "B is deduped in full" n_jobs
+        (summary_field "n_dedup" b);
+      let after = stats socket in
+      let delta name = int_field name after - int_field name before in
+      Alcotest.(check int) "exactly one solve per obligation" n_jobs
+        (delta "solves");
+      Alcotest.(check int) "every repeat hit the memo" n_jobs
+        (delta "dedup_hits");
+      (* verdict agreement between the solved and deduped runs *)
+      let verdicts reply =
+        match Json.member "results" reply with
+        | Some (Json.List rows) ->
+          List.map
+            (fun row ->
+              ( Protocol.str_member "port" row,
+                Protocol.str_member "instr" row,
+                Protocol.str_member "verdict" row ))
+            rows
+        | _ -> Alcotest.fail "reply has no results"
+      in
+      Alcotest.(check bool)
+        "identical verdicts" true
+        (verdicts a = verdicts b))
+
+let suite =
+  [
+    ( "daemon.protocol",
+      [
+        Alcotest.test_case "decoder handles byte-at-a-time feeds" `Quick
+          test_decoder_byte_at_a_time;
+        Alcotest.test_case "decoder splits coalesced frames" `Quick
+          test_decoder_coalesced_frames;
+        Alcotest.test_case "decoder flags oversized headers" `Quick
+          test_decoder_oversized_header;
+      ] );
+    ( "daemon.serve",
+      [
+        Alcotest.test_case "a frame dribbled byte by byte is one request"
+          `Quick test_byte_by_byte_request;
+        Alcotest.test_case "oversized frames get an error reply and a close"
+          `Quick test_oversized_frame_rejected;
+        Alcotest.test_case
+          "a client disconnecting mid-job leaves the daemon up" `Quick
+          test_disconnect_mid_job;
+        Alcotest.test_case "identical obligations across clients solve once"
+          `Quick test_identical_obligations_solve_once;
+      ] );
+  ]

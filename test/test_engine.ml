@@ -107,27 +107,33 @@ let key_tests =
 (* Cache store / lookup robustness                                     *)
 (* ------------------------------------------------------------------ *)
 
-let stored_entry (d : Design.t) cache =
+let entry_of (d : Design.t) =
   let pr = prepared_of d in
   let n_vars, clauses = Checker.cnf pr in
   let hyps = Checker.hypothesis_literals pr in
   let key = Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps in
   let verdict, stats = Checker.check_prepared pr in
-  let entry =
-    {
-      Proof_cache.key;
-      engine_version = Proof_cache.version;
-      design = d.Design.name;
-      instr = "test";
-      verdict;
-      stats;
-      cnf = Proof_cache.canonical_cnf (n_vars, clauses);
-      hyps;
-      created_s = 0.0;
-    }
-  in
+  {
+    Proof_cache.key;
+    engine_version = Proof_cache.version;
+    design = d.Design.name;
+    instr = "test";
+    verdict;
+    stats;
+    cnf = Proof_cache.canonical_cnf (n_vars, clauses);
+    hyps;
+    created_s = 0.0;
+  }
+
+let stored_entry (d : Design.t) cache =
+  let entry = entry_of d in
   Proof_cache.store cache entry;
   entry
+
+let sharded_path dir key =
+  Filename.concat
+    (Filename.concat dir (Proof_cache.shard_of key))
+    (key ^ ".proof")
 
 let cache_tests =
   [
@@ -146,7 +152,7 @@ let cache_tests =
         let dir = fresh_dir () in
         let cache = Proof_cache.open_ ~dir () in
         let e = stored_entry (design "AXI Slave") cache in
-        let path = Filename.concat dir (e.Proof_cache.key ^ ".proof") in
+        let path = sharded_path dir e.Proof_cache.key in
         let size = (Unix.stat path).Unix.st_size in
         Unix.truncate path (size / 2);
         Alcotest.(check bool)
@@ -276,6 +282,86 @@ let cache_tests =
         Alcotest.(check (list string))
           "the late-sorting rotted entry is caught" [ "zz-rotted" ]
           v.Proof_cache.mismatched);
+    t "legacy flat-layout entries are still found" (fun () ->
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let e = stored_entry (design "AXI Slave") cache in
+        (* demote the entry to the pre-sharding layout: directly under
+           the cache root, as an older ilaverif would have written it *)
+        Sys.rename
+          (sharded_path dir e.Proof_cache.key)
+          (Filename.concat dir (e.Proof_cache.key ^ ".proof"));
+        (match Proof_cache.lookup cache e.Proof_cache.key with
+        | Some got ->
+          Alcotest.(check bool)
+            "legacy entry verdict" true
+            (got.Proof_cache.verdict = Checker.Proved)
+        | None -> Alcotest.fail "legacy flat entry must still hit");
+        Alcotest.(check int)
+          "stats walks the flat layout too" 1
+          (Proof_cache.stats cache).entries);
+    t "lock retry schedule is positive, capped, and deterministic" (fun () ->
+        List.iter
+          (fun attempt ->
+            let d = Proof_cache.lock_retry_delay ~key:"deadbeef" ~attempt in
+            Alcotest.(check bool) "positive" true (d > 0.0);
+            Alcotest.(check bool) "capped" true (d <= 0.016 *. 1.5);
+            Alcotest.(check (float 0.0))
+              "deterministic" d
+              (Proof_cache.lock_retry_delay ~key:"deadbeef" ~attempt))
+          [ 1; 2; 3; 4; 5 ];
+        let total =
+          List.fold_left
+            (fun acc attempt ->
+              acc +. Proof_cache.lock_retry_delay ~key:"k" ~attempt)
+            0.0 [ 1; 2; 3; 4; 5 ]
+        in
+        Alcotest.(check bool)
+          "whole schedule stays well under 100ms" true (total < 0.1));
+    t "a held shard lock never blocks the store (regression)" (fun () ->
+        (* Pre-fix, [store] took the advisory lock with an unbounded
+           blocking [F_LOCK]: any process stalled while holding it
+           wedged every later store forever.  Now acquisition is
+           [F_TLOCK] with a bounded retry schedule, after which the
+           write proceeds lock-free (still atomic via rename).  The
+           holder must be a *different process* — lockf locks do not
+           conflict within one process. *)
+        let dir = fresh_dir () in
+        let cache = Proof_cache.open_ ~dir () in
+        let entry = entry_of (design "AXI Slave") in
+        let shard =
+          Filename.concat dir (Proof_cache.shard_of entry.Proof_cache.key)
+        in
+        (try Unix.mkdir shard 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let lock_path = Filename.concat shard ".lock" in
+        let r, w = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          (* child: grab the shard lock, tell the parent, stall *)
+          Unix.close r;
+          let fd =
+            Unix.openfile lock_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+          in
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          ignore (Unix.write w (Bytes.of_string "L") 0 1);
+          Unix.sleepf 30.0;
+          Unix._exit 0
+        | pid ->
+          Unix.close w;
+          ignore (Unix.read r (Bytes.create 1) 0 1);
+          Unix.close r;
+          let t0 = Unix.gettimeofday () in
+          Proof_cache.store cache entry;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          Alcotest.(check bool)
+            "store returned promptly despite the held lock" true
+            (elapsed < 5.0);
+          Alcotest.(check bool)
+            "entry landed via the lock-free fallback" true
+            (Proof_cache.lookup cache entry.Proof_cache.key <> None));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -96,19 +96,40 @@ let backoff_tests =
 
 let timeout_reason_tests =
   [
-    t "timeout marker: prefix, wrapped, and absent" (fun () ->
+    t "deadline marker: prefix, wrapped, and absent" (fun () ->
         Alcotest.(check bool)
           "bare marker" true
-          (Checker.is_timeout_reason "timeout: group deadline exceeded");
+          (Checker.is_deadline_reason "deadline: group deadline exceeded");
         Alcotest.(check bool)
           "wrapped in encoder context" true
-          (Checker.is_timeout_reason
-             "obligation equivalence after 1 cycle(s): timeout: deadline");
+          (Checker.is_deadline_reason
+             "obligation equivalence after 1 cycle(s): deadline: expired");
         Alcotest.(check bool)
-          "ordinary budget exhaustion is not a timeout" false
-          (Checker.is_timeout_reason "conflict budget exhausted");
-        Alcotest.(check bool) "empty" false (Checker.is_timeout_reason ""));
-    t "an expired deadline yields timeout unknowns, not a hang" (fun () ->
+          "ordinary budget exhaustion is not a deadline" false
+          (Checker.is_deadline_reason "conflict budget exhausted");
+        Alcotest.(check bool) "empty" false (Checker.is_deadline_reason ""));
+    t "a solver reason containing timeout: is not a group deadline" (fun () ->
+        (* Regression: the old marker was the substring ["timeout:"], so
+           any solver/encoder prose containing it was misclassified as a
+           group-deadline expiry and wrongly suppressed escalation and
+           the degradation ladder. *)
+        Alcotest.(check bool)
+          "solver prose with timeout:" false
+          (Checker.is_deadline_reason
+             "solver: timeout: wall budget exceeded (10s)");
+        Alcotest.(check bool)
+          "per-call wall budget message" false
+          (Checker.is_deadline_reason "timeout: deadline exceeded (0.5s)");
+        Alcotest.(check bool)
+          "deprecated alias agrees" false
+          (Checker.is_timeout_reason
+             "solver: timeout: wall budget exceeded (10s)");
+        Alcotest.(check bool)
+          "real deadline reason matches" true
+          (Checker.is_deadline_reason
+             (String.concat " "
+                [ Checker.deadline_sentinel; "group deadline exceeded" ])));
+    t "an expired deadline yields deadline unknowns, not a hang" (fun () ->
         let d = design "AXI Slave" in
         let report =
           Verify.run ~timeout_s:0.0 ~name:d.Design.name d.Design.module_ila
@@ -122,9 +143,9 @@ let timeout_reason_tests =
             match ir.Verify.verdict with
             | Checker.Unknown reason ->
               Alcotest.(check bool)
-                (ir.Verify.instr ^ " carries the timeout marker")
+                (ir.Verify.instr ^ " carries the deadline marker")
                 true
-                (Checker.is_timeout_reason reason)
+                (Checker.is_deadline_reason reason)
             | Checker.Proved | Checker.Failed _ ->
               Alcotest.fail "expired deadline must not decide anything")
           unknowns);
@@ -191,7 +212,7 @@ let ladder_tests =
               (Ilv_obs.Inject.fired ~point:"solver.stall" > 0);
             Alcotest.(check bool) "verdict preserved" true
               (v = Checker.Proved)));
-    t "a timeout unknown does not descend the ladder" (fun () ->
+    t "a deadline unknown does not descend the ladder" (fun () ->
         let sh =
           Checker.prepare_shared ~label:"ladder-timeout"
             (port_properties (design "AXI Slave"))
@@ -206,8 +227,8 @@ let ladder_tests =
         match v with
         | Checker.Unknown reason ->
           Alcotest.(check bool)
-            "timeout marker" true
-            (Checker.is_timeout_reason reason)
+            "deadline marker" true
+            (Checker.is_deadline_reason reason)
         | Checker.Proved | Checker.Failed _ ->
           Alcotest.fail "expired deadline must stay Unknown");
   ]
@@ -254,11 +275,26 @@ let inject_tests =
 (* Crash-safe cache recovery                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* entries live in two-character shard subdirectories (plus, for
+   legacy layouts, the root); quarantine/ and tmp files are excluded
+   by the name-length filter and the .proof suffix *)
 let entry_paths dir =
-  Sys.readdir dir |> Array.to_list
+  let files_in d =
+    match Sys.readdir d with
+    | fs -> Array.to_list fs |> List.map (Filename.concat d)
+    | exception Sys_error _ -> []
+  in
+  let top = files_in dir in
+  let shards =
+    List.filter
+      (fun d ->
+        String.length (Filename.basename d) = 2
+        && try Sys.is_directory d with Sys_error _ -> false)
+      top
+  in
+  List.concat_map files_in shards @ top
   |> List.filter (fun f -> Filename.check_suffix f ".proof")
   |> List.sort compare
-  |> List.map (Filename.concat dir)
 
 let recovery_tests =
   [
