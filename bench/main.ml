@@ -337,10 +337,33 @@ let engine_jobs_of (d : Design.t) =
 
 (* Jobs memoize their property thunk, so each timed run gets a fresh
    enumeration to keep the generate+prepare cost inside the timing. *)
-let engine_run ?cache ~jobs ~incremental d =
+let engine_run ?cache ?(memory_abstraction = false) ~jobs ~incremental d =
   let open Ilv_engine in
-  let _, summary = Engine.run ~jobs ?cache ~incremental (engine_jobs_of d) in
+  let _, summary =
+    Engine.run ~jobs ?cache ~incremental ~memory_abstraction
+      (engine_jobs_of d)
+  in
   summary
+
+(* (port, instr, verdict) triples in job order plus the run summary —
+   the equality oracle between the concrete and memory-abstracted
+   engine.  jobs:1 keeps the CEGAR refinement counter in-process. *)
+let engine_verdicts ?(memory_abstraction = false) d =
+  let open Ilv_engine in
+  let results, summary =
+    Engine.run ~jobs:1 ~incremental:true ~memory_abstraction
+      (engine_jobs_of d)
+  in
+  ( List.map
+      (fun (r : Engine.result) ->
+        ( r.Engine.r_port,
+          r.Engine.r_instr,
+          match r.Engine.verdict with
+          | Checker.Proved -> "proved"
+          | Checker.Failed _ -> "failed"
+          | Checker.Unknown _ -> "unknown" ))
+      results,
+    summary )
 
 (* Fraction of the design's shared-frame clauses the CNF-level pass
    (unit propagation, dedup, subsumption) removes. *)
@@ -366,10 +389,10 @@ let engine_benchmarks () =
   let open Ilv_engine in
   let suite = Catalog.quick in
   let n_par = 4 in
-  Format.printf "%-26s %6s %8s %8s %7s %8s %8s %8s %8s@." "Design" "insts"
-    "fresh s" "incr s" "reduc"
+  Format.printf "%-26s %6s %8s %8s %7s %8s %8s %8s %8s %8s %7s@." "Design"
+    "insts" "fresh s" "incr s" "reduc"
     (Printf.sprintf "-j%d s" n_par)
-    "speedup" "cold s" "warm s";
+    "speedup" "cold s" "warm s" "abs s" "refine";
   let json_rows =
     List.map
       (fun (d : Design.t) ->
@@ -394,21 +417,30 @@ let engine_benchmarks () =
         assert (warm.Engine.cache_hits = warm.Engine.n_jobs);
         ignore (Proof_cache.clear cache);
         let speedup = seq.Engine.wall_s /. Float.max 1e-9 par.Engine.wall_s in
+        (* the memory-abstraction leg: same single incremental worker,
+           CEGAR window rewrite on.  Verdicts must not move. *)
+        let r0 = Mem_abstract.total_refinements () in
+        let abs = engine_run ~memory_abstraction:true ~jobs:1 ~incremental:true d in
+        let refinements = Mem_abstract.total_refinements () - r0 in
+        assert (abs.Engine.n_proved = incr.Engine.n_proved);
+        assert (abs.Engine.n_failed = incr.Engine.n_failed);
+        assert (abs.Engine.n_unknown = incr.Engine.n_unknown);
         Format.printf
-          "%-26s %6d %8.3f %8.3f %6.1f%% %8.3f %7.1fx %8.3f %8.3f@."
+          "%-26s %6d %8.3f %8.3f %6.1f%% %8.3f %7.1fx %8.3f %8.3f %8.3f %7d@."
           d.Design.name seq.Engine.n_jobs seq.Engine.wall_s incr.Engine.wall_s
           (100.0 *. reduction) par.Engine.wall_s speedup cold.Engine.wall_s
-          warm.Engine.wall_s;
+          warm.Engine.wall_s abs.Engine.wall_s refinements;
         Printf.sprintf
           "{\"design\": %S, \"instructions\": %d, \"workers\": %d, \
            \"sequential_s\": %.4f, \"incremental_s\": %.4f, \
            \"simplify_reduction\": %.4f, \"parallel_s\": %.4f, \
            \"speedup\": %.2f, \"cold_cache_s\": %.4f, \"warm_cache_s\": \
-           %.4f, \"warm_cache_hits\": %d, \"warm_fresh_sat_attempts\": %d}"
+           %.4f, \"warm_cache_hits\": %d, \"warm_fresh_sat_attempts\": %d, \
+           \"mem_abstraction_s\": %.4f, \"refinements\": %d}"
           d.Design.name seq.Engine.n_jobs n_par seq.Engine.wall_s
           incr.Engine.wall_s reduction par.Engine.wall_s speedup
           cold.Engine.wall_s warm.Engine.wall_s warm.Engine.cache_hits
-          warm.Engine.fresh_sat_attempts)
+          warm.Engine.fresh_sat_attempts abs.Engine.wall_s refinements)
       suite
   in
   let oc = open_out "BENCH_engine.json" in
@@ -730,6 +762,53 @@ let bench_check baseline_path =
           committed measured
           (measured /. Float.max 1e-9 committed)
           (if ok then "ok" else "REGRESSED (>25%)"))
+    Catalog.quick;
+  (* every engine row must carry the memory-abstraction columns — a
+     baseline regenerated by an older harness would silently drop the
+     ablation *)
+  List.iter
+    (fun row ->
+      if Ilv_obs.Json.member "design" row <> None then
+        match
+          ( Option.bind
+              (Ilv_obs.Json.member "mem_abstraction_s" row)
+              Ilv_obs.Json.to_float,
+            Option.bind
+              (Ilv_obs.Json.member "refinements" row)
+              Ilv_obs.Json.to_int )
+        with
+        | Some t, Some r when t > 0.0 && r >= 0 -> ()
+        | _ ->
+          incr failures;
+          Format.printf "%-26s %12s %12s %8s  MISSING abstraction columns@."
+            (Option.value ~default:"?"
+               (Option.bind
+                  (Ilv_obs.Json.member "design" row)
+                  Ilv_obs.Json.to_string))
+            "-" "-" "-")
+    rows;
+  (* memory-abstraction gate: the CEGAR window rewrite must keep every
+     verdict on every quick-catalog design, and on the L2 Cache — the
+     array-heavy row the rewrite exists for — it must come back at
+     least 2x faster than the concrete incremental run.  (Timing is
+     gated only there: the other rows are small enough that their
+     ratios are scheduler noise.) *)
+  List.iter
+    (fun (d : Design.t) ->
+      let concrete_v, concrete = engine_verdicts d in
+      let abs_v, abs = engine_verdicts ~memory_abstraction:true d in
+      let t_conc = concrete.Ilv_engine.Engine.wall_s in
+      let t_abs = abs.Ilv_engine.Engine.wall_s in
+      let speedup = t_conc /. Float.max 1e-9 t_abs in
+      let ok_verdicts = abs_v = concrete_v in
+      let ok_speed = d.Design.name <> "L2 Cache" || speedup >= 2.0 in
+      if not (ok_verdicts && ok_speed) then incr failures;
+      Format.printf "%-26s %12.3f %12.3f %7.2fx  %s@."
+        ("abstraction: " ^ d.Design.name)
+        t_conc t_abs speedup
+        (if not ok_verdicts then "VERDICT MISMATCH abstract vs concrete"
+         else if not ok_speed then "ABSTRACTION SPEEDUP BELOW 2x"
+         else "ok"))
     Catalog.quick;
   (* the daemon load row: present and shaped right.  No latency gate —
      wall-clock thresholds on a shared CI box would flake; the shape

@@ -114,8 +114,27 @@ let daemon_arg =
            Unix socket $(docv) — resident shared frames and a warm memo \
            make repeat sweeps much cheaper than forking per run.  Falls \
            back to in-process solving when no daemon answers.  \
-           Counterexample traces are not transported; re-run without \
-           $(b,--daemon) to inspect one.")
+           Counterexample traces travel in the reply; the rare trace too \
+           large for the reply frame is re-derived in-process.")
+
+let mem_abs_arg =
+  let modes = [ ("auto", `Auto); ("on", `On); ("off", `Off) ] in
+  Arg.(
+    value
+    & opt (enum modes) `Auto
+    & info [ "memory-abstraction" ] ~docv:"MODE"
+        ~doc:
+          "Window-abstract memory-sorted state instead of bit-blasting \
+           every word: $(b,auto) (the default — on exactly when the design \
+           has a memory wider than the window), $(b,on), or $(b,off).  \
+           Verdicts are identical in every mode; abstract counterexamples \
+           are replayed concretely and spurious ones refine the window \
+           (CEGAR).")
+
+(* "auto" and "on" coincide in-process: the abstraction applies itself
+   only to obligation groups with a wide memory *)
+let mem_abs_enabled = function `Off -> false | `On | `Auto -> true
+let mem_abs_string = function `Off -> "off" | `On -> "on" | `Auto -> "auto"
 
 (* ---- shared observability options ---- *)
 
@@ -149,7 +168,7 @@ let open_cache ~use_cache ~cache_dir =
    enumerate the obligations as jobs, discharge on the pool, reassemble
    the standard report. *)
 let engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs ~portfolio
-    ~incremental (d : Design.t) rtl =
+    ~incremental ~memory_abstraction (d : Design.t) rtl =
   let job_list =
     Engine.jobs_of ?variant ?only_ports ~name:d.Design.name
       d.Design.module_ila rtl
@@ -157,7 +176,8 @@ let engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs ~portfolio
       ()
   in
   let results, summary =
-    Engine.run ~jobs ?cache ?timeout_s ~portfolio ~incremental job_list
+    Engine.run ~jobs ?cache ?timeout_s ~portfolio ~incremental
+      ~memory_abstraction job_list
   in
   (Engine.report_of ~name:d.Design.name ~results, summary)
 
@@ -183,6 +203,8 @@ let print_daemon_results reply =
     | _ -> []
   in
   let failed = ref 0 and unknown = ref 0 in
+  let missing = ref [] in
+  (* failed rows whose counterexample did not travel in the frame *)
   List.iter
     (fun r ->
       let s key = Option.value (Protocol.str_member key r) ~default:"" in
@@ -201,19 +223,66 @@ let print_daemon_results reply =
          else "")
         (if Json.member "cache_hit" r = Some (Json.Bool true) then " [cache]"
          else "");
-      match Protocol.str_member "reason" r with
+      (match Protocol.str_member "reason" r with
       | Some why -> Format.printf "    reason: %s@." why
-      | None -> ())
+      | None -> ());
+      if verdict = "failed" then
+        match Option.bind (Json.member "trace" r) Trace.of_json with
+        | Some tr -> Format.printf "%a@." Trace.pp tr
+        | None -> missing := (s "port", s "instr") :: !missing)
     results;
-  (!failed, !unknown)
+  (!failed, !unknown, List.rev !missing)
+
+(* A failing daemon row whose trace was omitted (too large for the
+   reply frame, or an older daemon): recover it transparently by
+   re-checking just that instruction in-process. *)
+let recheck_trace (d : Design.t) ~bug ~port_name ~instr =
+  let rtl =
+    match bug with
+    | None -> Some d.Design.rtl
+    | Some label ->
+      Option.map
+        (fun (b : Design.bug) -> b.Design.buggy_rtl)
+        (List.find_opt
+           (fun (b : Design.bug) -> b.Design.bug_label = label)
+           d.Design.bugs)
+  in
+  match rtl with
+  | None -> ()
+  | Some rtl -> (
+    match
+      List.find_opt
+        (fun (p : Ila.t) -> p.Ila.name = port_name)
+        d.Design.module_ila.Module_ila.ports
+    with
+    | None -> ()
+    | Some port -> (
+      let refmap = d.Design.refmap_for rtl port.Ila.name in
+      let pr =
+        Verify.prepare_port ~name:d.Design.name ~port ~rtl ~refmap ()
+      in
+      match Verify.check_port_instr pr instr with
+      | Checker.Failed tr, _, _ ->
+        Format.printf
+          "  (trace exceeded the reply frame; re-derived in-process)@.%a@."
+          Trace.pp tr
+      | _ ->
+        Format.printf
+          "  (trace of %s/%s exceeded the reply frame and the in-process \
+           re-check did not reproduce it)@."
+          port_name instr))
 
 (* Returns true when the daemon handled the command (this process
    should not solve anything); exits non-zero itself on verification
    failure, mirroring the in-process paths. *)
-let daemon_verify ~sock ~design ~bug ~port ~timeout_s =
+let daemon_verify ~sock ~bug ~port ~timeout_s ~mem_abs (d : Design.t) =
   let req =
     Json.Obj
-      ([ ("op", Json.String "verify"); ("design", Json.String design) ]
+      ([
+         ("op", Json.String "verify");
+         ("design", Json.String d.Design.name);
+         ("memory_abstraction", Json.String (mem_abs_string mem_abs));
+       ]
       @ (match bug with
         | Some label -> [ ("bug", Json.String label) ]
         | None -> [])
@@ -233,8 +302,11 @@ let daemon_verify ~sock ~design ~bug ~port ~timeout_s =
     prerr_endline ("daemon: " ^ Client.error_of reply);
     exit 2
   | Ok reply ->
-    Format.printf "daemon verification: %s@." design;
-    let failed, unknown = print_daemon_results reply in
+    Format.printf "daemon verification: %s@." d.Design.name;
+    let failed, unknown, missing = print_daemon_results reply in
+    List.iter
+      (fun (port_name, instr) -> recheck_trace d ~bug ~port_name ~instr)
+      missing;
     (match Json.member "summary" reply with
     | Some s ->
       let i key = Option.value (Protocol.int_member key s) ~default:0 in
@@ -255,13 +327,14 @@ let daemon_verify ~sock ~design ~bug ~port ~timeout_s =
     if not ok_outcome then exit 1;
     true
 
-let daemon_table ~sock ~designs ~timeout_s =
+let daemon_table ~sock ~designs ~timeout_s ~mem_abs =
   let req =
     Json.Obj
       ([
          ("op", Json.String "table");
          ( "designs",
            Json.List (List.map (fun n -> Json.String n) designs) );
+         ("memory_abstraction", Json.String (mem_abs_string mem_abs));
        ]
       @
       match timeout_s with
@@ -481,14 +554,14 @@ let verify_cmd =
           ~doc:"Dump the first counterexample trace as a VCD waveform.")
   in
   let run name bug port keep_going vcd jobs use_cache cache_dir portfolio
-      no_incremental timeout_s daemon trace_out metrics =
+      no_incremental timeout_s daemon mem_abs trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
+    let memory_abstraction = mem_abs_enabled mem_abs in
     let d = or_die (find_design name) in
     let handled_by_daemon =
       match daemon with
-      | Some sock ->
-        daemon_verify ~sock ~design:d.Design.name ~bug ~port ~timeout_s
+      | Some sock -> daemon_verify ~sock ~bug ~port ~timeout_s ~mem_abs d
       | None -> false
     in
     if handled_by_daemon then ()
@@ -522,7 +595,7 @@ let verify_cmd =
         in
         let report, summary =
           engine_verify ?variant ?only_ports ?cache ?timeout_s ~jobs
-            ~portfolio ~incremental d rtl
+            ~portfolio ~incremental ~memory_abstraction d rtl
         in
         Format.printf "%a@." Engine.pp_summary summary;
         report
@@ -531,10 +604,10 @@ let verify_cmd =
         match bug with
         | None ->
           Design.verify ~stop_at_first_failure:(not keep_going) ?only_ports
-            ~incremental ?timeout_s d
+            ~incremental ~memory_abstraction ?timeout_s d
         | Some label ->
           Design.verify_buggy ~stop_at_first_failure:(not keep_going)
-            ~incremental ?timeout_s d (find_bug label)
+            ~incremental ~memory_abstraction ?timeout_s d (find_bug label)
     in
     Format.printf "%a@." Verify.pp_report report;
     (match (vcd, report.Verify.first_failure) with
@@ -554,8 +627,8 @@ let verify_cmd =
     Term.(
       const run $ design_arg $ bug_arg $ port_arg $ keep_going $ vcd_arg
       $ jobs_arg $ cache_flag $ cache_dir_arg $ portfolio_arg
-      $ no_incremental_flag $ timeout_arg $ daemon_arg $ trace_out_arg
-      $ metrics_flag)
+      $ no_incremental_flag $ timeout_arg $ daemon_arg $ mem_abs_arg
+      $ trace_out_arg $ metrics_flag)
 
 (* ---- dimacs ---- *)
 
@@ -653,16 +726,17 @@ let table_cmd =
              paper's parenthesized configuration).")
   in
   let run quick jobs use_cache cache_dir portfolio no_incremental timeout_s
-      daemon trace_out metrics =
+      daemon mem_abs trace_out metrics =
     setup_obs trace_out metrics;
     let incremental = not no_incremental in
+    let memory_abstraction = mem_abs_enabled mem_abs in
     let suite = if quick then Catalog.quick else Catalog.all in
     let handled_by_daemon =
       match daemon with
       | Some sock ->
         daemon_table ~sock
           ~designs:(List.map (fun d -> d.Design.name) suite)
-          ~timeout_s
+          ~timeout_s ~mem_abs
       | None -> false
     in
     if handled_by_daemon then ()
@@ -674,9 +748,9 @@ let table_cmd =
     let verify d =
       if use_engine then
         fst
-          (engine_verify ?cache ?timeout_s ~jobs ~portfolio ~incremental d
-             d.Design.rtl)
-      else Design.verify ~incremental ?timeout_s d
+          (engine_verify ?cache ?timeout_s ~jobs ~portfolio ~incremental
+             ~memory_abstraction d d.Design.rtl)
+      else Design.verify ~incremental ~memory_abstraction ?timeout_s d
     in
     let rows = List.map (Table_one.measure ~verify) suite in
     Table_one.print_rows Format.std_formatter rows;
@@ -689,7 +763,7 @@ let table_cmd =
     Term.(
       const run $ quick $ jobs_arg $ cache_flag $ cache_dir_arg
       $ portfolio_arg $ no_incremental_flag $ timeout_arg $ daemon_arg
-      $ trace_out_arg $ metrics_flag)
+      $ mem_abs_arg $ trace_out_arg $ metrics_flag)
 
 (* ---- reach ---- *)
 

@@ -72,6 +72,25 @@ let is_deadline_reason r =
 
 let is_timeout_reason = is_deadline_reason
 
+(* Sentinel marking a spurious abstract counterexample: the SAT-model
+   hook rejected the model and (usually) refined the abstraction, so
+   the frame it was solved in is stale.  Like the deadline sentinel it
+   must survive reason wrapping, and the degradation ladder must not
+   descend on it — lower rungs would re-solve the same stale
+   abstraction instead of letting the CEGAR driver re-encode. *)
+let spurious_sentinel = "cegar-spurious:"
+
+let spurious_reason () =
+  spurious_sentinel ^ " abstract counterexample rejected; re-encode and retry"
+
+let is_spurious_reason r =
+  let m = String.length spurious_sentinel in
+  let n = String.length r in
+  let rec at i =
+    i + m <= n && (String.sub r i m = spurious_sentinel || at (i + 1))
+  in
+  at 0
+
 type stats = {
   time_s : float;
   obligation_times_s : float list;
@@ -108,6 +127,17 @@ let failed_of_model (p : Property.t) (ob : Property.obligation) model =
     (Trace.of_model ~property:p.Property.prop_name
        ~obligation:ob.Property.label ~vars
        ~ila_values:(ila_view p vars model) model)
+
+(* A SAT-model interposer (the CEGAR replay): given the property and
+   obligation indices and the raw solver model, either produce the
+   final verdict (a genuine counterexample, typically re-traced against
+   the concrete property) or return [None] — the model was spurious,
+   the abstraction was refined, and the current encoding is stale. *)
+type sat_hook =
+  prop_index:int ->
+  ob_index:int ->
+  (string -> Sort.t -> Value.t) ->
+  verdict option
 
 (* Decide one obligation, escalating the budget on [Unknown]: attempt
    [k] runs under the initial limit scaled by [escalation_factor^k].
@@ -149,9 +179,11 @@ type prepared = {
   ctx : Bitblast.t;
   hyps : (Property.obligation * Expr.t list * int list) list;
       (* obligation, prepped hypothesis exprs, their literals *)
+  pr_on_sat :
+    (ob_index:int -> (string -> Sort.t -> Value.t) -> verdict option) option;
 }
 
-let prepare ?(simplify = true) (p : Property.t) =
+let prepare ?(simplify = true) ?on_sat (p : Property.t) =
   let ctx = Bitblast.create () in
   let prep e = if simplify then Simp.simplify_fix e else e in
   List.iter (fun a -> Bitblast.assert_bool ctx (prep a)) p.Property.assumptions;
@@ -162,7 +194,7 @@ let prepare ?(simplify = true) (p : Property.t) =
         (ob, exprs, List.map (Bitblast.lit_of ctx) exprs))
       p.Property.obligations
   in
-  { prop = p; ctx; hyps }
+  { prop = p; ctx; hyps; pr_on_sat = on_sat }
 
 let cnf pr = Bitblast.cnf pr.ctx
 let hypothesis_literals pr = List.map (fun (_, _, lits) -> lits) pr.hyps
@@ -179,7 +211,7 @@ let check_prepared ?(budget = unlimited) pr =
     obligation_times := (Unix.gettimeofday () -. t0) :: !obligation_times;
     r
   in
-  let rec go unknowns = function
+  let rec go j unknowns = function
     | [] -> (
       match List.rev unknowns with
       | [] -> Proved
@@ -188,7 +220,7 @@ let check_prepared ?(budget = unlimited) pr =
     | (ob, _, _) :: rest when past_deadline budget ->
       (* the group clock ran out: no more solver calls, every remaining
          obligation degrades to a timestamped Unknown *)
-      go ((ob.Property.label, deadline_reason budget) :: unknowns) rest
+      go (j + 1) ((ob.Property.label, deadline_reason budget) :: unknowns) rest
     | (ob, hypotheses, _lits) :: rest -> (
       let span =
         if Ilv_obs.Obs.enabled () then
@@ -233,14 +265,24 @@ let check_prepared ?(budget = unlimited) pr =
             ]
           id);
       match result with
-      | Bitblast.Unsat -> go unknowns rest
+      | Bitblast.Unsat -> go (j + 1) unknowns rest
       | Bitblast.Unknown reason ->
         (* keep going: a definite failure on a later obligation is more
            informative than this obligation's timeout *)
-        go ((ob.Property.label, reason) :: unknowns) rest
-      | Bitblast.Sat model -> failed_of_model p ob model)
+        go (j + 1) ((ob.Property.label, reason) :: unknowns) rest
+      | Bitblast.Sat model -> (
+        match pr.pr_on_sat with
+        | None -> failed_of_model p ob model
+        | Some hook -> (
+          match hook ~ob_index:j model with
+          | Some verdict -> verdict
+          | None ->
+            (* spurious: the abstraction moved under this encoding; the
+               remaining obligations would solve against the same stale
+               frame, so stop and let the CEGAR driver re-encode *)
+            Unknown (spurious_reason ()))))
   in
-  let verdict = go [] pr.hyps in
+  let verdict = go 0 [] pr.hyps in
   let cnf_vars, cnf_clauses = Bitblast.cnf_size pr.ctx in
   let solver_stats = Bitblast.solver_stats pr.ctx in
   let obligation_times_s = List.rev !obligation_times in
@@ -261,8 +303,8 @@ let check_prepared ?(budget = unlimited) pr =
   in
   (verdict, stats)
 
-let check ?simplify ?budget (p : Property.t) =
-  check_prepared ?budget (prepare ?simplify p)
+let check ?simplify ?on_sat ?budget (p : Property.t) =
+  check_prepared ?budget (prepare ?simplify ?on_sat p)
 
 (* --- shared-frame incremental checking --- *)
 
@@ -299,9 +341,10 @@ type shared = {
   mutable sh_frozen : ((int * int list list) * int list list array) option;
       (* canonical frame CNF + per-property selector lists, built on a
          throwaway context so the live solver can stay lazy *)
+  sh_on_sat : sat_hook option;
 }
 
-let prepare_shared ?(simplify = true) ?(label = "") props =
+let prepare_shared ?(simplify = true) ?(label = "") ?on_sat props =
   let n = List.length props in
   {
     sh_props = Array.of_list props;
@@ -313,7 +356,11 @@ let prepare_shared ?(simplify = true) ?(label = "") props =
     sh_simplified = false;
     sh_removed = 0;
     sh_frozen = None;
+    sh_on_sat = on_sat;
   }
+
+let shared_has_hook sh = sh.sh_on_sat <> None
+let prepared_has_hook pr = pr.pr_on_sat <> None
 
 let shared_count sh = Array.length sh.sh_props
 let shared_property sh idx = sh.sh_props.(idx)
@@ -535,7 +582,7 @@ let check_shared ?(budget = unlimited) sh idx =
       r
     in
     let retire so = Bitblast.retire sh.sh_ctx so.so_act in
-    let rec go unknowns = function
+    let rec go j unknowns = function
       | [] -> (
         match List.rev unknowns with
         | [] -> Proved
@@ -545,7 +592,8 @@ let check_shared ?(budget = unlimited) sh idx =
         (* decided by the clock, not the solver; retire the cone so the
            shared frame stays lean for whoever queries next *)
         retire so;
-        go ((so.so_ob.Property.label, deadline_reason budget) :: unknowns)
+        go (j + 1)
+          ((so.so_ob.Property.label, deadline_reason budget) :: unknowns)
           rest
       | so :: rest -> (
         let ob = so.so_ob in
@@ -597,19 +645,30 @@ let check_shared ?(budget = unlimited) sh idx =
         match result with
         | Bitblast.Unsat ->
           retire so;
-          go unknowns rest
+          go (j + 1) unknowns rest
         | Bitblast.Unknown reason ->
           retire so;
-          go ((ob.Property.label, reason) :: unknowns) rest
-        | Bitblast.Sat model ->
+          go (j + 1) ((ob.Property.label, reason) :: unknowns) rest
+        | Bitblast.Sat model -> (
           (* decode before retiring: retiring adds a clause, which
              invalidates the model *)
-          let verdict = failed_of_model p ob model in
-          retire so;
-          List.iter retire rest;
-          verdict)
+          let disposition =
+            match sh.sh_on_sat with
+            | None -> Some (failed_of_model p ob model)
+            | Some hook -> hook ~prop_index:idx ~ob_index:j model
+          in
+          match disposition with
+          | Some verdict ->
+            retire so;
+            List.iter retire rest;
+            verdict
+          | None ->
+            (* spurious: the hook refined the abstraction, making this
+               whole frame stale.  Retire nothing — the caller discards
+               the context and re-prepares from the refined window. *)
+            Unknown (spurious_reason ())))
     in
-    let verdict = go [] obs in
+    let verdict = go 0 [] obs in
     (* the whole property is decided: retire its assumption cone too,
        then shed every clause the retire units satisfy — the guarded
        cones and any learnt clause mentioning a retired activation
@@ -706,35 +765,49 @@ let tightened (b : budget) : budget =
    scratch, so an exception that poisoned the shared encoding resurfaces
    here; it must map to [Unknown], not propagate — the ladder's whole
    point is that one property's trouble never aborts the sweep. *)
-let check_fresh ~budget ~simplify p =
-  match check ~simplify ~budget p with
+let check_fresh ?on_sat ~budget ~simplify p =
+  match check ~simplify ?on_sat ~budget p with
   | r -> r
   | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
   | exception e -> (Unknown ("exception: " ^ Printexc.to_string e), zero_stats p)
 
 let check_shared_degrading ?(budget = unlimited) sh idx =
   let p = sh.sh_props.(idx) in
+  (* the ladder's fresh rungs re-solve the same (possibly abstract)
+     property, so the SAT-model hook must ride along or a spurious
+     abstract model would masquerade as a genuine failure *)
+  let on_sat =
+    Option.map (fun hook -> hook ~prop_index:idx) sh.sh_on_sat
+  in
   let v1, s1 = check_shared ~budget sh idx in
   match v1 with
   | Proved | Failed _ -> (v1, s1, "incremental")
   | Unknown r1 when is_deadline_reason r1 ->
     (* the group deadline passed; lower rungs face the same wall *)
     (v1, s1, "incremental")
+  | Unknown r1 when is_spurious_reason r1 ->
+    (* the abstraction was refined: the whole frame is stale, so the
+       lower rungs would also solve a stale encoding — return to the
+       CEGAR driver, which re-prepares and retries *)
+    (v1, s1, "incremental")
   | Unknown r1 -> (
     degrade_event p ~from_rung:"incremental" ~to_rung:"fresh" ~reason:r1;
-    let v2, s2 = check_fresh ~budget ~simplify:sh.sh_simplify p in
+    let v2, s2 = check_fresh ?on_sat ~budget ~simplify:sh.sh_simplify p in
     let s12 = merge_stats s1 s2 in
     match v2 with
     | Proved | Failed _ -> (v2, s12, "fresh")
-    | Unknown r2 when is_deadline_reason r2 -> (v2, s12, "fresh")
+    | Unknown r2 when is_deadline_reason r2 || is_spurious_reason r2 ->
+      (v2, s12, "fresh")
     | Unknown r2 -> (
       degrade_event p ~from_rung:"fresh" ~to_rung:"tightened" ~reason:r2;
       let v3, s3 =
-        check_fresh ~budget:(tightened budget) ~simplify:sh.sh_simplify p
+        check_fresh ?on_sat ~budget:(tightened budget)
+          ~simplify:sh.sh_simplify p
       in
       let s123 = merge_stats s12 s3 in
       match v3 with
       | Proved | Failed _ -> (v3, s123, "tightened")
+      | Unknown r3 when is_spurious_reason r3 -> (v3, s123, "tightened")
       | Unknown r3 ->
         degrade_event p ~from_rung:"tightened" ~to_rung:"unknown" ~reason:r3;
         ( Unknown

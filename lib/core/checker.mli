@@ -82,6 +82,37 @@ val is_timeout_reason : string -> bool
 (** Deprecated alias of {!is_deadline_reason}, kept for callers written
     against the old (substring-["timeout:"]) marker. *)
 
+val spurious_sentinel : string
+(** The structured marker (["cegar-spurious:"]) stamped onto the unknown
+    produced when a SAT-model hook rejects an abstract counterexample:
+    the abstraction was refined and the encoding the model came from is
+    stale.  CEGAR drivers ({!Ilv_core.Mem_abstract}, {!Verify}) catch
+    it, re-encode and retry; it must never surface as a final verdict. *)
+
+val spurious_reason : unit -> string
+
+val is_spurious_reason : string -> bool
+(** True when {!spurious_sentinel} appears anywhere in the reason
+    (reasons get wrapped in context, like the deadline sentinel).  The
+    degradation ladder short-circuits on it: lower rungs would re-solve
+    the same stale abstraction. *)
+
+(** {1 SAT-model hooks (CEGAR)} *)
+
+type sat_hook =
+  prop_index:int ->
+  ob_index:int ->
+  (string -> Ilv_expr.Sort.t -> Ilv_expr.Value.t) ->
+  verdict option
+(** Interposes on satisfying models before they become [Failed]
+    verdicts.  [Some v] is the final verdict for that obligation (a
+    genuine counterexample, typically re-traced against a concrete
+    property); [None] declares the model spurious — the hook refined
+    its abstraction, the current encoding is stale, and checking stops
+    with a {!spurious_sentinel} unknown for the caller to re-encode.
+    The model closure reads the live solver assignment: hooks must
+    consume it before returning. *)
+
 type stats = {
   time_s : float;
       (** summed wall clock over the obligations actually checked —
@@ -97,8 +128,29 @@ type stats = {
   attempts : int;  (** SAT queries issued, counting escalation retries *)
 }
 
+val zero_stats : Property.t -> stats
+(** All-zero stats for a property (used when no solver ran). *)
+
+val merge_stats : stats -> stats -> stats
+(** Accumulates stats across retries/rungs: wall clock, conflicts and
+    attempts sum; CNF sizes take the maximum. *)
+
+val check_fresh :
+  ?on_sat:(ob_index:int -> (string -> Ilv_expr.Sort.t -> Ilv_expr.Value.t) -> verdict option) ->
+  budget:budget ->
+  simplify:bool ->
+  Property.t ->
+  verdict * stats
+(** {!check} with exceptions mapped to [Unknown] — the exception-safe
+    single-property retry used by the degradation ladder and the CEGAR
+    drivers' concrete fallback. *)
+
 val check :
-  ?simplify:bool -> ?budget:budget -> Property.t -> verdict * stats
+  ?simplify:bool ->
+  ?on_sat:(ob_index:int -> (string -> Ilv_expr.Sort.t -> Ilv_expr.Value.t) -> verdict option) ->
+  ?budget:budget ->
+  Property.t ->
+  verdict * stats
 (** Checks obligations in order; stops at the first failure.  An
     obligation that exhausts its (escalated) budget yields [Unknown],
     but later obligations are still checked — a definite [Failed] wins
@@ -121,10 +173,21 @@ val check :
 
 type prepared
 
-val prepare : ?simplify:bool -> Property.t -> prepared
+val prepare :
+  ?simplify:bool ->
+  ?on_sat:(ob_index:int -> (string -> Ilv_expr.Sort.t -> Ilv_expr.Value.t) -> verdict option) ->
+  Property.t ->
+  prepared
 (** Bit-blasts the whole property into one incremental context.  After
     this call the CNF is complete and stable: further solving only adds
-    learnt clauses, never problem clauses. *)
+    learnt clauses, never problem clauses.  [on_sat] is the {!sat_hook}
+    with the property index pre-applied (a prepared context holds one
+    property). *)
+
+val prepared_has_hook : prepared -> bool
+(** True when a SAT-model hook is installed — decision procedures that
+    cannot run the hook (the BDD leg, forked race legs) must not decide
+    such a preparation. *)
 
 val check_prepared : ?budget:budget -> prepared -> verdict * stats
 
@@ -165,12 +228,22 @@ val cnf_size : prepared -> int * int
 type shared
 
 val prepare_shared :
-  ?simplify:bool -> ?label:string -> Property.t list -> shared
+  ?simplify:bool ->
+  ?label:string ->
+  ?on_sat:sat_hook ->
+  Property.t list ->
+  shared
 (** Creates the shared context.  [simplify] (default true) applies
     both the word-level simplifier to every formula and, once per
     context, the solver's CNF-level pass ({!Ilv_sat.Sat.simplify}).
     [label] names the frame in observability output (the design, or
-    design/port, it belongs to). *)
+    design/port, it belongs to).  [on_sat] interposes on every
+    satisfying model (see {!sat_hook}); it also rides along the
+    degradation ladder's fresh rungs. *)
+
+val shared_has_hook : shared -> bool
+(** True when a SAT-model hook is installed (see
+    {!prepared_has_hook}). *)
 
 val shared_count : shared -> int
 

@@ -67,6 +67,149 @@ let of_model ~property ~obligation ~vars ?(ila_values = []) model =
     cycles;
   }
 
+(* ---- wire form ----
+
+   The daemon replies carry failing traces as JSON; the encoding must
+   round-trip every [Value.t] exactly, so bitvectors travel in their
+   [Bitvec.to_string] form ("0xff:8" — width-carrying, re-parseable
+   with [Bitvec.of_string]) and memories as default + sparse assoc. *)
+
+module Json = Ilv_obs.Json
+
+let value_to_json = function
+  | Value.V_bool b -> Json.Obj [ ("bool", Json.Bool b) ]
+  | Value.V_bv v -> Json.Obj [ ("bv", Json.String (Bitvec.to_string v)) ]
+  | Value.V_mem m ->
+    Json.Obj
+      [
+        ( "mem",
+          Json.Obj
+            [
+              ("addr_width", Json.Int m.Value.addr_width);
+              ("default", Json.String (Bitvec.to_string m.Value.default));
+              ( "assoc",
+                Json.List
+                  (List.map
+                     (fun (a, d) ->
+                       Json.Obj
+                         [
+                           ("addr", Json.Int a);
+                           ("data", Json.String (Bitvec.to_string d));
+                         ])
+                     (Value.Int_map.bindings m.Value.assoc)) );
+            ] );
+      ]
+
+let bindings_to_json vars =
+  Json.List
+    (List.map
+       (fun (n, v) ->
+         Json.Obj [ ("name", Json.String n); ("value", value_to_json v) ])
+       vars)
+
+let to_json t =
+  Json.Obj
+    [
+      ("property", Json.String t.property);
+      ("obligation", Json.String t.obligation);
+      ("ila_vars", bindings_to_json t.ila_vars);
+      ( "cycles",
+        Json.List
+          (List.map
+             (fun (c, vars) ->
+               Json.Obj
+                 [ ("cycle", Json.Int c); ("vars", bindings_to_json vars) ])
+             t.cycles) );
+    ]
+
+(* decoding is all-or-nothing: a reply frame either yields the exact
+   trace or [None], never a partially reconstructed one *)
+
+let ( let* ) = Option.bind
+
+let bv_of_json j =
+  let* s = Json.to_string j in
+  match Bitvec.of_string s with
+  | v -> Some v
+  | exception Invalid_argument _ -> None
+
+let value_of_json j =
+  match (Json.member "bool" j, Json.member "bv" j, Json.member "mem" j) with
+  | Some (Json.Bool b), _, _ -> Some (Value.V_bool b)
+  | _, Some bv, _ ->
+    let* v = bv_of_json bv in
+    Some (Value.V_bv v)
+  | _, _, Some mj ->
+    let* addr_width = Option.bind (Json.member "addr_width" mj) Json.to_int in
+    let* default = Option.bind (Json.member "default" mj) bv_of_json in
+    let* entries =
+      match Json.member "assoc" mj with Some (Json.List es) -> Some es | _ -> None
+    in
+    let* assoc =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* a = Option.bind (Json.member "addr" e) Json.to_int in
+          let* d = Option.bind (Json.member "data" e) bv_of_json in
+          Some (Value.Int_map.add a d acc))
+        (Some Value.Int_map.empty) entries
+    in
+    Some
+      (Value.V_mem
+         {
+           Value.addr_width;
+           data_width = Bitvec.width default;
+           default;
+           assoc;
+         })
+  | _ -> None
+
+let bindings_of_json = function
+  | Json.List bs ->
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        let* n = Option.bind (Json.member "name" b) Json.to_string in
+        let* v = Option.bind (Json.member "value" b) value_of_json in
+        Some ((n, v) :: acc))
+      (Some []) bs
+    |> Option.map List.rev
+  | _ -> None
+
+let of_json j =
+  let* property = Option.bind (Json.member "property" j) Json.to_string in
+  let* obligation = Option.bind (Json.member "obligation" j) Json.to_string in
+  let* ila_vars = Option.bind (Json.member "ila_vars" j) bindings_of_json in
+  let* cycles =
+    match Json.member "cycles" j with
+    | Some (Json.List cs) ->
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          let* n = Option.bind (Json.member "cycle" c) Json.to_int in
+          let* vars = Option.bind (Json.member "vars" c) bindings_of_json in
+          Some ((n, vars) :: acc))
+        (Some []) cs
+      |> Option.map List.rev
+    | _ -> None
+  in
+  Some { property; obligation; ila_vars; cycles }
+
+let equal a b =
+  let vars_equal xs ys =
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (n, v) (n', v') -> String.equal n n' && Value.equal v v')
+         xs ys
+  in
+  String.equal a.property b.property
+  && String.equal a.obligation b.obligation
+  && vars_equal a.ila_vars b.ila_vars
+  && List.length a.cycles = List.length b.cycles
+  && List.for_all2
+       (fun (c, xs) (c', ys) -> c = c' && vars_equal xs ys)
+       a.cycles b.cycles
+
 let pp_value fmt v =
   match v with
   | Value.V_mem m when Value.Int_map.is_empty m.Value.assoc ->

@@ -26,6 +26,20 @@ val of_model :
     and [rtl.…@c] namespaces.  [ila_values] supplies the reconstructed
     ILA view when the generator substituted the ILA variables away. *)
 
+val to_json : t -> Ilv_obs.Json.t
+(** Wire form of a trace: every value round-trips exactly (bitvectors
+    in their width-carrying ["0xff:8"] form, memories as default plus
+    sparse assoc).  The daemon embeds this in failing verify-reply
+    rows; {!of_json} inverts it. *)
+
+val of_json : Ilv_obs.Json.t -> t option
+(** [None] on any malformed field — decoding is all-or-nothing, never a
+    partially reconstructed trace. *)
+
+val equal : t -> t -> bool
+(** Structural equality (values compared with
+    {!Ilv_expr.Value.equal}) — what the round-trip tests check. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_vcd : t -> string

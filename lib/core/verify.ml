@@ -73,14 +73,35 @@ let message_of_exn = function
 
 type prepared_port = {
   pp_port : Ila.t;
-  pp_shared : Checker.shared;
+  mutable pp_shared : Checker.shared;
+      (* rebuilt (with a grown window) after a CEGAR refinement *)
   pp_slots : (string, (int, string) result) Hashtbl.t;
       (* instruction name -> property index in [pp_shared], or the
          generation error that made it uncheckable *)
   pp_instrs : Ila.instruction list;
+  pp_concrete : Property.t list;  (* slot-ordered concrete properties *)
+  pp_abstraction : Mem_abstract.t option;
+  pp_label : string;
+  pp_simplify : bool option;
+  mutable pp_frame_gen : int;
+      (* abstraction generation [pp_shared] was built from *)
+  mutable pp_generation : int;
+      (* frame rebuild counter: long-lived callers (the daemon) key
+         cached frame digests on it *)
 }
 
-let prepare_port ?simplify ~name ~port ~rtl ~refmap () =
+(* The shared frame: concrete properties directly, or their
+   memory-abstracted rewrite with the CEGAR replay hook installed. *)
+let make_shared ~simplify ~label ~abstraction concrete =
+  match abstraction with
+  | None -> Checker.prepare_shared ?simplify ~label concrete
+  | Some ab ->
+    Checker.prepare_shared ?simplify ~label
+      ~on_sat:(Mem_abstract.hook ab)
+      (Array.to_list (Mem_abstract.abstract_properties ab))
+
+let prepare_port ?simplify ?(memory_abstraction = false) ~name ~port ~rtl
+    ~refmap () =
   let instrs = Ila.leaf_instructions port in
   let gens =
     List.map
@@ -90,11 +111,12 @@ let prepare_port ?simplify ~name ~port ~rtl ~refmap () =
           with e -> Error (message_of_exn e) ))
       instrs
   in
-  let sh =
-    Checker.prepare_shared ?simplify
-      ~label:(name ^ "/" ^ port.Ila.name)
-      (List.filter_map (fun (_, g) -> Result.to_option g) gens)
+  let label = name ^ "/" ^ port.Ila.name in
+  let concrete = List.filter_map (fun (_, g) -> Result.to_option g) gens in
+  let abstraction =
+    if memory_abstraction then Mem_abstract.create ~label concrete else None
   in
+  let sh = make_shared ~simplify ~label ~abstraction concrete in
   let slots = Hashtbl.create 16 in
   let next = ref 0 in
   List.iter
@@ -105,25 +127,98 @@ let prepare_port ?simplify ~name ~port ~rtl ~refmap () =
         incr next
       | Error msg -> Hashtbl.replace slots instr_name (Error msg))
     gens;
-  { pp_port = port; pp_shared = sh; pp_slots = slots; pp_instrs = instrs }
+  {
+    pp_port = port;
+    pp_shared = sh;
+    pp_slots = slots;
+    pp_instrs = instrs;
+    pp_concrete = concrete;
+    pp_abstraction = abstraction;
+    pp_label = label;
+    pp_simplify = simplify;
+    pp_frame_gen =
+      (match abstraction with
+      | Some ab -> Mem_abstract.generation ab
+      | None -> 0);
+    pp_generation = 0;
+  }
 
 let prepared_port_name pr = pr.pp_port.Ila.name
 let prepared_instrs pr = List.map (fun i -> i.Ila.instr_name) pr.pp_instrs
 let prepared_shared pr = pr.pp_shared
+let prepared_abstraction pr = pr.pp_abstraction
+let frame_generation pr = pr.pp_generation
 
 let prepared_slot pr instr_name =
   match Hashtbl.find_opt pr.pp_slots instr_name with
   | Some r -> r
   | None -> Error "instruction not prepared"
 
+(* Refinement ceiling per instruction: each round adds at least one
+   concrete address, so this only trips on pathological window churn —
+   the concrete fallback then still produces a definite verdict. *)
+let max_cegar_rounds = 16
+
+let rebuild_frame pr =
+  pr.pp_shared <-
+    make_shared ~simplify:pr.pp_simplify ~label:pr.pp_label
+      ~abstraction:pr.pp_abstraction pr.pp_concrete;
+  pr.pp_frame_gen <-
+    (match pr.pp_abstraction with
+    | Some ab -> Mem_abstract.generation ab
+    | None -> 0);
+  pr.pp_generation <- pr.pp_generation + 1
+
 let check_port_instr ?budget pr instr_name =
   match prepared_slot pr instr_name with
   | Ok idx -> (
     (* the ladder: incremental -> fresh -> tightened -> Unknown, each
-       demotion observable *)
-    try Checker.check_shared_degrading ?budget pr.pp_shared idx
-    with e ->
-      (Checker.Unknown ("exception: " ^ message_of_exn e), empty_stats, "error"))
+       demotion observable; with the memory abstraction active, a
+       spurious-counterexample unknown re-encodes the refined window
+       and retries (CEGAR), falling back to the concrete encoding when
+       refinement stalls *)
+    let ladder () =
+      try Checker.check_shared_degrading ?budget pr.pp_shared idx
+      with e ->
+        ( Checker.Unknown ("exception: " ^ message_of_exn e),
+          empty_stats,
+          "error" )
+    in
+    let concrete_fallback stats_acc =
+      match List.nth_opt pr.pp_concrete idx with
+      | None ->
+        ( Checker.Unknown "exception: no concrete property for slot",
+          stats_acc,
+          "error" )
+      | Some p ->
+        let v, s =
+          Checker.check_fresh
+            ~budget:(Option.value budget ~default:Checker.unlimited)
+            ~simplify:(Option.value pr.pp_simplify ~default:true)
+            p
+        in
+        (v, Checker.merge_stats stats_acc s, "abstract>concrete")
+    in
+    let rec attempt round stats_acc =
+      let v, s, rung = ladder () in
+      let stats_acc = Checker.merge_stats stats_acc s in
+      match (v, pr.pp_abstraction) with
+      | Checker.Unknown r, Some ab when Checker.is_spurious_reason r ->
+        if Mem_abstract.generation ab > pr.pp_frame_gen
+           && round < max_cegar_rounds
+        then begin
+          rebuild_frame pr;
+          attempt (round + 1) stats_acc
+        end
+        else concrete_fallback stats_acc
+      | _, Some _ ->
+        let tag = if round = 0 then "+abstract" else
+            Printf.sprintf "+cegar%d" round
+        in
+        (v, stats_acc, rung ^ tag)
+      | _, None -> (v, stats_acc, rung)
+    in
+    attempt 0 empty_stats)
   | Error msg ->
     (Checker.Unknown ("exception: " ^ msg), empty_stats, "error")
 
@@ -146,7 +241,8 @@ let enumerate ?only_ports (module_ila : Module_ila.t) =
     selected
 
 let run ?(stop_at_first_failure = true) ?only_ports ?budget ?timeout_s
-    ?(incremental = true) ~name module_ila rtl ~refmap_for =
+    ?(incremental = true) ?(memory_abstraction = false) ~name module_ila rtl
+    ~refmap_for =
   let t0 = Unix.gettimeofday () in
   let first_failure = ref None in
   let selected =
@@ -186,7 +282,7 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ?timeout_s
           match refmap with
           | Error _ -> None
           | Ok refmap when incremental ->
-            let pr = prepare_port ~name ~port ~rtl ~refmap () in
+            let pr = prepare_port ~memory_abstraction ~name ~port ~rtl ~refmap () in
             Some
               (fun (i : Ila.instruction) ->
                 check_port_instr ?budget pr i.Ila.instr_name)
@@ -203,8 +299,11 @@ let run ?(stop_at_first_failure = true) ?only_ports ?budget ?timeout_s
           | None -> (
             try
               let property = Propgen.generate_for ~ila:port ~rtl ~refmap i in
-              let v, s = Checker.check ?budget property in
-              (v, s, "fresh")
+              if memory_abstraction then
+                Mem_abstract.check_property ?budget property
+              else
+                let v, s = Checker.check ?budget property in
+                (v, s, "fresh")
             with e ->
               ( Checker.Unknown ("exception: " ^ message_of_exn e),
                 empty_stats,

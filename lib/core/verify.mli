@@ -59,6 +59,7 @@ type prepared_port
 
 val prepare_port :
   ?simplify:bool ->
+  ?memory_abstraction:bool ->
   name:string ->
   port:Ila.t ->
   rtl:Ilv_rtl.Rtl.t ->
@@ -68,7 +69,14 @@ val prepare_port :
 (** Generates every leaf instruction's property and prepares the shared
     context (labelled [name/port] in observability output).  A property
     whose generation raises poisons only its own instruction — checking
-    it yields [Unknown "exception: ..."], the others are unaffected. *)
+    it yields [Unknown "exception: ..."], the others are unaffected.
+
+    With [memory_abstraction:true] (default false) and at least one
+    memory-sorted state variable in the generated properties, the
+    shared context encodes the {!Mem_abstract} rewrite of the group
+    instead of the concrete properties; SAT models are replayed
+    concretely and refine the window ({!check_port_instr} drives the
+    CEGAR loop).  Memory-free groups are unaffected. *)
 
 val prepared_port_name : prepared_port -> string
 
@@ -77,7 +85,18 @@ val prepared_instrs : prepared_port -> string list
 
 val prepared_shared : prepared_port -> Checker.shared
 (** The underlying shared context — exposed for callers that need the
-    frozen frame CNF and selectors (proof-cache keying). *)
+    frozen frame CNF and selectors (proof-cache keying).  Under the
+    memory abstraction this frame is {e replaced} after a CEGAR
+    refinement; key any cached digest on {!frame_generation}. *)
+
+val prepared_abstraction : prepared_port -> Mem_abstract.t option
+(** The memory-abstraction state, when [prepare_port] was called with
+    [memory_abstraction:true] and the group mentions a memory. *)
+
+val frame_generation : prepared_port -> int
+(** Bumped every time a CEGAR refinement rebuilds the shared frame;
+    starts at 0.  Long-lived callers (the daemon) that cache anything
+    derived from {!prepared_shared} must invalidate when this moves. *)
 
 val prepared_slot : prepared_port -> string -> (int, string) result
 (** The property index of an instruction in {!prepared_shared}'s
@@ -93,7 +112,16 @@ val check_port_instr :
     degradation ladder ({!Checker.check_shared_degrading}); the string
     names the ladder rung that produced the verdict.  Exceptions and
     unknown instruction names degrade to [Unknown "exception: ..."]
-    with rung ["error"] — never an escaping exception. *)
+    with rung ["error"] — never an escaping exception.
+
+    When the port was prepared with the memory abstraction, this also
+    drives the CEGAR loop: a spurious abstract counterexample refines
+    the window, rebuilds the shared frame and retries (rung suffixed
+    ["+cegarN"]); if refinement stalls or exceeds its round ceiling the
+    instruction's {e concrete} property is decided with a fresh solver
+    (rung ["abstract>concrete"]).  Verdicts are always concrete-valid:
+    [Failed] traces come from concrete replay, [Proved] from the sound
+    UNSAT direction of the abstraction. *)
 
 type task = { task_port : Ila.t; task_instr : Ila.instruction }
 (** One refinement obligation, as data: a leaf (sub-)instruction of one
@@ -111,6 +139,7 @@ val run :
   ?budget:Checker.budget ->
   ?timeout_s:float ->
   ?incremental:bool ->
+  ?memory_abstraction:bool ->
   name:string ->
   Module_ila.t ->
   Ilv_rtl.Rtl.t ->
@@ -142,6 +171,12 @@ val run :
     accepted.  [incremental:false] restores the
     fresh-solver-per-instruction behavior; the verdicts are the same
     either way (only [Unknown] cutoff points can differ under a
-    {!Checker.budget}). *)
+    {!Checker.budget}).
+
+    [memory_abstraction] (default false) checks memory-mentioning
+    properties through the {!Mem_abstract} window encoding with CEGAR
+    refinement instead of bit-blasting whole arrays; verdicts are
+    unchanged (abstract proofs are sound, counterexamples are replayed
+    concretely), only speed differs on array-heavy designs. *)
 
 val pp_report : Format.formatter -> report -> unit

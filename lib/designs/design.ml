@@ -28,9 +28,10 @@ let class_to_string = function
   | Multi_port_independent -> "multi-port, no shared states"
   | Multi_port_shared -> "multi-port, shared states"
 
-let verify ?stop_at_first_failure ?only_ports ?incremental ?timeout_s d =
+let verify ?stop_at_first_failure ?only_ports ?incremental ?timeout_s
+    ?memory_abstraction d =
   Verify.run ?stop_at_first_failure ?only_ports ?incremental ?timeout_s
-    ~name:d.name d.module_ila d.rtl
+    ?memory_abstraction ~name:d.name d.module_ila d.rtl
     ~refmap_for:(d.refmap_for d.rtl)
 
 let check_invariants d =
@@ -45,8 +46,10 @@ let check_invariants d =
             Invariant.check_inductive ~rtl:d.rtl invs ))
     d.module_ila.Module_ila.ports
 
-let verify_buggy ?stop_at_first_failure ?incremental ?timeout_s d bug =
+let verify_buggy ?stop_at_first_failure ?incremental ?timeout_s
+    ?memory_abstraction d bug =
   Verify.run ?stop_at_first_failure ?incremental ?timeout_s
+    ?memory_abstraction
     ~name:(d.name ^ " [" ^ bug.bug_label ^ "]")
     d.module_ila bug.buggy_rtl
     ~refmap_for:(d.refmap_for bug.buggy_rtl)

@@ -39,16 +39,20 @@ val verify :
   ?only_ports:string list ->
   ?incremental:bool ->
   ?timeout_s:float ->
+  ?memory_abstraction:bool ->
   t ->
   Verify.report
 (** Verifies the golden RTL against the module-ILA.  [incremental]
     (default true) is {!Verify.run}'s shared-solver mode; [timeout_s]
-    its per-port wall-clock deadline (default unlimited). *)
+    its per-port wall-clock deadline (default unlimited);
+    [memory_abstraction] (default false) its CEGAR window encoding for
+    memory-sorted state ({!Ilv_core.Mem_abstract}). *)
 
 val verify_buggy :
   ?stop_at_first_failure:bool ->
   ?incremental:bool ->
   ?timeout_s:float ->
+  ?memory_abstraction:bool ->
   t ->
   bug ->
   Verify.report

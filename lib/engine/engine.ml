@@ -123,11 +123,69 @@ let deadlined ~timeout_s budget =
 (* Discharge one job: generate + prepare the property, try the cache,
    then the portfolio; store definitive fresh verdicts.  Any exception
    becomes this job's [Unknown] — never the sweep's. *)
-let discharge ~cache ~portfolio ~budget (j : job) =
+
+(* Abstraction-path fresh discharge.  The cache key comes from the
+   generation-0 abstract encoding — deterministic however the CEGAR
+   loop unfolds — and an entry is only stored when generation 0 itself
+   decided the verdict (rung "abstract"), so the stored CNF re-solves
+   to the stored verdict shape under [Proof_cache.validate]. *)
+let discharge_abstract ~cache ~budget (j : job) (t : Mem_abstract.t) =
+  let t0 = Unix.gettimeofday () in
+  let p = (Mem_abstract.concrete_properties t).(0) in
+  let snapshot =
+    match cache with
+    | None -> None
+    | Some _ ->
+      let pr0 = Checker.prepare (Mem_abstract.abstract_properties t).(0) in
+      let n_vars, clauses = Checker.cnf pr0 in
+      let hyps = Checker.hypothesis_literals pr0 in
+      Some
+        ( Proof_cache.key_of_cnf ~mode:"abstract" ~n_vars ~clauses ~hyps (),
+          Proof_cache.canonical_cnf (n_vars, clauses),
+          hyps )
+  in
+  let cached =
+    match (cache, snapshot) with
+    | Some c, Some (key, _, _) ->
+      Option.map (fun e -> (key, e)) (Proof_cache.lookup c key)
+    | _ -> None
+  in
+  match cached with
+  | Some (_, (e : Proof_cache.entry)) ->
+    result_of_job j ~verdict:e.Proof_cache.verdict ~stats:e.Proof_cache.stats
+      ~time_s:(Unix.gettimeofday () -. t0)
+      ~backend:"cache" ~cache_hit:true
+  | None ->
+    let verdict, stats, backend = Mem_abstract.check_property ?budget p in
+    (match (cache, snapshot, backend) with
+    | Some c, Some (key, cnf, hyps), "abstract" ->
+      Proof_cache.store c
+        {
+          Proof_cache.key;
+          engine_version = Proof_cache.version;
+          design = j.design;
+          instr = j.port ^ "." ^ j.instr;
+          verdict;
+          stats;
+          cnf;
+          hyps;
+          created_s = Unix.gettimeofday ();
+        }
+    | _ -> ());
+    result_of_job j ~verdict ~stats
+      ~time_s:(Unix.gettimeofday () -. t0)
+      ~backend ~cache_hit:false
+
+let discharge ~cache ~portfolio ~budget ~memory_abstraction (j : job) =
   chaos_kill_point j;
   let t0 = Unix.gettimeofday () in
   try
     let p = Lazy.force j.property in
+    match
+      if memory_abstraction then Mem_abstract.create [ p ] else None
+    with
+    | Some t -> discharge_abstract ~cache ~budget j t
+    | None ->
     let pr = Checker.prepare p in
     (* Snapshot the proof problem before any solving: the solver appends
        learned clauses to the context's CNF, so a key computed afterwards
@@ -139,7 +197,7 @@ let discharge ~cache ~portfolio ~budget (j : job) =
         let n_vars, clauses = Checker.cnf pr in
         let hyps = Checker.hypothesis_literals pr in
         Some
-          ( Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps,
+          ( Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps (),
             Proof_cache.canonical_cnf (n_vars, clauses),
             hyps )
     in
@@ -193,12 +251,26 @@ let discharge ~cache ~portfolio ~budget (j : job) =
    serves instead of one [prepare] per job. *)
 
 type shared_state = {
-  st_sh : Checker.shared;
+  mutable st_sh : Checker.shared;
+      (** replaced (re-encoded with a grown window) after a CEGAR
+          refinement *)
   st_slots : (int, (int, string) Stdlib.result) Hashtbl.t;
       (** job id -> index into the shared context, or the
           property-generation error *)
-  st_frame : string Lazy.t;  (** frame digest (forces the freeze) *)
-  st_canonical : (int * int list list) Lazy.t;
+  mutable st_frame : string Lazy.t;
+      (** digest of the {e current} frame (forces the freeze) *)
+  mutable st_canonical : (int * int list list) Lazy.t;
+  st_key_frame : string Lazy.t;
+      (** digest of the {e generation-0} frame — cache keys come from
+          here so they are deterministic regardless of how (or whether)
+          CEGAR refined the window during a particular sweep *)
+  st_key_selectors : int -> int list list;
+      (** generation-0 selectors, same determinism argument *)
+  st_ab : Mem_abstract.t option;
+  st_concrete : (int, Property.t) Hashtbl.t;
+      (** slot index -> concrete property, for the CEGAR fallback *)
+  mutable st_gen : int;
+      (** abstraction generation [st_sh] was built from *)
 }
 
 (* Group jobs by (design, variant, port), preserving first-appearance
@@ -227,7 +299,27 @@ let group_jobs job_list =
     job_list;
   List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
 
-let init_group group =
+(* The group's shared frame: concrete properties directly, or their
+   memory-abstracted rewrite with the CEGAR replay hook installed
+   (mirrors [Verify.prepare_port]). *)
+let group_shared ~label ~abstraction concrete =
+  let sh =
+    match abstraction with
+    | None -> Checker.prepare_shared ~label concrete
+    | Some ab ->
+      Checker.prepare_shared ~label
+        ~on_sat:(Mem_abstract.hook ab)
+        (Array.to_list (Mem_abstract.abstract_properties ab))
+  in
+  (* Freeze before any solving: the canonical snapshot (built on a
+     throwaway context, so the live solver keeps its lazy working set)
+     provides the cache keys, makes selector numbering identical
+     across workers, and emits the per-design frame span the profiler
+     aggregates. *)
+  Checker.shared_freeze sh;
+  sh
+
+let init_group ~memory_abstraction group =
   let gens =
     List.map
       (fun j ->
@@ -246,32 +338,57 @@ let init_group group =
       (j.design ^ match j.variant with None -> "" | Some v -> "+" ^ v)
       ^ "/" ^ j.port
   in
-  let sh =
-    Checker.prepare_shared ~label
-      (List.filter_map (fun (_, g) -> Result.to_option g) gens)
+  let concrete = List.filter_map (fun (_, g) -> Result.to_option g) gens in
+  let abstraction =
+    if memory_abstraction then Mem_abstract.create ~label concrete else None
   in
-  (* Freeze before any solving: the canonical snapshot (built on a
-     throwaway context, so the live solver keeps its lazy working set)
-     provides the cache keys, makes selector numbering identical
-     across workers, and emits the per-design frame span the profiler
-     aggregates. *)
-  Checker.shared_freeze sh;
+  let sh = group_shared ~label ~abstraction concrete in
   let slots = Hashtbl.create 16 in
+  let concretes = Hashtbl.create 16 in
   let next = ref 0 in
   List.iter
     (fun (id, g) ->
       match g with
-      | Ok _ ->
+      | Ok p ->
         Hashtbl.replace slots id (Ok !next);
+        Hashtbl.replace concretes !next p;
         incr next
       | Error msg -> Hashtbl.replace slots id (Error msg))
     gens;
+  let frame0 = lazy (Proof_cache.frame_digest (Checker.shared_cnf sh)) in
+  let canonical0 = lazy (Proof_cache.canonical_cnf (Checker.shared_cnf sh)) in
   {
     st_sh = sh;
     st_slots = slots;
-    st_frame = lazy (Proof_cache.frame_digest (Checker.shared_cnf sh));
-    st_canonical = lazy (Proof_cache.canonical_cnf (Checker.shared_cnf sh));
+    st_frame = frame0;
+    st_canonical = canonical0;
+    st_key_frame = frame0;
+    st_key_selectors = (fun idx -> Checker.shared_frame_selectors sh idx);
+    st_ab = abstraction;
+    st_concrete = concretes;
+    st_gen =
+      (match abstraction with
+      | Some ab -> Mem_abstract.generation ab
+      | None -> 0);
   }
+
+(* Refinement ceiling, as in [Verify.check_port_instr]. *)
+let max_cegar_rounds = 16
+
+let rebuild_group st label =
+  st.st_sh <- group_shared ~label ~abstraction:st.st_ab [];
+  (* [group_shared] ignores the concrete list when an abstraction is
+     present, which is the only way here *)
+  st.st_frame <-
+    (let sh = st.st_sh in
+     lazy (Proof_cache.frame_digest (Checker.shared_cnf sh)));
+  st.st_canonical <-
+    (let sh = st.st_sh in
+     lazy (Proof_cache.canonical_cnf (Checker.shared_cnf sh)));
+  st.st_gen <-
+    (match st.st_ab with
+    | Some ab -> Mem_abstract.generation ab
+    | None -> 0)
 
 let discharge_shared ~cache ~portfolio ~budget st (j : job) =
   chaos_kill_point j;
@@ -288,23 +405,26 @@ let discharge_shared ~cache ~portfolio ~budget st (j : job) =
     | None -> errored "job missing from its group"
     | Some (Error msg) -> errored msg
     | Some (Ok idx) -> (
+      let mode = if st.st_ab = None then None else Some "abstract" in
       let snapshot =
         match cache with
         | None -> None
         | Some _ -> (
-          (* keys come from the frozen snapshot's numbering, so a hit
-             never encodes the property into the live solver at all *)
-          match Checker.shared_frame_selectors st.st_sh idx with
+          (* keys come from the generation-0 frozen snapshot's
+             numbering, so a hit never encodes the property into the
+             live solver at all, and the key is the same whether or not
+             an earlier job's CEGAR refinement already re-encoded this
+             group's frame *)
+          match st.st_key_selectors idx with
           | [] -> None (* encode failed or no obligations: no key *)
           | selectors ->
             Some
-              ( Proof_cache.key_of_shared ~frame:(Lazy.force st.st_frame)
-                  ~selectors,
-                selectors ))
+              (Proof_cache.key_of_shared ?mode
+                 ~frame:(Lazy.force st.st_key_frame) ~selectors ()))
       in
       let cached =
         match (cache, snapshot) with
-        | Some c, Some (key, _) -> Proof_cache.lookup c key
+        | Some c, Some key -> Proof_cache.lookup c key
         | _ -> None
       in
       match cached with
@@ -314,23 +434,64 @@ let discharge_shared ~cache ~portfolio ~budget st (j : job) =
           ~time_s:(Unix.gettimeofday () -. t0)
           ~backend:"cache" ~cache_hit:true
       | None ->
+        (* the CEGAR loop (no-op without the abstraction): a spurious-
+           counterexample unknown re-encodes the refined window and
+           retries; stalled refinement falls back to the concrete
+           property on a fresh solver *)
+        let rec attempt round stats_acc =
+          let verdict, stats, backend =
+            Portfolio.decide_shared ?budget portfolio st.st_sh idx
+          in
+          let stats_acc = Checker.merge_stats stats_acc stats in
+          match (verdict, st.st_ab) with
+          | Checker.Unknown r, Some ab when Checker.is_spurious_reason r ->
+            if
+              Mem_abstract.generation ab > st.st_gen
+              && round < max_cegar_rounds
+            then begin
+              rebuild_group st (job_chaos_key j);
+              attempt (round + 1) stats_acc
+            end
+            else begin
+              match Hashtbl.find_opt st.st_concrete idx with
+              | None -> (verdict, stats_acc, backend)
+              | Some p ->
+                let v, s =
+                  Checker.check_fresh
+                    ~budget:(Option.value budget ~default:Checker.unlimited)
+                    ~simplify:true p
+                in
+                (v, Checker.merge_stats stats_acc s, "sat>abstract>concrete")
+            end
+          | _, Some _ ->
+            ( verdict,
+              stats_acc,
+              if round = 0 then backend
+              else Printf.sprintf "%s+cegar%d" backend round )
+          | _, None -> (verdict, stats_acc, backend)
+        in
         let verdict, stats, backend =
-          Portfolio.decide_shared ?budget portfolio st.st_sh idx
+          attempt 0 (Checker.zero_stats (Checker.shared_property st.st_sh idx))
         in
         (match (cache, snapshot) with
-        | Some c, Some (key, selectors) ->
-          Proof_cache.store c
-            {
-              Proof_cache.key;
-              engine_version = Proof_cache.version;
-              design = j.design;
-              instr = j.port ^ "." ^ j.instr;
-              verdict;
-              stats;
-              cnf = Lazy.force st.st_canonical;
-              hyps = selectors;
-              created_s = Unix.gettimeofday ();
-            }
+        | Some c, Some key ->
+          (* the stored CNF + selectors are the decision-time frame's,
+             so [Proof_cache.validate] re-solves to the stored verdict
+             shape; a concrete-fallback verdict has no frame to store
+             against, so it is simply not cached *)
+          if backend <> "sat>abstract>concrete" then
+            Proof_cache.store c
+              {
+                Proof_cache.key;
+                engine_version = Proof_cache.version;
+                design = j.design;
+                instr = j.port ^ "." ^ j.instr;
+                verdict;
+                stats;
+                cnf = Lazy.force st.st_canonical;
+                hyps = Checker.shared_frame_selectors st.st_sh idx;
+                created_s = Unix.gettimeofday ();
+              }
         | _ -> ());
         result_of_job j ~verdict ~stats
           ~time_s:(Unix.gettimeofday () -. t0)
@@ -370,7 +531,7 @@ let instrumented ~mode discharge_fn (j : job) =
   end
 
 let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget ?timeout_s
-    ?(incremental = true) job_list =
+    ?(incremental = true) ?(memory_abstraction = false) job_list =
   let t0 = Unix.gettimeofday () in
   let run_span =
     if Ilv_obs.Obs.enabled () then
@@ -400,7 +561,7 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget ?timeout_s
       let discharge_group group =
         (* the group's deadline starts here, preparation included *)
         let budget = deadlined ~timeout_s budget in
-        let st = init_group group in
+        let st = init_group ~memory_abstraction group in
         List.map
           (fun j ->
             instrumented ~mode:"incremental"
@@ -432,7 +593,7 @@ let run ?(jobs = 1) ?cache ?(portfolio = Portfolio.Auto) ?budget ?timeout_s
           (instrumented ~mode:"fresh" (fun j ->
                discharge ~cache ~portfolio
                  ~budget:(deadlined ~timeout_s budget)
-                 j))
+                 ~memory_abstraction j))
           job_list )
   in
   let results =

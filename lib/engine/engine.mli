@@ -86,6 +86,7 @@ val run :
   ?budget:Checker.budget ->
   ?timeout_s:float ->
   ?incremental:bool ->
+  ?memory_abstraction:bool ->
   job list ->
   result list * summary
 (** Discharges every job.  [jobs] (default 1) is the worker count —
@@ -111,7 +112,17 @@ val run :
     this mode hash the shared frame plus the property's activation
     selectors ({!Proof_cache.key_of_shared}) and can never alias
     non-incremental entries.  Verdicts and their order are identical
-    in both modes. *)
+    in both modes.
+
+    [memory_abstraction] (default [false]) encodes memory-mentioning
+    properties through the {!Ilv_core.Mem_abstract} CEGAR window
+    rewrite instead of bit-blasting whole arrays.  Verdicts are
+    unchanged (abstract proofs are sound; counterexamples are replayed
+    concretely, with a fresh-solver concrete fallback when refinement
+    stalls); cache keys gain an ["abstract"] mode tag so the two
+    encodings never serve each other's entries; backends may carry
+    ["+cegarN"] / ["sat>abstract>concrete"] suffixes recording the
+    refinement work. *)
 
 val report_of : name:string -> results:result list -> Verify.report
 (** Reassembles engine results (of one design sweep) into the

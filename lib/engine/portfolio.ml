@@ -227,6 +227,16 @@ let obs_select ~choice ~eligible backend =
   end
 
 let decide ?budget choice pr =
+  (* A SAT-model hook (the memory abstraction's CEGAR replay) pins the
+     query to the SAT leg: the BDD leg would bypass the hook and
+     decide the abstraction's havoc'd formula unsoundly, and a race
+     leg's fork cannot carry the hook closure back. *)
+  if Checker.prepared_has_hook pr then begin
+    obs_select ~choice ~eligible:false "sat";
+    let v, st = Checker.check_prepared ?budget pr in
+    (v, st, "sat")
+  end
+  else
   let eligible = bdd_eligible (Checker.property pr) in
   match choice with
   | Race ->
@@ -267,7 +277,11 @@ let decide_shared ?budget choice sh idx =
     (v, st, "error")
   | None -> (
     let p = Checker.shared_property sh idx in
-    let eligible = bdd_eligible p in
+    (* same hook pinning as [decide]: abstraction queries take the SAT
+       ladder only *)
+    let eligible =
+      (not (Checker.shared_has_hook sh)) && bdd_eligible p
+    in
     let cnf_size = Checker.shared_cnf_size sh in
     let sat () = Checker.check_shared ?budget sh idx in
     match choice with
@@ -278,11 +292,11 @@ let decide_shared ?budget choice sh idx =
         Ilv_obs.Obs.event "portfolio.race_winner"
           [ ("backend", Ilv_obs.Obs.S winner) ];
       r
-    | Force Bdd_backend ->
+    | Force Bdd_backend when not (Checker.shared_has_hook sh) ->
       obs_select ~choice ~eligible "bdd";
       let v, st = decide_bdd_on ~cnf_size p in
       (v, st, "bdd")
-    | Auto | Race | Force Sat_backend ->
+    | Auto | Race | Force _ ->
       obs_select ~choice ~eligible "sat";
       (* the degradation ladder guards the incremental leg: an Unknown
          from the shared frame is retried on a fresh context, then under

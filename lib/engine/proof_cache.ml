@@ -1,13 +1,17 @@
 open Ilv_core
 
-(* /4: the entry file format grew a per-entry checksum (file format
-   /2), so a torn or bit-rotted entry is detected on read instead of
-   trusted.  /3 keys were mode-tagged ("F;" for fresh per-property
-   CNFs, "I;" for shared-frame incremental queries), so an incremental
-   run and a non-incremental run can never alias each other's entries
-   even when their clause sets coincide.  Version bumps make older
-   entries stale rather than silently unreachable. *)
-let version = "ilaverif-engine/4"
+(* /5: keys (and the version) grew an encoding-mode tag ("abstract"
+   for the memory-abstraction rewrite, untagged for concrete), so a
+   verdict established through the CEGAR window encoding can never
+   alias a concrete entry even if their clause sets coincide.  /4: the
+   entry file format grew a per-entry checksum (file format /2), so a
+   torn or bit-rotted entry is detected on read instead of trusted.
+   /3 keys were mode-tagged ("F;" for fresh per-property CNFs, "I;"
+   for shared-frame incremental queries), so an incremental run and a
+   non-incremental run can never alias each other's entries even when
+   their clause sets coincide.  Version bumps make older entries stale
+   rather than silently unreachable. *)
+let version = "ilaverif-engine/5"
 let magic = "ilaverif-proof-cache/2\n"
 
 (* the pre-checksum file format: well-formed entries in it are an
@@ -220,11 +224,24 @@ let add_lit_lists b lists =
         lits)
     lists
 
-let key_of_cnf ~n_vars ~clauses ~hyps =
+(* The optional [mode] tag segregates encodings of the same obligation:
+   a verdict reached through the memory-abstraction rewrite is stored
+   under a different key than the concrete bit-blast, even though both
+   are sound for the same property. *)
+let add_mode b = function
+  | None -> ()
+  | Some m ->
+    Buffer.add_string b "M";
+    Buffer.add_string b m;
+    Buffer.add_char b ';'
+
+let key_of_cnf ?mode ~n_vars ~clauses ~hyps () =
   let _, clauses = canonical_cnf (n_vars, clauses) in
   let hyps = canonical_hyps hyps in
   let b = Buffer.create 65536 in
-  Buffer.add_string b "F;v";
+  Buffer.add_string b "F;";
+  add_mode b mode;
+  Buffer.add_string b "v";
   Buffer.add_string b (string_of_int n_vars);
   add_lit_lists b clauses;
   Buffer.add_string b "#H";
@@ -233,7 +250,7 @@ let key_of_cnf ~n_vars ~clauses ~hyps =
 
 let key_of_prepared pr =
   let n_vars, clauses = Checker.cnf pr in
-  key_of_cnf ~n_vars ~clauses ~hyps:(Checker.hypothesis_literals pr)
+  key_of_cnf ~n_vars ~clauses ~hyps:(Checker.hypothesis_literals pr) ()
 
 (* Shared-frame (incremental) keys: the frame — one CNF for all of a
    design's obligations — is digested once per design, and each
@@ -247,9 +264,10 @@ let frame_digest (n_vars, clauses) =
   add_lit_lists b clauses;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let key_of_shared ~frame ~selectors =
+let key_of_shared ?mode ~frame ~selectors () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "I;";
+  add_mode b mode;
   Buffer.add_string b frame;
   Buffer.add_string b "#S";
   add_lit_lists b (canonical_hyps selectors);

@@ -97,14 +97,23 @@ type entry = {
   created_s : float;  (** [Unix.gettimeofday] at store time *)
 }
 
-val key_of_cnf : n_vars:int -> clauses:int list list -> hyps:int list list -> string
+val key_of_cnf :
+  ?mode:string ->
+  n_vars:int ->
+  clauses:int list list ->
+  hyps:int list list ->
+  unit ->
+  string
 (** The hex digest of the canonicalized CNF + obligation selectors.
     Clauses {e and} selector lists are canonicalized the same way —
     literals deduplicated and sorted within each list, lists sorted
     overall — so neither clause order nor obligation order perturbs the
-    key.  Exposed (rather than only {!key_of_prepared}) so tests can
-    verify the canonicalization directly — e.g. that permuting clauses,
-    literals, or whole selector lists does not change the key. *)
+    key.  [mode] tags the encoding that produced the CNF (the engine
+    passes ["abstract"] under the memory abstraction); keys with
+    different tags never alias.  Exposed (rather than only
+    {!key_of_prepared}) so tests can verify the canonicalization
+    directly — e.g. that permuting clauses, literals, or whole selector
+    lists does not change the key. *)
 
 val canonical_hyps : int list list -> int list list
 (** The selector-list canonicalization used by {!key_of_cnf}. *)
@@ -125,13 +134,15 @@ val frame_digest : int * int list list -> string
     the {e frozen} snapshot (before any solving), like
     {!key_of_prepared}. *)
 
-val key_of_shared : frame:string -> selectors:int list list -> string
+val key_of_shared :
+  ?mode:string -> frame:string -> selectors:int list list -> unit -> string
 (** Key of one property's obligations inside a shared frame:
     [frame] is the {!frame_digest} of the design's shared CNF and
     [selectors] the property's activation-selector lists
     ({!Ilv_core.Checker.shared_selectors}), canonicalized like
     {!canonical_hyps}.  Tagged distinctly from {!key_of_cnf} keys, so
-    incremental and non-incremental runs never alias. *)
+    incremental and non-incremental runs never alias; [mode] further
+    segregates encodings, as in {!key_of_cnf}. *)
 
 val lookup : t -> string -> entry option
 (** [None] on a genuine miss {e and} on any unreadable entry — a

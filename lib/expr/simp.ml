@@ -150,6 +150,27 @@ let rule_lshr a b =
   if shifts_everything_out a b then Build.bv ~width:(Expr.width a) 0
   else Build.lshr a b
 
+(* Read-over-write forwarding.  A read that reaches past a write chain
+   turns each write into an address-compare mux:
+     read (write m a d) a'  →  ite (a = a') d (read m a')
+   with the compare folded away when both addresses are constants (and
+   [Build.read] already handles the syntactically-equal case).  A read
+   of an initializer is its default, and a read of a memory mux is a
+   mux of reads — both expose the data words to the bitvector rules. *)
+let rec rule_read mem addr =
+  match Expr.node mem with
+  | Expr.Write { mem = m; addr = a; data = d } -> (
+    match (Expr.node a, Expr.node addr) with
+    | Expr.Bv_const ka, Expr.Bv_const kb ->
+      if Bitvec.equal ka kb then d else rule_read m addr
+    | _ ->
+      if Expr.equal a addr then d
+      else rule_ite (Build.eq a addr) d (rule_read m addr))
+  | Expr.Mem_init { default; _ } -> Expr.bv_const default
+  | Expr.Ite (c, m1, m2) when Sort.is_mem (Expr.sort m1) ->
+    rule_ite c (rule_read m1 addr) (rule_read m2 addr)
+  | _ -> Build.read mem addr
+
 let simplify e =
   let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 256 in
   let rec go e =
@@ -190,7 +211,7 @@ let simplify e =
     | Expr.Extract { hi; lo; arg } -> rule_extract ~hi ~lo (go arg)
     | Expr.Extend { signed; width; arg } ->
       if signed then Build.sext (go arg) width else Build.zext (go arg) width
-    | Expr.Read { mem; addr } -> Build.read (go mem) (go addr)
+    | Expr.Read { mem; addr } -> rule_read (go mem) (go addr)
     | Expr.Write { mem; addr; data } -> Build.write (go mem) (go addr) (go data)
   in
   go e

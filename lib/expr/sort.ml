@@ -9,9 +9,16 @@ let bv w =
   if w < 1 then invalid_arg "Sort.bv: width must be >= 1";
   Bitvec w
 
+(* Addresses are manipulated as native ints in the evaluator and the
+   concrete bit-blaster; 62 keeps [1 lsl addr_width] representable on
+   64-bit OCaml. The old cap of 20 only protected the concrete
+   word-array encoding, which now guards itself (see Bitblast). *)
+let max_addr_width = 62
+
 let mem ~addr_width ~data_width =
-  if addr_width < 1 || addr_width > 20 then
-    invalid_arg "Sort.mem: addr_width out of range [1,20]";
+  if addr_width < 1 || addr_width > max_addr_width then
+    invalid_arg
+      (Printf.sprintf "Sort.mem: addr_width out of range [1,%d]" max_addr_width);
   if data_width < 1 then invalid_arg "Sort.mem: data_width must be >= 1";
   Mem { addr_width; data_width }
 
@@ -38,7 +45,13 @@ let bv_width = function
 let bit_count = function
   | Bool -> 1
   | Bitvec w -> w
-  | Mem { addr_width; data_width } -> (1 lsl addr_width) * data_width
+  | Mem { addr_width; data_width } ->
+    (* Saturate instead of overflowing: 2^addr_width * data_width can
+       exceed [max_int] for wide (abstraction-only) memories. *)
+    if addr_width >= Sys.int_size - 1 then max_int
+    else
+      let words = 1 lsl addr_width in
+      if words > max_int / data_width then max_int else words * data_width
 
 let pp fmt = function
   | Bool -> Format.pp_print_string fmt "bool"

@@ -8,6 +8,12 @@ type t =
 
 val bool : t
 val bv : int -> t
+
+val max_addr_width : int
+(** Largest accepted [addr_width] (62: keeps [1 lsl addr_width]
+    representable as a native int). The concrete bit-blast path imposes
+    its own, much smaller, limit — see {!Ilv_sat.Bitblast}. *)
+
 val mem : addr_width:int -> data_width:int -> t
 
 val equal : t -> t -> bool
@@ -22,7 +28,8 @@ val bv_width : t -> int
 
 val bit_count : t -> int
 (** Number of state bits needed to hold a value of this sort ([Bool] is
-    1, [Bitvec w] is [w], [Mem] is [2^addr_width * data_width]). *)
+    1, [Bitvec w] is [w], [Mem] is [2^addr_width * data_width],
+    saturating at [max_int] for memories too wide to count). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -111,6 +111,13 @@ type t = {
   vars : (string, Sort.t * C.bits) Hashtbl.t;
 }
 
+(* Bit-blasting a memory allocates [2^addr_width * data_width] solver
+   variables, so the concrete path keeps the historical cap that
+   [Sort.mem] used to impose globally.  Wider memories are only usable
+   through the memory abstraction (Ilv_core.Mem_abstract), which
+   rewrites them away before they reach this module. *)
+let max_concrete_addr_width = Circuits.max_concrete_addr_width
+
 let create () =
   let solver = Sat.create () in
   let t_var = Sat.new_var solver in
@@ -122,6 +129,12 @@ let create () =
     | Sort.Bool -> C.B_bool (Sat.new_var solver)
     | Sort.Bitvec w -> C.B_vec (Array.init w (fun _ -> Sat.new_var solver))
     | Sort.Mem { addr_width; data_width } ->
+      if addr_width > max_concrete_addr_width then
+        invalid_arg
+          (Printf.sprintf
+             "Bitblast: addr_width %d exceeds concrete limit %d; use the \
+              memory abstraction (--memory-abstraction on) for wide memories"
+             addr_width max_concrete_addr_width);
       C.B_mem
         {
           C.addr_width;

@@ -20,6 +20,12 @@ open Ilv_expr
 
 type t
 
+val max_concrete_addr_width : int
+(** Largest [addr_width] the concrete word-array encoding accepts (20).
+    Wider memories must be rewritten away by the memory abstraction
+    before bit-blasting; {!create}'s variable allocator raises
+    [Invalid_argument] past this limit. *)
+
 val create : unit -> t
 
 val assert_bool : t -> Expr.t -> unit

@@ -14,6 +14,12 @@ module type ALGEBRA = sig
   val mk_ite : man -> b -> b -> b -> b
 end
 
+(* Concrete memory encodings materialize one word per address; this cap
+   (the historical [Sort.mem] limit) keeps that tractable.  Wider
+   memories are expected to be eliminated by the memory abstraction
+   before they reach any circuit backend. *)
+let max_concrete_addr_width = 20
+
 module Make (A : ALGEBRA) = struct
   type mem_bits = { addr_width : int; words : A.b array array }
 
@@ -273,6 +279,11 @@ module Make (A : ALGEBRA) = struct
           words = write_mem man m.words (vec c addr) (vec c data);
         }
     | Expr.Mem_init { addr_width; default } ->
+      if addr_width > max_concrete_addr_width then
+        invalid_arg
+          (Printf.sprintf
+             "Circuits: Mem_init addr_width %d exceeds concrete limit %d"
+             addr_width max_concrete_addr_width);
       let word = vec_const man default in
       B_mem { addr_width; words = Array.make (1 lsl addr_width) word }
 end

@@ -24,6 +24,10 @@ module type ALGEBRA = sig
   val mk_ite : man -> b -> b -> b -> b
 end
 
+val max_concrete_addr_width : int
+(** Largest memory [addr_width] the concrete (one word per address)
+    encodings accept; wider memories must be abstracted away first. *)
+
 module Make (A : ALGEBRA) : sig
   type mem_bits = { addr_width : int; words : A.b array array }
 

@@ -46,9 +46,17 @@ let new_counters () =
 
 type frame = {
   fr_prepared : Verify.prepared_port;
+  fr_key_sh : Checker.shared;
+      (* the generation-0 shared context, pinned at preparation time:
+         cache and memo keys must be deterministic across runs, and the
+         live frame ([Verify.prepared_shared]) is *replaced* when a
+         CEGAR refinement rebuilds it ([Verify.frame_generation]
+         moves) — keying off the live frame after a refinement would
+         mint keys no other run can ever reproduce *)
   mutable fr_digest : string option;
-      (* [Proof_cache.frame_digest] of the frozen shared CNF, computed
-         on first use (freezing costs one deterministic encoding pass) *)
+      (* [Proof_cache.frame_digest] of the frozen generation-0 CNF,
+         computed on first use (freezing costs one deterministic
+         encoding pass) *)
 }
 
 type memo_entry = {
@@ -69,19 +77,39 @@ type t = {
   started_s : float;
 }
 
-let frame_key ~design ~variant ~port =
-  String.concat "\x00" [ design; Option.value variant ~default:""; port ]
+let frame_key ~design ~variant ~port ~memory_abstraction =
+  String.concat "\x00"
+    [
+      design;
+      Option.value variant ~default:"";
+      port;
+      (* abstract and concrete encodings of the same port are distinct
+         resident contexts — they must never serve each other's memo *)
+      (if memory_abstraction then "abstract" else "concrete");
+    ]
 
-let get_frame t ~design ~variant ~(port : Ila.t) ~rtl ~refmap =
-  let k = frame_key ~design ~variant ~port:port.Ila.name in
+let get_frame t ~design ~variant ~(port : Ila.t) ~rtl ~refmap
+    ~memory_abstraction =
+  let k =
+    frame_key ~design ~variant ~port:port.Ila.name ~memory_abstraction
+  in
   match Hashtbl.find_opt t.frames k with
   | Some fr -> fr
   | None ->
     let label =
       design ^ (match variant with Some v -> "#" ^ v | None -> "")
     in
-    let pr = Verify.prepare_port ~name:label ~port ~rtl ~refmap () in
-    let fr = { fr_prepared = pr; fr_digest = None } in
+    let pr =
+      Verify.prepare_port ~memory_abstraction ~name:label ~port ~rtl ~refmap
+        ()
+    in
+    let fr =
+      {
+        fr_prepared = pr;
+        fr_key_sh = Verify.prepared_shared pr;
+        fr_digest = None;
+      }
+    in
     Hashtbl.replace t.frames k fr;
     t.counters.c_frames <- t.counters.c_frames + 1;
     if Obs.enabled () then begin
@@ -92,7 +120,7 @@ let get_frame t ~design ~variant ~(port : Ila.t) ~rtl ~refmap =
     fr
 
 let obligation_key fr idx =
-  let sh = Verify.prepared_shared fr.fr_prepared in
+  let sh = fr.fr_key_sh in
   match Checker.shared_frame_selectors sh idx with
   | [] -> None (* encoding failed: uncacheable, undedupable *)
   | selectors ->
@@ -104,7 +132,12 @@ let obligation_key fr idx =
         fr.fr_digest <- Some d;
         d
     in
-    Some (Proof_cache.key_of_shared ~frame:digest ~selectors)
+    let mode =
+      match Verify.prepared_abstraction fr.fr_prepared with
+      | Some _ -> Some "abstract"
+      | None -> None
+    in
+    Some (Proof_cache.key_of_shared ?mode ~frame:digest ~selectors ())
 
 (* ---- verify core (shared by the verify and table ops) ---- *)
 
@@ -154,7 +187,14 @@ let solve_one t fr ~design ~instr ~budget =
         (fun k ->
           Hashtbl.replace t.memo k { m_verdict = verdict; m_rung = rung };
           match (verdict, t.cache) with
-          | (Checker.Proved | Checker.Failed _), Some cache ->
+          | (Checker.Proved | Checker.Failed _), Some cache
+            when rung <> "abstract>concrete" ->
+            (* a concrete-fallback verdict has no abstract frame to
+               validate against, so it is memoized but never stored;
+               decided verdicts store the *decision-time* frame (the
+               CEGAR-refined CNF reproduces the stored verdict shape
+               under [Proof_cache.validate]) while the key stays the
+               deterministic generation-0 one *)
             let sh = Verify.prepared_shared pr in
             let selectors =
               match Verify.prepared_slot pr instr with
@@ -178,7 +218,7 @@ let solve_one t fr ~design ~instr ~budget =
       (verdict, rung, false, false))
 
 let verify_core t ~design_name ~variant ~rtl ~refmap_for ~ports ~instrs
-    ~timeout_s (d : Design.t) =
+    ~timeout_s ~memory_abstraction (d : Design.t) =
   let selected =
     match ports with
     | None -> d.Design.module_ila.Module_ila.ports
@@ -203,6 +243,7 @@ let verify_core t ~design_name ~variant ~rtl ~refmap_for ~ports ~instrs
       let fr =
         get_frame t ~design:design_name ~variant ~port ~rtl
           ~refmap:(refmap_for port.Ila.name)
+          ~memory_abstraction
       in
       let names = Verify.prepared_instrs fr.fr_prepared in
       let names =
@@ -229,15 +270,19 @@ let verify_core t ~design_name ~variant ~rtl ~refmap_for ~ports ~instrs
         names)
     selected
 
-let result_json r =
-  let verdict, reason =
+let result_json ~trace_budget r =
+  let verdict, reason, trace =
     match r.jr_verdict with
-    | Checker.Proved -> ("proved", None)
-    | Checker.Failed _ ->
-      (* counterexample traces are not wire-serializable; clients that
-         need the trace re-run the failing instruction in-process *)
-      ("failed", None)
-    | Checker.Unknown why -> ("unknown", Some why)
+    | Checker.Proved -> ("proved", None, [])
+    | Checker.Failed tr ->
+      (* the counterexample travels in the reply row — unless its
+         encoding alone would crowd the frame, in which case the row
+         says so and the client transparently re-checks in-process *)
+      let tj = Trace.to_json tr in
+      if String.length (Json.encode tj) <= trace_budget then
+        ("failed", None, [ ("trace", tj) ])
+      else ("failed", None, [ ("trace_omitted", Json.Bool true) ])
+    | Checker.Unknown why -> ("unknown", Some why, [])
   in
   Json.Obj
     ([
@@ -248,6 +293,7 @@ let result_json r =
     @ (match reason with
       | Some why -> [ ("reason", Json.String why) ]
       | None -> [])
+    @ trace
     @ [
         ("rung", Json.String r.jr_rung);
         ("time_s", Json.Float r.jr_time_s);
@@ -279,6 +325,20 @@ let summary_json results t0 =
     ]
 
 (* ---- request handlers ---- *)
+
+(* requests carry ["memory_abstraction"]: "auto" | "on" | "off"
+   (absent = "auto").  "auto" and "on" coincide server-side — the
+   abstraction only ever applies itself to obligation groups with a
+   wide memory, so memory-free designs are identical either way. *)
+let memory_abstraction_of req =
+  match Protocol.str_member "memory_abstraction" req with
+  | Some "off" -> false
+  | Some _ | None -> true
+
+(* a failing row's trace may not crowd out the rest of the reply: cap
+   each one well under the frame limit, and let the client re-derive
+   the rare giant trace in-process *)
+let trace_budget t = t.max_frame / 4
 
 let handle_verify t req =
   let t0 = Unix.gettimeofday () in
@@ -319,12 +379,17 @@ let handle_verify t req =
             ~refmap_for:(d.Design.refmap_for rtl)
             ~ports:(Protocol.str_list_member "ports" req)
             ~instrs:(Protocol.str_list_member "instrs" req)
-            ~timeout_s d
+            ~timeout_s
+            ~memory_abstraction:(memory_abstraction_of req)
+            d
         in
         Protocol.ok_reply
           [
             ("design", Json.String d.Design.name);
-            ("results", Json.List (List.map result_json results));
+            ( "results",
+              Json.List
+                (List.map (result_json ~trace_budget:(trace_budget t)) results)
+            );
             ("summary", summary_json results t0);
           ]))
 
@@ -355,7 +420,9 @@ let handle_table t req =
             verify_core t ~design_name:d.Design.name ~variant:None
               ~rtl:d.Design.rtl
               ~refmap_for:(d.Design.refmap_for d.Design.rtl)
-              ~ports:None ~instrs:None ~timeout_s d
+              ~ports:None ~instrs:None ~timeout_s
+              ~memory_abstraction:(memory_abstraction_of req)
+              d
           in
           Json.Obj
             [

@@ -1,0 +1,135 @@
+(* Smoke test for the memory abstraction (CEGAR window encoding),
+   wired into the default test alias: every catalog design (quick
+   configuration) must produce verdict-for-verdict identical reports
+   with the abstraction on and off — memory-free designs because the
+   abstraction is a no-op for them, memory designs because abstract
+   proofs are sound and abstract counterexamples are replayed
+   concretely.  Buggy variants must keep failing with a concrete
+   trace.  The L2 Cache timing is printed (the bench --check gate
+   enforces the speedup floor; a smoke run on a loaded machine only
+   reports it). *)
+
+open Ilv_designs
+open Ilv_core
+open Ilv_engine
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let verdicts (r : Verify.report) =
+  List.concat_map
+    (fun (p : Verify.port_report) ->
+      List.map
+        (fun (ir : Verify.instr_result) ->
+          ( ir.Verify.port,
+            ir.Verify.instr,
+            match ir.Verify.verdict with
+            | Checker.Proved -> "proved"
+            | Checker.Failed _ -> "failed"
+            | Checker.Unknown _ -> "unknown" ))
+        p.Verify.instr_results)
+    r.Verify.ports
+
+let () =
+  List.iter
+    (fun (d : Design.t) ->
+      let t0 = Unix.gettimeofday () in
+      let off =
+        Design.verify ~stop_at_first_failure:false ~memory_abstraction:false d
+      in
+      let t_off = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let on =
+        Design.verify ~stop_at_first_failure:false ~memory_abstraction:true d
+      in
+      let t_on = Unix.gettimeofday () -. t1 in
+      if verdicts off <> verdicts on then
+        fail "abstraction smoke: %s: verdicts differ between on and off"
+          d.Design.name;
+      if not (Verify.proved on) then
+        fail "abstraction smoke: %s: not proved under abstraction"
+          d.Design.name;
+      Format.printf
+        "abstraction smoke: %-26s verdicts agree (off %.3fs, on %.3fs)@."
+        d.Design.name t_off t_on)
+    Catalog.quick;
+  (* buggy variants of the memory designs: the abstraction must still
+     find the bug, and the counterexample must be a concrete trace *)
+  List.iter
+    (fun name ->
+      let d =
+        match Catalog.find name with
+        | Some d -> d
+        | None -> fail "abstraction smoke: no catalog design named %s" name
+      in
+      List.iter
+        (fun (bug : Design.bug) ->
+          let off = Design.verify_buggy ~memory_abstraction:false d bug in
+          let on = Design.verify_buggy ~memory_abstraction:true d bug in
+          let failed (r : Verify.report) =
+            match r.Verify.first_failure with
+            | Some { Verify.verdict = Checker.Failed tr; _ } ->
+              (* a replayed trace must still render (exercises the
+                 concrete-property trace reconstruction) *)
+              ignore (Format.asprintf "%a" Trace.pp tr);
+              true
+            | _ -> false
+          in
+          if not (failed off) then
+            fail "abstraction smoke: %s [%s]: concrete run found no bug"
+              d.Design.name bug.Design.bug_label;
+          if not (failed on) then
+            fail "abstraction smoke: %s [%s]: abstract run found no bug"
+              d.Design.name bug.Design.bug_label;
+          Format.printf "abstraction smoke: %-26s [%s] bug found in both modes@."
+            d.Design.name bug.Design.bug_label)
+        d.Design.bugs)
+    [ "L2 Cache"; "Store Buffer" ];
+  (* engine path: abstract and concrete sweeps agree verdict-for-
+     verdict, and abstract verdicts round-trip through the proof cache
+     under their mode-tagged keys *)
+  let d =
+    match Catalog.find "L2 Cache" with
+    | Some d -> d
+    | None -> fail "abstraction smoke: L2 Cache missing from catalog"
+  in
+  let jobs =
+    Engine.jobs_of ~name:d.Design.name d.Design.module_ila d.Design.rtl
+      ~refmap_for:(fun port -> d.Design.refmap_for d.Design.rtl port)
+      ()
+  in
+  let engine_verdicts results =
+    List.map
+      (fun (r : Engine.result) ->
+        ( r.Engine.job_id,
+          match r.Engine.verdict with
+          | Checker.Proved -> "proved"
+          | Checker.Failed _ -> "failed"
+          | Checker.Unknown _ -> "unknown" ))
+      results
+  in
+  let r_conc, _ = Engine.run ~jobs:1 jobs in
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ilv-abstraction-smoke-%d" (Unix.getpid ()))
+  in
+  let cache = Proof_cache.open_ ~dir:cache_dir () in
+  ignore (Proof_cache.clear cache);
+  let r_abs, s_abs = Engine.run ~jobs:1 ~cache ~memory_abstraction:true jobs in
+  let r_warm, s_warm =
+    Engine.run ~jobs:1 ~cache ~memory_abstraction:true jobs
+  in
+  ignore (Proof_cache.clear cache);
+  (try Unix.rmdir cache_dir with Unix.Unix_error _ -> ());
+  if engine_verdicts r_conc <> engine_verdicts r_abs then
+    fail "abstraction smoke: engine verdicts differ between modes";
+  if engine_verdicts r_conc <> engine_verdicts r_warm then
+    fail "abstraction smoke: warm abstract engine verdicts differ";
+  if s_warm.Engine.cache_hits <> s_warm.Engine.n_jobs then
+    fail "abstraction smoke: abstract entries missed the cache (%d of %d hit)"
+      s_warm.Engine.cache_hits s_warm.Engine.n_jobs;
+  Format.printf
+    "abstraction smoke: engine sweep agrees in both modes (%d jobs, %d \
+     refinements, warm run all cache hits)@."
+    s_abs.Engine.n_jobs
+    (Mem_abstract.total_refinements ())

@@ -10,6 +10,9 @@ module Json = Ilv_obs.Json
 module Protocol = Ilv_server.Protocol
 module Daemon = Ilv_server.Daemon
 module Client = Ilv_server.Client
+module Trace = Ilv_core.Trace
+module Value = Ilv_expr.Value
+module Bitvec = Ilv_expr.Bitvec
 
 (* ---- harness ---- *)
 
@@ -135,6 +138,55 @@ let test_decoder_oversized_header () =
   | Protocol.Broken len -> Alcotest.(check int) "declared length" 4096 len
   | _ -> Alcotest.fail "oversized header not flagged"
 
+(* ---- trace wire form (pure) ---- *)
+
+let test_trace_json_roundtrip () =
+  let bv s = Bitvec.of_string s in
+  let mem =
+    match Value.mem_const ~addr_width:4 ~default:(bv "0x00:8") with
+    | Value.V_mem m ->
+      Value.V_mem
+        (Value.mem_write
+           (Value.mem_write m (bv "0x3:4") (bv "0xab:8"))
+           (bv "0xc:4") (bv "0x5e:8"))
+    | v -> v
+  in
+  let tr =
+    {
+      Trace.property = "wport/push";
+      obligation = "state full_q";
+      ila_vars =
+        [
+          ("buf", mem);
+          ("cmd", Value.V_bv (bv "0x2:3"));
+          ("full", Value.V_bool true);
+        ];
+      cycles =
+        [
+          (0, [ ("head_q", Value.V_bv (bv "0x0:4")); ("wen", Value.V_bool false) ]);
+          (1, [ ("wen", Value.V_bool true) ]);
+        ];
+    }
+  in
+  let encoded = Json.encode (Trace.to_json tr) in
+  match Json.parse encoded with
+  | Error msg -> Alcotest.fail ("re-parse failed: " ^ msg)
+  | Ok j -> (
+    match Trace.of_json j with
+    | None -> Alcotest.fail "decode failed"
+    | Some tr' ->
+      Alcotest.(check bool)
+        "round-trips exactly (memories, bitvectors, booleans)" true
+        (Trace.equal tr tr'))
+
+let test_trace_of_json_rejects_damage () =
+  let truncated =
+    Json.Obj [ ("property", Json.String "p"); ("obligation", Json.String "o") ]
+  in
+  Alcotest.(check bool)
+    "missing fields are a decode failure, not a partial trace" true
+    (Trace.of_json truncated = None)
+
 (* ---- daemon over the wire ---- *)
 
 let test_byte_by_byte_request () =
@@ -244,6 +296,92 @@ let test_identical_obligations_solve_once () =
         "identical verdicts" true
         (verdicts a = verdicts b))
 
+(* ---- failing replies carry the counterexample (the satellite
+   bugfix: daemon rows used to return "failed" with no trace) ---- *)
+
+let verify_bug_req ?mode design bug =
+  Json.Obj
+    ([
+       ("op", Json.String "verify");
+       ("design", Json.String design);
+       ("bug", Json.String bug);
+     ]
+    @
+    match mode with
+    | Some m -> [ ("memory_abstraction", Json.String m) ]
+    | None -> [])
+
+let results_of reply =
+  match Json.member "results" reply with
+  | Some (Json.List rs) -> rs
+  | _ -> Alcotest.fail "reply has no results"
+
+let failed_rows reply =
+  List.filter
+    (fun r -> Protocol.str_member "verdict" r = Some "failed")
+    (results_of reply)
+
+let test_failed_rows_carry_traces () =
+  with_daemon (fun socket ->
+      let reply =
+        request_exn socket (verify_bug_req "Store Buffer" "full_flag")
+      in
+      Alcotest.(check bool) "ok reply" true (Client.ok reply);
+      let rows = failed_rows reply in
+      Alcotest.(check bool) "the bug was found" true (rows <> []);
+      List.iter
+        (fun r ->
+          match Option.bind (Json.member "trace" r) Trace.of_json with
+          | None -> Alcotest.fail "failed row carries no decodable trace"
+          | Some tr ->
+            let rendered = Format.asprintf "%a" Trace.pp tr in
+            Alcotest.(check bool)
+              "the recovered trace renders" true
+              (String.length rendered > 0))
+        rows)
+
+let test_oversized_traces_are_flagged () =
+  (* a tiny frame limit shrinks the per-trace budget below any real
+     counterexample: the row must say the trace was omitted (the client
+     then re-checks in-process) rather than silently dropping it *)
+  with_daemon ~max_frame:512 (fun socket ->
+      let reply =
+        request_exn socket (verify_bug_req "Store Buffer" "full_flag")
+      in
+      Alcotest.(check bool) "ok reply" true (Client.ok reply);
+      let rows = failed_rows reply in
+      Alcotest.(check bool) "the bug was found" true (rows <> []);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            "no trace member" true
+            (Json.member "trace" r = None);
+          Alcotest.(check bool)
+            "omission is flagged" true
+            (Json.member "trace_omitted" r = Some (Json.Bool true)))
+        rows)
+
+let test_memory_abstraction_modes_agree () =
+  with_daemon (fun socket ->
+      let verdicts mode =
+        let reply =
+          request_exn socket
+            (verify_bug_req ~mode "Store Buffer" "full_flag")
+        in
+        Alcotest.(check bool) ("ok under " ^ mode) true (Client.ok reply);
+        List.map
+          (fun r ->
+            ( Protocol.str_member "port" r,
+              Protocol.str_member "instr" r,
+              Protocol.str_member "verdict" r ))
+          (results_of reply)
+      in
+      let off = verdicts "off" and on = verdicts "on" in
+      Alcotest.(check bool)
+        "identical verdicts with the abstraction on and off" true (off = on);
+      Alcotest.(check bool) "both modes found the bug" true
+        (List.exists (fun (_, _, v) -> v = Some "failed") on))
+
 let suite =
   [
     ( "daemon.protocol",
@@ -254,6 +392,10 @@ let suite =
           test_decoder_coalesced_frames;
         Alcotest.test_case "decoder flags oversized headers" `Quick
           test_decoder_oversized_header;
+        Alcotest.test_case "trace JSON round-trips exactly" `Quick
+          test_trace_json_roundtrip;
+        Alcotest.test_case "damaged trace JSON decodes to None" `Quick
+          test_trace_of_json_rejects_damage;
       ] );
     ( "daemon.serve",
       [
@@ -266,5 +408,11 @@ let suite =
           test_disconnect_mid_job;
         Alcotest.test_case "identical obligations across clients solve once"
           `Quick test_identical_obligations_solve_once;
+        Alcotest.test_case "failing replies carry a decodable trace" `Quick
+          test_failed_rows_carry_traces;
+        Alcotest.test_case "oversized traces are flagged, not dropped" `Quick
+          test_oversized_traces_are_flagged;
+        Alcotest.test_case "abstraction on/off agree over the wire" `Quick
+          test_memory_abstraction_modes_agree;
       ] );
   ]

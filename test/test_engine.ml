@@ -44,21 +44,21 @@ let key_tests =
     t "key insensitive to clause and literal order" (fun () ->
         let clauses = [ [ 1; -2; 3 ]; [ -1; 4 ]; [ 2; -3; -4 ]; [ 5 ] ] in
         let hyps = [ [ 6 ]; [ 7; 8 ] ] in
-        let k = Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps in
+        let k = Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps () in
         let permuted =
           [ [ 5 ]; [ 2; -4; -3 ]; [ 3; 1; -2 ]; [ 4; -1 ] ]
         in
         Alcotest.(check string)
           "permuted CNF keys equal" k
-          (Proof_cache.key_of_cnf ~n_vars:8 ~clauses:permuted ~hyps);
+          (Proof_cache.key_of_cnf ~n_vars:8 ~clauses:permuted ~hyps ());
         (* ...but not to the actual content *)
         let changed = [ [ 1; -2; 3 ]; [ -1; 4 ]; [ 2; -3; 4 ]; [ 5 ] ] in
         Alcotest.(check bool)
           "flipped literal changes the key" true
-          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses:changed ~hyps);
+          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses:changed ~hyps ());
         Alcotest.(check bool)
           "different selectors change the key" true
-          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6 ] ]));
+          (k <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6 ] ] ()));
     t "key insensitive to selector-list order and duplicates (regression)"
       (fun () ->
         (* Pre-fix, [key_of_cnf] hashed the selector lists exactly as
@@ -67,21 +67,21 @@ let key_tests =
            silently missed the cache. *)
         let clauses = [ [ 1; -2 ]; [ 2; 3 ] ] in
         let k =
-          Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6; 7 ]; [ 8 ] ]
+          Proof_cache.key_of_cnf ~n_vars:8 ~clauses ~hyps:[ [ 6; 7 ]; [ 8 ] ] ()
         in
         Alcotest.(check string)
           "permuted selector lists keys equal" k
           (Proof_cache.key_of_cnf ~n_vars:8 ~clauses
-             ~hyps:[ [ 8 ]; [ 7; 6 ] ]);
+             ~hyps:[ [ 8 ]; [ 7; 6 ] ] ());
         Alcotest.(check string)
           "duplicated selector literal keys equal" k
           (Proof_cache.key_of_cnf ~n_vars:8 ~clauses
-             ~hyps:[ [ 6; 7; 6 ]; [ 8 ] ]);
+             ~hyps:[ [ 6; 7; 6 ]; [ 8 ] ] ());
         Alcotest.(check bool)
           "different selector content still changes the key" true
           (k
           <> Proof_cache.key_of_cnf ~n_vars:8 ~clauses
-               ~hyps:[ [ 6; 7 ]; [ 7 ] ]));
+               ~hyps:[ [ 6; 7 ]; [ 7 ] ] ()));
     t "key stable across independent property regenerations" (fun () ->
         let d = design "AXI Slave" in
         let k1 = Proof_cache.key_of_prepared (prepared_of d) in
@@ -111,7 +111,7 @@ let entry_of (d : Design.t) =
   let pr = prepared_of d in
   let n_vars, clauses = Checker.cnf pr in
   let hyps = Checker.hypothesis_literals pr in
-  let key = Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps in
+  let key = Proof_cache.key_of_cnf ~n_vars ~clauses ~hyps () in
   let verdict, stats = Checker.check_prepared pr in
   {
     Proof_cache.key;

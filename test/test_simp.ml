@@ -57,6 +57,71 @@ let unit_tests =
         Alcotest.check expr_eq "idempotent" s (Simp.simplify_fix s));
   ]
 
+(* Memory rules: read-over-write forwarding (with the constant-address
+   compare folded away), reads of initializers, and read-over-mux
+   distribution — the word-level shortcuts that keep the memory
+   abstraction's window muxes shallow. *)
+let mem_tests =
+  let m = Build.mem_var "m" ~addr_width:4 ~data_width:8 in
+  let a = Build.bv_var "a" 4 in
+  let b = Build.bv_var "b" 4 in
+  let k i = Build.bv ~width:4 i in
+  let d i = Build.bv ~width:8 i in
+  [
+    t "read-over-write forwards a syntactically equal address" (fun () ->
+        let e = Expr.read ~mem:(Expr.write ~mem:m ~addr:a ~data:(d 7)) ~addr:a in
+        Alcotest.check expr_eq "forwarded" (d 7) (Simp.simplify e));
+    t "constant-address compares are decided, not muxed" (fun () ->
+        let hit =
+          Expr.read ~mem:(Expr.write ~mem:m ~addr:(k 3) ~data:(d 9)) ~addr:(k 3)
+        in
+        Alcotest.check expr_eq "hit forwards the datum" (d 9)
+          (Simp.simplify hit);
+        let miss =
+          Expr.read ~mem:(Expr.write ~mem:m ~addr:(k 3) ~data:(d 9)) ~addr:(k 5)
+        in
+        Alcotest.check expr_eq "miss reaches past the write"
+          (Build.read m (k 5)) (Simp.simplify miss));
+    t "a symbolic write becomes one address-compare mux" (fun () ->
+        let e = Expr.read ~mem:(Expr.write ~mem:m ~addr:a ~data:(d 9)) ~addr:b in
+        Alcotest.check expr_eq "mux"
+          (Build.ite (Build.eq a b) (d 9) (Build.read m b))
+          (Simp.simplify e));
+    t "read of an initializer is its default" (fun () ->
+        let init =
+          Expr.mem_init ~addr_width:4 ~default:(Bitvec.of_int ~width:8 0x5a)
+        in
+        Alcotest.check expr_eq "default" (d 0x5a)
+          (Simp.simplify (Expr.read ~mem:init ~addr:a)));
+    t "a constant-address write chain collapses to the matching datum"
+      (fun () ->
+        let chain =
+          Expr.write
+            ~mem:
+              (Expr.write
+                 ~mem:(Expr.write ~mem:m ~addr:(k 1) ~data:(d 10))
+                 ~addr:(k 2) ~data:(d 20))
+            ~addr:(k 1) ~data:(d 30)
+        in
+        Alcotest.check expr_eq "latest write of address 1 wins" (d 30)
+          (Simp.simplify (Expr.read ~mem:chain ~addr:(k 1)));
+        Alcotest.check expr_eq "inner write of address 2 found" (d 20)
+          (Simp.simplify (Expr.read ~mem:chain ~addr:(k 2)));
+        Alcotest.check expr_eq "unwritten address reaches the base"
+          (Build.read m (k 5))
+          (Simp.simplify (Expr.read ~mem:chain ~addr:(k 5))));
+    t "read distributes over a memory mux" (fun () ->
+        let m2 = Build.mem_var "m2" ~addr_width:4 ~data_width:8 in
+        let e =
+          Expr.read
+            ~mem:(Expr.ite p (Expr.write ~mem:m ~addr:(k 3) ~data:(d 9)) m2)
+            ~addr:(k 3)
+        in
+        Alcotest.check expr_eq "mux of reads"
+          (Build.ite p (d 9) (Build.read m2 (k 3)))
+          (Simp.simplify e));
+  ]
+
 (* Width-directed rules added for the pre-blast simplification pass:
    they target the concat/extract/shift plumbing that refinement-map
    substitution produces (packed status words, field selects). *)
@@ -198,6 +263,7 @@ let prop_tests =
 let suite =
   [
     ("simp:unit", unit_tests);
+    ("simp:mem", mem_tests);
     ("simp:width", width_tests);
     ("simp:props", prop_tests);
   ]
